@@ -1,0 +1,72 @@
+(* Two more application domains on the same DSL and platform:
+
+   1. an XTEA crypto-offload SoC — encrypt and decrypt accelerators chained
+      into a loopback pipeline, with the 128-bit key delivered over
+      AXI-Lite like a real crypto engine's key slots;
+   2. a DSP chain — a 5-tap binomial smoother feeding a differentiator,
+      both as streaming FIR accelerators with coefficient BRAMs.
+
+   Run with: dune exec examples/crypto_dsp.exe *)
+
+module Exec = Soc_platform.Executive
+
+let crypto () =
+  print_endline "=== XTEA crypto loopback SoC ===";
+  print_string (Soc_core.Printer.to_source Soc_apps.Xtea.loopback_spec);
+  let key = [| 0x1BADB002; 0xCAFEF00D; 0x8BADF00D; 0xDEADC0DE |] in
+  let blocks = 24 in
+  let cycles, ok, build = Soc_apps.Xtea.run_loopback ~blocks ~key () in
+  Printf.printf "\n%d blocks encrypted and decrypted in fabric: bit-exact=%b\n" blocks ok;
+  Printf.printf "cycles=%d  resources: %s\n" cycles
+    (Format.asprintf "%a" Soc_hls.Report.pp_usage build.Soc_core.Flow.resources);
+  (* Show that the ciphertext really is XTEA: compare one block against the
+     golden model. *)
+  let c0, c1 = Soc_apps.Xtea.Golden.encrypt_block ~key (1, 2) in
+  Printf.printf "golden XTEA of block (1,2): %08x %08x\n\n" c0 c1
+
+let dsp () =
+  print_endline "=== FIR smoother -> differentiator pipeline ===";
+  print_string (Soc_core.Printer.to_source Soc_apps.Fir.pipeline_spec);
+  let samples = 96 in
+  let build =
+    Soc_core.Flow.build Soc_apps.Fir.pipeline_spec
+      ~kernels:(Soc_apps.Fir.pipeline_kernels ~samples)
+  in
+  let live = Soc_core.Flow.instantiate build in
+  let exec = live.Soc_core.Flow.exec in
+  (* A noisy ramp with a step: smoothing then differencing finds the step. *)
+  let rng = Soc_util.Rng.create 31 in
+  let input =
+    List.init samples (fun i ->
+        (if i < samples / 2 then 100 else 400) + Soc_util.Rng.int rng 11)
+  in
+  Soc_axi.Dram.write_block (Exec.dram exec) ~addr:0 (Array.of_list input);
+  Exec.start_accel exec "smooth";
+  Exec.start_accel exec "diff";
+  Exec.start_read_dma exec
+    ~channel:(Soc_core.Flow.channel live ~node:"diff" ~port:"y")
+    ~addr:1024 ~len:samples;
+  Exec.start_write_dma exec
+    ~channel:(Soc_core.Flow.channel live ~node:"smooth" ~port:"x")
+    ~addr:0 ~len:samples;
+  Exec.run_phase exec ~accels:[ "smooth"; "diff" ];
+  let out = Soc_axi.Dram.read_block (Exec.dram exec) ~addr:1024 ~len:samples in
+  let golden = Soc_apps.Fir.golden_pipeline input in
+  Printf.printf "\n%d samples through smooth->diff: bit-exact=%b (%d cycles)\n" samples
+    (Array.to_list out = golden)
+    (Exec.elapsed_cycles exec);
+  (* The differentiated smoothed signal peaks at the step location. *)
+  let peak_at = ref 0 and peak = ref 0 in
+  Array.iteri
+    (fun i v ->
+      let v = Soc_util.Bits.to_signed ~width:32 v in
+      if v > !peak then begin
+        peak := v;
+        peak_at := i
+      end)
+    out;
+  Printf.printf "edge detected at sample %d (true step at %d)\n" !peak_at (samples / 2)
+
+let () =
+  crypto ();
+  dsp ()

@@ -1,0 +1,143 @@
+(** Kernels for the Fig. 4 example system: ADD and MULT exposed over
+    AXI-Lite, and a 3x3 Gaussian blur feeding a Sobel edge detector over
+    AXI-Stream — the "image-processing pipeline" of the paper's running
+    example.
+
+    The 2D filters use the classic streaming structure: two full line
+    buffers (BRAMs) plus a 3x3 shift-register window; border pixels pass
+    through unchanged so the output stream has exactly as many beats as the
+    input. Golden models are provided for differential testing. *)
+
+open Soc_kernel
+open Soc_kernel.Ast.Build
+
+let add_kernel =
+  {
+    Ast.kname = "ADD";
+    ports = [ in_scalar "A" Ty.U32; in_scalar "B" Ty.U32; out_scalar "return_" Ty.U32 ];
+    locals = [];
+    arrays = [];
+    body = [ set "return_" (v "A" +: v "B") ];
+  }
+
+let mul_kernel =
+  {
+    Ast.kname = "MUL";
+    ports = [ in_scalar "A" Ty.U32; in_scalar "B" Ty.U32; out_scalar "return_" Ty.U32 ];
+    locals = [];
+    arrays = [];
+    body = [ set "return_" (v "A" *: v "B") ];
+  }
+
+(* Shared skeleton of a 3x3 stencil kernel: feeds the window registers
+   w00..w22 (w00 = north-west, w22 = the just-arrived pixel) and runs
+   [compute] when the window is fully inside the image. [compute] must set
+   variable "res". *)
+let stencil_kernel ~name ~width ~height ~extra_locals ~compute =
+  let w = width and h = height in
+  let window_locals =
+    List.concat_map
+      (fun r -> List.map (fun c -> (Printf.sprintf "w%d%d" r c, Ty.U32)) [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  let shift_window =
+    (* Columns slide left; new column enters on the right. *)
+    List.concat_map
+      (fun r ->
+        [
+          set (Printf.sprintf "w%d0" r) (v (Printf.sprintf "w%d1" r));
+          set (Printf.sprintf "w%d1" r) (v (Printf.sprintf "w%d2" r));
+        ])
+      [ 0; 1; 2 ]
+  in
+  {
+    Ast.kname = name;
+    ports = [ in_stream "in" Ty.U32; out_stream "out" Ty.U32 ];
+    locals =
+      [ ("x", Ty.U32); ("y", Ty.U32); ("p", Ty.U32); ("res", Ty.U32) ]
+      @ window_locals @ extra_locals;
+    arrays = [ array "line1" Ty.U32 w; array "line2" Ty.U32 w ];
+    body =
+      [
+        for_ "y" ~from:(int 0) ~below:(int h)
+          [
+            for_ "x" ~from:(int 0) ~below:(int w)
+              ([ pop "p" "in" ]
+              @ shift_window
+              @ [
+                  (* New right column: rows y-2, y-1 from the line buffers,
+                     current pixel at the bottom. *)
+                  set "w02" (load "line2" (v "x"));
+                  set "w12" (load "line1" (v "x"));
+                  set "w22" (v "p");
+                  store "line2" (v "x") (load "line1" (v "x"));
+                  store "line1" (v "x") (v "p");
+                ]
+              @ [
+                  if_
+                    (Ast.Bin (Ast.Band, v "y" >=: int 2, v "x" >=: int 2))
+                    (compute @ [ push "out" (v "res") ])
+                    [ push "out" (v "p") ];
+                ]);
+          ];
+      ];
+  }
+
+(* 3x3 binomial (Gaussian) blur: kernel [1 2 1; 2 4 2; 1 2 1] / 16. *)
+let gauss_kernel ~width ~height =
+  stencil_kernel ~name:"GAUSS" ~width ~height ~extra_locals:[ ("acc", Ty.U32) ]
+    ~compute:
+      [
+        set "acc"
+          (v "w00" +: (int 2 *: v "w01") +: v "w02"
+          +: (int 2 *: v "w10") +: (int 4 *: v "w11") +: (int 2 *: v "w12")
+          +: v "w20" +: (int 2 *: v "w21") +: v "w22");
+        set "res" (v "acc" >>: int 4);
+      ]
+
+(* Sobel gradient magnitude (|gx| + |gy|), clamped to 255. *)
+let edge_kernel ~width ~height =
+  stencil_kernel ~name:"EDGE" ~width ~height
+    ~extra_locals:[ ("gx", Ty.I32); ("gy", Ty.I32); ("ax", Ty.I32); ("ay", Ty.I32); ("m", Ty.I32) ]
+    ~compute:
+      [
+        set "gx"
+          (v "w02" +: (int 2 *: v "w12") +: v "w22"
+          -: (v "w00" +: (int 2 *: v "w10") +: v "w20"));
+        set "gy"
+          (v "w20" +: (int 2 *: v "w21") +: v "w22"
+          -: (v "w00" +: (int 2 *: v "w01") +: v "w02"));
+        if_ (v "gx" <: int 0) [ set "ax" (int 0 -: v "gx") ] [ set "ax" (v "gx") ];
+        if_ (v "gy" <: int 0) [ set "ay" (int 0 -: v "gy") ] [ set "ay" (v "gy") ];
+        set "m" (v "ax" +: v "ay");
+        if_ (v "m" >: int 255) [ set "res" (int 255) ] [ set "res" (v "m") ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden models                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Golden = struct
+  (* Mirrors the streaming stencil exactly, including the pass-through
+     border policy and the window alignment: the pixel emitted at (x, y)
+     for x,y >= 2 is the stencil centred at (x-1, y-1). *)
+  let stencil_run ~width ~height ~f (input : int array) : int array =
+    let get x y = input.((y * width) + x) in
+    Array.init (width * height) (fun idx ->
+        let x = idx mod width and y = idx / width in
+        if x >= 2 && y >= 2 then f (fun dr dc -> get (x - 2 + dc) (y - 2 + dr))
+        else get x y)
+
+  let gauss ~width ~height input =
+    stencil_run ~width ~height input ~f:(fun w ->
+        (w 0 0 + (2 * w 0 1) + w 0 2
+        + (2 * w 1 0) + (4 * w 1 1) + (2 * w 1 2)
+        + w 2 0 + (2 * w 2 1) + w 2 2)
+        lsr 4)
+
+  let edge ~width ~height input =
+    stencil_run ~width ~height input ~f:(fun w ->
+        let gx = w 0 2 + (2 * w 1 2) + w 2 2 - (w 0 0 + (2 * w 1 0) + w 2 0) in
+        let gy = w 2 0 + (2 * w 2 1) + w 2 2 - (w 0 0 + (2 * w 0 1) + w 0 2) in
+        min 255 (abs gx + abs gy))
+end

@@ -1,0 +1,90 @@
+(** Streaming FIR filter: the classic DSP accelerator, exercising
+    constant-initialized BRAMs (coefficient store), the multiplier budget
+    and a sample delay line.
+
+    y[n] = sum_{k=0}^{taps-1} h[k] * x[n-k], with x[m] = 0 for m < 0.
+    Arithmetic is integer (fixed-point with the caller's scaling). *)
+
+open Soc_kernel
+open Soc_kernel.Ast.Build
+
+module Golden = struct
+  let run ~coeffs xs =
+    let taps = Array.length coeffs in
+    let n = List.length xs in
+    let x = Array.of_list xs in
+    List.init n (fun i ->
+        let acc = ref 0 in
+        for k = 0 to taps - 1 do
+          if i - k >= 0 then acc := !acc + (coeffs.(k) * x.(i - k))
+        done;
+        Soc_util.Bits.truncate ~width:32 !acc)
+end
+
+(* The kernel keeps the last [taps] samples in a circular BRAM; each output
+   is a [taps]-term multiply-accumulate. *)
+let kernel ~name ~coeffs ~samples =
+  let taps = Array.length coeffs in
+  if taps <= 0 then invalid_arg "Fir.kernel: empty coefficients";
+  {
+    Ast.kname = name;
+    ports = [ in_stream "x" Ty.U32; out_stream "y" Ty.U32 ];
+    locals =
+      [ ("n", Ty.U32); ("k", Ty.U32); ("acc", Ty.U32); ("xi", Ty.U32); ("idx", Ty.I32);
+        ("h", Ty.U32); ("s", Ty.U32) ];
+    arrays =
+      [ array ~init:coeffs "coeff" Ty.U32 taps; array "delay" Ty.U32 taps ];
+    body =
+      [
+        (* Zero the delay line so the accelerator is restartable. *)
+        for_ "k" ~from:(int 0) ~below:(int taps) [ store "delay" (v "k") (int 0) ];
+        for_ "n" ~from:(int 0) ~below:(int samples)
+          [
+            pop "xi" "x";
+            (* delay[n mod taps] <- x[n] *)
+            store "delay" (Ast.Bin (Ast.Urem, v "n", int taps)) (v "xi");
+            set "acc" (int 0);
+            for_ "k" ~from:(int 0) ~below:(int taps)
+              [
+                (* Only accumulate taps that have real samples. *)
+                if_
+                  (Ast.Bin (Ast.Ule, v "k", v "n"))
+                  [
+                    set "idx" (Ast.Bin (Ast.Urem, v "n" -: v "k" +: int taps, int taps));
+                    set "s" (load "delay" (v "idx"));
+                    set "h" (load "coeff" (v "k"));
+                    set "acc" (v "acc" +: (v "h" *: v "s"));
+                  ]
+                  [];
+              ];
+            push "y" (v "acc");
+          ];
+      ];
+  }
+
+(* A small DSP system: a 5-tap smoother feeding a differentiator, both in
+   the fabric, with 'soc DMA at the ends. *)
+let smoother_coeffs = [| 1; 4; 6; 4; 1 |]
+let diff_coeffs = [| 1; 0xFFFFFFFF |] (* [1; -1] in two's complement *)
+
+let pipeline_spec : Soc_core.Spec.t =
+  let open Soc_core.Edsl in
+  design "fir_pipeline" @@ fun tg ->
+  nodes tg;
+  node tg "smooth" |> is "x" |> is "y" |> end_;
+  node tg "diff" |> is "x" |> is "y" |> end_;
+  end_nodes tg;
+  edges tg;
+  link tg soc ~to_:(port "smooth" "x");
+  link tg (port "smooth" "y") ~to_:(port "diff" "x");
+  link tg (port "diff" "y") ~to_:soc;
+  end_edges tg
+
+let pipeline_kernels ~samples =
+  [
+    ("smooth", kernel ~name:"smooth" ~coeffs:smoother_coeffs ~samples);
+    ("diff", kernel ~name:"diff" ~coeffs:diff_coeffs ~samples);
+  ]
+
+let golden_pipeline xs =
+  Golden.run ~coeffs:diff_coeffs (Golden.run ~coeffs:smoother_coeffs xs)

@@ -1,0 +1,23 @@
+(** Streaming FIR filter: the classic DSP accelerator — constant
+    coefficient BRAM, circular delay line, multiply-accumulate loop.
+    y[n] = sum h[k] x[n-k] with zero-padded history; 32-bit wrapping
+    integer arithmetic. *)
+
+module Golden : sig
+  val run : coeffs:int array -> int list -> int list
+end
+
+val kernel : name:string -> coeffs:int array -> samples:int -> Soc_kernel.Ast.kernel
+
+val smoother_coeffs : int array
+(** Binomial 5-tap low-pass [1;4;6;4;1]. *)
+
+val diff_coeffs : int array
+(** First difference [1; -1] (two's complement). *)
+
+val pipeline_spec : Soc_core.Spec.t
+(** soc -> smooth -> diff -> soc. *)
+
+val pipeline_kernels : samples:int -> (string * Soc_kernel.Ast.kernel) list
+
+val golden_pipeline : int list -> int list

@@ -1,0 +1,172 @@
+(** The paper's graphs and DSL descriptions: the example HTG of Fig. 1, the
+    Fig. 4 target architecture, the Otsu dependency graph of Fig. 8, and the
+    four case-study architectures of Table I (Arch4 is Listing 4
+    verbatim). *)
+
+open Soc_core
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: example HTG                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_htg : Soc_htg.Htg.t =
+  let open Soc_htg.Htg in
+  let image_phase =
+    {
+      actors =
+        [
+          actor "GAUSS" ~inputs:[ ("in", 1) ] ~outputs:[ ("out", 1) ];
+          actor "EDGE" ~inputs:[ ("in", 1) ] ~outputs:[ ("out", 1) ];
+        ];
+      links = [ link ("GAUSS", "out") ("EDGE", "in") ];
+    }
+  in
+  make ~name:"fig1"
+    ~nodes:
+      [
+        task ~mapping:Sw "N1";
+        task ~mapping:Hw "ADD";
+        task ~mapping:Hw "MUL";
+        phase ~mapping:Hw "IMAGE" image_phase;
+        task ~mapping:Sw "N4";
+      ]
+    ~edges:
+      [ ("N1", "ADD"); ("N1", "MUL"); ("N1", "IMAGE"); ("ADD", "N4"); ("MUL", "N4");
+        ("IMAGE", "N4") ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: ADD/MULT on AXI-Lite, GAUSS -> EDGE on AXI-Stream           *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_spec : Spec.t =
+  let open Edsl in
+  design "fig4" @@ fun tg ->
+  nodes tg;
+  node tg "MUL" |> i "A" |> i "B" |> i "return_" |> end_;
+  node tg "ADD" |> i "A" |> i "B" |> i "return_" |> end_;
+  node tg "GAUSS" |> is "in" |> is "out" |> end_;
+  node tg "EDGE" |> is "in" |> is "out" |> end_;
+  end_nodes tg;
+  edges tg;
+  connect tg "MUL";
+  connect tg "ADD";
+  link tg soc ~to_:(port "GAUSS" "in");
+  link tg (port "GAUSS" "out") ~to_:(port "EDGE" "in");
+  link tg (port "EDGE" "out") ~to_:soc;
+  end_edges tg
+
+let fig4_kernels ~width ~height =
+  [
+    ("MUL", Filters.mul_kernel);
+    ("ADD", Filters.add_kernel);
+    ("GAUSS", Filters.gauss_kernel ~width ~height);
+    ("EDGE", Filters.edge_kernel ~width ~height);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: Otsu dependency graph                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig8_htg : Soc_htg.Htg.t =
+  let open Soc_htg.Htg in
+  make ~name:"otsu_dependency_graph"
+    ~nodes:
+      [
+        task ~mapping:Sw "readImage";
+        task ~mapping:Hw "grayScale";
+        task ~mapping:Hw "histogram";
+        task ~mapping:Hw "otsuMethod";
+        task ~mapping:Hw "binarization";
+        task ~mapping:Sw "writeImage";
+      ]
+    ~edges:
+      [
+        ("readImage", "grayScale");
+        ("grayScale", "histogram");
+        ("grayScale", "binarization");
+        ("histogram", "otsuMethod");
+        ("otsuMethod", "binarization");
+        ("binarization", "writeImage");
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Table I: the four generated architectures                           *)
+(* ------------------------------------------------------------------ *)
+
+type arch = Arch1 | Arch2 | Arch3 | Arch4
+
+let all_archs = [ Arch1; Arch2; Arch3; Arch4 ]
+
+let arch_name = function
+  | Arch1 -> "Arch1"
+  | Arch2 -> "Arch2"
+  | Arch3 -> "Arch3"
+  | Arch4 -> "Arch4"
+
+(* Which application functions are implemented in hardware (Table I). *)
+let hw_functions = function
+  | Arch1 -> [ "histogram" ]
+  | Arch2 -> [ "otsuMethod" ]
+  | Arch3 -> [ "histogram"; "otsuMethod" ]
+  | Arch4 -> [ "grayScale"; "histogram"; "otsuMethod"; "binarization" ]
+
+(* Arch4 is Listing 4, written in the external concrete syntax and fed to
+   the parser — the listing is reproduced verbatim (modulo whitespace). *)
+let listing4_source =
+  {|object otsu extends App {
+  tg nodes;
+    tg node "grayScale" is "imageIn" is "imageOutCH" is "imageOutSEG" end;
+    tg node "computeHistogram" is "grayScaleImage" is "histogram" end;
+    tg node "halfProbability" is "histogram" is "probability" end;
+    tg node "segment" is "grayScaleImage" is "otsuThreshold" is "segmentedGrayImage" end;
+  tg end_nodes;
+  tg edges;
+    tg link 'soc to ("grayScale", "imageIn") end;
+    tg link ("grayScale", "imageOutCH") to ("computeHistogram", "grayScaleImage") end;
+    tg link ("grayScale", "imageOutSEG") to ("segment", "grayScaleImage") end;
+    tg link ("computeHistogram", "histogram") to ("halfProbability", "histogram") end;
+    tg link ("halfProbability", "probability") to ("segment", "otsuThreshold") end;
+    tg link ("segment", "segmentedGrayImage") to 'soc end;
+  tg end_edges;
+}|}
+
+let arch_spec = function
+  | Arch1 ->
+    let open Edsl in
+    design "otsu_arch1" @@ fun tg ->
+    nodes tg;
+    node tg "computeHistogram" |> is "grayScaleImage" |> is "histogram" |> end_;
+    end_nodes tg;
+    edges tg;
+    link tg soc ~to_:(port "computeHistogram" "grayScaleImage");
+    link tg (port "computeHistogram" "histogram") ~to_:soc;
+    end_edges tg
+  | Arch2 ->
+    let open Edsl in
+    design "otsu_arch2" @@ fun tg ->
+    nodes tg;
+    node tg "halfProbability" |> is "histogram" |> is "probability" |> end_;
+    end_nodes tg;
+    edges tg;
+    link tg soc ~to_:(port "halfProbability" "histogram");
+    link tg (port "halfProbability" "probability") ~to_:soc;
+    end_edges tg
+  | Arch3 ->
+    let open Edsl in
+    design "otsu_arch3" @@ fun tg ->
+    nodes tg;
+    node tg "computeHistogram" |> is "grayScaleImage" |> is "histogram" |> end_;
+    node tg "halfProbability" |> is "histogram" |> is "probability" |> end_;
+    end_nodes tg;
+    edges tg;
+    link tg soc ~to_:(port "computeHistogram" "grayScaleImage");
+    link tg (port "computeHistogram" "histogram") ~to_:(port "halfProbability" "histogram");
+    link tg (port "halfProbability" "probability") ~to_:soc;
+    end_edges tg
+  | Arch4 -> Parser.parse listing4_source
+
+(* Kernels needed by each architecture, for a given image geometry. *)
+let arch_kernels arch ~width ~height =
+  let all = Otsu.kernels ~width ~height in
+  let nodes = (arch_spec arch).Spec.nodes in
+  List.filter (fun (name, _) -> List.exists (fun n -> n.Spec.node_name = name) nodes) all

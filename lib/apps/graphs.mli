@@ -1,0 +1,23 @@
+(** The paper's graphs and DSL descriptions: Fig. 1's example HTG, the
+    Fig. 4 architecture, Fig. 8's Otsu dependency graph, and the four
+    case-study architectures of Table I (Arch4 parsed verbatim from
+    Listing 4). *)
+
+val fig1_htg : Soc_htg.Htg.t
+val fig4_spec : Soc_core.Spec.t
+val fig4_kernels : width:int -> height:int -> (string * Soc_kernel.Ast.kernel) list
+val fig8_htg : Soc_htg.Htg.t
+
+type arch = Arch1 | Arch2 | Arch3 | Arch4
+
+val all_archs : arch list
+val arch_name : arch -> string
+
+val hw_functions : arch -> string list
+(** Which application functions are hardware (Table I rows). *)
+
+val listing4_source : string
+(** Listing 4 in the external concrete syntax, reproduced verbatim. *)
+
+val arch_spec : arch -> Soc_core.Spec.t
+val arch_kernels : arch -> width:int -> height:int -> (string * Soc_kernel.Ast.kernel) list

@@ -1,0 +1,185 @@
+(** Host programs for the four case-study architectures (plus an all-
+    software baseline): the equivalent of the application binaries the
+    paper's flow produces for the Zedboard, executed on the simulated
+    platform via the driver API of {!Soc_platform.Executive}.
+
+    Every variant computes the same segmented image; the golden model
+    checks bit-exactness, and the timeline gives the HW/SW speedup data
+    for the extension benches. *)
+
+open Soc_core
+module Exec = Soc_platform.Executive
+
+type result = {
+  label : string;
+  output : Image.t;
+  threshold : int;
+  cycles : int;
+  microseconds : float;
+  build : Flow.build option; (* None for the all-software baseline *)
+}
+
+(* DRAM layout (word addresses). *)
+let rgb_addr = 0x1000
+let gray_ch_addr = 0x20000
+let gray_seg_addr = 0x30000
+let hist_addr = 0x40000
+let thresh_addr = 0x40400
+let out_addr = 0x50000
+
+let load_image (exec : Exec.t) (rgb : Image.rgb_image) =
+  Soc_axi.Dram.write_block (Exec.dram exec) ~addr:rgb_addr rgb.Image.rgb
+
+let read_output (exec : Exec.t) ~width ~height =
+  let n = width * height in
+  let data = Soc_axi.Dram.read_block (Exec.dram exec) ~addr:out_addr ~len:n in
+  { Image.width; height; pixels = data }
+
+(* Software executions of the individual tasks on the GPP model. *)
+module Sw = struct
+  let gray_scale exec ~kernels ~pixels =
+    ignore
+      (Exec.run_software exec (List.assoc "grayScale" kernels) ~scalars:[]
+         ~stream_bufs_in:[ ("imageIn", (rgb_addr, pixels)) ]
+         ~stream_bufs_out:
+           [ ("imageOutCH", (gray_ch_addr, pixels)); ("imageOutSEG", (gray_seg_addr, pixels)) ])
+
+  let histogram exec ~kernels ~pixels =
+    ignore
+      (Exec.run_software exec (List.assoc "computeHistogram" kernels) ~scalars:[]
+         ~stream_bufs_in:[ ("grayScaleImage", (gray_ch_addr, pixels)) ]
+         ~stream_bufs_out:[ ("histogram", (hist_addr, 256)) ])
+
+  let otsu_method exec ~kernels =
+    ignore
+      (Exec.run_software exec (List.assoc "halfProbability" kernels) ~scalars:[]
+         ~stream_bufs_in:[ ("histogram", (hist_addr, 256)) ]
+         ~stream_bufs_out:[ ("probability", (thresh_addr, 1)) ])
+
+  let segment exec ~kernels ~pixels =
+    ignore
+      (Exec.run_software exec (List.assoc "segment" kernels) ~scalars:[]
+         ~stream_bufs_in:
+           [ ("grayScaleImage", (gray_seg_addr, pixels)); ("otsuThreshold", (thresh_addr, 1)) ]
+         ~stream_bufs_out:[ ("segmentedGrayImage", (out_addr, pixels)) ])
+end
+
+let start_all exec (spec : Spec.t) =
+  List.iter (fun (n : Spec.node_spec) -> Exec.start_accel exec n.Spec.node_name) spec.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Architecture-specific host programs                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_arch ?(width = 64) ?(height = 64) ?(seed = 42)
+    ?(hls_config = Soc_hls.Engine.default_config) (arch : Graphs.arch) : result =
+  let pixels = width * height in
+  let rgb = Image.synthetic_rgb ~seed ~width ~height () in
+  let spec = Graphs.arch_spec arch in
+  let kernels = Otsu.kernels ~width ~height in
+  let arch_kernels = Graphs.arch_kernels arch ~width ~height in
+  let fifo_depth = max 1024 (pixels + 16) in
+  let build = Flow.build ~hls_config ~fifo_depth spec ~kernels:arch_kernels in
+  let live = Flow.instantiate ~fifo_depth build in
+  let exec = live.Flow.exec in
+  load_image exec rgb;
+  let t0 = Exec.elapsed_cycles exec in
+  (match arch with
+  | Graphs.Arch1 ->
+    Sw.gray_scale exec ~kernels ~pixels;
+    Exec.start_accel exec "computeHistogram";
+    Exec.start_read_dma exec
+      ~channel:(Flow.channel live ~node:"computeHistogram" ~port:"histogram")
+      ~addr:hist_addr ~len:256;
+    Exec.start_write_dma exec
+      ~channel:(Flow.channel live ~node:"computeHistogram" ~port:"grayScaleImage")
+      ~addr:gray_ch_addr ~len:pixels;
+    Exec.run_phase exec ~accels:[ "computeHistogram" ];
+    Sw.otsu_method exec ~kernels;
+    Sw.segment exec ~kernels ~pixels
+  | Graphs.Arch2 ->
+    Sw.gray_scale exec ~kernels ~pixels;
+    Sw.histogram exec ~kernels ~pixels;
+    Exec.start_accel exec "halfProbability";
+    Exec.start_read_dma exec
+      ~channel:(Flow.channel live ~node:"halfProbability" ~port:"probability")
+      ~addr:thresh_addr ~len:1;
+    Exec.start_write_dma exec
+      ~channel:(Flow.channel live ~node:"halfProbability" ~port:"histogram")
+      ~addr:hist_addr ~len:256;
+    Exec.run_phase exec ~accels:[ "halfProbability" ];
+    Sw.segment exec ~kernels ~pixels
+  | Graphs.Arch3 ->
+    Sw.gray_scale exec ~kernels ~pixels;
+    start_all exec spec;
+    Exec.start_read_dma exec
+      ~channel:(Flow.channel live ~node:"halfProbability" ~port:"probability")
+      ~addr:thresh_addr ~len:1;
+    Exec.start_write_dma exec
+      ~channel:(Flow.channel live ~node:"computeHistogram" ~port:"grayScaleImage")
+      ~addr:gray_ch_addr ~len:pixels;
+    Exec.run_phase exec ~accels:[ "computeHistogram"; "halfProbability" ];
+    Sw.segment exec ~kernels ~pixels
+  | Graphs.Arch4 ->
+    start_all exec spec;
+    Exec.start_read_dma exec
+      ~channel:(Flow.channel live ~node:"segment" ~port:"segmentedGrayImage")
+      ~addr:out_addr ~len:pixels;
+    Exec.start_write_dma exec
+      ~channel:(Flow.channel live ~node:"grayScale" ~port:"imageIn")
+      ~addr:rgb_addr ~len:pixels;
+    Exec.run_phase exec
+      ~accels:[ "grayScale"; "computeHistogram"; "halfProbability"; "segment" ]);
+  let cycles = Exec.elapsed_cycles exec - t0 in
+  (* Protocol checkers must stay silent. *)
+  (match Soc_platform.System.protocol_violations live.Flow.system with
+  | [] -> ()
+  | v ->
+    failwith
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Soc_axi.Stream_rules.pp_violation) v)));
+  let threshold = Soc_axi.Dram.read (Exec.dram exec) thresh_addr in
+  let output = read_output exec ~width ~height in
+  (* Arch4 never lands the threshold in DRAM; recover it from the golden
+     histogram path for reporting only. *)
+  let threshold =
+    if arch = Graphs.Arch4 then
+      Otsu.Golden.otsu_threshold (Image.histogram (Otsu.Golden.gray_scale rgb)) ~total:pixels
+    else threshold
+  in
+  {
+    label = Graphs.arch_name arch;
+    output;
+    threshold;
+    cycles;
+    microseconds = Exec.elapsed_us exec;
+    build = Some build;
+  }
+
+(* All-software baseline: the four tasks run on the GPP model. *)
+let run_software_only ?(width = 64) ?(height = 64) ?(seed = 42) () : result =
+  let pixels = width * height in
+  let rgb = Image.synthetic_rgb ~seed ~width ~height () in
+  let kernels = Otsu.kernels ~width ~height in
+  let sys = Soc_platform.System.create () in
+  let exec = Exec.create sys in
+  load_image exec rgb;
+  let t0 = Exec.elapsed_cycles exec in
+  Sw.gray_scale exec ~kernels ~pixels;
+  Sw.histogram exec ~kernels ~pixels;
+  Sw.otsu_method exec ~kernels;
+  Sw.segment exec ~kernels ~pixels;
+  let cycles = Exec.elapsed_cycles exec - t0 in
+  {
+    label = "SW";
+    output = read_output exec ~width ~height;
+    threshold = Soc_axi.Dram.read (Exec.dram exec) thresh_addr;
+    cycles;
+    microseconds = Exec.elapsed_us exec;
+    build = None;
+  }
+
+(* The golden result every architecture must match. *)
+let golden ?(width = 64) ?(height = 64) ?(seed = 42) () =
+  let rgb = Image.synthetic_rgb ~seed ~width ~height () in
+  Otsu.Golden.run rgb

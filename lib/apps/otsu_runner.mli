@@ -1,0 +1,27 @@
+(** Host programs for the four case-study architectures plus an
+    all-software baseline: the application binaries the paper's flow
+    produces, executed on the simulated platform through the driver API.
+    Every variant computes the same segmented image (golden-checked in the
+    test suite). *)
+
+type result = {
+  label : string;
+  output : Image.t;
+  threshold : int;
+  cycles : int;  (** PL cycles of the measured region *)
+  microseconds : float;
+  build : Soc_core.Flow.build option;  (** [None] for the SW baseline *)
+}
+
+val run_arch :
+  ?width:int ->
+  ?height:int ->
+  ?seed:int ->
+  ?hls_config:Soc_hls.Engine.config ->
+  Graphs.arch ->
+  result
+
+val run_software_only : ?width:int -> ?height:int -> ?seed:int -> unit -> result
+
+val golden : ?width:int -> ?height:int -> ?seed:int -> unit -> Image.t * int
+(** The reference segmented image and threshold for the synthetic scene. *)

@@ -1,0 +1,46 @@
+(** Word-addressed shared DRAM model (the Zynq DDR).
+
+    Both the GPP and the DMA engines access it. Timing is modelled with a
+    first-word latency plus a per-beat streaming rate, matching a DDR
+    controller servicing AXI bursts on the Zynq HP ports. *)
+
+type t = {
+  words : int array;
+  first_word_latency : int; (* cycles from burst issue to first beat *)
+  beats_per_cycle : int; (* sustained beats per cycle once streaming (>=1) *)
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ?(first_word_latency = 18) ?(beats_per_cycle = 1) ~words () =
+  {
+    words = Array.make words 0;
+    first_word_latency;
+    beats_per_cycle;
+    reads = 0;
+    writes = 0;
+  }
+
+let size t = Array.length t.words
+
+let check t addr op =
+  if addr < 0 || addr >= Array.length t.words then
+    invalid_arg (Printf.sprintf "Dram.%s: address %d out of range" op addr)
+
+let read t addr =
+  check t addr "read";
+  t.reads <- t.reads + 1;
+  t.words.(addr)
+
+let write t addr v =
+  check t addr "write";
+  t.writes <- t.writes + 1;
+  t.words.(addr) <- Soc_util.Bits.truncate ~width:32 v
+
+let read_block t ~addr ~len = Array.init len (fun i -> read t (addr + i))
+
+let write_block t ~addr data = Array.iteri (fun i v -> write t (addr + i) v) data
+
+(* Cycles for a DMA-style burst transfer of [len] beats. *)
+let burst_cycles t ~len =
+  if len <= 0 then 0 else t.first_word_latency + ((len + t.beats_per_cycle - 1) / t.beats_per_cycle)

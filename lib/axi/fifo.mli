@@ -1,0 +1,42 @@
+(** Bounded AXI-Stream channel with registered (one-cycle) propagation: a
+    beat pushed during cycle N becomes consumer-visible after [commit],
+    which the platform executive calls once per simulated cycle. Records
+    high-water occupancy and total traffic. *)
+
+type t = {
+  name : string;
+  capacity : int;
+  queue : int Queue.t;
+  staging : int Queue.t;
+  mutable total_pushed : int;
+  mutable total_popped : int;
+  mutable high_water : int;
+}
+
+val create : name:string -> capacity:int -> t
+(** [capacity] must be positive. *)
+
+val occupancy : t -> int
+(** Visible plus staged beats. *)
+
+val can_push : t -> bool
+val is_empty : t -> bool
+(** No consumer-visible beat (staged beats do not count). *)
+
+val front : t -> int option
+val push : t -> int -> unit
+(** Raises [Invalid_argument] when full; check [can_push] first. *)
+
+val pop : t -> int
+(** Raises [Invalid_argument] when empty. *)
+
+val commit : t -> unit
+(** Make staged beats visible; updates the high-water mark. *)
+
+val conserved : t -> bool
+(** Conservation invariant: pushed = popped + in flight. *)
+
+val bram18_cost : t -> int
+(** Estimated BRAM cost of implementing this channel in fabric. *)
+
+val stats : t -> string

@@ -1,0 +1,96 @@
+(** AXI-Lite model.
+
+    Each accelerator gets a register file in the memory map (control/status
+    at offsets 0x00/0x04, arguments from 0x10), exactly like the [s_axilite]
+    adapters Vivado HLS generates. The GPP performs single-beat reads and
+    writes with a fixed bus round-trip cost; an address decoder routes a
+    global address to the owning register file.
+
+    Register-file contents are plain integers; the platform adapter forwards
+    argument registers into the RTL input signals every cycle. *)
+
+(* Single-beat transaction round-trip on the GP port, in PL cycles. *)
+let write_latency = 5
+let read_latency = 6
+
+type regfile = {
+  owner : string;
+  base : int; (* byte address in the global map *)
+  size : int; (* bytes *)
+  values : (int, int) Hashtbl.t; (* offset -> value *)
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let ctrl_offset = 0x00 (* bit0 = ap_start *)
+let status_offset = 0x04 (* bit0 = ap_done (sticky), bit1 = ap_idle *)
+let arg_base = 0x10
+let arg_stride = 0x8
+
+let create_regfile ~owner ~base ~size =
+  { owner; base; size; values = Hashtbl.create 8; reads = 0; writes = 0 }
+
+let arg_offset index = arg_base + (index * arg_stride)
+
+let rf_read rf ~offset =
+  rf.reads <- rf.reads + 1;
+  Option.value ~default:0 (Hashtbl.find_opt rf.values offset)
+
+let rf_write rf ~offset v =
+  rf.writes <- rf.writes + 1;
+  Hashtbl.replace rf.values offset (Soc_util.Bits.truncate ~width:32 v)
+
+(* Peek without counting a bus transaction (used by hardware-side adapters). *)
+let rf_peek rf ~offset = Option.value ~default:0 (Hashtbl.find_opt rf.values offset)
+
+let rf_poke rf ~offset v = Hashtbl.replace rf.values offset (Soc_util.Bits.truncate ~width:32 v)
+
+(* ------------------------------------------------------------------ *)
+(* Interconnect / address decoder                                      *)
+(* ------------------------------------------------------------------ *)
+
+type interconnect = {
+  mutable slaves : regfile list;
+  mutable next_base : int;
+}
+
+(* The Zynq GP0 master segment conventionally starts at 0x4000_0000. *)
+let gp0_base = 0x4000_0000
+
+let create_interconnect () = { slaves = []; next_base = gp0_base }
+
+let attach ic ~owner ~size =
+  (* Vivado-style 64 KiB aligned segments. *)
+  let seg = 0x1_0000 in
+  let size = max size seg in
+  let base = ic.next_base in
+  ic.next_base <- base + ((size + seg - 1) / seg * seg);
+  let rf = create_regfile ~owner ~base ~size in
+  ic.slaves <- rf :: ic.slaves;
+  rf
+
+type decode_error = No_slave of int
+
+let decode ic addr =
+  match
+    List.find_opt (fun rf -> addr >= rf.base && addr < rf.base + rf.size) ic.slaves
+  with
+  | Some rf -> Ok (rf, addr - rf.base)
+  | None -> Error (No_slave addr)
+
+(* Bus-level accessors used by the GPP model; they return the transaction
+   latency so the caller can account for it. *)
+let bus_read ic addr =
+  match decode ic addr with
+  | Ok (rf, offset) -> Ok (rf_read rf ~offset, read_latency)
+  | Error e -> Error e
+
+let bus_write ic addr v =
+  match decode ic addr with
+  | Ok (rf, offset) ->
+    rf_write rf ~offset v;
+    Ok write_latency
+  | Error e -> Error e
+
+let address_map ic =
+  List.rev_map (fun rf -> (rf.owner, rf.base, rf.size)) ic.slaves

@@ -1,0 +1,71 @@
+(** Block-diagram rendering of an integrated system (Figure 10): the ARM PS
+    and bus in blue, DMA blocks in green, accelerator cores in per-function
+    colours. Emitted both as Graphviz DOT and as a compact ASCII summary. *)
+
+let core_palette =
+  [ "lightcoral"; "orange"; "lightskyblue"; "plum"; "palegreen"; "khaki"; "lightpink" ]
+
+let color_for idx = List.nth core_palette (idx mod List.length core_palette)
+
+let dot_of_spec (spec : Spec.t) =
+  let dma_channels = Flow.dma_channels_of_spec spec in
+  let d = Soc_util.Dot.create (spec.Spec.design_name ^ "_bd") in
+  Soc_util.Dot.add_node d ~id:"ps7" ~label:"Zynq PS\n(ARM Cortex-A9)"
+    ~attrs:[ ("fillcolor", "steelblue"); ("fontcolor", "white") ];
+  Soc_util.Dot.add_node d ~id:"axi" ~label:"AXI Interconnect"
+    ~attrs:[ ("fillcolor", "lightsteelblue") ];
+  Soc_util.Dot.add_edge d ~src:"ps7" ~dst:"axi" ~attrs:[ ("dir", "both") ];
+  List.iteri
+    (fun idx (n : Spec.node_spec) ->
+      Soc_util.Dot.add_node d ~id:n.Spec.node_name ~label:n.Spec.node_name
+        ~attrs:[ ("fillcolor", color_for idx) ])
+    spec.Spec.nodes;
+  (* AXI-Lite attachments: connected nodes + every stream node's control. *)
+  List.iter
+    (fun n -> Soc_util.Dot.add_edge d ~src:"axi" ~dst:n ~attrs:[ ("label", "AXI-Lite") ])
+    (Spec.connects spec);
+  (* DMA blocks per 'soc-crossing link. *)
+  List.iteri
+    (fun idx (ch : Flow.dma_channel) ->
+      let node, port = ch.Flow.logical in
+      let id = Printf.sprintf "dma%d" idx in
+      Soc_util.Dot.add_node d ~id ~label:(Printf.sprintf "AXI DMA\n(%s.%s)" node port)
+        ~attrs:[ ("fillcolor", "mediumseagreen") ];
+      Soc_util.Dot.add_edge d ~src:"axi" ~dst:id ~attrs:[ ("style", "dotted") ];
+      match ch.Flow.direction with
+      | `To_device ->
+        Soc_util.Dot.add_edge d ~src:"ps7" ~dst:id ~attrs:[ ("label", "HP0") ];
+        Soc_util.Dot.add_edge d ~src:id ~dst:node ~attrs:[ ("label", "AXIS " ^ port) ]
+      | `From_device ->
+        Soc_util.Dot.add_edge d ~src:node ~dst:id ~attrs:[ ("label", "AXIS " ^ port) ];
+        Soc_util.Dot.add_edge d ~src:id ~dst:"ps7" ~attrs:[ ("label", "HP0") ])
+    dma_channels;
+  List.iter
+    (fun ((a, ap), (bn, bp)) ->
+      Soc_util.Dot.add_edge d ~src:a ~dst:bn
+        ~attrs:[ ("label", Printf.sprintf "AXIS %s->%s" ap bp) ])
+    (Spec.internal_links spec);
+  Soc_util.Dot.render d
+
+let to_dot (b : Flow.build) = dot_of_spec b.Flow.spec
+
+let ascii_of_spec (spec : Spec.t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "+-- %s ----------------------------------------" spec.Spec.design_name;
+  add "| [PS: ARM Cortex-A9 + DDR]  <==AXI==>  [interconnect]";
+  List.iter (fun n -> add "|   AXI-Lite: %s" n) (Spec.connects spec);
+  List.iter
+    (fun (ch : Flow.dma_channel) ->
+      let n, p = ch.Flow.logical in
+      match ch.Flow.direction with
+      | `To_device -> add "|   DMA MM2S ==> %s.%s" n p
+      | `From_device -> add "|   %s.%s ==> DMA S2MM" n p)
+    (Flow.dma_channels_of_spec spec);
+  List.iter
+    (fun ((a, ap), (bn, bp)) -> add "|   %s.%s ==AXIS==> %s.%s" a ap bn bp)
+    (Spec.internal_links spec);
+  add "+------------------------------------------------";
+  Buffer.contents buf
+
+let to_ascii (b : Flow.build) = ascii_of_spec b.Flow.spec

@@ -1,0 +1,8 @@
+(** Block-diagram rendering of an integrated system (Figure 10): the ARM
+    PS and bus in blue, DMA blocks in green, accelerator cores in
+    per-function colours. DOT and ASCII flavours. *)
+
+val dot_of_spec : Spec.t -> string
+val ascii_of_spec : Spec.t -> string
+val to_dot : Flow.build -> string
+val to_ascii : Flow.build -> string

@@ -1,0 +1,262 @@
+(** The flow coordinator: what "executing" the DSL does (Section IV).
+
+    From a validated {!Spec.t} plus one kernel ("synthesizable C") per node,
+    [build] performs, in order:
+    + consistency checks between the DSL interfaces and the kernel ports;
+    + HLS on every node (through {!Soc_hls.Engine});
+    + system integration: Tcl generation for both backend versions, address
+      map assignment, DMA planning for every 'soc-crossing stream;
+    + logic synthesis cost aggregation (the Table II numbers);
+    + software generation: device tree, boot set, C API ({!Swgen});
+    + tool-runtime estimation (the Fig. 9 numbers).
+
+    [instantiate] then turns a build into a live simulated system
+    ({!Soc_platform.System}) ready to run under the co-simulation
+    executive — the equivalent of booting the generated bitstream on the
+    Zedboard. *)
+
+module Ast = Soc_kernel.Ast
+
+type mismatch =
+  | Missing_kernel of string
+  | Missing_port of string * string
+  | Extra_port of string * string
+  | Kind_mismatch of string * string (* node, port *)
+  | Direction_mismatch of string * string
+
+let pp_mismatch fmt = function
+  | Missing_kernel n -> Format.fprintf fmt "no kernel provided for node %S" n
+  | Missing_port (n, p) -> Format.fprintf fmt "kernel for %S lacks port %S" n p
+  | Extra_port (n, p) -> Format.fprintf fmt "kernel for %S has undeclared port %S" n p
+  | Kind_mismatch (n, p) ->
+    Format.fprintf fmt "node %S port %S: DSL interface kind differs from kernel port" n p
+  | Direction_mismatch (n, p) ->
+    Format.fprintf fmt "node %S port %S: link direction conflicts with kernel port direction" n p
+
+(* Check one node's kernel against its DSL declaration. *)
+let check_kernel (spec : Spec.t) (node : Spec.node_spec) (k : Ast.kernel) : mismatch list =
+  let errs = ref [] in
+  let kports = List.map (fun p -> (Ast.port_name p, p)) k.ports in
+  List.iter
+    (fun (pname, kind) ->
+      match List.assoc_opt pname kports with
+      | None -> errs := Missing_port (node.node_name, pname) :: !errs
+      | Some kp -> (
+        let kernel_kind = if Ast.is_stream kp then Spec.Stream else Spec.Lite in
+        if kernel_kind <> kind then errs := Kind_mismatch (node.node_name, pname) :: !errs
+        else if kind = Spec.Stream then
+          match Spec.stream_direction spec ~node:node.node_name ~port:pname with
+          | Some Spec.Input when Ast.port_dir kp <> Ast.In ->
+            errs := Direction_mismatch (node.node_name, pname) :: !errs
+          | Some Spec.Output when Ast.port_dir kp <> Ast.Out ->
+            errs := Direction_mismatch (node.node_name, pname) :: !errs
+          | _ -> ()))
+    node.node_ports;
+  List.iter
+    (fun (pname, _) ->
+      if not (List.mem_assoc pname node.node_ports) then
+        errs := Extra_port (node.node_name, pname) :: !errs)
+    kports;
+  List.rev !errs
+
+type node_impl = {
+  node : Spec.node_spec;
+  kernel : Ast.kernel;
+  accel : Soc_hls.Engine.accel;
+}
+
+type dma_channel = {
+  logical : string * string; (* node, port *)
+  direction : [ `To_device | `From_device ];
+}
+
+(* One DMA channel per 'soc-crossing stream link. *)
+let dma_channels_of_spec (spec : Spec.t) =
+  List.map (fun (n, p) -> { logical = (n, p); direction = `To_device })
+    (Spec.soc_to_node_links spec)
+  @ List.map (fun (n, p) -> { logical = (n, p); direction = `From_device })
+      (Spec.node_to_soc_links spec)
+
+(* Address map mirroring what [instantiate] creates: accelerators in node
+   order, then DMA register files, in 64 KiB segments from GP0. *)
+let address_map_of_spec (spec : Spec.t) =
+  let seg = 0x1_0000 in
+  List.mapi
+    (fun idx (n : Spec.node_spec) -> (n.node_name, Soc_axi.Lite.gp0_base + (idx * seg), seg))
+    spec.nodes
+  @ List.mapi
+      (fun idx ch ->
+        let n, p = ch.logical in
+        ( Printf.sprintf "dma_%s_%s" n p,
+          Soc_axi.Lite.gp0_base + ((List.length spec.nodes + idx) * seg),
+          seg ))
+      (dma_channels_of_spec spec)
+
+type build = {
+  spec : Spec.t;
+  dsl_source : string; (* canonical DSL text (conciseness metric) *)
+  impls : node_impl list;
+  tcl_2014 : string;
+  tcl_2015 : string;
+  address_map : (string * int * int) list;
+  dma_channels : dma_channel list;
+  resources : Soc_hls.Report.usage; (* aggregated system total *)
+  resources_by_core : (string * Soc_hls.Report.usage) list;
+  sw : Swgen.boot_artifacts;
+  tool_times : Toolsim.breakdown;
+  bitstream : string; (* artifact name, as the paper's flow reports it *)
+}
+
+exception Build_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Build_error s)) fmt
+
+(* Fabric cost of the integration glue around the accelerators. *)
+let integration_resources (spec : Spec.t) ~fifo_depth : Soc_hls.Report.usage =
+  let dma_count =
+    List.length (Spec.soc_to_node_links spec) + List.length (Spec.node_to_soc_links spec)
+  in
+  let lite_slave_count = List.length (Spec.connects spec) + List.length (Spec.stream_nodes spec) + dma_count in
+  let internal = List.length (Spec.internal_links spec) in
+  let dma_lut, dma_ff, dma_bram =
+    let l, f, b = Soc_axi.Dma.resource_cost ~channels:1 in
+    (l * dma_count, f * dma_count, b * dma_count)
+  in
+  (* AXI-Lite interconnect: per-master-port decode + register slices. *)
+  let ic_lut = 180 * lite_slave_count and ic_ff = 260 * lite_slave_count in
+  (* Inter-accelerator stream FIFOs. *)
+  let fifo_bram = internal * ((fifo_depth * 32 + 18431) / 18432) in
+  let fifo_lut = internal * 48 and fifo_ff = internal * 70 in
+  {
+    Soc_hls.Report.lut = dma_lut + ic_lut + fifo_lut;
+    ff = dma_ff + ic_ff + fifo_ff;
+    bram18 = dma_bram + fifo_bram;
+    dsp = 0;
+  }
+
+let build ?(hls_config = Soc_hls.Engine.default_config)
+    ?(fifo_depth = Soc_platform.Config.zedboard.Soc_platform.Config.default_fifo_depth)
+    ?(hls_cache : (string, unit) Hashtbl.t option) (spec : Spec.t)
+    ~(kernels : (string * Ast.kernel) list) : build =
+  Spec.validate_exn spec;
+  (* 1. Kernel/interface consistency. *)
+  let impls =
+    List.map
+      (fun (node : Spec.node_spec) ->
+        match List.assoc_opt node.node_name kernels with
+        | None ->
+          fail "%s" (Format.asprintf "%a" pp_mismatch (Missing_kernel node.node_name))
+        | Some kernel -> (
+          match check_kernel spec node kernel with
+          | [] -> (node, kernel)
+          | errs ->
+            fail "%s"
+              (String.concat "; " (List.map (Format.asprintf "%a" pp_mismatch) errs))))
+      spec.nodes
+  in
+  (* 2. HLS per node. *)
+  let impls =
+    List.map
+      (fun (node, kernel) ->
+        { node; kernel; accel = Soc_hls.Engine.synthesize ~config:hls_config kernel })
+      impls
+  in
+  (* 3. System integration. *)
+  let tcl_2014 = Tcl.generate ~version:Tcl.V2014_2 spec in
+  let tcl_2015 = Tcl.generate ~version:Tcl.V2015_3 spec in
+  let dma_channels = dma_channels_of_spec spec in
+  let address_map = address_map_of_spec spec in
+  (* 4. Resource aggregation ("post-synthesis" Table II numbers). *)
+  let resources_by_core =
+    List.map (fun impl -> (impl.node.Spec.node_name, impl.accel.Soc_hls.Engine.report.Soc_hls.Report.resources)) impls
+  in
+  let resources =
+    Soc_hls.Report.sum (List.map snd resources_by_core @ [ integration_resources spec ~fifo_depth ])
+  in
+  (* 5. Software generation. *)
+  let sw = Swgen.generate spec ~address_map in
+  (* 6. Tool-runtime estimation. *)
+  let dsl_source = Printer.to_source spec in
+  let cache = match hls_cache with Some c -> c | None -> Hashtbl.create 8 in
+  let tool_times =
+    Toolsim.estimate ~arch:spec.design_name
+      ~dsl_lines:(Soc_util.Metrics.of_string dsl_source).Soc_util.Metrics.lines
+      ~kernel_complexities:
+        (List.map (fun i -> (i.kernel.Ast.kname, Ast.complexity i.kernel)) impls)
+      ~hls_cache:cache
+      ~cells:(List.length spec.nodes + List.length dma_channels + 3)
+      ~luts:resources.Soc_hls.Report.lut
+  in
+  {
+    spec;
+    dsl_source;
+    impls;
+    tcl_2014;
+    tcl_2015;
+    address_map;
+    dma_channels;
+    resources;
+    resources_by_core;
+    sw;
+    tool_times;
+    bitstream = spec.design_name ^ "_bd_wrapper.bit";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation: "boot the board"                                     *)
+(* ------------------------------------------------------------------ *)
+
+type live = {
+  lbuild : build;
+  system : Soc_platform.System.t;
+  exec : Soc_platform.Executive.t;
+  (* logical (node, port) -> DMA channel name inside the system *)
+  channels : ((string * string) * string) list;
+}
+
+let instantiate ?(config = Soc_platform.Config.zedboard) ?fifo_depth
+    ?(mode = `Rtl) (b : build) : live =
+  let config =
+    match fifo_depth with
+    | Some d -> { config with Soc_platform.Config.default_fifo_depth = d }
+    | None -> config
+  in
+  let sys = Soc_platform.System.create ~config () in
+  List.iter
+    (fun impl ->
+      match mode with
+      | `Rtl ->
+        ignore
+          (Soc_platform.System.add_accel sys ~name:impl.node.Spec.node_name
+             impl.accel.Soc_hls.Engine.fsmd)
+      | `Behavioral ->
+        ignore
+          (Soc_platform.System.add_accel_behavioral sys ~name:impl.node.Spec.node_name
+             impl.kernel))
+    b.impls;
+  List.iter
+    (fun ((a, ap), (bn, bp)) ->
+      ignore (Soc_platform.System.link_stream sys ~src:(a, ap) ~dst:(bn, bp) ()))
+    (Spec.internal_links b.spec);
+  let channels =
+    List.map
+      (fun (ch : dma_channel) ->
+        let n, p = ch.logical in
+        match ch.direction with
+        | `To_device ->
+          let name, _ = Soc_platform.System.add_mm2s sys ~dst:(n, p) () in
+          (ch.logical, name)
+        | `From_device ->
+          let name, _ = Soc_platform.System.add_s2mm sys ~src:(n, p) () in
+          (ch.logical, name))
+      b.dma_channels
+  in
+  (match Soc_platform.System.validate sys with
+  | [] -> ()
+  | unbound -> fail "integration left stream ports unbound: %s" (String.concat ", " unbound));
+  { lbuild = b; system = sys; exec = Soc_platform.Executive.create sys; channels }
+
+let channel (live : live) ~node ~port =
+  match List.assoc_opt (node, port) live.channels with
+  | Some name -> name
+  | None -> fail "no DMA channel for %s.%s" node port

@@ -1,0 +1,81 @@
+(** The flow coordinator — what "executing" the DSL does (Section IV):
+    kernel/interface consistency checks, HLS on every node, system
+    integration (Tcl for both backends, address map, DMA planning),
+    synthesis cost aggregation, software generation, tool-runtime
+    estimation; then [instantiate] boots the result as a live simulated
+    system. *)
+
+type mismatch =
+  | Missing_kernel of string
+  | Missing_port of string * string
+  | Extra_port of string * string
+  | Kind_mismatch of string * string
+  | Direction_mismatch of string * string
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val check_kernel : Spec.t -> Spec.node_spec -> Soc_kernel.Ast.kernel -> mismatch list
+(** One node's kernel against its DSL declaration. *)
+
+type node_impl = {
+  node : Spec.node_spec;
+  kernel : Soc_kernel.Ast.kernel;
+  accel : Soc_hls.Engine.accel;
+}
+
+type dma_channel = {
+  logical : string * string;  (** node, port *)
+  direction : [ `To_device | `From_device ];
+}
+
+val dma_channels_of_spec : Spec.t -> dma_channel list
+val address_map_of_spec : Spec.t -> (string * int * int) list
+
+type build = {
+  spec : Spec.t;
+  dsl_source : string;  (** canonical DSL text (conciseness metric) *)
+  impls : node_impl list;
+  tcl_2014 : string;
+  tcl_2015 : string;
+  address_map : (string * int * int) list;
+  dma_channels : dma_channel list;
+  resources : Soc_hls.Report.usage;  (** aggregated system total *)
+  resources_by_core : (string * Soc_hls.Report.usage) list;
+  sw : Swgen.boot_artifacts;
+  tool_times : Toolsim.breakdown;
+  bitstream : string;
+}
+
+exception Build_error of string
+
+val build :
+  ?hls_config:Soc_hls.Engine.config ->
+  ?fifo_depth:int ->
+  ?hls_cache:(string, unit) Hashtbl.t ->
+  Spec.t ->
+  kernels:(string * Soc_kernel.Ast.kernel) list ->
+  build
+(** [hls_cache] lets several builds share HLS results (Fig. 9 reuse). *)
+
+type live = {
+  lbuild : build;
+  system : Soc_platform.System.t;
+  exec : Soc_platform.Executive.t;
+  channels : ((string * string) * string) list;
+}
+
+val instantiate :
+  ?config:Soc_platform.Config.t ->
+  ?fifo_depth:int ->
+  ?mode:[ `Rtl | `Behavioral ] ->
+  build ->
+  live
+(** "Boot the board": a fresh simulated system wired per the spec.
+    [`Rtl] (default) simulates the synthesized netlists cycle-accurately;
+    [`Behavioral] runs the kernels on the resumable interpreter, paced at
+    one stream beat per cycle — fast functional mode / performance upper
+    bound. *)
+
+val channel : live -> node:string -> port:string -> string
+(** DMA channel name for a logical 'soc-crossing port; raises
+    [Build_error] if there is none. *)

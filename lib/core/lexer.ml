@@ -1,0 +1,126 @@
+(** Lexer for the external concrete syntax of the DSL (the Scala source of
+    Listings 2–4). Supports Scala line and block comments. *)
+
+type token =
+  | Kw of string (* object extends App tg nodes end_nodes node edges end_edges i is connect link to end *)
+  | Ident of string
+  | Str of string (* "..." *)
+  | Soc (* 'soc *)
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Eof
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int (* message, line, col *)
+
+let keywords =
+  [ "object"; "extends"; "App"; "tg"; "nodes"; "end_nodes"; "node"; "edges"; "end_edges";
+    "i"; "is"; "connect"; "link"; "to"; "end" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize (src : string) : located list =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let toks = ref [] in
+  let emit tok l c = toks := { tok; line = l; col = c } :: !toks in
+  let pos = ref 0 in
+  let advance () =
+    (if !pos < n then
+       if src.[!pos] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr pos
+  in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    let l = !line and co = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do advance () done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance (); advance ();
+      let closed = ref false in
+      while !pos < n && not !closed do
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          advance (); advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then raise (Lex_error ("unterminated block comment", l, co))
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while !pos < n && not !closed do
+        if src.[!pos] = '"' then begin
+          advance ();
+          closed := true
+        end
+        else begin
+          Buffer.add_char buf src.[!pos];
+          advance ()
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string literal", l, co));
+      emit (Str (Buffer.contents buf)) l co
+    end
+    else if c = '\'' then begin
+      (* Scala symbol literal; the DSL only uses 'soc. *)
+      advance ();
+      let buf = Buffer.create 8 in
+      while !pos < n && is_ident_char src.[!pos] do
+        Buffer.add_char buf src.[!pos];
+        advance ()
+      done;
+      let name = Buffer.contents buf in
+      if name = "soc" then emit Soc l co
+      else raise (Lex_error ("unknown symbol literal '" ^ name, l, co))
+    end
+    else if is_ident_start c then begin
+      let buf = Buffer.create 16 in
+      while !pos < n && is_ident_char src.[!pos] do
+        Buffer.add_char buf src.[!pos];
+        advance ()
+      done;
+      let word = Buffer.contents buf in
+      if List.mem word keywords then emit (Kw word) l co else emit (Ident word) l co
+    end
+    else begin
+      (match c with
+      | '{' -> emit Lbrace l co
+      | '}' -> emit Rbrace l co
+      | '(' -> emit Lparen l co
+      | ')' -> emit Rparen l co
+      | ',' -> emit Comma l co
+      | ';' -> emit Semi l co
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, l, co)));
+      advance ()
+    end
+  done;
+  emit Eof !line !col;
+  List.rev !toks
+
+let token_to_string = function
+  | Kw k -> k
+  | Ident s -> "identifier " ^ s
+  | Str s -> Printf.sprintf "%S" s
+  | Soc -> "'soc"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Semi -> ";"
+  | Eof -> "<eof>"

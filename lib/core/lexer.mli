@@ -1,0 +1,27 @@
+(** Lexer for the external concrete syntax of the DSL (the Scala source of
+    Listings 2-4), including Scala line and block comments and the ['soc]
+    symbol literal. *)
+
+type token =
+  | Kw of string
+  | Ident of string
+  | Str of string
+  | Soc
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Eof
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+val keywords : string list
+
+val tokenize : string -> located list
+(** Ends with an [Eof] token. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,179 @@
+(** Recursive-descent parser for the DSL's concrete syntax, following the
+    EBNF of Listing 1:
+
+    {v
+    <DSL>        ::= object <Project> extends App { <Graph> }
+    <Graph>      ::= <Nodes> <Edges>
+    <Nodes>      ::= tg nodes; <Node>+ tg end_nodes;
+    <Edges>      ::= tg edges; <Edge>+ tg end_edges;
+    <Node>       ::= tg node <NodeName> <Interface>+ end;
+    <Interface>  ::= i <PortName> | is <PortName>
+    <Edge>       ::= <AXI-Lite> | <AXI-Stream>
+    <AXI-Lite>   ::= tg connect <PortName>;
+    <AXI-Stream> ::= tg link <Port> to <Port> end;
+    <Port>       ::= 'soc | ( <NodeName>, <PortName> )
+    v}
+
+    Semicolons are accepted wherever the listings show them and are
+    otherwise optional, like Scala's semicolon inference. *)
+
+exception Parse_error of string * int * int
+
+type state = { mutable toks : Lexer.located list }
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg =
+  let t = peek st in
+  raise (Parse_error (msg ^ ", found " ^ Lexer.token_to_string t.Lexer.tok, t.line, t.col))
+
+let expect st tok what =
+  let t = peek st in
+  if t.Lexer.tok = tok then advance st else fail st ("expected " ^ what)
+
+let expect_kw st kw = expect st (Lexer.Kw kw) ("keyword '" ^ kw ^ "'")
+
+let accept st tok =
+  let t = peek st in
+  if t.Lexer.tok = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let skip_semis st = while accept st Lexer.Semi do () done
+
+let parse_string st what =
+  match (peek st).Lexer.tok with
+  | Lexer.Str s ->
+    advance st;
+    s
+  | _ -> fail st ("expected " ^ what)
+
+let parse_project_name st =
+  match (peek st).Lexer.tok with
+  | Lexer.Ident s ->
+    advance st;
+    s
+  | _ -> fail st "expected project name"
+
+let parse_port st : Spec.endpoint =
+  match (peek st).Lexer.tok with
+  | Lexer.Soc ->
+    advance st;
+    Spec.Soc
+  | Lexer.Lparen ->
+    advance st;
+    let node = parse_string st "node name" in
+    expect st Lexer.Comma "','";
+    let port = parse_string st "port name" in
+    expect st Lexer.Rparen "')'";
+    Spec.Port (node, port)
+  | _ -> fail st "expected 'soc or (node, port)"
+
+let parse_interfaces st =
+  let rec go acc =
+    match (peek st).Lexer.tok with
+    | Lexer.Kw "i" ->
+      advance st;
+      let p = parse_string st "port name" in
+      go ((p, Spec.Lite) :: acc)
+    | Lexer.Kw "is" ->
+      advance st;
+      let p = parse_string st "port name" in
+      go ((p, Spec.Stream) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_node st : Spec.node_spec =
+  expect_kw st "tg";
+  expect_kw st "node";
+  let name = parse_string st "node name" in
+  let ports = parse_interfaces st in
+  if ports = [] then fail st ("node " ^ name ^ " needs at least one interface");
+  expect_kw st "end";
+  skip_semis st;
+  { Spec.node_name = name; node_ports = ports }
+
+let parse_nodes st =
+  expect_kw st "tg";
+  expect_kw st "nodes";
+  skip_semis st;
+  let rec go acc =
+    (* lookahead: "tg end_nodes" terminates; "tg node" continues *)
+    match st.toks with
+    | { Lexer.tok = Lexer.Kw "tg"; _ } :: { Lexer.tok = Lexer.Kw "end_nodes"; _ } :: _ ->
+      advance st;
+      advance st;
+      skip_semis st;
+      List.rev acc
+    | _ -> go (parse_node st :: acc)
+  in
+  let nodes = go [] in
+  if nodes = [] then fail st "empty nodes section";
+  nodes
+
+let parse_edge st : Spec.edge_spec =
+  expect_kw st "tg";
+  match (peek st).Lexer.tok with
+  | Lexer.Kw "connect" ->
+    advance st;
+    let name = parse_string st "node name" in
+    ignore (accept st (Lexer.Kw "end"));
+    skip_semis st;
+    Spec.Connect name
+  | Lexer.Kw "link" ->
+    advance st;
+    let src = parse_port st in
+    expect_kw st "to";
+    let dst = parse_port st in
+    expect_kw st "end";
+    skip_semis st;
+    Spec.Link (src, dst)
+  | _ -> fail st "expected 'connect' or 'link'"
+
+let parse_edges st =
+  expect_kw st "tg";
+  expect_kw st "edges";
+  skip_semis st;
+  let rec go acc =
+    match st.toks with
+    | { Lexer.tok = Lexer.Kw "tg"; _ } :: { Lexer.tok = Lexer.Kw "end_edges"; _ } :: _ ->
+      advance st;
+      advance st;
+      skip_semis st;
+      List.rev acc
+    | _ -> go (parse_edge st :: acc)
+  in
+  go []
+
+let parse_dsl st : Spec.t =
+  expect_kw st "object";
+  let name = parse_project_name st in
+  expect_kw st "extends";
+  expect_kw st "App";
+  expect st Lexer.Lbrace "'{'";
+  skip_semis st;
+  let nodes = parse_nodes st in
+  let edges = parse_edges st in
+  expect st Lexer.Rbrace "'}'";
+  skip_semis st;
+  expect st Lexer.Eof "end of input";
+  { Spec.design_name = name; nodes; edges }
+
+(* Parse, then validate. *)
+let parse ?(validate = true) src : Spec.t =
+  let st = { toks = Lexer.tokenize src } in
+  let spec = parse_dsl st in
+  if validate then Spec.validate_exn spec;
+  spec
+
+let parse_result src : (Spec.t, string) result =
+  match parse src with
+  | spec -> Ok spec
+  | exception Parse_error (msg, l, c) -> Error (Printf.sprintf "%d:%d: %s" l c msg)
+  | exception Lexer.Lex_error (msg, l, c) -> Error (Printf.sprintf "%d:%d: %s" l c msg)
+  | exception Failure msg -> Error msg

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the DSL's concrete syntax, following the
+    EBNF of Listing 1. Semicolons are accepted where the listings show
+    them and are otherwise optional, like Scala's semicolon inference. *)
+
+exception Parse_error of string * int * int
+(** Message, line, column. *)
+
+val parse : ?validate:bool -> string -> Spec.t
+(** Parse then validate ([Failure] on semantic errors unless
+    [validate:false]). Lexical errors raise {!Lexer.Lex_error}. *)
+
+val parse_result : string -> (Spec.t, string) result
+(** All error classes folded into a ["line:col: message"] string. *)

@@ -1,0 +1,40 @@
+(** Pretty-printer: spec back to the DSL's concrete syntax. [Parser.parse]
+    of [to_source spec] yields a spec equal to [spec] (round-trip property,
+    tested with qcheck). The printed text is also the "Scala task graph"
+    side of the Section VI.C conciseness comparison. *)
+
+let endpoint_to_source = function
+  | Spec.Soc -> "'soc"
+  | Spec.Port (n, p) -> Printf.sprintf "(%S, %S)" n p
+
+let node_to_source (n : Spec.node_spec) =
+  let ports =
+    String.concat " "
+      (List.map
+         (fun (p, kind) ->
+           match kind with
+           | Spec.Lite -> Printf.sprintf "i %S" p
+           | Spec.Stream -> Printf.sprintf "is %S" p)
+         n.node_ports)
+  in
+  Printf.sprintf "    tg node %S %s end;" n.node_name ports
+
+let edge_to_source = function
+  | Spec.Connect name -> Printf.sprintf "    tg connect %S;" name
+  | Spec.Link (src, dst) ->
+    Printf.sprintf "    tg link %s to %s end;" (endpoint_to_source src)
+      (endpoint_to_source dst)
+
+let to_source (spec : Spec.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "object %s extends App {\n" spec.design_name);
+  Buffer.add_string buf "  tg nodes;\n";
+  List.iter (fun n -> Buffer.add_string buf (node_to_source n ^ "\n")) spec.nodes;
+  Buffer.add_string buf "  tg end_nodes;\n";
+  Buffer.add_string buf "  tg edges;\n";
+  List.iter (fun e -> Buffer.add_string buf (edge_to_source e ^ "\n")) spec.edges;
+  Buffer.add_string buf "  tg end_edges;\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp fmt spec = Format.pp_print_string fmt (to_source spec)

@@ -1,0 +1,11 @@
+(** Altera/Intel Quartus backend, demonstrating the extensibility claim of
+    Section II-C: the same validated spec elaborates to a Qsys system
+    script plus the quartus_sh compile flow (Cyclone V SoC, HPS bridge,
+    one mSGDMA per 'soc-crossing stream, Avalon-ST internal links). *)
+
+val generate : Spec.t -> string
+
+type comparison = { xilinx_lines : int; altera_lines : int }
+
+val compare_backends : Spec.t -> comparison
+(** Non-blank command counts of the two vendor scripts for one spec. *)

@@ -1,0 +1,70 @@
+(** Elaborated system specification: the task graph G = (N, E) of Section
+    III after DSL parsing/execution. Nodes carry AXI-Lite or AXI-Stream
+    ports; edges are [Connect] (register interface on the bus) or [Link]
+    (stream between ports, or through a DMA channel at the ['soc]
+    boundary). *)
+
+type port_kind = Lite | Stream
+
+val pp_port_kind : Format.formatter -> port_kind -> unit
+
+type node_spec = {
+  node_name : string;
+  node_ports : (string * port_kind) list;  (** declaration order *)
+}
+
+type endpoint = Soc | Port of string * string
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+type edge_spec =
+  | Connect of string
+  | Link of endpoint * endpoint  (** src -> dst *)
+
+type t = {
+  design_name : string;
+  nodes : node_spec list;
+  edges : edge_spec list;
+}
+
+val find_node : t -> string -> node_spec option
+val port_kind : t -> node:string -> port:string -> port_kind option
+val links : t -> (endpoint * endpoint) list
+val connects : t -> string list
+val stream_outputs : t -> (string * string) list
+val stream_inputs : t -> (string * string) list
+
+val soc_to_node_links : t -> (string * string) list
+(** Links needing an MM2S DMA channel. *)
+
+val node_to_soc_links : t -> (string * string) list
+val internal_links : t -> ((string * string) * (string * string)) list
+
+val stream_nodes : t -> string list
+(** Nodes touched by at least one stream link (sorted, unique). *)
+
+(** {2 Validation} *)
+
+type error =
+  | Duplicate_node of string
+  | Duplicate_port of string * string
+  | Unknown_node of string
+  | Unknown_port of string * string
+  | Lite_port_in_link of string * string
+  | Stream_port_in_connect of string
+  | Port_direction_conflict of string * string
+  | Port_reused of string * string
+  | Soc_to_soc_link
+  | Unconnected_stream_port of string * string
+  | Node_without_interface of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val validate : t -> (unit, error list) result
+val validate_exn : t -> unit
+
+type direction = Input | Output
+
+val stream_direction : t -> node:string -> port:string -> direction option
+(** Direction inferred from link usage. *)

@@ -1,0 +1,17 @@
+(** Software generation (Section V): Linux device-tree fragment, PetaLinux
+    boot-file set, and the C API the application links against —
+    [readDMA]/[writeDMA] for stream accelerators plus register-level
+    wrappers for AXI-Lite accelerators. *)
+
+type boot_artifacts = {
+  device_tree : string;
+  boot_bin_manifest : string list;  (** contents of BOOT.BIN *)
+  api_header : string;
+  api_source : string;
+  dev_entries : string list;  (** /dev nodes the DMA driver exposes *)
+}
+
+val device_tree : Spec.t -> address_map:(string * int * int) list -> string
+val api_header : Spec.t -> string
+val api_source : Spec.t -> address_map:(string * int * int) list -> string
+val generate : Spec.t -> address_map:(string * int * int) list -> boot_artifacts

@@ -1,0 +1,37 @@
+(** Runtime model of the commercial tools the flow coordinates, anchored
+    on Section VI.C (~6 s Scala compile, ~50 s project generation, HLS
+    once per function, 42 minutes for the whole case study). Phase
+    durations are deterministic functions of kernel complexity and system
+    LUT count. *)
+
+type phase = Scala_compile | Hls | Project_gen | Synthesis | Implementation | Bitgen
+
+val phase_name : phase -> string
+val all_phases : phase list
+
+type breakdown = {
+  arch : string;
+  seconds : (phase * float) list;
+}
+
+val total : breakdown -> float
+
+val scala_time : dsl_lines:int -> float
+val hls_time_per_kernel : complexity:int -> float
+val project_gen_time : cells:int -> float
+val synthesis_time : luts:int -> float
+val implementation_time : luts:int -> float
+val bitgen_time : float
+
+val estimate :
+  arch:string ->
+  dsl_lines:int ->
+  kernel_complexities:(string * int) list ->
+  hls_cache:(string, unit) Hashtbl.t ->
+  cells:int ->
+  luts:int ->
+  breakdown
+(** Kernels present in [hls_cache] cost nothing (the paper's "cores are
+    generated only once" reuse); new ones are added to the cache. *)
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,74 @@
+(** Design-space exploration strategies over the partition space, and
+    Pareto-front extraction on (execution time, LUT area). *)
+
+type result = {
+  points : Runner.point list; (* all evaluated points, evaluation order *)
+  evaluations : int;
+}
+
+(* Exhaustive sweep of all 2^4 partitions. *)
+let exhaustive ?width ?height ?seed ?hls_config () : result =
+  let cache = Hashtbl.create 8 in
+  let points =
+    List.map
+      (fun p -> Runner.evaluate ?width ?height ?seed ?hls_config ~hls_cache:cache p)
+      (Partition.enumerate ())
+  in
+  { points; evaluations = List.length points }
+
+(* Greedy: start all-software; repeatedly move to hardware the stage with
+   the best speedup-per-LUT gain; stop when no move improves latency. *)
+let greedy ?width ?height ?seed ?hls_config () : result =
+  let cache = Hashtbl.create 8 in
+  let eval p = Runner.evaluate ?width ?height ?seed ?hls_config ~hls_cache:cache p in
+  let rec climb current trail evals =
+    let candidates =
+      List.filter_map
+        (fun stage ->
+          if Partition.in_hw current.Runner.partition stage then None
+          else Some (eval (Partition.with_stage current.Runner.partition stage true)))
+        Partition.all_stages
+    in
+    let evals = evals + List.length candidates in
+    let better =
+      List.filter (fun c -> c.Runner.cycles < current.Runner.cycles) candidates
+    in
+    match better with
+    | [] -> (current, List.rev (current :: trail), evals)
+    | _ ->
+      (* Pick the best cycles-per-extra-LUT ratio. *)
+      let score c =
+        let dlut =
+          max 1
+            (c.Runner.resources.Soc_hls.Report.lut
+            - current.Runner.resources.Soc_hls.Report.lut)
+        in
+        float_of_int (current.Runner.cycles - c.Runner.cycles) /. float_of_int dlut
+      in
+      let best =
+        List.fold_left (fun acc c -> if score c > score acc then c else acc)
+          (List.hd better) (List.tl better)
+      in
+      climb best (current :: trail) evals
+  in
+  let start = eval Partition.all_sw in
+  let _, trail, evals = climb start [] 1 in
+  { points = trail; evaluations = evals }
+
+(* Pareto front: minimize both cycles and LUTs. *)
+let pareto (points : Runner.point list) : Runner.point list =
+  let dominates a b =
+    a.Runner.cycles <= b.Runner.cycles
+    && a.Runner.resources.Soc_hls.Report.lut <= b.Runner.resources.Soc_hls.Report.lut
+    && (a.Runner.cycles < b.Runner.cycles
+       || a.Runner.resources.Soc_hls.Report.lut < b.Runner.resources.Soc_hls.Report.lut)
+  in
+  let front =
+    List.filter (fun p -> not (List.exists (fun q -> dominates q p) points)) points
+  in
+  List.sort_uniq
+    (fun a b ->
+      compare
+        (a.Runner.cycles, a.Runner.resources.Soc_hls.Report.lut)
+        (b.Runner.cycles, b.Runner.resources.Soc_hls.Report.lut))
+    front

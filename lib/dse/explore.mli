@@ -1,0 +1,21 @@
+(** Exploration strategies over the partition space and Pareto-front
+    extraction on (latency, LUT area). *)
+
+type result = {
+  points : Runner.point list;  (** evaluation order *)
+  evaluations : int;
+}
+
+val exhaustive :
+  ?width:int -> ?height:int -> ?seed:int -> ?hls_config:Soc_hls.Engine.config ->
+  unit -> result
+(** All 2^4 partitions, sharing one HLS cache. *)
+
+val greedy :
+  ?width:int -> ?height:int -> ?seed:int -> ?hls_config:Soc_hls.Engine.config ->
+  unit -> result
+(** Hill climbing from all-software by best speedup-per-LUT; [points] is
+    the accepted trajectory. *)
+
+val pareto : Runner.point list -> Runner.point list
+(** Non-dominated points, sorted by (cycles, lut). *)

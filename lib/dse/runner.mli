@@ -1,0 +1,33 @@
+(** Generic host program for any partition: software stages on the GPP,
+    contiguous hardware stages as concurrent streaming phases. Subsumes the
+    hand-written host programs of the paper's four architectures, and
+    checks every run bit-exactly against the golden model. *)
+
+type point = {
+  partition : Partition.t;
+  cycles : int;
+  microseconds : float;
+  resources : Soc_hls.Report.usage;
+  tool_seconds : float;  (** estimated generation time (Fig. 9 model) *)
+  output : Soc_apps.Image.t;
+  threshold : int;
+}
+
+val hw_runs : Partition.t -> Partition.stage list list
+(** Contiguous maximal runs of hardware stages, in pipeline order. *)
+
+exception Wrong_output of string
+(** A design point whose image differs from the golden model (a bug, not a
+    design point). *)
+
+val evaluate :
+  ?width:int ->
+  ?height:int ->
+  ?seed:int ->
+  ?hls_config:Soc_hls.Engine.config ->
+  ?hls_cache:(string, unit) Hashtbl.t ->
+  ?mode:[ `Rtl | `Behavioral ] ->
+  Partition.t ->
+  point
+(** [`Behavioral] runs accelerators on the interpreter engine — a much
+    faster sweep with ideal-pipeline timing; functional checks unchanged. *)

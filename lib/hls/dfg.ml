@@ -1,0 +1,123 @@
+(** Per-basic-block dependence graph.
+
+    Nodes are the block's three-address instructions (by index). Weighted
+    edges [c(succ) >= c(pred) + weight] encode:
+    - RAW: weight = latency of the producer;
+    - WAR: weight = 0 (a reader in the same control step still sees the old
+      register value because commits happen at the clock edge);
+    - WAW: weight = lat(pred) - lat(succ) + 1 (commit order is preserved);
+    - memory order on the same array (store->load weight 1, load->store 0,
+      store->store 1);
+    - a total order over all stream operations (weight 1) so that blocking
+      reads/writes occur in program order, exactly as the sequential C
+      semantics of the kernel prescribes. *)
+
+type edge = { src : int; dst : int; weight : int }
+
+type t = {
+  instrs : Soc_kernel.Cfg.instr array;
+  edges : edge list;
+  succs : (int * int) list array; (* (dst, weight) *)
+  preds : (int * int) list array; (* (src, weight) *)
+}
+
+let build (instrs : Soc_kernel.Cfg.instr list) : t =
+  let open Soc_kernel.Cfg in
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let edges = ref [] in
+  let add_edge src dst weight =
+    if src <> dst then edges := { src; dst; weight } :: !edges
+  in
+  (* Register dependences. *)
+  let last_write : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let readers_since_write : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  let note_read i r =
+    (match Hashtbl.find_opt last_write r with
+    | Some w -> add_edge w i (Oplib.latency arr.(w)) (* RAW *)
+    | None -> ());
+    let cur = Option.value ~default:[] (Hashtbl.find_opt readers_since_write r) in
+    Hashtbl.replace readers_since_write r (i :: cur)
+  in
+  let note_write i r =
+    (match Hashtbl.find_opt last_write r with
+    | Some w ->
+      (* WAW *)
+      add_edge w i (Oplib.latency arr.(w) - Oplib.latency arr.(i) + 1)
+    | None -> ());
+    List.iter
+      (fun rd -> add_edge rd i 0 (* WAR *))
+      (Option.value ~default:[] (Hashtbl.find_opt readers_since_write r));
+    Hashtbl.replace last_write r i;
+    Hashtbl.replace readers_since_write r []
+  in
+  (* Memory dependences per array. *)
+  let last_store : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let loads_since_store : (string, int list) Hashtbl.t = Hashtbl.create 4 in
+  let note_load i a =
+    (match Hashtbl.find_opt last_store a with
+    | Some s -> add_edge s i 1 (* store -> load: must read post-store state *)
+    | None -> ());
+    let cur = Option.value ~default:[] (Hashtbl.find_opt loads_since_store a) in
+    Hashtbl.replace loads_since_store a (i :: cur)
+  in
+  let note_store i a =
+    (match Hashtbl.find_opt last_store a with
+    | Some s -> add_edge s i 1 (* store -> store: one write port, ordered *)
+    | None -> ());
+    List.iter
+      (fun l -> add_edge l i 0 (* load -> store *))
+      (Option.value ~default:[] (Hashtbl.find_opt loads_since_store a));
+    Hashtbl.replace last_store a i;
+    Hashtbl.replace loads_since_store a []
+  in
+  (* Stream total order. *)
+  let last_stream = ref (-1) in
+  let note_stream i =
+    if !last_stream >= 0 then add_edge !last_stream i 1;
+    last_stream := i
+  in
+  Array.iteri
+    (fun i instr ->
+      let uses =
+        List.filter_map
+          (function Reg r -> Some r | Cst _ -> None)
+          (instr_uses instr)
+      in
+      List.iter (note_read i) uses;
+      (match instr with
+      | Load (_, a, _) -> note_load i a
+      | Store (a, _, _) -> note_store i a
+      | Pop _ | Push _ -> note_stream i
+      | Bin _ | Un _ | Mov _ -> ());
+      match instr_dst instr with
+      | Some d -> note_write i d
+      | None -> ())
+    arr;
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun e ->
+      succs.(e.src) <- (e.dst, e.weight) :: succs.(e.src);
+      preds.(e.dst) <- (e.src, e.weight) :: preds.(e.dst))
+    !edges;
+  { instrs = arr; edges = !edges; succs; preds }
+
+(* Longest path from node [i] to any sink, counting instruction latencies:
+   the classic list-scheduling priority. *)
+let criticality (t : t) =
+  let n = Array.length t.instrs in
+  let memo = Array.make n (-1) in
+  let rec height i =
+    if memo.(i) >= 0 then memo.(i)
+    else begin
+      let h =
+        List.fold_left
+          (fun acc (j, w) -> max acc (w + height j))
+          (Oplib.latency t.instrs.(i))
+          t.succs.(i)
+      in
+      memo.(i) <- h;
+      h
+    end
+  in
+  Array.init n height

@@ -1,0 +1,18 @@
+(** Per-basic-block dependence graph. Weighted edges
+    [cstep(dst) >= cstep(src) + weight] encode RAW (producer latency), WAR,
+    WAW, per-array memory ordering and a total order over stream operations
+    so blocking reads/writes happen in program order. *)
+
+type edge = { src : int; dst : int; weight : int }
+
+type t = {
+  instrs : Soc_kernel.Cfg.instr array;
+  edges : edge list;
+  succs : (int * int) list array;  (** (dst, weight) per node *)
+  preds : (int * int) list array;
+}
+
+val build : Soc_kernel.Cfg.instr list -> t
+
+val criticality : t -> int array
+(** Longest latency-weighted path to any sink: list-scheduling priority. *)

@@ -1,0 +1,67 @@
+(** Entry point of the HLS substrate: the role Vivado HLS plays in the
+    paper's flow. [synthesize] takes a kernel (the "synthesizable C") and
+    produces the accelerator: RTL netlist, Verilog text, interface
+    directives and a resource report. *)
+
+type config = {
+  strategy : Schedule.strategy;
+  resources : Schedule.resources;
+  optimize : bool; (* run Soc_kernel.Opt before scheduling *)
+}
+
+let default_config =
+  { strategy = Schedule.List_scheduling; resources = Schedule.default_resources;
+    optimize = true }
+
+type accel = {
+  config : config;
+  fsmd : Fsmd.t;
+  report : Report.accel_report;
+  perf : Perf.report;
+  verilog : string;
+  directives : string;
+}
+
+(* The "directives file" mirrors what the paper's tool writes for Vivado
+   HLS: one INTERFACE pragma per port selecting axilite or axis. *)
+let directives_of_kernel (k : Soc_kernel.Ast.kernel) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      match p with
+      | Soc_kernel.Ast.Scalar { pname; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "set_directive_interface -mode s_axilite \"%s\" %s\n" k.kname pname)
+      | Soc_kernel.Ast.Stream { pname; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "set_directive_interface -mode axis \"%s\" %s\n" k.kname pname))
+    k.ports;
+  Buffer.add_string buf
+    (Printf.sprintf "set_directive_interface -mode s_axilite \"%s\" return\n" k.kname);
+  Buffer.contents buf
+
+let synthesize ?(config = default_config) (k : Soc_kernel.Ast.kernel) : accel =
+  let cfg = Soc_kernel.Cfg.of_kernel k in
+  if config.optimize then ignore (Soc_kernel.Opt.run cfg);
+  let sched = Schedule.of_cfg ~strategy:config.strategy ~resources:config.resources cfg in
+  (match Schedule.verify ~resources:config.resources sched with
+  | [] -> ()
+  | violations ->
+    failwith
+      (Printf.sprintf "HLS internal error: illegal schedule for %s: %s" k.kname
+         (String.concat "; "
+            (List.map (Format.asprintf "%a" Schedule.pp_violation) violations))));
+  let fsmd = Fsmd.generate sched in
+  let resources = Report.of_netlist fsmd.netlist in
+  let report =
+    {
+      Report.name = k.kname;
+      resources;
+      fsm_states = fsmd.total_states;
+      registers = Soc_rtl.Netlist.reg_count fsmd.netlist;
+      static_block_latency = Schedule.static_block_latencies sched;
+    }
+  in
+  { config; fsmd; report; perf = Perf.analyze sched;
+    verilog = Soc_rtl.Verilog.emit fsmd.netlist;
+    directives = directives_of_kernel k }

@@ -1,0 +1,28 @@
+(** Entry point of the HLS substrate — the role Vivado HLS plays in the
+    paper's flow: kernel in, accelerator out (RTL netlist, Verilog text,
+    interface directives, resource report). *)
+
+type config = {
+  strategy : Schedule.strategy;
+  resources : Schedule.resources;
+  optimize : bool;  (** run {!Soc_kernel.Opt} before scheduling *)
+}
+
+val default_config : config
+(** List scheduling, the default resource budget, optimizer on. *)
+
+type accel = {
+  config : config;
+  fsmd : Fsmd.t;
+  report : Report.accel_report;
+  perf : Perf.report;  (** static performance estimates *)
+  verilog : string;
+  directives : string;
+}
+
+val directives_of_kernel : Soc_kernel.Ast.kernel -> string
+(** The Vivado-HLS-style INTERFACE pragma file for a kernel's ports. *)
+
+val synthesize : ?config:config -> Soc_kernel.Ast.kernel -> accel
+(** Raises [Failure] on typechecking errors or (internal) illegal
+    schedules. *)

@@ -1,0 +1,156 @@
+(** Static performance estimation: the "Performance Estimates" section of a
+    Vivado HLS report. Computes the min/max stall-free latency of a
+    synthesized kernel from the schedule's per-block state counts and the
+    CFG's structured-loop metadata:
+
+    - loops with constant trip counts contribute exactly
+      [trips * iteration + (trips + 1) * header];
+    - data-dependent loops make the maximum unbounded and contribute their
+      zero-trip cost to the minimum;
+    - conditionals contribute the shorter/longer arm to min/max.
+
+    For kernels whose stream handshakes never stall (ideal sources/sinks),
+    the estimate is {e exact}: the test suite checks estimated = measured
+    cycles against the RTL testbench. *)
+
+type bound = Finite of int | Unbounded
+
+type interval = { min_cycles : int; max_cycles : bound }
+
+let add_bound a b =
+  match (a, b) with Finite x, Finite y -> Finite (x + y) | _ -> Unbounded
+
+let mul_bound a n = match a with Finite x -> Finite (x * n) | Unbounded -> Unbounded
+
+let max_bound a b =
+  match (a, b) with
+  | Finite x, Finite y -> Finite (max x y)
+  | _ -> Unbounded
+
+type loop_report = {
+  header_block : int;
+  trip_count : int option;
+  iteration_min : int; (* states per iteration, excluding the header *)
+  iteration_max : bound;
+}
+
+type report = {
+  kernel_name : string;
+  latency : interval; (* full ap_start -> ap_done round trip *)
+  loop_reports : loop_report list;
+  has_stream_io : bool; (* stalls possible: latency is the stall-free case *)
+}
+
+(* States a block occupies per execution: its scheduled csteps plus the
+   dedicated exit state of conditional branches. *)
+let block_states (sched : Schedule.t) b =
+  let base = sched.blocks.(b).Schedule.nsteps in
+  match sched.cfg.Soc_kernel.Cfg.blocks.(b).Soc_kernel.Cfg.term with
+  | Soc_kernel.Cfg.Branch _ -> base + 1
+  | Soc_kernel.Cfg.Goto _ | Soc_kernel.Cfg.Halt -> base
+
+exception Irreducible of string
+
+let analyze (sched : Schedule.t) : report =
+  let cfg = sched.Schedule.cfg in
+  let loop_of_header =
+    List.filter_map
+      (fun (m : Soc_kernel.Cfg.loop_meta) ->
+        (* Ignore loops whose header was pruned by the optimizer. *)
+        match cfg.Soc_kernel.Cfg.blocks.(m.Soc_kernel.Cfg.header).Soc_kernel.Cfg.term with
+        | Soc_kernel.Cfg.Branch _ -> Some (m.Soc_kernel.Cfg.header, m)
+        | _ -> None)
+      cfg.Soc_kernel.Cfg.loops
+  in
+  let loop_reports = ref [] in
+  (* cost b stop: min/max states from the start of block [b] until control
+     reaches block [stop] (exclusive), treating loop headers specially.
+     Memoized; [fuel] guards against irreducible graphs. *)
+  let memo : (int * int, int * bound) Hashtbl.t = Hashtbl.create 32 in
+  let rec cost b stop fuel =
+    if fuel <= 0 then raise (Irreducible cfg.Soc_kernel.Cfg.kernel.Soc_kernel.Ast.kname);
+    if b = stop then (0, Finite 0)
+    else
+      match Hashtbl.find_opt memo (b, stop) with
+      | Some r -> r
+      | None ->
+        let r =
+          match List.assoc_opt b loop_of_header with
+          | Some meta -> loop_cost meta stop fuel
+          | None -> plain_cost b stop fuel
+        in
+        Hashtbl.replace memo (b, stop) r;
+        r
+  and plain_cost b stop fuel =
+    let here = block_states sched b in
+    match cfg.Soc_kernel.Cfg.blocks.(b).Soc_kernel.Cfg.term with
+    | Soc_kernel.Cfg.Halt -> (here, Finite here)
+    | Soc_kernel.Cfg.Goto nxt ->
+      let mn, mx = cost nxt stop (fuel - 1) in
+      (here + mn, add_bound (Finite here) mx)
+    | Soc_kernel.Cfg.Branch (_, t, f) ->
+      let tmn, tmx = cost t stop (fuel - 1) in
+      let fmn, fmx = cost f stop (fuel - 1) in
+      (here + min tmn fmn, add_bound (Finite here) (max_bound tmx fmx))
+  and loop_cost (meta : Soc_kernel.Cfg.loop_meta) stop fuel =
+    let header = meta.Soc_kernel.Cfg.header in
+    let head_states = block_states sched header in
+    (* One iteration: body entry back to the header. *)
+    let iter_min, iter_max = cost meta.Soc_kernel.Cfg.body_entry header (fuel - 1) in
+    let after_min, after_max = cost meta.Soc_kernel.Cfg.exit stop (fuel - 1) in
+    loop_reports :=
+      { header_block = header; trip_count = meta.Soc_kernel.Cfg.trip;
+        iteration_min = iter_min; iteration_max = iter_max }
+      :: !loop_reports;
+    match meta.Soc_kernel.Cfg.trip with
+    | Some n ->
+      let mn = ((n + 1) * head_states) + (n * iter_min) + after_min in
+      let mx =
+        add_bound
+          (add_bound (Finite ((n + 1) * head_states)) (mul_bound iter_max n))
+          after_max
+      in
+      (mn, mx)
+    | None ->
+      (* Zero trips is always possible; more are unbounded. *)
+      (head_states + after_min, Unbounded)
+  in
+  let fuel = 16 * (Array.length cfg.Soc_kernel.Cfg.blocks + 4) in
+  (* -1 never matches a block id: run to Halt. *)
+  let body_min, body_max = cost cfg.Soc_kernel.Cfg.entry (-1) fuel in
+  (* IDLE entry transition + the DONE state. *)
+  let overhead = 2 in
+  let has_stream_io =
+    Soc_kernel.Ast.stream_ports cfg.Soc_kernel.Cfg.kernel <> []
+  in
+  (* A header can be costed under several enclosing stops; report it once. *)
+  let dedup =
+    List.fold_left
+      (fun acc l -> if List.exists (fun x -> x.header_block = l.header_block) acc then acc else l :: acc)
+      [] (List.rev !loop_reports)
+  in
+  {
+    kernel_name = cfg.Soc_kernel.Cfg.kernel.Soc_kernel.Ast.kname;
+    latency =
+      { min_cycles = body_min + overhead;
+        max_cycles = add_bound body_max (Finite overhead) };
+    loop_reports = List.rev dedup;
+    has_stream_io;
+  }
+
+let pp_bound fmt = function
+  | Finite n -> Format.pp_print_int fmt n
+  | Unbounded -> Format.pp_print_string fmt "?"
+
+let pp fmt (r : report) =
+  Format.fprintf fmt "== Performance estimates: %s ==@." r.kernel_name;
+  Format.fprintf fmt "Latency (cycles): min %d, max %a%s@." r.latency.min_cycles pp_bound
+    r.latency.max_cycles
+    (if r.has_stream_io then " (stall-free; stream handshakes may add stalls)" else "");
+  List.iteri
+    (fun i l ->
+      Format.fprintf fmt "Loop %d (B%d): trip %s, iteration %d..%a states@." (i + 1)
+        l.header_block
+        (match l.trip_count with Some n -> string_of_int n | None -> "?")
+        l.iteration_min pp_bound l.iteration_max)
+    r.loop_reports

@@ -1,0 +1,93 @@
+(** Post-synthesis resource estimation, derived from the generated netlist
+    (not from the source kernel), so sharing decisions made by binding are
+    reflected — this is what populates Table II. *)
+
+type usage = { lut : int; ff : int; bram18 : int; dsp : int }
+
+let zero = { lut = 0; ff = 0; bram18 = 0; dsp = 0 }
+
+let add a b =
+  { lut = a.lut + b.lut; ff = a.ff + b.ff; bram18 = a.bram18 + b.bram18; dsp = a.dsp + b.dsp }
+
+let sum = List.fold_left add zero
+
+(* One RAMB18 holds 18 Kib. *)
+let bram18_for ~size ~width =
+  let bits = size * width in
+  (bits + 18431) / 18432
+
+let of_netlist (net : Soc_rtl.Netlist.t) : usage =
+  let module N = Soc_rtl.Netlist in
+  let comb_luts =
+    List.fold_left (fun acc (_, e) -> acc + N.expr_luts e) 0 net.N.combs
+  in
+  let reg_luts =
+    List.fold_left
+      (fun acc (r : N.reg) -> acc + N.expr_luts r.next + N.expr_luts r.enable)
+      0 net.N.regs
+  in
+  let mem_luts =
+    List.fold_left
+      (fun acc (m : N.mem) ->
+        acc + N.expr_luts m.raddr + N.expr_luts m.wen + N.expr_luts m.waddr
+        + N.expr_luts m.wdata + 6)
+      0 net.N.mems
+  in
+  let comb_dsps = List.fold_left (fun acc (_, e) -> acc + N.expr_dsps e) 0 net.N.combs in
+  let reg_dsps =
+    List.fold_left (fun acc (r : N.reg) -> acc + N.expr_dsps r.next) 0 net.N.regs
+  in
+  let bram18 =
+    List.fold_left (fun acc (m : N.mem) -> acc + bram18_for ~size:m.size ~width:m.mem_width)
+      0 net.N.mems
+  in
+  {
+    lut = comb_luts + reg_luts + mem_luts;
+    ff = N.ff_bits net;
+    bram18;
+    dsp = comb_dsps + reg_dsps;
+  }
+
+type accel_report = {
+  name : string;
+  resources : usage;
+  fsm_states : int;
+  registers : int;
+  static_block_latency : int array; (* control steps per basic block *)
+}
+
+let pp_usage fmt u =
+  Format.fprintf fmt "LUT=%d FF=%d RAMB18=%d DSP=%d" u.lut u.ff u.bram18 u.dsp
+
+(* ------------------------------------------------------------------ *)
+(* Device capacity (utilization reporting, like Vivado's report)       *)
+(* ------------------------------------------------------------------ *)
+
+type device = { device_name : string; d_lut : int; d_ff : int; d_bram18 : int; d_dsp : int }
+
+(* The Zedboard's Zynq XC7Z020. *)
+let zynq_7z020 =
+  { device_name = "xc7z020"; d_lut = 53_200; d_ff = 106_400; d_bram18 = 280; d_dsp = 220 }
+
+let utilization ?(device = zynq_7z020) (u : usage) =
+  let pct used avail = 100.0 *. float_of_int used /. float_of_int avail in
+  [
+    ("LUT", u.lut, device.d_lut, pct u.lut device.d_lut);
+    ("FF", u.ff, device.d_ff, pct u.ff device.d_ff);
+    ("RAMB18", u.bram18, device.d_bram18, pct u.bram18 device.d_bram18);
+    ("DSP", u.dsp, device.d_dsp, pct u.dsp device.d_dsp);
+  ]
+
+let fits ?(device = zynq_7z020) (u : usage) =
+  u.lut <= device.d_lut && u.ff <= device.d_ff && u.bram18 <= device.d_bram18
+  && u.dsp <= device.d_dsp
+
+let pp_utilization ?device fmt u =
+  List.iter
+    (fun (name, used, avail, pct) ->
+      Format.fprintf fmt "%-7s %6d / %6d (%5.1f%%)@." name used avail pct)
+    (utilization ?device u)
+
+let pp fmt (r : accel_report) =
+  Format.fprintf fmt "%s: %a, %d FSM states, %d regs" r.name pp_usage r.resources
+    r.fsm_states r.registers

@@ -1,0 +1,38 @@
+(** Post-synthesis resource estimation, derived from the generated netlist
+    so binding decisions are reflected — the source of the Table II
+    numbers — plus device-capacity (utilization) reporting. *)
+
+type usage = { lut : int; ff : int; bram18 : int; dsp : int }
+
+val zero : usage
+val add : usage -> usage -> usage
+val sum : usage list -> usage
+
+val bram18_for : size:int -> width:int -> int
+(** RAMB18 blocks for a [size]x[width] memory (18 Kib each). *)
+
+val of_netlist : Soc_rtl.Netlist.t -> usage
+
+type accel_report = {
+  name : string;
+  resources : usage;
+  fsm_states : int;
+  registers : int;
+  static_block_latency : int array;
+}
+
+val pp_usage : Format.formatter -> usage -> unit
+val pp : Format.formatter -> accel_report -> unit
+
+(** {2 Device capacity} *)
+
+type device = { device_name : string; d_lut : int; d_ff : int; d_bram18 : int; d_dsp : int }
+
+val zynq_7z020 : device
+(** The Zedboard's XC7Z020. *)
+
+val utilization : ?device:device -> usage -> (string * int * int * float) list
+(** Per resource: name, used, available, percent. *)
+
+val fits : ?device:device -> usage -> bool
+val pp_utilization : ?device:device -> Format.formatter -> usage -> unit

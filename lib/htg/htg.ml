@@ -1,0 +1,310 @@
+(** Two-level Hierarchical Task Graph (Section II-A of the paper).
+
+    The top level is a precedence DAG whose nodes are either simple tasks or
+    {e phases}. A phase owns a dataflow graph whose actors exchange data over
+    stream links and fire as soon as enough data is available; top-level
+    nodes instead communicate through shared memory and execute only after
+    all their predecessors completed.
+
+    Hardware/software partitioning happens at the top level only: a phase is
+    mapped entirely to hardware or entirely to software. *)
+
+type mapping = Hw | Sw
+
+let pp_mapping fmt = function
+  | Hw -> Format.pp_print_string fmt "HW"
+  | Sw -> Format.pp_print_string fmt "SW"
+
+(* A dataflow actor inside a phase. [consumption]/[production] are the
+   number of tokens read/written per firing on each named stream port. *)
+type actor = {
+  actor_name : string;
+  inputs : (string * int) list; (* port name, tokens consumed per firing *)
+  outputs : (string * int) list; (* port name, tokens produced per firing *)
+}
+
+type stream_link = {
+  src_actor : string;
+  src_port : string;
+  dst_actor : string;
+  dst_port : string;
+}
+
+type dataflow = { actors : actor list; links : stream_link list }
+
+type node_kind =
+  | Task (* simple node: parameter copy / shared-memory communication *)
+  | Phase of dataflow (* lower-level dataflow graph, stream-connected *)
+
+type node = { name : string; kind : node_kind; mapping : mapping }
+
+type edge = { src : string; dst : string }
+
+type t = { graph_name : string; nodes : node list; edges : edge list }
+
+(* ------------------------------------------------------------------ *)
+(* Construction helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let task ?(mapping = Sw) name = { name; kind = Task; mapping }
+
+let phase ?(mapping = Hw) name dataflow = { name; kind = Phase dataflow; mapping }
+
+let actor ?(inputs = []) ?(outputs = []) actor_name = { actor_name; inputs; outputs }
+
+let link (src_actor, src_port) (dst_actor, dst_port) =
+  { src_actor; src_port; dst_actor; dst_port }
+
+let make ~name ~nodes ~edges =
+  { graph_name = name; nodes; edges = List.map (fun (src, dst) -> { src; dst }) edges }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_node t name = List.find_opt (fun n -> n.name = name) t.nodes
+
+let node_names t = List.map (fun n -> n.name) t.nodes
+
+let successors t name =
+  List.filter_map (fun e -> if e.src = name then Some e.dst else None) t.edges
+
+let predecessors t name =
+  List.filter_map (fun e -> if e.dst = name then Some e.src else None) t.edges
+
+let sources t = List.filter (fun n -> predecessors t n.name = []) t.nodes
+let sinks t = List.filter (fun n -> successors t n.name = []) t.nodes
+
+let hw_nodes t = List.filter (fun n -> n.mapping = Hw) t.nodes
+let sw_nodes t = List.filter (fun n -> n.mapping = Sw) t.nodes
+
+let actor_of dataflow name =
+  List.find_opt (fun a -> a.actor_name = name) dataflow.actors
+
+(* Actors of a phase with no incoming (resp. outgoing) internal stream:
+   these are the boundary actors fed by (resp. draining into) the system. *)
+let dataflow_inputs df =
+  let bound =
+    List.concat_map (fun l -> [ (l.dst_actor, l.dst_port) ]) df.links
+  in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun (p, _) -> if List.mem (a.actor_name, p) bound then None else Some (a.actor_name, p))
+        a.inputs)
+    df.actors
+
+let dataflow_outputs df =
+  let bound =
+    List.concat_map (fun l -> [ (l.src_actor, l.src_port) ]) df.links
+  in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun (p, _) -> if List.mem (a.actor_name, p) bound then None else Some (a.actor_name, p))
+        a.outputs)
+    df.actors
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Duplicate_node of string
+  | Unknown_endpoint of string
+  | Cycle of string list
+  | Duplicate_actor of string * string (* phase, actor *)
+  | Unknown_actor_port of string * string * string (* phase, actor, port *)
+  | Stream_port_reused of string * string * string
+  | Dataflow_cycle of string * string list
+
+let pp_error fmt = function
+  | Duplicate_node n -> Format.fprintf fmt "duplicate node %S" n
+  | Unknown_endpoint n -> Format.fprintf fmt "edge endpoint %S is not a node" n
+  | Cycle ns -> Format.fprintf fmt "top-level cycle through [%s]" (String.concat " -> " ns)
+  | Duplicate_actor (p, a) -> Format.fprintf fmt "phase %S: duplicate actor %S" p a
+  | Unknown_actor_port (p, a, port) ->
+    Format.fprintf fmt "phase %S: link references unknown port %S.%S" p a port
+  | Stream_port_reused (p, a, port) ->
+    Format.fprintf fmt "phase %S: stream port %S.%S used by more than one link" p a port
+  | Dataflow_cycle (p, ns) ->
+    Format.fprintf fmt "phase %S: dataflow cycle through [%s]" p (String.concat " -> " ns)
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* Kahn topological sort over an adjacency description; returns
+   [Error cycle_members] when no complete ordering exists. *)
+let topo_order ~names ~succs =
+  let indegree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indegree n 0) names;
+  List.iter
+    (fun n ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt indegree s with
+          | Some d -> Hashtbl.replace indegree s (d + 1)
+          | None -> ())
+        (succs n))
+    names;
+  let ready = List.filter (fun n -> Hashtbl.find indegree n = 0) names in
+  let rec go acc = function
+    | [] -> acc
+    | n :: rest ->
+      let rest =
+        List.fold_left
+          (fun rest s ->
+            match Hashtbl.find_opt indegree s with
+            | Some d ->
+              Hashtbl.replace indegree s (d - 1);
+              if d - 1 = 0 then s :: rest else rest
+            | None -> rest)
+          rest (succs n)
+      in
+      go (n :: acc) rest
+  in
+  let order = List.rev (go [] ready) in
+  if List.length order = List.length names then Ok order
+  else
+    let in_order = order in
+    Error (List.filter (fun n -> not (List.mem n in_order)) names)
+
+let validate_dataflow phase_name df =
+  let errs = ref [] in
+  let err e = errs := e :: !errs in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem seen a.actor_name then err (Duplicate_actor (phase_name, a.actor_name));
+      Hashtbl.replace seen a.actor_name ())
+    df.actors;
+  let has_port kind a port =
+    match actor_of df a with
+    | None -> false
+    | Some actor ->
+      let ports = match kind with `In -> actor.inputs | `Out -> actor.outputs in
+      List.mem_assoc port ports
+  in
+  let used = Hashtbl.create 8 in
+  let use key actor port =
+    if Hashtbl.mem used key then err (Stream_port_reused (phase_name, actor, port))
+    else Hashtbl.replace used key ()
+  in
+  List.iter
+    (fun l ->
+      if not (has_port `Out l.src_actor l.src_port) then
+        err (Unknown_actor_port (phase_name, l.src_actor, l.src_port));
+      if not (has_port `In l.dst_actor l.dst_port) then
+        err (Unknown_actor_port (phase_name, l.dst_actor, l.dst_port));
+      use ("out:" ^ l.src_actor ^ "." ^ l.src_port) l.src_actor l.src_port;
+      use ("in:" ^ l.dst_actor ^ "." ^ l.dst_port) l.dst_actor l.dst_port)
+    df.links;
+  (if !errs = [] then
+     let names = List.map (fun a -> a.actor_name) df.actors in
+     let succs n =
+       List.filter_map (fun l -> if l.src_actor = n then Some l.dst_actor else None) df.links
+     in
+     match topo_order ~names ~succs with
+     | Ok _ -> ()
+     | Error cyc -> err (Dataflow_cycle (phase_name, cyc)));
+  !errs
+
+let validate t =
+  let errs = ref [] in
+  let err e = errs := e :: !errs in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n.name then err (Duplicate_node n.name);
+      Hashtbl.replace seen n.name ())
+    t.nodes;
+  List.iter
+    (fun e ->
+      if find_node t e.src = None then err (Unknown_endpoint e.src);
+      if find_node t e.dst = None then err (Unknown_endpoint e.dst))
+    t.edges;
+  if !errs = [] then (
+    (match topo_order ~names:(node_names t) ~succs:(successors t) with
+    | Ok _ -> ()
+    | Error cyc -> err (Cycle cyc));
+    List.iter
+      (fun n ->
+        match n.kind with
+        | Task -> ()
+        | Phase df -> List.iter err (validate_dataflow n.name df))
+      t.nodes);
+  match !errs with [] -> Ok () | errs -> Error (List.rev errs)
+
+let topological_sort t =
+  match topo_order ~names:(node_names t) ~succs:(successors t) with
+  | Ok order -> order
+  | Error cyc -> invalid_arg ("Htg.topological_sort: cyclic graph: " ^ String.concat "," cyc)
+
+(* ------------------------------------------------------------------ *)
+(* Partition manipulation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Return a copy of [t] where node [name] gets mapping [m]. *)
+let remap t ~name ~mapping =
+  {
+    t with
+    nodes = List.map (fun n -> if n.name = name then { n with mapping } else n) t.nodes;
+  }
+
+let partition_signature t =
+  String.concat ""
+    (List.map (fun n -> match n.mapping with Hw -> "H" | Sw -> "S") t.nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_dot t =
+  let d = Soc_util.Dot.create t.graph_name in
+  List.iter
+    (fun n ->
+      match n.kind with
+      | Task ->
+        let fill = match n.mapping with Hw -> "lightsalmon" | Sw -> "lightblue" in
+        Soc_util.Dot.add_node d ~id:n.name
+          ~label:(Printf.sprintf "%s (%s)" n.name (Format.asprintf "%a" pp_mapping n.mapping))
+          ~attrs:[ ("fillcolor", fill) ]
+      | Phase df ->
+        List.iter
+          (fun a ->
+            Soc_util.Dot.add_node d ~id:(n.name ^ "_" ^ a.actor_name) ~label:a.actor_name
+              ~attrs:[ ("fillcolor", "khaki") ])
+          df.actors;
+        Soc_util.Dot.add_cluster d ~id:n.name ~label:("phase " ^ n.name)
+          (List.map (fun a -> n.name ^ "_" ^ a.actor_name) df.actors);
+        List.iter
+          (fun l ->
+            Soc_util.Dot.add_edge d
+              ~src:(n.name ^ "_" ^ l.src_actor)
+              ~dst:(n.name ^ "_" ^ l.dst_actor)
+              ~attrs:[ ("label", l.src_port ^ "->" ^ l.dst_port); ("style", "dashed") ])
+          df.links)
+    t.nodes;
+  let anchor name =
+    match find_node t name with
+    | Some { kind = Phase df; _ } -> (
+      (* Edges into a phase attach to its first source actor; edges out of a
+         phase leave from its last sink actor. *)
+      match df.actors with
+      | [] -> name
+      | a :: _ -> name ^ "_" ^ a.actor_name)
+    | _ -> name
+  in
+  List.iter (fun e -> Soc_util.Dot.add_edge d ~src:(anchor e.src) ~dst:(anchor e.dst)) t.edges;
+  Soc_util.Dot.render d
+
+let pp fmt t =
+  Format.fprintf fmt "HTG %s:@." t.graph_name;
+  List.iter
+    (fun n ->
+      match n.kind with
+      | Task -> Format.fprintf fmt "  node %s [%a]@." n.name pp_mapping n.mapping
+      | Phase df ->
+        Format.fprintf fmt "  phase %s [%a] actors={%s}@." n.name pp_mapping n.mapping
+          (String.concat ", " (List.map (fun a -> a.actor_name) df.actors)))
+    t.nodes;
+  List.iter (fun e -> Format.fprintf fmt "  edge %s -> %s@." e.src e.dst) t.edges

@@ -1,0 +1,241 @@
+(** Lowering of the structured kernel AST into a control-flow graph of
+    three-address instructions. The CFG is the common input of the reference
+    interpreter ({!Interp}) and of the HLS engine, so both share exactly one
+    semantics for every kernel. *)
+
+type operand = Cst of int | Reg of string
+
+type instr =
+  | Bin of string * Ast.binop * operand * operand (* dst := a op b *)
+  | Un of string * Ast.unop * operand
+  | Mov of string * operand
+  | Load of string * string * operand (* dst := array[idx] *)
+  | Store of string * operand * operand (* array[idx] := value *)
+  | Pop of string * string (* dst := stream.read() *)
+  | Push of string * operand (* stream.write(value) *)
+
+type terminator =
+  | Goto of int
+  | Branch of operand * int * int (* cond <> 0 ? then : else *)
+  | Halt
+
+type block = { id : int; mutable instrs : instr list; mutable term : terminator }
+
+(* Structured-loop metadata recorded during lowering; the HLS performance
+   estimator consumes it (header evaluates the condition and branches to
+   body or exit; the body's last block jumps back to the header). *)
+type loop_meta = {
+  header : int;
+  body_entry : int;
+  exit : int;
+  trip : int option; (* constant trip count when statically known *)
+}
+
+type t = {
+  kernel : Ast.kernel;
+  blocks : block array;
+  entry : int;
+  var_types : (string, Ty.t) Hashtbl.t;
+  loops : loop_meta list;
+}
+
+let instr_dst = function
+  | Bin (d, _, _, _) | Un (d, _, _) | Mov (d, _) | Load (d, _, _) | Pop (d, _) -> Some d
+  | Store _ | Push _ -> None
+
+let instr_uses = function
+  | Bin (_, _, a, b) -> [ a; b ]
+  | Un (_, _, a) -> [ a ]
+  | Mov (_, a) -> [ a ]
+  | Load (_, _, i) -> [ i ]
+  | Store (_, i, v) -> [ i; v ]
+  | Pop (_, _) -> []
+  | Push (_, v) -> [ v ]
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable blist : block list; (* reversed *)
+  mutable current : block;
+  mutable next_id : int;
+  mutable next_temp : int;
+  mutable loop_meta : loop_meta list; (* reversed; most recent first *)
+  types : (string, Ty.t) Hashtbl.t;
+}
+
+let new_block b =
+  let blk = { id = b.next_id; instrs = []; term = Halt } in
+  b.next_id <- b.next_id + 1;
+  b.blist <- blk :: b.blist;
+  blk
+
+let emit b i = b.current.instrs <- i :: b.current.instrs
+
+let fresh_temp b =
+  let name = Printf.sprintf "%%t%d" b.next_temp in
+  b.next_temp <- b.next_temp + 1;
+  Hashtbl.replace b.types name Ty.U32;
+  name
+
+let rec lower_expr b (e : Ast.expr) : operand =
+  match e with
+  | Int n -> Cst n
+  | Var x -> Reg x
+  | Load (a, i) ->
+    let idx = lower_expr b i in
+    let dst = fresh_temp b in
+    emit b (Load (dst, a, idx));
+    Reg dst
+  | Bin (op, x, y) ->
+    let ox = lower_expr b x in
+    let oy = lower_expr b y in
+    let dst = fresh_temp b in
+    emit b (Bin (dst, op, ox, oy));
+    Reg dst
+  | Un (op, x) ->
+    let ox = lower_expr b x in
+    let dst = fresh_temp b in
+    emit b (Un (dst, op, ox));
+    Reg dst
+
+let rec lower_stmt b (s : Ast.stmt) =
+  match s with
+  | Assign (x, e) ->
+    let o = lower_expr b e in
+    emit b (Mov (x, o))
+  | Store (a, i, e) ->
+    let oi = lower_expr b i in
+    let oe = lower_expr b e in
+    emit b (Store (a, oi, oe))
+  | Pop (x, s) -> emit b (Pop (x, s))
+  | Push (s, e) ->
+    let o = lower_expr b e in
+    emit b (Push (s, o))
+  | If (c, then_s, else_s) ->
+    let oc = lower_expr b c in
+    let cond_block = b.current in
+    let then_block = new_block b in
+    b.current <- then_block;
+    List.iter (lower_stmt b) then_s;
+    let then_exit = b.current in
+    let else_block = new_block b in
+    b.current <- else_block;
+    List.iter (lower_stmt b) else_s;
+    let else_exit = b.current in
+    let join = new_block b in
+    cond_block.term <- Branch (oc, then_block.id, else_block.id);
+    then_exit.term <- Goto join.id;
+    else_exit.term <- Goto join.id;
+    b.current <- join
+  | While (c, body) ->
+    let pre = b.current in
+    let head = new_block b in
+    pre.term <- Goto head.id;
+    b.current <- head;
+    let oc = lower_expr b c in
+    let head_exit = b.current in
+    let body_block = new_block b in
+    b.current <- body_block;
+    List.iter (lower_stmt b) body;
+    let body_exit = b.current in
+    body_exit.term <- Goto head.id;
+    let exit = new_block b in
+    head_exit.term <- Branch (oc, body_block.id, exit.id);
+    b.loop_meta <-
+      { header = head.id; body_entry = body_block.id; exit = exit.id; trip = None }
+      :: b.loop_meta;
+    b.current <- exit
+  | For (x, lo, hi, body) ->
+    (* for (x = lo; x < hi; x++) body   — desugared to a while loop. *)
+    lower_stmt b (Assign (x, lo));
+    lower_stmt b (While (Bin (Lt, Var x, hi), body @ [ Assign (x, Bin (Add, Var x, Int 1)) ]));
+    (* Constant bounds give the loop a static trip count. *)
+    (match (lo, hi, b.loop_meta) with
+    | Int l, Int h, m :: rest -> b.loop_meta <- { m with trip = Some (max 0 (h - l)) } :: rest
+    | _ -> ())
+
+let of_kernel (k : Ast.kernel) : t =
+  Typecheck.check_exn k;
+  let types = Hashtbl.create 32 in
+  List.iter
+    (fun p ->
+      match p with
+      | Ast.Scalar { pname; ty; _ } -> Hashtbl.replace types pname ty
+      | Ast.Stream _ -> ())
+    k.ports;
+  List.iter (fun (x, ty) -> Hashtbl.replace types x ty) k.locals;
+  let entry_block = { id = 0; instrs = []; term = Halt } in
+  let b =
+    { blist = [ entry_block ]; current = entry_block; next_id = 1; next_temp = 0;
+      loop_meta = []; types }
+  in
+  List.iter (lower_stmt b) k.body;
+  let blocks = Array.of_list (List.rev b.blist) in
+  (* Normalize: blocks store instrs reversed during construction. *)
+  Array.iter (fun blk -> blk.instrs <- List.rev blk.instrs) blocks;
+  Array.iteri (fun i blk -> assert (blk.id = i)) blocks;
+  { kernel = k; blocks; entry = 0; var_types = types; loops = List.rev b.loop_meta }
+
+let var_type t name =
+  match Hashtbl.find_opt t.var_types name with Some ty -> ty | None -> Ty.U32
+
+(* All register names appearing in the CFG (ports, locals and temps). *)
+let all_regs t =
+  let seen = Hashtbl.create 32 in
+  let add = function
+    | Reg r -> Hashtbl.replace seen r ()
+    | Cst _ -> ()
+  in
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun i ->
+          (match instr_dst i with Some d -> Hashtbl.replace seen d () | None -> ());
+          List.iter add (instr_uses i))
+        blk.instrs;
+      match blk.term with
+      | Branch (c, _, _) -> add c
+      | Goto _ | Halt -> ())
+    t.blocks;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+let instr_count t =
+  Array.fold_left (fun acc blk -> acc + List.length blk.instrs) 0 t.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (debugging aid)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let operand_to_string = function Cst n -> string_of_int n | Reg r -> r
+
+let instr_to_string = function
+  | Bin (d, op, a, b) ->
+    Printf.sprintf "%s := %s %s %s" d (operand_to_string a) (Ast.binop_symbol op)
+      (operand_to_string b)
+  | Un (d, Ast.Neg, a) -> Printf.sprintf "%s := -%s" d (operand_to_string a)
+  | Un (d, Ast.Bnot, a) -> Printf.sprintf "%s := ~%s" d (operand_to_string a)
+  | Un (d, Ast.Lnot, a) -> Printf.sprintf "%s := !%s" d (operand_to_string a)
+  | Mov (d, a) -> Printf.sprintf "%s := %s" d (operand_to_string a)
+  | Load (d, arr, i) -> Printf.sprintf "%s := %s[%s]" d arr (operand_to_string i)
+  | Store (arr, i, v) ->
+    Printf.sprintf "%s[%s] := %s" arr (operand_to_string i) (operand_to_string v)
+  | Pop (d, s) -> Printf.sprintf "%s := pop(%s)" d s
+  | Push (s, v) -> Printf.sprintf "push(%s, %s)" s (operand_to_string v)
+
+let term_to_string = function
+  | Goto i -> Printf.sprintf "goto B%d" i
+  | Branch (c, t, e) -> Printf.sprintf "if %s then B%d else B%d" (operand_to_string c) t e
+  | Halt -> "halt"
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "cfg %s (entry B%d)\n" t.kernel.kname t.entry);
+  Array.iter
+    (fun blk ->
+      Buffer.add_string buf (Printf.sprintf "B%d:\n" blk.id);
+      List.iter (fun i -> Buffer.add_string buf ("  " ^ instr_to_string i ^ "\n")) blk.instrs;
+      Buffer.add_string buf ("  " ^ term_to_string blk.term ^ "\n"))
+    t.blocks;
+  Buffer.contents buf

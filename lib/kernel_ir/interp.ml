@@ -1,0 +1,248 @@
+(** Reference interpreter over the CFG.
+
+    Two usage modes:
+    - [run]: run-to-completion for software tasks on the GPP model, with all
+      stream inputs supplied up front;
+    - [make]/[step]: resumable execution, one instruction per call, used for
+      behavioural co-simulation and for differential testing against the
+      RTL produced by HLS. *)
+
+(* Channel interface: [pop] returns [None] when the channel has no data and
+   [push] returns [false] when the channel cannot accept data; both make the
+   interpreter report [Blocked]. *)
+type io = {
+  pop : string -> int option;
+  push : string -> int -> bool;
+}
+
+type stats = {
+  mutable alu_ops : int;
+  mutable mem_ops : int;
+  mutable stream_reads : int;
+  mutable stream_writes : int;
+  mutable moves : int;
+  mutable branches : int;
+  mutable steps : int;
+}
+
+let fresh_stats () =
+  { alu_ops = 0; mem_ops = 0; stream_reads = 0; stream_writes = 0; moves = 0;
+    branches = 0; steps = 0 }
+
+let total_ops s =
+  s.alu_ops + s.mem_ops + s.stream_reads + s.stream_writes + s.moves + s.branches
+
+type state = {
+  cfg : Cfg.t;
+  regs : (string, int) Hashtbl.t;
+  arrays : (string, int array) Hashtbl.t;
+  mutable block : int;
+  mutable index : int; (* next instruction index within the block *)
+  mutable halted : bool;
+  stats : stats;
+}
+
+exception Runtime_error of string
+
+let make ?(scalars = []) (cfg : Cfg.t) =
+  let arrays = Hashtbl.create 4 in
+  List.iter
+    (fun (a : Ast.array_decl) ->
+      let data =
+        match a.init with
+        | Some init -> Array.map (fun v -> Ty.store a.elt v) init
+        | None -> Array.make a.size 0
+      in
+      Hashtbl.replace arrays a.aname data)
+    cfg.kernel.arrays;
+  let regs = Hashtbl.create 32 in
+  List.iter
+    (fun (name, v) ->
+      Hashtbl.replace regs name (Ty.store (Cfg.var_type cfg name) v))
+    scalars;
+  { cfg; regs; arrays; block = cfg.entry; index = 0; halted = false;
+    stats = fresh_stats () }
+
+let read_reg st r = match Hashtbl.find_opt st.regs r with Some v -> v | None -> 0
+
+(* Observe a register of a (possibly suspended) execution state. *)
+let peek_reg = read_reg
+
+let stats_of st = st.stats
+
+let write_reg st r v =
+  Hashtbl.replace st.regs r (Ty.store (Cfg.var_type st.cfg r) v)
+
+let operand st = function Cfg.Cst n -> Soc_util.Bits.truncate ~width:32 n | Cfg.Reg r -> read_reg st r
+
+let array_of st name =
+  match Hashtbl.find_opt st.arrays name with
+  | Some a -> a
+  | None -> raise (Runtime_error ("no such array: " ^ name))
+
+(* Stream beats are truncated to the port's declared width, matching the
+   RTL where TDATA has exactly that many wires. *)
+let stream_width st pname =
+  match
+    List.find_opt
+      (function Ast.Stream { pname = p; _ } -> p = pname | Ast.Scalar _ -> false)
+      st.cfg.kernel.ports
+  with
+  | Some (Ast.Stream { ty; _ }) -> Ty.width ty
+  | _ -> 32
+
+type outcome = Stepped | Blocked | Done
+
+(* Execute at most one instruction (or one terminator). *)
+let step (st : state) (io : io) : outcome =
+  if st.halted then Done
+  else begin
+    let blk = st.cfg.blocks.(st.block) in
+    let instrs = blk.instrs in
+    let n = List.length instrs in
+    if st.index < n then begin
+      let i = List.nth instrs st.index in
+      let advance () = st.index <- st.index + 1; st.stats.steps <- st.stats.steps + 1 in
+      match i with
+      | Cfg.Bin (d, op, a, b) ->
+        write_reg st d (Semantics.eval_binop op (operand st a) (operand st b));
+        st.stats.alu_ops <- st.stats.alu_ops + 1;
+        advance ();
+        Stepped
+      | Cfg.Un (d, op, a) ->
+        write_reg st d (Semantics.eval_unop op (operand st a));
+        st.stats.alu_ops <- st.stats.alu_ops + 1;
+        advance ();
+        Stepped
+      | Cfg.Mov (d, a) ->
+        write_reg st d (operand st a);
+        st.stats.moves <- st.stats.moves + 1;
+        advance ();
+        Stepped
+      | Cfg.Load (d, arr, idx) ->
+        let a = array_of st arr in
+        let i = operand st idx in
+        if i < 0 || i >= Array.length a then
+          raise (Runtime_error (Printf.sprintf "%s: load index %d out of bounds" arr i));
+        write_reg st d a.(i);
+        st.stats.mem_ops <- st.stats.mem_ops + 1;
+        advance ();
+        Stepped
+      | Cfg.Store (arr, idx, v) ->
+        let a = array_of st arr in
+        let i = operand st idx in
+        if i < 0 || i >= Array.length a then
+          raise (Runtime_error (Printf.sprintf "%s: store index %d out of bounds" arr i));
+        let elt =
+          match List.find_opt (fun (d : Ast.array_decl) -> d.aname = arr) st.cfg.kernel.arrays with
+          | Some d -> d.elt
+          | None -> Ty.U32
+        in
+        a.(i) <- Ty.store elt (operand st v);
+        st.stats.mem_ops <- st.stats.mem_ops + 1;
+        advance ();
+        Stepped
+      | Cfg.Pop (d, s) -> (
+        match io.pop s with
+        | Some v ->
+          write_reg st d (Soc_util.Bits.truncate ~width:(stream_width st s) v);
+          st.stats.stream_reads <- st.stats.stream_reads + 1;
+          advance ();
+          Stepped
+        | None -> Blocked)
+      | Cfg.Push (s, v) ->
+        if io.push s (Soc_util.Bits.truncate ~width:(stream_width st s) (operand st v))
+        then begin
+          st.stats.stream_writes <- st.stats.stream_writes + 1;
+          advance ();
+          Stepped
+        end
+        else Blocked
+    end
+    else begin
+      st.stats.steps <- st.stats.steps + 1;
+      (match blk.term with
+      | Cfg.Goto b ->
+        st.block <- b;
+        st.index <- 0
+      | Cfg.Branch (c, bt, bf) ->
+        st.stats.branches <- st.stats.branches + 1;
+        st.block <- (if operand st c <> 0 then bt else bf);
+        st.index <- 0
+      | Cfg.Halt -> st.halted <- true);
+      if st.halted then Done else Stepped
+    end
+  end
+
+(* In-memory FIFO channels backing [io] for run-to-completion execution. *)
+module Channels = struct
+  type t = (string, int Queue.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let queue t name =
+    match Hashtbl.find_opt t name with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t name q;
+      q
+
+  let supply t name values = List.iter (fun v -> Queue.push v (queue t name)) values
+
+  let drain t name =
+    let q = queue t name in
+    let rec go acc = if Queue.is_empty q then List.rev acc else go (Queue.pop q :: acc) in
+    go []
+
+  let length t name = Queue.length (queue t name)
+
+  let io t : io =
+    {
+      pop = (fun name ->
+        let q = queue t name in
+        if Queue.is_empty q then None else Some (Queue.pop q));
+      push = (fun name v ->
+        Queue.push (Soc_util.Bits.truncate ~width:32 v) (queue t name);
+        true);
+    }
+end
+
+type result = {
+  out_scalars : (string * int) list;
+  channels : Channels.t;
+  run_stats : stats;
+}
+
+exception Stuck of string
+(* raised by [run] when execution blocks on an empty input channel *)
+
+let default_fuel = 200_000_000
+
+(* Run a kernel to completion. [scalars] provides the AXI-Lite input
+   registers; [streams] pre-fills input channels. *)
+let run ?(fuel = default_fuel) ?(scalars = []) ?(streams = []) (cfg : Cfg.t) : result =
+  let st = make ~scalars cfg in
+  let chans = Channels.create () in
+  List.iter (fun (name, values) -> Channels.supply chans name values) streams;
+  let io = Channels.io chans in
+  let rec go fuel =
+    if fuel <= 0 then raise (Stuck (cfg.kernel.kname ^ ": fuel exhausted"))
+    else
+      match step st io with
+      | Done -> ()
+      | Blocked -> raise (Stuck (cfg.kernel.kname ^ ": blocked on empty input stream"))
+      | Stepped -> go (fuel - 1)
+  in
+  go fuel;
+  let out_scalars =
+    List.filter_map
+      (function
+        | Ast.Scalar { pname; dir = Ast.Out; _ } -> Some (pname, read_reg st pname)
+        | _ -> None)
+      cfg.kernel.ports
+  in
+  { out_scalars; channels = chans; run_stats = st.stats }
+
+let run_kernel ?fuel ?scalars ?streams (k : Ast.kernel) =
+  run ?fuel ?scalars ?streams (Cfg.of_kernel k)

@@ -1,0 +1,189 @@
+(** Machine-independent optimizations on the CFG, run by the HLS engine
+    before scheduling (like the [opt] step inside Vivado HLS):
+
+    - local constant folding and algebraic simplification
+      (x+0, x*1, x*0, x&0, x|0, x^0, shifts by 0, x-x);
+    - local copy/constant propagation (within a basic block);
+    - global dead-code elimination (side-effect-free instructions whose
+      result is never read anywhere; stream pops are preserved because
+      consuming a beat is a side effect).
+
+    Every pass preserves the interpreter semantics exactly; the qcheck
+    differential suite runs random kernels optimized and unoptimized through
+    both the interpreter and the generated RTL. *)
+
+open Cfg
+
+(* ------------------------------------------------------------------ *)
+(* Folding and algebraic identities                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fold_instr (i : instr) : instr =
+  match i with
+  | Bin (d, op, Cst a, Cst b) -> Mov (d, Cst (Semantics.eval_binop op a b))
+  | Un (d, op, Cst a) -> Mov (d, Cst (Semantics.eval_unop op a))
+  | Bin (d, Ast.Add, x, Cst 0) | Bin (d, Ast.Add, Cst 0, x) -> Mov (d, x)
+  | Bin (d, Ast.Sub, x, Cst 0) -> Mov (d, x)
+  | Bin (d, Ast.Sub, Reg a, Reg b) when a = b -> Mov (d, Cst 0)
+  | Bin (d, Ast.Mul, x, Cst 1) | Bin (d, Ast.Mul, Cst 1, x) -> Mov (d, x)
+  | Bin (d, Ast.Mul, _, Cst 0) | Bin (d, Ast.Mul, Cst 0, _) -> Mov (d, Cst 0)
+  | Bin (d, Ast.Band, _, Cst 0) | Bin (d, Ast.Band, Cst 0, _) -> Mov (d, Cst 0)
+  | Bin (d, Ast.Bor, x, Cst 0) | Bin (d, Ast.Bor, Cst 0, x) -> Mov (d, x)
+  | Bin (d, Ast.Bxor, x, Cst 0) | Bin (d, Ast.Bxor, Cst 0, x) -> Mov (d, x)
+  | Bin (d, (Ast.Shl | Ast.Shr | Ast.Ashr), x, Cst 0) -> Mov (d, x)
+  | Bin (d, (Ast.Udiv | Ast.Div), x, Cst 1) -> Mov (d, x)
+  | i -> i
+
+(* ------------------------------------------------------------------ *)
+(* Local copy/constant propagation                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Within one block, track "reg currently equals operand" facts established
+   by Mov instructions, substitute them into later uses, and invalidate
+   facts when either side is redefined. Conservative and purely local:
+   facts never cross a block boundary, so control flow needs no analysis.
+
+   IMPORTANT: a propagated source must hold its value until the use. We
+   only propagate temps and constants; temps are single-assignment by
+   construction of the lowering, but program variables can be reassigned,
+   hence the invalidation logic below handles both. *)
+let propagate_block (instrs : instr list) (term : terminator) :
+    instr list * terminator =
+  let env : (string, operand) Hashtbl.t = Hashtbl.create 16 in
+  let subst (o : operand) =
+    match o with
+    | Cst _ -> o
+    | Reg r -> ( match Hashtbl.find_opt env r with Some o' -> o' | None -> o)
+  in
+  let invalidate_defs_of r =
+    (* r was redefined: drop the fact for r and any fact whose RHS is r. *)
+    Hashtbl.remove env r;
+    let stale =
+      Hashtbl.fold (fun k v acc -> if v = Reg r then k :: acc else acc) env []
+    in
+    List.iter (Hashtbl.remove env) stale
+  in
+  let rewrite (i : instr) : instr =
+    let i =
+      match i with
+      | Bin (d, op, a, b) -> Bin (d, op, subst a, subst b)
+      | Un (d, op, a) -> Un (d, op, subst a)
+      | Mov (d, a) -> Mov (d, subst a)
+      | Load (d, arr, idx) -> Load (d, arr, subst idx)
+      | Store (arr, idx, v) -> Store (arr, subst idx, subst v)
+      | Pop (d, s) -> Pop (d, s)
+      | Push (s, v) -> Push (s, subst v)
+    in
+    let i = fold_instr i in
+    (match instr_dst i with
+    | Some d ->
+      invalidate_defs_of d;
+      (match i with
+      | Mov (dst, (Cst _ as c)) -> Hashtbl.replace env dst c
+      | Mov (dst, (Reg _ as src)) when src <> Reg dst -> Hashtbl.replace env dst src
+      | _ -> ())
+    | None -> ());
+    i
+  in
+  let instrs = List.map rewrite instrs in
+  let term =
+    match term with
+    | Branch (c, a, b) -> (
+      match subst c with
+      | Cst v -> Goto (if v <> 0 then a else b)
+      | c' -> Branch (c', a, b))
+    | t -> t
+  in
+  (instrs, term)
+
+(* ------------------------------------------------------------------ *)
+(* Global dead-code elimination                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A register is live if it is read by any instruction or terminator in any
+   block, or if it is an output scalar port (observable after the run).
+   Instructions with side effects are always kept; a Pop whose destination
+   is dead is rewritten to pop into itself (kept for the consumption). *)
+let eliminate_dead (t : Cfg.t) =
+  let out_ports =
+    List.filter_map
+      (function
+        | Ast.Scalar { pname; dir = Ast.Out; _ } -> Some pname
+        | _ -> None)
+      t.kernel.Ast.ports
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = Hashtbl.create 64 in
+    List.iter (fun p -> Hashtbl.replace used p ()) out_ports;
+    let note = function
+      | Reg r -> Hashtbl.replace used r ()
+      | Cst _ -> ()
+    in
+    Array.iter
+      (fun (blk : block) ->
+        List.iter (fun i -> List.iter note (instr_uses i)) blk.instrs;
+        match blk.term with
+        | Branch (c, _, _) -> note c
+        | Goto _ | Halt -> ())
+      t.blocks;
+    Array.iter
+      (fun (blk : block) ->
+        let keep (i : instr) =
+          match i with
+          | Store _ | Push _ | Pop _ -> true
+          | Bin (d, _, _, _) | Un (d, _, _) | Mov (d, _) | Load (d, _, _) ->
+            Hashtbl.mem used d
+        in
+        let kept = List.filter keep blk.instrs in
+        if List.length kept <> List.length blk.instrs then begin
+          changed := true;
+          blk.instrs <- kept
+        end)
+      t.blocks
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Blocks unreachable after branch folding are emptied so they contribute
+   neither FSM states' datapath writes nor area. Block ids stay stable. *)
+let prune_unreachable (t : Cfg.t) =
+  let n = Array.length t.blocks in
+  let reachable = Array.make n false in
+  let rec visit b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      match t.blocks.(b).term with
+      | Goto x -> visit x
+      | Branch (_, x, y) ->
+        visit x;
+        visit y
+      | Halt -> ()
+    end
+  in
+  visit t.entry;
+  Array.iteri
+    (fun i (blk : block) ->
+      if not reachable.(i) then begin
+        blk.instrs <- [];
+        blk.term <- Halt
+      end)
+    t.blocks
+
+type stats = { before : int; after : int }
+
+(* Optimize in place; returns instruction counts for reporting. *)
+let run (t : Cfg.t) : stats =
+  let before = Cfg.instr_count t in
+  Array.iter
+    (fun (blk : block) ->
+      let instrs, term = propagate_block blk.instrs blk.term in
+      blk.instrs <- instrs;
+      blk.term <- term)
+    t.blocks;
+  prune_unreachable t;
+  eliminate_dead t;
+  { before; after = Cfg.instr_count t }

@@ -1,0 +1,43 @@
+(** Evaluation of IR operators on 32-bit machine words.
+
+    This module is the single source of truth for operator semantics: the
+    CFG interpreter, the HLS-generated RTL primitives and the RTL simulator
+    all call into it, so a kernel provably computes the same function in
+    software and in simulated hardware. *)
+
+let word = 32
+
+let eval_binop (op : Ast.binop) a b =
+  let module B = Soc_util.Bits in
+  let bit c = B.bool_to_bit c in
+  match op with
+  | Add -> B.add ~width:word a b
+  | Sub -> B.sub ~width:word a b
+  | Mul -> B.mul ~width:word a b
+  | Div -> B.sdiv ~width:word a b
+  | Rem -> B.srem ~width:word a b
+  | Udiv -> B.udiv ~width:word a b
+  | Urem -> B.urem ~width:word a b
+  | Band -> B.logand ~width:word a b
+  | Bor -> B.logor ~width:word a b
+  | Bxor -> B.logxor ~width:word a b
+  | Shl -> B.shl ~width:word a (b land 31)
+  | Shr -> B.lshr ~width:word a (b land 31)
+  | Ashr -> B.ashr ~width:word a (b land 31)
+  | Eq -> bit (B.truncate ~width:word a = B.truncate ~width:word b)
+  | Ne -> bit (B.truncate ~width:word a <> B.truncate ~width:word b)
+  | Lt -> bit (B.slt ~width:word a b)
+  | Le -> bit (not (B.slt ~width:word b a))
+  | Gt -> bit (B.slt ~width:word b a)
+  | Ge -> bit (not (B.slt ~width:word a b))
+  | Ult -> bit (B.ult ~width:word a b)
+  | Ule -> bit (not (B.ult ~width:word b a))
+  | Ugt -> bit (B.ult ~width:word b a)
+  | Uge -> bit (not (B.ult ~width:word a b))
+
+let eval_unop (op : Ast.unop) a =
+  let module B = Soc_util.Bits in
+  match op with
+  | Neg -> B.sub ~width:word 0 a
+  | Bnot -> B.lognot ~width:word a
+  | Lnot -> if B.truncate ~width:word a = 0 then 1 else 0

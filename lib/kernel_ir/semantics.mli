@@ -1,0 +1,9 @@
+(** Evaluation of IR operators on 32-bit machine words — the single source
+    of truth shared by the interpreter and the RTL simulator, which makes
+    differential testing of software vs generated hardware meaningful. *)
+
+val word : int
+(** The machine word width (32). *)
+
+val eval_binop : Ast.binop -> int -> int -> int
+val eval_unop : Ast.unop -> int -> int

@@ -1,0 +1,162 @@
+(** Static checks over kernels, run before HLS and before software
+    execution. A kernel that passes [check] cannot fail name resolution or
+    port-direction errors at runtime; out-of-bounds array accesses with
+    non-constant indices remain dynamic errors. *)
+
+type error =
+  | Unknown_variable of string
+  | Unknown_array of string
+  | Unknown_stream of string
+  | Duplicate_name of string
+  | Read_from_output of string
+  | Write_to_input of string
+  | Assign_to_input_scalar of string
+  | Constant_index_out_of_bounds of string * int * int (* array, index, size *)
+  | Bad_array_size of string
+  | Bad_init_length of string
+
+let pp_error fmt = function
+  | Unknown_variable x -> Format.fprintf fmt "unknown variable %S" x
+  | Unknown_array a -> Format.fprintf fmt "unknown array %S" a
+  | Unknown_stream s -> Format.fprintf fmt "unknown stream %S" s
+  | Duplicate_name x -> Format.fprintf fmt "duplicate declaration of %S" x
+  | Read_from_output s -> Format.fprintf fmt "read from output stream %S" s
+  | Write_to_input s -> Format.fprintf fmt "write to input stream %S" s
+  | Assign_to_input_scalar x -> Format.fprintf fmt "assignment to input scalar port %S" x
+  | Constant_index_out_of_bounds (a, i, n) ->
+    Format.fprintf fmt "array %S: constant index %d out of bounds (size %d)" a i n
+  | Bad_array_size a -> Format.fprintf fmt "array %S has non-positive size" a
+  | Bad_init_length a -> Format.fprintf fmt "array %S: initializer length differs from size" a
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type env = {
+  vars : (string, Ty.t) Hashtbl.t;
+  arrays : (string, Ast.array_decl) Hashtbl.t;
+  streams : (string, Ast.dir) Hashtbl.t;
+  in_scalars : (string, unit) Hashtbl.t;
+}
+
+let build_env (k : Ast.kernel) errs =
+  let env =
+    {
+      vars = Hashtbl.create 16;
+      arrays = Hashtbl.create 4;
+      streams = Hashtbl.create 4;
+      in_scalars = Hashtbl.create 4;
+    }
+  in
+  let declared = Hashtbl.create 16 in
+  let declare name =
+    if Hashtbl.mem declared name then errs := Duplicate_name name :: !errs
+    else Hashtbl.replace declared name ()
+  in
+  List.iter
+    (fun p ->
+      declare (Ast.port_name p);
+      match p with
+      | Ast.Scalar { pname; ty; dir } ->
+        Hashtbl.replace env.vars pname ty;
+        if dir = Ast.In then Hashtbl.replace env.in_scalars pname ()
+      | Ast.Stream { pname; dir; _ } -> Hashtbl.replace env.streams pname dir)
+    k.ports;
+  List.iter
+    (fun (x, ty) ->
+      declare x;
+      Hashtbl.replace env.vars x ty)
+    k.locals;
+  List.iter
+    (fun (a : Ast.array_decl) ->
+      declare a.aname;
+      if a.size <= 0 then errs := Bad_array_size a.aname :: !errs;
+      (match a.init with
+      | Some init when Array.length init <> a.size -> errs := Bad_init_length a.aname :: !errs
+      | _ -> ());
+      Hashtbl.replace env.arrays a.aname a)
+    k.arrays;
+  env
+
+let rec check_expr env errs (e : Ast.expr) =
+  match e with
+  | Int _ -> ()
+  | Var x -> if not (Hashtbl.mem env.vars x) then errs := Unknown_variable x :: !errs
+  | Load (a, i) ->
+    (match Hashtbl.find_opt env.arrays a with
+    | None -> errs := Unknown_array a :: !errs
+    | Some decl -> (
+      match i with
+      | Int n when n < 0 || n >= decl.size ->
+        errs := Constant_index_out_of_bounds (a, n, decl.size) :: !errs
+      | _ -> ()));
+    check_expr env errs i
+  | Bin (_, a, b) ->
+    check_expr env errs a;
+    check_expr env errs b
+  | Un (_, e) -> check_expr env errs e
+
+let rec check_stmt env errs (s : Ast.stmt) =
+  match s with
+  | Assign (x, e) ->
+    if not (Hashtbl.mem env.vars x) then errs := Unknown_variable x :: !errs
+    else if Hashtbl.mem env.in_scalars x then errs := Assign_to_input_scalar x :: !errs;
+    check_expr env errs e
+  | Store (a, i, e) ->
+    (match Hashtbl.find_opt env.arrays a with
+    | None -> errs := Unknown_array a :: !errs
+    | Some decl -> (
+      match i with
+      | Int n when n < 0 || n >= decl.size ->
+        errs := Constant_index_out_of_bounds (a, n, decl.size) :: !errs
+      | _ -> ()));
+    check_expr env errs i;
+    check_expr env errs e
+  | Pop (x, s) ->
+    if not (Hashtbl.mem env.vars x) then errs := Unknown_variable x :: !errs;
+    (match Hashtbl.find_opt env.streams s with
+    | None -> errs := Unknown_stream s :: !errs
+    | Some Ast.Out -> errs := Read_from_output s :: !errs
+    | Some Ast.In -> ())
+  | Push (s, e) ->
+    (match Hashtbl.find_opt env.streams s with
+    | None -> errs := Unknown_stream s :: !errs
+    | Some Ast.In -> errs := Write_to_input s :: !errs
+    | Some Ast.Out -> ());
+    check_expr env errs e
+  | If (c, t, e) ->
+    check_expr env errs c;
+    List.iter (check_stmt env errs) t;
+    List.iter (check_stmt env errs) e
+  | While (c, b) ->
+    check_expr env errs c;
+    List.iter (check_stmt env errs) b
+  | For (x, lo, hi, b) ->
+    if not (Hashtbl.mem env.vars x) then errs := Unknown_variable x :: !errs;
+    check_expr env errs lo;
+    check_expr env errs hi;
+    List.iter (check_stmt env errs) b
+
+let check (k : Ast.kernel) =
+  let errs = ref [] in
+  let env = build_env k errs in
+  List.iter (check_stmt env errs) k.body;
+  match List.rev !errs with [] -> Ok () | es -> Error es
+
+let check_exn k =
+  match check k with
+  | Ok () -> ()
+  | Error es ->
+    failwith
+      (Printf.sprintf "kernel %s: %s" k.kname
+         (String.concat "; " (List.map error_to_string es)))
+
+let var_type (k : Ast.kernel) name =
+  let from_ports =
+    List.find_map
+      (function
+        | Ast.Scalar { pname; ty; _ } when pname = name -> Some ty
+        | _ -> None)
+      k.ports
+  in
+  match from_ports with
+  | Some ty -> Some ty
+  | None -> List.assoc_opt name k.locals

@@ -1,0 +1,26 @@
+(** Static checks over kernels, run before HLS and before software
+    execution: name resolution, port directions, constant array bounds,
+    declaration well-formedness. *)
+
+type error =
+  | Unknown_variable of string
+  | Unknown_array of string
+  | Unknown_stream of string
+  | Duplicate_name of string
+  | Read_from_output of string
+  | Write_to_input of string
+  | Assign_to_input_scalar of string
+  | Constant_index_out_of_bounds of string * int * int
+  | Bad_array_size of string
+  | Bad_init_length of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val check : Ast.kernel -> (unit, error list) result
+
+val check_exn : Ast.kernel -> unit
+(** Raises [Failure] with all error messages. *)
+
+val var_type : Ast.kernel -> string -> Ty.t option
+(** Declared type of a scalar port or local. *)

@@ -1,0 +1,281 @@
+(** An instantiated accelerator wired to its AXI-Lite register file and
+    AXI-Stream FIFOs, at one of two abstraction levels:
+
+    - {b RTL}: cycle-accurate simulation of the synthesized FSMD netlist
+      (the default — what "running the generated bitstream" means here);
+    - {b behavioural}: the kernel's CFG executed by the resumable
+      interpreter, paced at one stream beat per cycle — an idealized
+      fully-pipelined model used for fast functional co-simulation and as
+      a performance upper bound. Both modes honour the same AXI-Lite
+      control protocol and FIFO handshakes, so they are interchangeable
+      inside a system.
+
+    Control protocol (HLS [s_axilite]): ctrl bit 0 = ap_start
+    (self-clearing); status bit 0 = sticky ap_done; argument registers are
+    forwarded into the datapath, scalar results copied back at
+    completion. Every stream output is watched by an AXI protocol
+    checker. *)
+
+module Fsmd = Soc_hls.Fsmd
+module Sim = Soc_rtl.Sim
+
+type rtl_engine = { fsmd : Fsmd.t; sim : Sim.t }
+
+type behavioral_engine = {
+  cfg : Soc_kernel.Cfg.t;
+  mutable inst : Soc_kernel.Interp.state option;
+  max_ops_per_cycle : int;
+}
+
+type engine = Rtl of rtl_engine | Behavioral of behavioral_engine
+
+type t = {
+  name : string;
+  engine : engine;
+  regfile : Soc_axi.Lite.regfile;
+  scalar_in_ports : string list;
+  scalar_out_ports : string list;
+  stream_in_ports : string list;
+  stream_out_ports : string list;
+  arg_offsets : (string * int) list;
+  mutable in_bindings : (string * Soc_axi.Fifo.t) list;
+  mutable out_bindings : (string * Soc_axi.Fifo.t) list;
+  monitors : (string * Soc_axi.Stream_rules.t) list;
+  mutable done_latched : bool;
+  mutable busy_cycles : int;
+  mutable total_cycles : int;
+}
+
+let make_common ~name ~engine ~regfile ~scalar_in_ports ~scalar_out_ports
+    ~stream_in_ports ~stream_out_ports =
+  let arg_offsets =
+    List.mapi (fun i p -> (p, Soc_axi.Lite.arg_offset i)) (scalar_in_ports @ scalar_out_ports)
+  in
+  {
+    name;
+    engine;
+    regfile;
+    scalar_in_ports;
+    scalar_out_ports;
+    stream_in_ports;
+    stream_out_ports;
+    arg_offsets;
+    in_bindings = [];
+    out_bindings = [];
+    monitors =
+      List.map (fun port -> (port, Soc_axi.Stream_rules.create (name ^ "." ^ port)))
+        stream_out_ports;
+    done_latched = false;
+    busy_cycles = 0;
+    total_cycles = 0;
+  }
+
+let create ~name ~(fsmd : Fsmd.t) ~regfile =
+  make_common ~name
+    ~engine:(Rtl { fsmd; sim = Sim.create fsmd.netlist })
+    ~regfile
+    ~scalar_in_ports:(List.map fst fsmd.scalar_in)
+    ~scalar_out_ports:(List.map fst fsmd.scalar_out)
+    ~stream_in_ports:(List.map fst fsmd.stream_in)
+    ~stream_out_ports:(List.map fst fsmd.stream_out)
+
+let create_behavioral ?(max_ops_per_cycle = 100_000) ~name
+    ~(kernel : Soc_kernel.Ast.kernel) ~regfile () =
+  let cfg = Soc_kernel.Cfg.of_kernel kernel in
+  let scalar name_dir =
+    List.filter_map
+      (function
+        | Soc_kernel.Ast.Scalar { pname; dir; _ } when dir = name_dir -> Some pname
+        | _ -> None)
+      kernel.Soc_kernel.Ast.ports
+  in
+  let stream name_dir =
+    List.filter_map
+      (function
+        | Soc_kernel.Ast.Stream { pname; dir; _ } when dir = name_dir -> Some pname
+        | _ -> None)
+      kernel.Soc_kernel.Ast.ports
+  in
+  make_common ~name
+    ~engine:(Behavioral { cfg; inst = None; max_ops_per_cycle })
+    ~regfile
+    ~scalar_in_ports:(scalar Soc_kernel.Ast.In)
+    ~scalar_out_ports:(scalar Soc_kernel.Ast.Out)
+    ~stream_in_ports:(stream Soc_kernel.Ast.In)
+    ~stream_out_ports:(stream Soc_kernel.Ast.Out)
+
+let regfile t = t.regfile
+
+let arg_offset t port =
+  match List.assoc_opt port t.arg_offsets with
+  | Some off -> off
+  | None -> invalid_arg (t.name ^ ": no scalar port " ^ port)
+
+let bind_input t ~port fifo =
+  if not (List.mem port t.stream_in_ports) then
+    invalid_arg (t.name ^ ": no input stream " ^ port);
+  if List.mem_assoc port t.in_bindings then
+    invalid_arg (t.name ^ ": input stream " ^ port ^ " already bound");
+  t.in_bindings <- (port, fifo) :: t.in_bindings
+
+let bind_output t ~port fifo =
+  if not (List.mem port t.stream_out_ports) then
+    invalid_arg (t.name ^ ": no output stream " ^ port);
+  if List.mem_assoc port t.out_bindings then
+    invalid_arg (t.name ^ ": output stream " ^ port ^ " already bound");
+  t.out_bindings <- (port, fifo) :: t.out_bindings
+
+let unbound_streams t =
+  List.filter_map
+    (fun p -> if List.mem_assoc p t.in_bindings then None else Some ("in:" ^ p))
+    t.stream_in_ports
+  @ List.filter_map
+      (fun p -> if List.mem_assoc p t.out_bindings then None else Some ("out:" ^ p))
+      t.stream_out_ports
+
+let is_done t = t.done_latched
+
+let is_idle t =
+  match t.engine with
+  | Rtl { fsmd; sim } -> Sim.value sim fsmd.Fsmd.ap_idle = 1
+  | Behavioral b -> b.inst = None
+
+let started t = Soc_axi.Lite.rf_peek t.regfile ~offset:Soc_axi.Lite.ctrl_offset land 1 = 1
+
+let finish t ~out_scalars =
+  t.done_latched <- true;
+  Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.status_offset 1;
+  Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.ctrl_offset 0;
+  List.iter
+    (fun (port, value) -> Soc_axi.Lite.rf_poke t.regfile ~offset:(arg_offset t port) value)
+    out_scalars
+
+(* ------------------------------------------------------------------ *)
+(* RTL cycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let step_rtl t ({ fsmd; sim } : rtl_engine) =
+  Sim.set_input sim fsmd.Fsmd.ap_start (if started t then 1 else 0);
+  List.iter
+    (fun (port, signal) ->
+      Sim.set_input sim signal (Soc_axi.Lite.rf_peek t.regfile ~offset:(arg_offset t port)))
+    fsmd.Fsmd.scalar_in;
+  List.iter
+    (fun (port, fifo) ->
+      let sigs = List.assoc port fsmd.Fsmd.stream_in in
+      match Soc_axi.Fifo.front fifo with
+      | Some v ->
+        Sim.set_input sim sigs.Fsmd.in_tvalid 1;
+        Sim.set_input sim sigs.Fsmd.in_tdata v
+      | None -> Sim.set_input sim sigs.Fsmd.in_tvalid 0)
+    t.in_bindings;
+  List.iter
+    (fun (port, fifo) ->
+      let sigs = List.assoc port fsmd.Fsmd.stream_out in
+      Sim.set_input sim sigs.Fsmd.out_tready (if Soc_axi.Fifo.can_push fifo then 1 else 0))
+    t.out_bindings;
+  Sim.settle sim;
+  let moved = ref false in
+  List.iter
+    (fun (port, fifo) ->
+      let sigs = List.assoc port fsmd.Fsmd.stream_in in
+      if Sim.value sim sigs.Fsmd.in_tready = 1 && not (Soc_axi.Fifo.is_empty fifo) then begin
+        ignore (Soc_axi.Fifo.pop fifo);
+        moved := true
+      end)
+    t.in_bindings;
+  List.iter
+    (fun (port, fifo) ->
+      let sigs = List.assoc port fsmd.Fsmd.stream_out in
+      let tvalid = Sim.value sim sigs.Fsmd.out_tvalid = 1 in
+      let tready = Soc_axi.Fifo.can_push fifo in
+      let tdata = Sim.value sim sigs.Fsmd.out_tdata in
+      Soc_axi.Stream_rules.observe (List.assoc port t.monitors) ~tvalid ~tdata ~tready;
+      if tvalid && tready then begin
+        Soc_axi.Fifo.push fifo tdata;
+        moved := true
+      end)
+    t.out_bindings;
+  if Sim.value sim fsmd.Fsmd.ap_done = 1 then
+    finish t
+      ~out_scalars:
+        (List.map (fun (port, signal) -> (port, Sim.value sim signal)) fsmd.Fsmd.scalar_out);
+  Sim.tick sim;
+  !moved
+
+(* ------------------------------------------------------------------ *)
+(* Behavioural cycle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let step_behavioral t (b : behavioral_engine) =
+  if b.inst = None && started t && not t.done_latched then begin
+    let scalars =
+      List.map
+        (fun port -> (port, Soc_axi.Lite.rf_peek t.regfile ~offset:(arg_offset t port)))
+        t.scalar_in_ports
+    in
+    b.inst <- Some (Soc_kernel.Interp.make ~scalars b.cfg)
+  end;
+  match b.inst with
+  | None -> false
+  | Some st ->
+    let moved = ref false in
+    (* One stream beat per cycle: the idealized fully-pipelined pace. *)
+    let io =
+      {
+        Soc_kernel.Interp.pop =
+          (fun port ->
+            match List.assoc_opt port t.in_bindings with
+            | Some fifo when not (Soc_axi.Fifo.is_empty fifo) ->
+              moved := true;
+              Some (Soc_axi.Fifo.pop fifo)
+            | _ -> None);
+        push =
+          (fun port v ->
+            match List.assoc_opt port t.out_bindings with
+            | Some fifo when Soc_axi.Fifo.can_push fifo ->
+              Soc_axi.Fifo.push fifo v;
+              moved := true;
+              true
+            | _ -> false);
+      }
+    in
+    let stats = Soc_kernel.Interp.stats_of st in
+    let stream_ops () =
+      stats.Soc_kernel.Interp.stream_reads + stats.Soc_kernel.Interp.stream_writes
+    in
+    let budget = ref b.max_ops_per_cycle in
+    let stop = ref false in
+    while not !stop do
+      let before = stream_ops () in
+      (match Soc_kernel.Interp.step st io with
+      | Soc_kernel.Interp.Done ->
+        b.inst <- None;
+        finish t
+          ~out_scalars:
+            (List.map (fun p -> (p, Soc_kernel.Interp.peek_reg st p)) t.scalar_out_ports);
+        stop := true
+      | Soc_kernel.Interp.Blocked -> stop := true
+      | Soc_kernel.Interp.Stepped -> if stream_ops () > before then stop := true);
+      decr budget;
+      if !budget <= 0 then stop := true
+    done;
+    !moved
+
+let step t =
+  let moved =
+    match t.engine with
+    | Rtl e -> step_rtl t e
+    | Behavioral b -> step_behavioral t b
+  in
+  t.total_cycles <- t.total_cycles + 1;
+  if not (is_idle t) then t.busy_cycles <- t.busy_cycles + 1;
+  moved
+
+(* Arm the core for a new run: clears sticky done. *)
+let arm t =
+  t.done_latched <- false;
+  Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.status_offset 0
+
+let protocol_violations t =
+  List.concat_map (fun (_, m) -> Soc_axi.Stream_rules.violations m) t.monitors

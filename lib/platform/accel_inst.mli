@@ -1,0 +1,41 @@
+(** An instantiated accelerator wired to its AXI-Lite register file and
+    AXI-Stream FIFOs, at one of two abstraction levels: cycle-accurate RTL
+    simulation of the synthesized FSMD (default), or the behavioural
+    interpreter paced at one stream beat per cycle (fast functional
+    co-simulation; a performance upper bound). Both honour the same
+    control protocol and handshakes, so they are interchangeable in a
+    system.
+
+    Control protocol (HLS [s_axilite]): ctrl bit 0 = ap_start
+    (self-clearing); status bit 0 = sticky ap_done; argument registers
+    forwarded into the datapath, results copied back at completion. *)
+
+type t
+
+val create : name:string -> fsmd:Soc_hls.Fsmd.t -> regfile:Soc_axi.Lite.regfile -> t
+(** RTL-level instance. *)
+
+val create_behavioral :
+  ?max_ops_per_cycle:int ->
+  name:string ->
+  kernel:Soc_kernel.Ast.kernel ->
+  regfile:Soc_axi.Lite.regfile ->
+  unit ->
+  t
+(** Behavioural instance straight from the kernel (no HLS needed). *)
+
+val regfile : t -> Soc_axi.Lite.regfile
+
+val arg_offset : t -> string -> int
+val bind_input : t -> port:string -> Soc_axi.Fifo.t -> unit
+val bind_output : t -> port:string -> Soc_axi.Fifo.t -> unit
+val unbound_streams : t -> string list
+
+val is_done : t -> bool
+val is_idle : t -> bool
+
+val step : t -> bool
+(** One PL clock cycle; true iff at least one stream beat moved. *)
+
+val arm : t -> unit
+val protocol_violations : t -> Soc_axi.Stream_rules.violation list

@@ -1,0 +1,32 @@
+(** Platform parameters of the simulated Zedboard.
+
+    All times in the co-simulation are counted in PL (programmable logic)
+    clock cycles; GPP work is converted using the clock ratio. *)
+
+type t = {
+  pl_freq_mhz : float; (* fabric clock, accelerators + DMA + AXI *)
+  gpp_freq_mhz : float; (* ARM Cortex-A9 clock *)
+  gpp_cpi : float; (* ARM cycles per IR operation: one IR op lowers to several in-order
+     A9 instructions (address arithmetic, load/store, branch) *)
+  default_fifo_depth : int; (* stream channel capacity in beats *)
+  deadlock_window : int; (* cycles without any stream transfer before failing *)
+}
+
+let zedboard =
+  {
+    pl_freq_mhz = 100.0;
+    gpp_freq_mhz = 666.7;
+    gpp_cpi = 5.0;
+    default_fifo_depth = 1024;
+    deadlock_window = 200_000;
+  }
+
+(* PL cycles for [gpp_cycles] of ARM work. *)
+let gpp_to_pl_cycles t gpp_cycles =
+  int_of_float (ceil (gpp_cycles *. t.pl_freq_mhz /. t.gpp_freq_mhz))
+
+let pl_cycles_to_us t cycles = float_of_int cycles /. t.pl_freq_mhz
+
+let pp fmt t =
+  Format.fprintf fmt "PL %.0f MHz, GPP %.1f MHz (CPI %.2f), FIFO depth %d" t.pl_freq_mhz
+    t.gpp_freq_mhz t.gpp_cpi t.default_fifo_depth

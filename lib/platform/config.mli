@@ -1,0 +1,19 @@
+(** Platform parameters of the simulated Zedboard. All co-simulation time
+    is counted in PL clock cycles; GPP work converts via the clock ratio. *)
+
+type t = {
+  pl_freq_mhz : float;
+  gpp_freq_mhz : float;
+  gpp_cpi : float;
+      (** ARM cycles per IR operation (one IR op lowers to several in-order
+          A9 instructions). *)
+  default_fifo_depth : int;
+  deadlock_window : int;
+      (** cycles without any stream transfer before declaring deadlock *)
+}
+
+val zedboard : t
+
+val gpp_to_pl_cycles : t -> float -> int
+val pl_cycles_to_us : t -> int -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,193 @@
+(** Co-simulation executive and host (driver-level) API.
+
+    The executive owns the platform timeline, counted in PL clock cycles.
+    Software work advances the clock in bulk (GPP cost model); hardware work
+    advances it by stepping every accelerator, DMA channel and FIFO one
+    cycle at a time. The host API mirrors the driver interface the paper's
+    flow generates: AXI-Lite register access, accelerator start/poll, and
+    blocking [writeDMA]/[readDMA] calls backed by the DMA engines. *)
+
+exception Deadlock of { cycle : int; detail : string list }
+exception Bus_error of int
+
+type timeline = {
+  mutable total : int; (* PL cycles elapsed *)
+  mutable gpp_compute : int; (* software task execution *)
+  mutable bus : int; (* AXI-Lite transactions *)
+  mutable hw : int; (* cycles spent driving hardware phases *)
+}
+
+type t = {
+  sys : System.t;
+  timeline : timeline;
+  mutable last_transfer_cycle : int;
+}
+
+let create sys =
+  { sys; timeline = { total = 0; gpp_compute = 0; bus = 0; hw = 0 }; last_transfer_cycle = 0 }
+
+let config t = t.sys.System.config
+let dram t = t.sys.System.dram
+
+let elapsed_cycles t = t.timeline.total
+let elapsed_us t = Config.pl_cycles_to_us (config t) t.timeline.total
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-level stepping                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One PL cycle of the whole fabric. Returns true if any stream beat moved
+   anywhere (accelerator handshake or DMA beat). *)
+let step_fabric t =
+  let moved = ref false in
+  List.iter (fun (_, inst) -> if Accel_inst.step inst then moved := true) t.sys.System.accels;
+  List.iter
+    (fun (_, (dma : Soc_axi.Dma.mm2s)) ->
+      let before = dma.Soc_axi.Dma.m_total_beats in
+      Soc_axi.Dma.step_mm2s dma;
+      if dma.Soc_axi.Dma.m_total_beats <> before then moved := true)
+    t.sys.System.mm2s;
+  List.iter
+    (fun (_, (dma : Soc_axi.Dma.s2mm)) ->
+      let before = dma.Soc_axi.Dma.s_total_beats in
+      Soc_axi.Dma.step_s2mm dma;
+      if dma.Soc_axi.Dma.s_total_beats <> before then moved := true)
+    t.sys.System.s2mm;
+  List.iter Soc_axi.Fifo.commit t.sys.System.fifos;
+  t.timeline.total <- t.timeline.total + 1;
+  t.timeline.hw <- t.timeline.hw + 1;
+  if !moved then t.last_transfer_cycle <- t.timeline.total;
+  !moved
+
+let deadlock_detail t =
+  List.map
+    (fun (name, inst) ->
+      Printf.sprintf "%s: done=%b idle=%b" name (Accel_inst.is_done inst)
+        (Accel_inst.is_idle inst))
+    t.sys.System.accels
+  @ System.fifo_stats t.sys
+
+(* Advance the fabric until [pred ()] holds. *)
+let run_until t pred =
+  let window = (config t).Config.deadlock_window in
+  while not (pred ()) do
+    ignore (step_fabric t);
+    if t.timeline.total - t.last_transfer_cycle > window then
+      raise (Deadlock { cycle = t.timeline.total; detail = deadlock_detail t })
+  done
+
+(* Advance the clock without hardware activity (pure GPP time). The fabric
+   still ticks so that concurrently running accelerators make progress. *)
+let advance_gpp t cycles =
+  t.timeline.gpp_compute <- t.timeline.gpp_compute + cycles;
+  for _ = 1 to cycles do
+    ignore (step_fabric t);
+    t.timeline.hw <- t.timeline.hw - 1
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Host / driver API                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bus_write t addr v =
+  match Soc_axi.Lite.bus_write t.sys.System.ic addr v with
+  | Ok lat ->
+    t.timeline.bus <- t.timeline.bus + lat;
+    for _ = 1 to lat do ignore (step_fabric t) done
+  | Error (Soc_axi.Lite.No_slave a) -> raise (Bus_error a)
+
+let bus_read t addr =
+  match Soc_axi.Lite.bus_read t.sys.System.ic addr with
+  | Ok (v, lat) ->
+    t.timeline.bus <- t.timeline.bus + lat;
+    for _ = 1 to lat do ignore (step_fabric t) done;
+    v
+  | Error (Soc_axi.Lite.No_slave a) -> raise (Bus_error a)
+
+let regfile_base t name = (Accel_inst.regfile (System.accel t.sys name)).Soc_axi.Lite.base
+
+(* Driver call: write one scalar argument of an accelerator. *)
+let set_arg t ~accel:name ~port v =
+  let inst = System.accel t.sys name in
+  bus_write t (regfile_base t name + Accel_inst.arg_offset inst port) v
+
+let get_arg t ~accel:name ~port =
+  let inst = System.accel t.sys name in
+  bus_read t (regfile_base t name + Accel_inst.arg_offset inst port)
+
+let start_accel t name =
+  Accel_inst.arm (System.accel t.sys name);
+  bus_write t (regfile_base t name + Soc_axi.Lite.ctrl_offset) 1
+
+(* Poll the status register until the sticky done bit is set. Polling has
+   the granularity of a bus read, like a real /dev/mem spin loop. *)
+let wait_accel t name =
+  let addr = regfile_base t name + Soc_axi.Lite.status_offset in
+  let rec poll () =
+    let v = bus_read t addr in
+    if v land 1 = 0 then begin
+      let window = (config t).Config.deadlock_window in
+      if t.timeline.total - t.last_transfer_cycle > window
+         && not (Accel_inst.is_done (System.accel t.sys name))
+      then raise (Deadlock { cycle = t.timeline.total; detail = deadlock_detail t })
+      else poll ()
+    end
+  in
+  poll ()
+
+(* Interrupt-driven completion: instead of spinning on status reads (each a
+   full AXI-Lite round trip), the GPP blocks until the accelerator raises
+   its done line, then pays one interrupt-service overhead plus a single
+   acknowledging status read. On the Zedboard this is the difference
+   between a /dev/mem poll loop and the UIO interrupt the generated device
+   tree declares for each core. *)
+let irq_service_gpp_cycles = 220.0
+
+let wait_accel_irq t name =
+  let inst = System.accel t.sys name in
+  run_until t (fun () -> Accel_inst.is_done inst);
+  advance_gpp t (Config.gpp_to_pl_cycles (config t) irq_service_gpp_cycles);
+  ignore (bus_read t (regfile_base t name + Soc_axi.Lite.status_offset))
+
+(* Blocking writeDMA: stream [len] words from DRAM address [addr] into the
+   channel and wait for completion. *)
+let write_dma t ~channel ~addr ~len =
+  let dma = List.assoc channel t.sys.System.mm2s in
+  Soc_axi.Dma.start_mm2s dma ~addr ~len;
+  run_until t (fun () -> Soc_axi.Dma.mm2s_idle dma)
+
+(* Blocking readDMA: drain [len] words from the channel into DRAM. *)
+let read_dma t ~channel ~addr ~len =
+  let dma = List.assoc channel t.sys.System.s2mm in
+  Soc_axi.Dma.start_s2mm dma ~addr ~len;
+  run_until t (fun () -> Soc_axi.Dma.s2mm_idle dma)
+
+(* Non-blocking variants used to run a whole dataflow phase concurrently. *)
+let start_write_dma t ~channel ~addr ~len =
+  Soc_axi.Dma.start_mm2s (List.assoc channel t.sys.System.mm2s) ~addr ~len
+
+let start_read_dma t ~channel ~addr ~len =
+  Soc_axi.Dma.start_s2mm (List.assoc channel t.sys.System.s2mm) ~addr ~len
+
+let dma_all_idle t =
+  List.for_all (fun (_, d) -> Soc_axi.Dma.mm2s_idle d) t.sys.System.mm2s
+  && List.for_all (fun (_, d) -> Soc_axi.Dma.s2mm_idle d) t.sys.System.s2mm
+
+(* Run a streaming phase to completion: all DMA descriptors retired and all
+   named accelerators done. *)
+let run_phase t ~accels =
+  run_until t (fun () ->
+      dma_all_idle t
+      && List.for_all (fun name -> Accel_inst.is_done (System.accel t.sys name)) accels)
+
+(* Software task execution on the GPP (see {!Gpp}); advances the clock. *)
+let run_software t kernel ~scalars ~stream_bufs_in ~stream_bufs_out =
+  let r =
+    Gpp.run_task (config t) (dram t) kernel ~scalars ~stream_bufs_in ~stream_bufs_out
+  in
+  advance_gpp t r.Gpp.pl_cycles;
+  r
+
+let pp_timeline fmt (tl : timeline) =
+  Format.fprintf fmt "total=%d cycles (gpp=%d, bus=%d, hw=%d)" tl.total tl.gpp_compute tl.bus
+    (max 0 tl.hw)

@@ -1,0 +1,90 @@
+(** Co-simulation executive and host (driver-level) API.
+
+    The executive owns the platform timeline in PL clock cycles: software
+    work advances the clock in bulk via the GPP cost model (while the
+    fabric keeps ticking), hardware work advances cycle by cycle. The host
+    API mirrors the generated driver interface: AXI-Lite register access,
+    accelerator start / polled wait / interrupt wait, and blocking
+    [writeDMA]/[readDMA]. *)
+
+exception Deadlock of { cycle : int; detail : string list }
+(** No stream transfer for the configured window while work is pending. *)
+
+exception Bus_error of int
+(** AXI-Lite access decoded to no slave. *)
+
+type timeline = {
+  mutable total : int;
+  mutable gpp_compute : int;
+  mutable bus : int;
+  mutable hw : int;
+}
+
+type t = {
+  sys : System.t;
+  timeline : timeline;
+  mutable last_transfer_cycle : int;
+}
+
+val create : System.t -> t
+
+val config : t -> Config.t
+val dram : t -> Soc_axi.Dram.t
+val elapsed_cycles : t -> int
+val elapsed_us : t -> float
+
+val step_fabric : t -> bool
+(** One PL cycle of every accelerator, DMA and FIFO; true iff a beat
+    moved. *)
+
+val run_until : t -> (unit -> bool) -> unit
+(** Step until the predicate holds; raises [Deadlock] when stuck. *)
+
+val advance_gpp : t -> int -> unit
+(** Charge GPP time; the fabric keeps running concurrently. *)
+
+(** {2 Driver API} *)
+
+val bus_write : t -> int -> int -> unit
+val bus_read : t -> int -> int
+val regfile_base : t -> string -> int
+
+val set_arg : t -> accel:string -> port:string -> int -> unit
+val get_arg : t -> accel:string -> port:string -> int
+
+val start_accel : t -> string -> unit
+(** Arm (clear sticky done) and set ap_start over the bus. *)
+
+val wait_accel : t -> string -> unit
+(** Spin on the status register (each poll is a bus read). *)
+
+val wait_accel_irq : t -> string -> unit
+(** Interrupt-driven wait: block until done, pay one ISR overhead plus a
+    single acknowledging status read. *)
+
+val write_dma : t -> channel:string -> addr:int -> len:int -> unit
+(** Blocking writeDMA (MM2S): stream a DRAM buffer into the channel. *)
+
+val read_dma : t -> channel:string -> addr:int -> len:int -> unit
+(** Blocking readDMA (S2MM). *)
+
+val start_write_dma : t -> channel:string -> addr:int -> len:int -> unit
+(** Non-blocking variants, for running a whole dataflow phase. *)
+
+val start_read_dma : t -> channel:string -> addr:int -> len:int -> unit
+
+val dma_all_idle : t -> bool
+
+val run_phase : t -> accels:string list -> unit
+(** Until all DMA descriptors retired and the named accelerators done. *)
+
+val run_software :
+  t ->
+  Soc_kernel.Ast.kernel ->
+  scalars:(string * int) list ->
+  stream_bufs_in:(string * (int * int)) list ->
+  stream_bufs_out:(string * (int * int)) list ->
+  Gpp.task_result
+(** Execute a software task on the GPP model; advances the clock. *)
+
+val pp_timeline : Format.formatter -> timeline -> unit

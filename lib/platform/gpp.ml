@@ -1,0 +1,57 @@
+(** General-purpose processor model (the dual-core ARM Cortex-A9 of the
+    Zynq PS, of which we model one core since the paper's host application
+    is sequential).
+
+    Software tasks are the same kernels as hardware tasks; the GPP executes
+    them with the reference interpreter over DRAM-resident buffers and
+    charges time from the interpreter's dynamic operation counts. *)
+
+type task_result = {
+  out_scalars : (string * int) list;
+  pl_cycles : int; (* task execution time converted to PL cycles *)
+  dynamic_ops : int;
+}
+
+exception Software_fault of string
+
+(* Run kernel [k] in software. [stream_bufs_in] maps each input stream port
+   to a DRAM region to read; [stream_bufs_out] maps each output stream port
+   to the DRAM region receiving the produced data (its length is checked
+   against the region size when [exact] is set). *)
+let run_task (config : Config.t) (dram : Soc_axi.Dram.t) (k : Soc_kernel.Ast.kernel)
+    ~(scalars : (string * int) list)
+    ~(stream_bufs_in : (string * (int * int)) list) (* port -> addr, len *)
+    ~(stream_bufs_out : (string * (int * int)) list) : task_result =
+  let streams =
+    List.map
+      (fun (port, (addr, len)) ->
+        (port, Array.to_list (Soc_axi.Dram.read_block dram ~addr ~len)))
+      stream_bufs_in
+  in
+  let result =
+    try Soc_kernel.Interp.run_kernel ~scalars ~streams k with
+    | Soc_kernel.Interp.Stuck msg -> raise (Software_fault msg)
+    | Soc_kernel.Interp.Runtime_error msg -> raise (Software_fault msg)
+  in
+  List.iter
+    (fun (port, (addr, len)) ->
+      let produced = Soc_kernel.Interp.Channels.drain result.channels port in
+      let n = List.length produced in
+      if n > len then
+        raise
+          (Software_fault
+             (Printf.sprintf "%s: port %s produced %d words into a %d-word buffer" k.kname
+                port n len));
+      Soc_axi.Dram.write_block dram ~addr (Array.of_list produced))
+    stream_bufs_out;
+  let stats = result.run_stats in
+  let ops = Soc_kernel.Interp.total_ops stats in
+  (* Stream traffic in software is memcpy-like: charge one extra GPP cycle
+     per word moved through DRAM. *)
+  let traffic = stats.stream_reads + stats.stream_writes in
+  let gpp_cycles = (float_of_int ops *. config.gpp_cpi) +. float_of_int traffic in
+  {
+    out_scalars = result.out_scalars;
+    pl_cycles = Config.gpp_to_pl_cycles config gpp_cycles;
+    dynamic_ops = ops;
+  }

@@ -1,0 +1,23 @@
+(** General-purpose processor model (one ARM Cortex-A9 core of the Zynq
+    PS). Software tasks are the same kernels as hardware tasks, executed
+    with the reference interpreter over DRAM-resident stream buffers and
+    charged time from dynamic operation counts. *)
+
+type task_result = {
+  out_scalars : (string * int) list;
+  pl_cycles : int;
+  dynamic_ops : int;
+}
+
+exception Software_fault of string
+(** Kernel stuck/faulted, or an output overflowed its DRAM buffer. *)
+
+val run_task :
+  Config.t ->
+  Soc_axi.Dram.t ->
+  Soc_kernel.Ast.kernel ->
+  scalars:(string * int) list ->
+  stream_bufs_in:(string * (int * int)) list ->
+  stream_bufs_out:(string * (int * int)) list ->
+  task_result
+(** Buffers are (word address, length) pairs. *)

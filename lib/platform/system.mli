@@ -1,0 +1,50 @@
+(** A composed hardware system: the simulated counterpart of the block
+    design the paper's tool builds — Zynq PS (DRAM + GP port), AXI-Lite
+    interconnect, accelerators, DMA cores and stream FIFOs. *)
+
+type t = {
+  config : Config.t;
+  dram : Soc_axi.Dram.t;
+  ic : Soc_axi.Lite.interconnect;
+  mutable accels : (string * Accel_inst.t) list;
+  mutable fifos : Soc_axi.Fifo.t list;
+  mutable mm2s : (string * Soc_axi.Dma.mm2s) list;
+  mutable s2mm : (string * Soc_axi.Dma.s2mm) list;
+}
+
+val create : ?config:Config.t -> ?dram_words:int -> unit -> t
+
+val add_accel : t -> name:string -> Soc_hls.Fsmd.t -> Accel_inst.t
+(** Instantiate an accelerator and attach its register file to the bus.
+    Raises [Invalid_argument] on duplicate names. *)
+
+val add_accel_behavioral : t -> name:string -> Soc_kernel.Ast.kernel -> Accel_inst.t
+(** Behavioural (interpreter-level) instance of the kernel itself — fast
+    functional co-simulation without HLS. *)
+
+val accel : t -> string -> Accel_inst.t
+
+val new_fifo : t -> name:string -> ?capacity:int -> unit -> Soc_axi.Fifo.t
+(** Capacity defaults to the platform's [default_fifo_depth]. *)
+
+val link_stream :
+  t ->
+  ?capacity:int ->
+  src:string * string ->
+  dst:string * string ->
+  unit ->
+  Soc_axi.Fifo.t
+(** Direct accelerator-to-accelerator stream link. *)
+
+val add_mm2s :
+  t -> ?capacity:int -> dst:string * string -> unit -> string * Soc_axi.Dma.mm2s
+(** DMA read channel feeding an accelerator input; returns its name. *)
+
+val add_s2mm :
+  t -> ?capacity:int -> src:string * string -> unit -> string * Soc_axi.Dma.s2mm
+
+val validate : t -> string list
+(** Unbound stream ports ("accel.in:port"); empty means fully wired. *)
+
+val protocol_violations : t -> Soc_axi.Stream_rules.violation list
+val fifo_stats : t -> string list

@@ -1,0 +1,152 @@
+(** Cycle-accurate two-phase simulator for {!Netlist} modules.
+
+    Each cycle:
+    + the testbench drives input signals ([set_input]);
+    + [settle] evaluates all combinational assignments in dependency order;
+    + the testbench observes outputs ([value]);
+    + [tick] commits register next-values and memory ports at the clock edge.
+
+    Combinational loops are rejected at elaboration. *)
+
+type t = {
+  net : Netlist.t;
+  values : int array; (* current value per signal id *)
+  order : (Netlist.signal * Netlist.expr) array; (* combs in topological order *)
+  mem_data : (string, int array) Hashtbl.t;
+  mutable cycle : int;
+}
+
+exception Combinational_cycle of string list
+
+let mask_for width = Soc_util.Bits.mask width
+
+let rec eval values (e : Netlist.expr) =
+  match e with
+  | Const (v, w) -> v land mask_for w
+  | Ref s -> values.(s.sid)
+  | Bin (op, a, b) -> Soc_kernel.Semantics.eval_binop op (eval values a) (eval values b)
+  | Un (op, a) -> Soc_kernel.Semantics.eval_unop op (eval values a)
+  | Mux (sel, a, b) -> if eval values sel <> 0 then eval values a else eval values b
+
+(* Topologically sort combinational assignments by signal dependency. A comb
+   target may depend on inputs, register outputs, memory read-data (all
+   "state") and on other comb targets (must come later in the order). *)
+let topo_combs (net : Netlist.t) =
+  let combs = List.rev net.combs in
+  let target_of = Hashtbl.create 64 in
+  List.iteri (fun idx ((s : Netlist.signal), _) -> Hashtbl.replace target_of s.sid idx) combs;
+  let n = List.length combs in
+  let arr = Array.of_list combs in
+  let state = Array.make n 0 in
+  (* 0 unvisited, 1 visiting, 2 done *)
+  let order = ref [] in
+  let rec visit idx path =
+    match state.(idx) with
+    | 2 -> ()
+    | 1 ->
+      let (s, _) = arr.(idx) in
+      raise (Combinational_cycle (List.rev (s.Netlist.sname :: path)))
+    | _ ->
+      state.(idx) <- 1;
+      let (s, e) = arr.(idx) in
+      let deps = Netlist.expr_refs [] e in
+      List.iter
+        (fun sid ->
+          match Hashtbl.find_opt target_of sid with
+          | Some didx -> visit didx (s.Netlist.sname :: path)
+          | None -> ())
+        deps;
+      state.(idx) <- 2;
+      order := arr.(idx) :: !order
+  in
+  for i = 0 to n - 1 do
+    visit i []
+  done;
+  Array.of_list (List.rev !order)
+
+let create (net : Netlist.t) =
+  let values = Array.make (Netlist.signal_count net) 0 in
+  List.iter (fun (r : Netlist.reg) -> values.(r.q.sid) <- r.reset_value) net.regs;
+  let mem_data = Hashtbl.create 4 in
+  List.iter
+    (fun (m : Netlist.mem) ->
+      let data =
+        match m.init with
+        | Some init ->
+          Array.init m.size (fun i ->
+              if i < Array.length init then init.(i) land mask_for m.mem_width else 0)
+        | None -> Array.make m.size 0
+      in
+      Hashtbl.replace mem_data m.mem_name data)
+    net.mems;
+  { net; values; order = topo_combs net; mem_data; cycle = 0 }
+
+let set_input t (s : Netlist.signal) v =
+  if not (Netlist.is_input t.net s) then
+    invalid_arg ("Sim.set_input: " ^ s.sname ^ " is not an input");
+  t.values.(s.sid) <- v land mask_for s.width
+
+let settle t =
+  Array.iter
+    (fun ((s : Netlist.signal), e) -> t.values.(s.sid) <- eval t.values e land mask_for s.width)
+    t.order
+
+let value t (s : Netlist.signal) = t.values.(s.sid)
+
+let mem_contents t name = Hashtbl.find_opt t.mem_data name
+
+(* Clock edge: registers and memory ports update simultaneously from the
+   settled pre-edge values. *)
+let tick t =
+  let reg_updates =
+    List.filter_map
+      (fun (r : Netlist.reg) ->
+        if eval t.values r.enable <> 0 then
+          Some (r.q.sid, eval t.values r.next land mask_for r.q.width)
+        else None)
+      t.net.regs
+  in
+  let mem_updates =
+    List.map
+      (fun (m : Netlist.mem) ->
+        let data = Hashtbl.find t.mem_data m.mem_name in
+        let raddr = eval t.values m.raddr in
+        let rdata = if raddr >= 0 && raddr < m.size then data.(raddr) else 0 in
+        let write =
+          if eval t.values m.wen <> 0 then
+            let waddr = eval t.values m.waddr in
+            if waddr >= 0 && waddr < m.size then
+              Some (data, waddr, eval t.values m.wdata land mask_for m.mem_width)
+            else None
+          else None
+        in
+        (m.rdata.sid, rdata, write))
+      t.net.mems
+  in
+  List.iter (fun (sid, v) -> t.values.(sid) <- v) reg_updates;
+  List.iter
+    (fun (sid, rdata, write) ->
+      t.values.(sid) <- rdata;
+      match write with
+      | Some (data, waddr, wdata) -> data.(waddr) <- wdata
+      | None -> ())
+    mem_updates;
+  t.cycle <- t.cycle + 1
+
+let cycle t = t.cycle
+
+(* Reset all registers and memories to their initial state. *)
+let reset t =
+  Array.fill t.values 0 (Array.length t.values) 0;
+  List.iter (fun (r : Netlist.reg) -> t.values.(r.q.sid) <- r.reset_value) t.net.regs;
+  List.iter
+    (fun (m : Netlist.mem) ->
+      let data = Hashtbl.find t.mem_data m.mem_name in
+      (match m.init with
+      | Some init ->
+        Array.iteri
+          (fun i _ -> data.(i) <- (if i < Array.length init then init.(i) land mask_for m.mem_width else 0))
+          data
+      | None -> Array.fill data 0 (Array.length data) 0))
+    t.net.mems;
+  t.cycle <- 0

@@ -1,0 +1,31 @@
+(** Cycle-accurate two-phase simulator for {!Netlist} modules.
+
+    Per cycle: drive inputs ([set_input]); [settle] combinational logic;
+    observe ([value]); [tick] the clock edge (registers and memory ports
+    commit simultaneously from the settled pre-edge values, memory reads
+    seeing the pre-write contents). *)
+
+type t
+
+exception Combinational_cycle of string list
+(** Raised by [create] with the names on the cycle. *)
+
+val create : Netlist.t -> t
+
+val set_input : t -> Netlist.signal -> int -> unit
+(** Raises [Invalid_argument] if the signal is not an input. *)
+
+val settle : t -> unit
+
+val value : t -> Netlist.signal -> int
+
+val mem_contents : t -> string -> int array option
+(** Current contents of a named memory (testing aid). *)
+
+val tick : t -> unit
+
+val cycle : t -> int
+(** Clock edges since creation or the last [reset]. *)
+
+val reset : t -> unit
+(** Back to reset values and initial memory contents. *)

@@ -1,0 +1,17 @@
+(** Value-change-dump (VCD) recording of a running simulation, viewable in
+    standard waveform viewers. Call [sample] once per cycle after
+    [Sim.settle]; only actual value changes are written. *)
+
+type t
+
+val create : ?signals:Netlist.signal list -> Netlist.t -> Sim.t -> t
+(** Default probe set: the module's ports and registers. *)
+
+val id_of_index : int -> string
+(** The printable-ASCII VCD identifier for probe [n]. *)
+
+val binary_of_int : width:int -> int -> string
+
+val sample : t -> unit
+val to_string : t -> string
+val write_file : t -> string -> unit

@@ -1,0 +1,10 @@
+(** Verilog-2001 emission of a {!Netlist} module: the artifact a real flow
+    hands to logic synthesis, used here for inspection and golden tests. *)
+
+val sanitize : string -> string
+(** Verilog-identifier sanitization applied to names. *)
+
+val sig_ref : Netlist.signal -> string
+(** The emitted name of a signal. *)
+
+val emit : Netlist.t -> string

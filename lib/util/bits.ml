@@ -1,0 +1,55 @@
+(** Fixed-width two's-complement arithmetic on OCaml [int].
+
+    All datapath values in the RTL simulator and the kernel interpreter are
+    kept as masked unsigned integers of at most 32 bits; signed operations
+    sign-extend on demand. *)
+
+let mask width =
+  if width <= 0 || width > 32 then invalid_arg "Bits.mask: width must be in 1..32";
+  (1 lsl width) - 1
+
+let truncate ~width v = v land mask width
+
+(* Interpret the [width]-bit pattern [v] as a signed integer. *)
+let to_signed ~width v =
+  let v = truncate ~width v in
+  let sign_bit = 1 lsl (width - 1) in
+  if v land sign_bit <> 0 then v - (1 lsl width) else v
+
+let of_signed ~width v = truncate ~width v
+
+let add ~width a b = truncate ~width (a + b)
+let sub ~width a b = truncate ~width (a - b)
+let mul ~width a b = truncate ~width (a * b)
+
+let udiv ~width a b = if b = 0 then mask width else truncate ~width (a / b)
+let urem ~width a b = if b = 0 then truncate ~width a else truncate ~width (a mod b)
+
+let sdiv ~width a b =
+  let sa = to_signed ~width a and sb = to_signed ~width b in
+  if sb = 0 then mask width else of_signed ~width (sa / sb)
+
+let srem ~width a b =
+  let sa = to_signed ~width a and sb = to_signed ~width b in
+  if sb = 0 then truncate ~width a else of_signed ~width (sa mod sb)
+
+let logand ~width a b = truncate ~width (a land b)
+let logor ~width a b = truncate ~width (a lor b)
+let logxor ~width a b = truncate ~width (a lxor b)
+let lognot ~width a = truncate ~width (lnot a)
+
+let shl ~width a n = if n >= width then 0 else truncate ~width (a lsl n)
+let lshr ~width a n = if n >= width then 0 else truncate ~width a lsr n
+let ashr ~width a n =
+  let sa = to_signed ~width a in
+  of_signed ~width (sa asr min n 62)
+
+let ult ~width a b = truncate ~width a < truncate ~width b
+let slt ~width a b = to_signed ~width a < to_signed ~width b
+
+let bool_to_bit b = if b then 1 else 0
+
+(* Number of bits needed to address [n] distinct values (at least 1). *)
+let address_width n =
+  let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+  max 1 (go 0)

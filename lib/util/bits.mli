@@ -1,0 +1,57 @@
+(** Fixed-width two's-complement arithmetic on OCaml [int].
+
+    Datapath values are masked unsigned integers of at most 32 bits; signed
+    operations sign-extend on demand. All [width] arguments must lie in
+    1..32 ([mask] raises [Invalid_argument] otherwise). *)
+
+val mask : int -> int
+(** [mask w] is the all-ones pattern of width [w]. *)
+
+val truncate : width:int -> int -> int
+(** Keep the low [width] bits. *)
+
+val to_signed : width:int -> int -> int
+(** Interpret a [width]-bit pattern as a signed integer. *)
+
+val of_signed : width:int -> int -> int
+(** Encode a signed integer as a [width]-bit pattern. *)
+
+val add : width:int -> int -> int -> int
+val sub : width:int -> int -> int -> int
+val mul : width:int -> int -> int -> int
+
+val udiv : width:int -> int -> int -> int
+(** Unsigned division; division by zero yields all ones (hardware idiom). *)
+
+val urem : width:int -> int -> int -> int
+(** Unsigned remainder; remainder by zero yields the numerator. *)
+
+val sdiv : width:int -> int -> int -> int
+(** Signed division truncating toward zero (C semantics). *)
+
+val srem : width:int -> int -> int -> int
+
+val logand : width:int -> int -> int -> int
+val logor : width:int -> int -> int -> int
+val logxor : width:int -> int -> int -> int
+val lognot : width:int -> int -> int
+
+val shl : width:int -> int -> int -> int
+(** Left shift; shifts of [width] or more yield 0. *)
+
+val lshr : width:int -> int -> int -> int
+(** Logical right shift. *)
+
+val ashr : width:int -> int -> int -> int
+(** Arithmetic right shift. *)
+
+val ult : width:int -> int -> int -> bool
+(** Unsigned less-than. *)
+
+val slt : width:int -> int -> int -> bool
+(** Signed less-than. *)
+
+val bool_to_bit : bool -> int
+
+val address_width : int -> int
+(** Bits needed to address [n] distinct values (at least 1). *)

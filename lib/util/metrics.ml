@@ -1,0 +1,27 @@
+(** Source-volume metrics for the paper's Section VI.C conciseness study:
+    the generated Tcl is compared against the DSL source in lines and in
+    non-whitespace characters. *)
+
+type volume = { lines : int; chars : int; nonblank_lines : int }
+
+let is_blank s =
+  let n = String.length s in
+  let rec go i = i >= n || ((s.[i] = ' ' || s.[i] = '\t') && go (i + 1)) in
+  go 0
+
+let count_nonspace s =
+  String.fold_left (fun acc c -> if c = ' ' || c = '\t' || c = '\n' || c = '\r' then acc else acc + 1) 0 s
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let lines = match List.rev lines with "" :: rest -> List.rev rest | _ -> lines in
+  {
+    lines = List.length lines;
+    chars = count_nonspace text;
+    nonblank_lines = List.length (List.filter (fun l -> not (is_blank l)) lines);
+  }
+
+let ratio ~num ~den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let pp_volume fmt v =
+  Format.fprintf fmt "%d lines (%d non-blank), %d chars" v.lines v.nonblank_lines v.chars

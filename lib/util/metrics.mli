@@ -1,0 +1,13 @@
+(** Source-volume metrics for the paper's Section VI.C conciseness study
+    (generated Tcl vs DSL source, in lines and non-whitespace characters). *)
+
+type volume = { lines : int; chars : int; nonblank_lines : int }
+
+val of_string : string -> volume
+(** Counts for a whole text; [chars] excludes all whitespace, and a final
+    trailing newline does not add a line. *)
+
+val ratio : num:int -> den:int -> float
+(** [num /. den], or [0.0] when [den] is zero. *)
+
+val pp_volume : Format.formatter -> volume -> unit

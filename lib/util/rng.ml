@@ -1,0 +1,48 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Benchmarks and simulations must be reproducible run-to-run, so we never
+    use [Random] seeded from the environment; every stochastic component
+    takes an explicit [Rng.t]. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, bound) for 0 < bound <= 2^62. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (next_int64 t) 2 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bits /. 9007199254740992.0
+
+(* Uniform element of a non-empty list. *)
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

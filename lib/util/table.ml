@@ -1,0 +1,77 @@
+(** Plain-text table rendering used by the benchmark harness to print
+    paper-style tables (Table I, Table II, ...). *)
+
+type align = Left | Right | Center
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* stored reversed *)
+}
+
+let create ?(aligns = []) ~title headers = { title; headers; aligns; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let rows t = List.rev t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let l = (width - n) / 2 in
+      let r = width - n - l in
+      String.make l ' ' ^ s ^ String.make r ' '
+
+let align_of t i =
+  match List.nth_opt t.aligns i with Some a -> a | None -> Left
+
+let render t =
+  let all = t.headers :: rows t in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width i =
+    List.fold_left
+      (fun m r ->
+        match List.nth_opt r i with
+        | Some s -> max m (String.length s)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line ch =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths)
+    ^ "+"
+  in
+  let render_row r =
+    let cell i w =
+      let s = match List.nth_opt r i with Some s -> s | None -> "" in
+      " " ^ pad (align_of t i) w s ^ " "
+    in
+    "|" ^ String.concat "|" (List.mapi cell widths) ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  if t.title <> "" then (
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n');
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (render_row r);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print t = print_string (render t)

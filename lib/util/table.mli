@@ -1,0 +1,19 @@
+(** Plain-text table rendering used by the benchmark harness to print
+    paper-style tables (Table I, Table II, ...). *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?aligns:align list -> title:string -> string list -> t
+(** [create ~title headers] makes an empty table. Missing alignment entries
+    default to [Left]. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells when rendering. *)
+
+val rows : t -> string list list
+(** Rows in insertion order. *)
+
+val render : t -> string
+val print : t -> unit

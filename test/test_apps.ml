@@ -1,0 +1,325 @@
+(* Tests for the application layer: images, the Otsu golden model and
+   kernels (software semantics), the Fig. 4 filters, and the paper graphs. *)
+
+open Soc_apps
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Image                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_rgb_pack_unpack () =
+  let p = Image.pack_rgb ~r:12 ~g:34 ~b:56 in
+  check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int) "roundtrip" (12, 34, 56)
+    (Image.unpack_rgb p)
+
+let test_pixel_accessors () =
+  let img = Image.create ~width:4 ~height:3 in
+  Image.set img ~x:2 ~y:1 200;
+  check Alcotest.int "get" 200 (Image.get img ~x:2 ~y:1);
+  Image.set img ~x:0 ~y:0 300;
+  check Alcotest.int "masked to byte" 44 (Image.get img ~x:0 ~y:0)
+
+let test_pgm_roundtrip () =
+  let img = Image.create ~width:5 ~height:4 in
+  for y = 0 to 3 do
+    for x = 0 to 4 do
+      Image.set img ~x ~y ((x * 13) + y)
+    done
+  done;
+  let img' = Image.of_pgm (Image.to_pgm img) in
+  check Alcotest.bool "pgm round-trip" true (Image.equal img img')
+
+let test_pgm_rejects_garbage () =
+  (match Image.of_pgm "P5 binary" with
+  | exception Image.Bad_pgm _ -> ()
+  | _ -> Alcotest.fail "expected Bad_pgm");
+  match Image.of_pgm "P2\n2 2\n255\n1 2 3" with
+  | exception Image.Bad_pgm _ -> ()
+  | _ -> Alcotest.fail "expected pixel count error"
+
+let test_pgm_comments () =
+  let img = Image.of_pgm "P2\n# a comment\n2 1\n255\n7 9\n" in
+  check Alcotest.int "pixel" 9 (Image.get img ~x:1 ~y:0)
+
+let test_synthetic_deterministic () =
+  let a = Image.synthetic_rgb ~seed:5 ~width:16 ~height:16 () in
+  let b = Image.synthetic_rgb ~seed:5 ~width:16 ~height:16 () in
+  check Alcotest.bool "same seed same image" true (a.Image.rgb = b.Image.rgb);
+  let c = Image.synthetic_rgb ~seed:6 ~width:16 ~height:16 () in
+  check Alcotest.bool "different seed differs" true (a.Image.rgb <> c.Image.rgb)
+
+let test_synthetic_bimodal () =
+  (* The scene must have meaningful foreground and background mass, or Otsu
+     degenerates. *)
+  let rgb = Image.synthetic_rgb ~width:32 ~height:32 () in
+  let gray = Image.rgb_to_gray rgb in
+  let bright = Array.fold_left (fun acc p -> if p > 120 then acc + 1 else acc) 0 gray.Image.pixels in
+  let total = Image.size gray in
+  check Alcotest.bool "foreground mass 5-60%" true
+    (bright * 100 / total > 5 && bright * 100 / total < 60)
+
+let test_histogram_totals () =
+  let img = Image.create ~width:8 ~height:8 in
+  let h = Image.histogram img in
+  check Alcotest.int "all in bin 0" 64 h.(0);
+  check Alcotest.int "256 bins" 256 (Array.length h)
+
+(* ------------------------------------------------------------------ *)
+(* Otsu golden model                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_otsu_bimodal_threshold_separates () =
+  (* Two well-separated clusters: threshold must fall between them. *)
+  let hist = Array.make 256 0 in
+  hist.(40) <- 500;
+  hist.(200) <- 500;
+  let t = Otsu.Golden.otsu_threshold hist ~total:1000 in
+  check Alcotest.bool "between modes" true (t >= 40 && t < 200)
+
+let test_otsu_uniform_image () =
+  let hist = Array.make 256 0 in
+  hist.(128) <- 100;
+  (* single-valued image: any threshold is fine, must not crash *)
+  let t = Otsu.Golden.otsu_threshold hist ~total:100 in
+  check Alcotest.bool "valid range" true (t >= 0 && t <= 255)
+
+let test_otsu_binarize () =
+  let img = Image.create ~width:2 ~height:1 in
+  Image.set img ~x:0 ~y:0 10;
+  Image.set img ~x:1 ~y:0 200;
+  let b = Otsu.Golden.binarize img ~threshold:100 in
+  check Alcotest.int "below" 0 (Image.get b ~x:0 ~y:0);
+  check Alcotest.int "above" 255 (Image.get b ~x:1 ~y:0)
+
+let test_golden_pipeline_segments_scene () =
+  let rgb = Image.synthetic_rgb ~width:32 ~height:32 () in
+  let out, thr = Otsu.Golden.run rgb in
+  check Alcotest.bool "plausible threshold" true (thr > 60 && thr < 190);
+  (* Output must be binary. *)
+  Array.iter
+    (fun p -> if p <> 0 && p <> 255 then Alcotest.fail "non-binary output")
+    out.Image.pixels
+
+(* Property: threshold maximizes the integer between-class score over all t. *)
+let prop_otsu_is_argmax =
+  QCheck.Test.make ~name:"otsu threshold is the score argmax" ~count:50
+    QCheck.(pair (int_bound 10_000) (int_bound 255))
+    (fun (seed, _) ->
+      let rng = Soc_util.Rng.create seed in
+      let hist = Array.init 256 (fun _ -> Soc_util.Rng.int rng 20) in
+      let total = Array.fold_left ( + ) 0 hist in
+      QCheck.assume (total > 0);
+      let score t =
+        let w_b = ref 0 and sum_b = ref 0 and sum_all = ref 0 in
+        Array.iteri (fun i h -> sum_all := !sum_all + (i * h)) hist;
+        let best_at = ref 0 in
+        for i = 0 to t do
+          w_b := !w_b + hist.(i);
+          sum_b := !sum_b + (i * hist.(i))
+        done;
+        if !w_b = 0 || !w_b = total then 0
+        else begin
+          let w_f = total - !w_b in
+          let m_b = !sum_b / !w_b and m_f = (!sum_all - !sum_b) / w_f in
+          let d = m_b - m_f in
+          ignore !best_at;
+          !w_b * w_f / total * d * d
+        end
+      in
+      let t_star = Otsu.Golden.otsu_threshold hist ~total in
+      let best = List.fold_left max 0 (List.init 256 score) in
+      score t_star = best)
+
+(* Property: kernel (interpreter) = golden model on random histograms. *)
+let prop_otsu_kernel_matches_golden =
+  QCheck.Test.make ~name:"otsu kernel = golden model" ~count:30
+    (QCheck.int_bound 100_000) (fun seed ->
+      let rng = Soc_util.Rng.create seed in
+      (* Build a histogram summing exactly to [pixels]. *)
+      let pixels = 1024 in
+      let hist = Array.make 256 0 in
+      for _ = 1 to pixels do
+        let bin = if Soc_util.Rng.bool rng then 30 + Soc_util.Rng.int rng 60 else 150 + Soc_util.Rng.int rng 80 in
+        hist.(bin) <- hist.(bin) + 1
+      done;
+      let golden = Otsu.Golden.otsu_threshold hist ~total:pixels in
+      let r =
+        Soc_kernel.Interp.run_kernel
+          ~streams:[ ("histogram", Array.to_list hist) ]
+          (Otsu.otsu_method_kernel ~pixels)
+      in
+      Soc_kernel.Interp.Channels.drain r.Soc_kernel.Interp.channels "probability"
+      = [ golden ])
+
+(* Property: grayScale kernel = golden gray on random packed pixels. *)
+let prop_grayscale_kernel_matches =
+  QCheck.Test.make ~name:"grayScale kernel = golden" ~count:30
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 64) (int_bound 0xFFFFFF))
+    (fun pixels ->
+      let n = List.length pixels in
+      let r =
+        Soc_kernel.Interp.run_kernel ~streams:[ ("imageIn", pixels) ]
+          (Otsu.gray_scale_kernel ~pixels:n)
+      in
+      let expected = List.map Otsu.Golden.gray_of_rgb pixels in
+      Soc_kernel.Interp.Channels.drain r.Soc_kernel.Interp.channels "imageOutCH" = expected
+      && Soc_kernel.Interp.Channels.drain r.Soc_kernel.Interp.channels "imageOutSEG"
+         = expected)
+
+(* Property: histogram kernel = Image.histogram. *)
+let prop_histogram_kernel_matches =
+  QCheck.Test.make ~name:"histogram kernel = golden" ~count:30
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 128) (int_bound 255))
+    (fun pixels ->
+      let n = List.length pixels in
+      let r =
+        Soc_kernel.Interp.run_kernel ~streams:[ ("grayScaleImage", pixels) ]
+          (Otsu.histogram_kernel ~pixels:n)
+      in
+      let expected = Array.make 256 0 in
+      List.iter (fun p -> expected.(p) <- expected.(p) + 1) pixels;
+      Soc_kernel.Interp.Channels.drain r.Soc_kernel.Interp.channels "histogram"
+      = Array.to_list expected)
+
+(* Property: segment kernel = binarize. *)
+let prop_segment_kernel_matches =
+  QCheck.Test.make ~name:"segment kernel = golden binarize" ~count:30
+    QCheck.(pair (int_bound 255) (list_of_size (QCheck.Gen.int_range 1 64) (int_bound 255)))
+    (fun (thr, pixels) ->
+      let n = List.length pixels in
+      let r =
+        Soc_kernel.Interp.run_kernel
+          ~streams:[ ("grayScaleImage", pixels); ("otsuThreshold", [ thr ]) ]
+          (Otsu.segment_kernel ~pixels:n)
+      in
+      Soc_kernel.Interp.Channels.drain r.Soc_kernel.Interp.channels "segmentedGrayImage"
+      = List.map (fun p -> if p > thr then 255 else 0) pixels)
+
+let test_kernel_size_guard () =
+  match Otsu.kernels ~width:512 ~height:512 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected size guard"
+
+(* ------------------------------------------------------------------ *)
+(* Filters                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_stencil kernel input =
+  let r = Soc_kernel.Interp.run_kernel ~streams:[ ("in", input) ] kernel in
+  Soc_kernel.Interp.Channels.drain r.Soc_kernel.Interp.channels "out"
+
+let test_gauss_kernel_matches_golden () =
+  let w = 12 and h = 9 in
+  let rng = Soc_util.Rng.create 3 in
+  let input = List.init (w * h) (fun _ -> Soc_util.Rng.int rng 256) in
+  check (Alcotest.list Alcotest.int) "gauss"
+    (Array.to_list (Filters.Golden.gauss ~width:w ~height:h (Array.of_list input)))
+    (run_stencil (Filters.gauss_kernel ~width:w ~height:h) input)
+
+let test_edge_kernel_matches_golden () =
+  let w = 10 and h = 8 in
+  let rng = Soc_util.Rng.create 4 in
+  let input = List.init (w * h) (fun _ -> Soc_util.Rng.int rng 256) in
+  check (Alcotest.list Alcotest.int) "edge"
+    (Array.to_list (Filters.Golden.edge ~width:w ~height:h (Array.of_list input)))
+    (run_stencil (Filters.edge_kernel ~width:w ~height:h) input)
+
+let test_gauss_smooths () =
+  (* Constant image stays constant (interior = weighted mean = value). *)
+  let w = 8 and h = 8 in
+  let input = List.init (w * h) (fun _ -> 100) in
+  let out = run_stencil (Filters.gauss_kernel ~width:w ~height:h) input in
+  List.iter (fun p -> check Alcotest.int "constant preserved" 100 p) out
+
+let test_edge_flat_zero () =
+  (* Flat image: interior responses are 0, border passes through. *)
+  let w = 8 and h = 8 in
+  let input = List.init (w * h) (fun _ -> 77) in
+  let out = run_stencil (Filters.edge_kernel ~width:w ~height:h) input in
+  List.iteri
+    (fun idx p ->
+      let x = idx mod w and y = idx / w in
+      if x >= 2 && y >= 2 then check Alcotest.int "zero gradient" 0 p
+      else check Alcotest.int "border passthrough" 77 p)
+    out
+
+let test_edge_detects_step () =
+  let w = 8 and h = 8 in
+  (* Vertical step edge at x=4. *)
+  let input = List.init (w * h) (fun idx -> if idx mod w >= 4 then 200 else 20) in
+  let out = run_stencil (Filters.edge_kernel ~width:w ~height:h) input in
+  let at x y = List.nth out ((y * w) + x) in
+  check Alcotest.bool "strong response on the edge" true (at 4 4 > 100);
+  check Alcotest.int "flat region silent" 0 (at 7 4)
+
+let test_add_mul_kernels () =
+  let run k a b =
+    let r = Soc_kernel.Interp.run_kernel ~scalars:[ ("A", a); ("B", b) ] k in
+    List.assoc "return_" r.Soc_kernel.Interp.out_scalars
+  in
+  check Alcotest.int "add" 12 (run Filters.add_kernel 5 7);
+  check Alcotest.int "mul" 35 (run Filters.mul_kernel 5 7)
+
+(* ------------------------------------------------------------------ *)
+(* Graphs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1_partitions () =
+  check (Alcotest.list Alcotest.string) "arch1" [ "histogram" ]
+    (Graphs.hw_functions Graphs.Arch1);
+  check Alcotest.int "arch4 all four" 4 (List.length (Graphs.hw_functions Graphs.Arch4))
+
+let test_arch_specs_validate () =
+  List.iter
+    (fun arch -> Soc_core.Spec.validate_exn (Graphs.arch_spec arch))
+    Graphs.all_archs
+
+let test_arch_kernels_cover_nodes () =
+  List.iter
+    (fun arch ->
+      let spec = Graphs.arch_spec arch in
+      let ks = Graphs.arch_kernels arch ~width:8 ~height:8 in
+      check Alcotest.int
+        (Graphs.arch_name arch ^ " kernel count")
+        (List.length spec.Soc_core.Spec.nodes)
+        (List.length ks))
+    Graphs.all_archs
+
+let test_listing4_is_arch4 () =
+  let spec = Graphs.arch_spec Graphs.Arch4 in
+  check Alcotest.string "name from listing" "otsu" spec.Soc_core.Spec.design_name
+
+let suite =
+  [
+    ("rgb pack/unpack", `Quick, test_rgb_pack_unpack);
+    ("pixel accessors mask", `Quick, test_pixel_accessors);
+    ("pgm round-trip", `Quick, test_pgm_roundtrip);
+    ("pgm rejects garbage", `Quick, test_pgm_rejects_garbage);
+    ("pgm comments", `Quick, test_pgm_comments);
+    ("synthetic scene deterministic", `Quick, test_synthetic_deterministic);
+    ("synthetic scene bimodal", `Quick, test_synthetic_bimodal);
+    ("histogram totals", `Quick, test_histogram_totals);
+    ("otsu separates bimodal", `Quick, test_otsu_bimodal_threshold_separates);
+    ("otsu uniform image", `Quick, test_otsu_uniform_image);
+    ("binarize", `Quick, test_otsu_binarize);
+    ("golden pipeline on scene", `Quick, test_golden_pipeline_segments_scene);
+    ("kernel size guard", `Quick, test_kernel_size_guard);
+    ("gauss kernel = golden", `Quick, test_gauss_kernel_matches_golden);
+    ("edge kernel = golden", `Quick, test_edge_kernel_matches_golden);
+    ("gauss preserves constant", `Quick, test_gauss_smooths);
+    ("edge flat response", `Quick, test_edge_flat_zero);
+    ("edge detects step", `Quick, test_edge_detects_step);
+    ("add/mul kernels", `Quick, test_add_mul_kernels);
+    ("table1 partitions", `Quick, test_table1_partitions);
+    ("arch specs validate", `Quick, test_arch_specs_validate);
+    ("arch kernels cover nodes", `Quick, test_arch_kernels_cover_nodes);
+    ("listing4 parses as arch4", `Quick, test_listing4_is_arch4);
+    qtest prop_otsu_is_argmax;
+    qtest prop_otsu_kernel_matches_golden;
+    qtest prop_grayscale_kernel_matches;
+    qtest prop_histogram_kernel_matches;
+    qtest prop_segment_kernel_matches;
+  ]

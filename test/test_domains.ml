@@ -1,0 +1,185 @@
+(* Tests for the additional application domains: the XTEA crypto SoC and
+   the FIR DSP pipeline. These exercise the DSL/flow/platform stack with
+   workloads very different from the image case study. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let key = [| 0x00010203; 0x04050607; 0x08090A0B; 0x0C0D0E0F |]
+
+(* ------------------------------------------------------------------ *)
+(* XTEA golden model                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_xtea_reference_vector () =
+  (* Published XTEA test vector: key 000102030405060708090A0B0C0D0E0F,
+     plaintext 4142434445464748 -> ciphertext 497df3d072612cb5. *)
+  let c0, c1 = Soc_apps.Xtea.Golden.encrypt_block ~key (0x41424344, 0x45464748) in
+  check Alcotest.int "c0" 0x497df3d0 c0;
+  check Alcotest.int "c1" 0x72612cb5 c1
+
+let test_xtea_decrypt_inverts () =
+  let p = (0x12345678, 0x9ABCDEF0) in
+  let c = Soc_apps.Xtea.Golden.encrypt_block ~key p in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "roundtrip" p
+    (Soc_apps.Xtea.Golden.decrypt_block ~key c)
+
+let test_xtea_key_sensitivity () =
+  let p = (7, 9) in
+  let c1 = Soc_apps.Xtea.Golden.encrypt_block ~key p in
+  let key2 = Array.copy key in
+  key2.(3) <- key2.(3) lxor 1;
+  let c2 = Soc_apps.Xtea.Golden.encrypt_block ~key:key2 p in
+  check Alcotest.bool "single key bit changes ciphertext" true (c1 <> c2)
+
+let test_xtea_odd_words_rejected () =
+  match Soc_apps.Xtea.Golden.encrypt_words ~key [ 1; 2; 3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid arg"
+
+let prop_xtea_roundtrip =
+  QCheck.Test.make ~name:"xtea golden: decrypt . encrypt = id" ~count:100
+    QCheck.(pair (int_bound 0x3FFFFFFF) (int_bound 0x3FFFFFFF))
+    (fun p -> Soc_apps.Xtea.Golden.decrypt_block ~key (Soc_apps.Xtea.Golden.encrypt_block ~key p) = p)
+
+(* ------------------------------------------------------------------ *)
+(* XTEA kernels                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let key_scalars =
+  Array.to_list (Array.mapi (fun i kw -> (Printf.sprintf "key%d" i, kw)) key)
+
+let test_xtea_kernel_matches_golden () =
+  let pt = [ 0x41424344; 0x45464748; 1; 2; 0xFFFFFFFF; 0 ] in
+  let r =
+    Soc_kernel.Interp.run_kernel ~scalars:key_scalars ~streams:[ ("pt", pt) ]
+      (Soc_apps.Xtea.encrypt_kernel ~blocks:3)
+  in
+  check (Alcotest.list Alcotest.int) "kernel = golden"
+    (Soc_apps.Xtea.Golden.encrypt_words ~key pt)
+    (Soc_kernel.Interp.Channels.drain r.Soc_kernel.Interp.channels "ct")
+
+let test_xtea_decrypt_kernel () =
+  let pt = [ 3; 1; 4; 1 ] in
+  let ct = Soc_apps.Xtea.Golden.encrypt_words ~key pt in
+  let r =
+    Soc_kernel.Interp.run_kernel ~scalars:key_scalars ~streams:[ ("ct", ct) ]
+      (Soc_apps.Xtea.decrypt_kernel ~blocks:2)
+  in
+  check (Alcotest.list Alcotest.int) "decrypt kernel inverts" pt
+    (Soc_kernel.Interp.Channels.drain r.Soc_kernel.Interp.channels "pt")
+
+let test_xtea_rtl_differential () =
+  let pt = [ 0xCAFEBABE; 0x0BADF00D ] in
+  let accel = Soc_hls.Engine.synthesize (Soc_apps.Xtea.encrypt_kernel ~blocks:1) in
+  let tb =
+    Soc_hls.Testbench.run ~scalars:key_scalars ~streams:[ ("pt", pt) ]
+      accel.Soc_hls.Engine.fsmd
+  in
+  check (Alcotest.list Alcotest.int) "RTL = golden"
+    (Soc_apps.Xtea.Golden.encrypt_words ~key pt)
+    (List.assoc "ct" tb.Soc_hls.Testbench.out_streams)
+
+let test_xtea_loopback_soc () =
+  let cycles, ok, build = Soc_apps.Xtea.run_loopback ~blocks:8 ~key () in
+  check Alcotest.bool "recovered plaintext" true ok;
+  check Alcotest.bool "time charged" true (cycles > 0);
+  check Alcotest.bool "no DSPs (add/xor/shift only)" true
+    (build.Soc_core.Flow.resources.Soc_hls.Report.dsp = 0);
+  check Alcotest.bool "fits device" true
+    (Soc_hls.Report.fits build.Soc_core.Flow.resources)
+
+let test_xtea_specs_validate () =
+  Soc_core.Spec.validate_exn Soc_apps.Xtea.loopback_spec;
+  Soc_core.Spec.validate_exn Soc_apps.Xtea.encrypt_spec
+
+(* ------------------------------------------------------------------ *)
+(* FIR                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fir_golden_impulse () =
+  (* Impulse response = the coefficients. *)
+  let coeffs = [| 3; 1; 5 |] in
+  let out = Soc_apps.Fir.Golden.run ~coeffs [ 1; 0; 0; 0 ] in
+  check (Alcotest.list Alcotest.int) "impulse response" [ 3; 1; 5; 0 ] out
+
+let test_fir_golden_step () =
+  (* Step response converges to the coefficient sum. *)
+  let coeffs = Soc_apps.Fir.smoother_coeffs in
+  let out = Soc_apps.Fir.Golden.run ~coeffs (List.init 10 (fun _ -> 1)) in
+  check Alcotest.int "steady state = 16" 16 (List.nth out 9)
+
+let test_fir_kernel_matches_golden () =
+  let samples = 24 in
+  let rng = Soc_util.Rng.create 77 in
+  let xs = List.init samples (fun _ -> Soc_util.Rng.int rng 1000) in
+  let coeffs = Soc_apps.Fir.smoother_coeffs in
+  let r =
+    Soc_kernel.Interp.run_kernel ~streams:[ ("x", xs) ]
+      (Soc_apps.Fir.kernel ~name:"smooth" ~coeffs ~samples)
+  in
+  check (Alcotest.list Alcotest.int) "kernel = golden"
+    (Soc_apps.Fir.Golden.run ~coeffs xs)
+    (Soc_kernel.Interp.Channels.drain r.Soc_kernel.Interp.channels "y")
+
+let test_fir_negative_coeffs () =
+  (* Differentiator with -1 coefficient (two's complement wrap). *)
+  let xs = [ 10; 12; 15; 15; 9 ] in
+  let out = Soc_apps.Fir.Golden.run ~coeffs:Soc_apps.Fir.diff_coeffs xs in
+  let signed = List.map (Soc_util.Bits.to_signed ~width:32) out in
+  check (Alcotest.list Alcotest.int) "first differences" [ 10; 2; 3; 0; -6 ] signed
+
+let test_fir_rtl_differential () =
+  let samples = 10 in
+  let rng = Soc_util.Rng.create 13 in
+  let xs = List.init samples (fun _ -> Soc_util.Rng.int rng 500) in
+  let k = Soc_apps.Fir.kernel ~name:"smooth" ~coeffs:Soc_apps.Fir.smoother_coeffs ~samples in
+  let accel = Soc_hls.Engine.synthesize k in
+  let tb = Soc_hls.Testbench.run ~streams:[ ("x", xs) ] accel.Soc_hls.Engine.fsmd in
+  check (Alcotest.list Alcotest.int) "RTL = golden"
+    (Soc_apps.Fir.Golden.run ~coeffs:Soc_apps.Fir.smoother_coeffs xs)
+    (List.assoc "y" tb.Soc_hls.Testbench.out_streams)
+
+let test_fir_pipeline_spec_validates () =
+  Soc_core.Spec.validate_exn Soc_apps.Fir.pipeline_spec
+
+let test_fir_uses_bram_for_coeffs () =
+  let k = Soc_apps.Fir.kernel ~name:"smooth" ~coeffs:Soc_apps.Fir.smoother_coeffs ~samples:8 in
+  let accel = Soc_hls.Engine.synthesize k in
+  check Alcotest.bool "brams" true
+    (accel.Soc_hls.Engine.report.Soc_hls.Report.resources.Soc_hls.Report.bram18 >= 2)
+
+let prop_fir_linear =
+  (* Linearity: FIR(a + b) = FIR(a) + FIR(b) (mod 2^32). *)
+  QCheck.Test.make ~name:"fir golden is linear" ~count:50
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 20) (int_bound 10_000))
+              (small_list (int_bound 10_000)))
+    (fun (a, b) ->
+      let n = List.length a in
+      let b = List.init n (fun i -> match List.nth_opt b i with Some v -> v | None -> 0) in
+      let coeffs = Soc_apps.Fir.smoother_coeffs in
+      let fir xs = Soc_apps.Fir.Golden.run ~coeffs xs in
+      let sum = List.map2 (fun x y -> Soc_util.Bits.add ~width:32 x y) in
+      fir (sum a b) = sum (fir a) (fir b))
+
+let suite =
+  [
+    ("xtea reference vector", `Quick, test_xtea_reference_vector);
+    ("xtea decrypt inverts", `Quick, test_xtea_decrypt_inverts);
+    ("xtea key sensitivity", `Quick, test_xtea_key_sensitivity);
+    ("xtea odd words rejected", `Quick, test_xtea_odd_words_rejected);
+    ("xtea kernel = golden", `Quick, test_xtea_kernel_matches_golden);
+    ("xtea decrypt kernel", `Quick, test_xtea_decrypt_kernel);
+    ("xtea RTL differential", `Quick, test_xtea_rtl_differential);
+    ("xtea loopback SoC", `Quick, test_xtea_loopback_soc);
+    ("xtea specs validate", `Quick, test_xtea_specs_validate);
+    ("fir impulse response", `Quick, test_fir_golden_impulse);
+    ("fir step response", `Quick, test_fir_golden_step);
+    ("fir kernel = golden", `Quick, test_fir_kernel_matches_golden);
+    ("fir negative coefficients", `Quick, test_fir_negative_coeffs);
+    ("fir RTL differential", `Quick, test_fir_rtl_differential);
+    ("fir pipeline spec validates", `Quick, test_fir_pipeline_spec_validates);
+    ("fir coefficient bram", `Quick, test_fir_uses_bram_for_coeffs);
+    qtest prop_xtea_roundtrip;
+    qtest prop_fir_linear;
+  ]

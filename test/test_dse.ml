@@ -1,0 +1,224 @@
+(* Tests for the DSE extension: partition model, generated specs, the
+   generic host runner, and the exploration strategies. *)
+
+module P = Soc_dse.Partition
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Partition model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_enumerate_covers_space () =
+  let all = P.enumerate () in
+  check Alcotest.int "16 partitions" 16 (List.length all);
+  check Alcotest.int "16 distinct signatures" 16
+    (List.length (List.sort_uniq compare (List.map P.signature all)))
+
+let test_signature_roundtrip () =
+  List.iter
+    (fun p -> check Alcotest.bool (P.signature p) true (P.of_signature (P.signature p) = p))
+    (P.enumerate ())
+
+let test_paper_archs_as_partitions () =
+  check Alcotest.string "arch1" "SHSS" (P.signature P.arch1);
+  check Alcotest.string "arch2" "SSHS" (P.signature P.arch2);
+  check Alcotest.string "arch3" "SHHS" (P.signature P.arch3);
+  check Alcotest.string "arch4" "HHHH" (P.signature P.arch4)
+
+let test_specs_validate () =
+  List.iter
+    (fun p ->
+      if not (P.is_all_sw p) then Soc_core.Spec.validate_exn (P.spec_of p))
+    (P.enumerate ())
+
+let test_arch_partition_specs_match_paper_archs () =
+  (* The partition generator and the hand-written Table I specs agree on
+     node sets and 'soc crossings. *)
+  let crossing spec =
+    ( List.length (Soc_core.Spec.soc_to_node_links spec),
+      List.length (Soc_core.Spec.node_to_soc_links spec),
+      List.length (Soc_core.Spec.internal_links spec) )
+  in
+  List.iter
+    (fun (partition, arch) ->
+      let a = P.spec_of partition in
+      let b = Soc_apps.Graphs.arch_spec arch in
+      check Alcotest.int
+        (P.signature partition ^ " node count")
+        (List.length b.Soc_core.Spec.nodes)
+        (List.length a.Soc_core.Spec.nodes);
+      check
+        (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+        (P.signature partition ^ " link structure")
+        (crossing b) (crossing a))
+    [ (P.arch1, Soc_apps.Graphs.Arch1); (P.arch2, Soc_apps.Graphs.Arch2);
+      (P.arch3, Soc_apps.Graphs.Arch3); (P.arch4, Soc_apps.Graphs.Arch4) ]
+
+let test_direct_link_rule () =
+  (* gray->seg is direct only when the whole pipeline is HW. *)
+  let internal p = Soc_core.Spec.internal_links (P.spec_of p) in
+  check Alcotest.int "full partition: 4 internal links" 4 (List.length (internal P.arch4));
+  let gray_seg = { P.all_sw with P.gray = true; seg = true } in
+  check Alcotest.int "gray+seg only: no internal links" 0 (List.length (internal gray_seg))
+
+let test_hw_runs_grouping () =
+  let runs p = List.map (List.map P.stage_name) (Soc_dse.Runner.hw_runs p) in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "HHSS" [ [ "grayScale"; "histogram" ] ]
+    (runs (P.of_signature "HHSS"));
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "HSSH"
+    [ [ "grayScale" ]; [ "binarization" ] ]
+    (runs (P.of_signature "HSSH"));
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "SSSS" [] (runs P.all_sw)
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_sw_point () =
+  let pt = Soc_dse.Runner.evaluate ~width:16 ~height:16 P.all_sw in
+  check Alcotest.int "no fabric" 0 pt.Soc_dse.Runner.resources.Soc_hls.Report.lut;
+  check Alcotest.bool "time charged" true (pt.Soc_dse.Runner.cycles > 0)
+
+let test_every_partition_is_bit_exact () =
+  (* Runner.evaluate raises Wrong_output internally when the image differs
+     from the golden model, so completing the sweep is itself the check. *)
+  let cache = Hashtbl.create 8 in
+  List.iter
+    (fun p -> ignore (Soc_dse.Runner.evaluate ~width:12 ~height:12 ~hls_cache:cache p))
+    (P.enumerate ())
+
+let test_behavioral_mode_bit_exact () =
+  (* The fast sweep mode produces identical images (functional check is
+     internal to evaluate) and never slower-than-RTL timing. *)
+  List.iter
+    (fun sig_ ->
+      let p = P.of_signature sig_ in
+      let rtl = Soc_dse.Runner.evaluate ~width:12 ~height:12 ~mode:`Rtl p in
+      let beh = Soc_dse.Runner.evaluate ~width:12 ~height:12 ~mode:`Behavioral p in
+      check Alcotest.bool (sig_ ^ " same image") true
+        (Soc_apps.Image.equal rtl.Soc_dse.Runner.output beh.Soc_dse.Runner.output);
+      check Alcotest.bool (sig_ ^ " behavioral <= rtl cycles") true
+        (beh.Soc_dse.Runner.cycles <= rtl.Soc_dse.Runner.cycles))
+    [ "HHHH"; "SHHS" ]
+
+let test_mixed_partition_threshold () =
+  (* otsu in HW, seg in SW: the threshold must land in DRAM. *)
+  let pt =
+    Soc_dse.Runner.evaluate ~width:16 ~height:16 (P.of_signature "SSHS")
+  in
+  let _, golden_thr = Soc_apps.Otsu_runner.golden ~width:16 ~height:16 () in
+  check Alcotest.int "threshold through DMA" golden_thr pt.Soc_dse.Runner.threshold
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sweep =
+  lazy (Soc_dse.Explore.exhaustive ~width:16 ~height:16 ())
+
+let test_exhaustive_counts () =
+  let r = Lazy.force sweep in
+  check Alcotest.int "16 evaluations" 16 r.Soc_dse.Explore.evaluations
+
+let test_pareto_properties () =
+  let r = Lazy.force sweep in
+  let front = Soc_dse.Explore.pareto r.Soc_dse.Explore.points in
+  check Alcotest.bool "front non-empty" true (front <> []);
+  (* No front point dominates another front point. *)
+  List.iter
+    (fun (a : Soc_dse.Runner.point) ->
+      List.iter
+        (fun (b : Soc_dse.Runner.point) ->
+          if a != b then
+            let dominates =
+              a.Soc_dse.Runner.cycles <= b.Soc_dse.Runner.cycles
+              && a.Soc_dse.Runner.resources.Soc_hls.Report.lut
+                 <= b.Soc_dse.Runner.resources.Soc_hls.Report.lut
+              && (a.Soc_dse.Runner.cycles < b.Soc_dse.Runner.cycles
+                 || a.Soc_dse.Runner.resources.Soc_hls.Report.lut
+                    < b.Soc_dse.Runner.resources.Soc_hls.Report.lut)
+            in
+            if dominates then Alcotest.fail "front contains dominated point")
+        front)
+    front;
+  (* Every non-front point is dominated by some front point. *)
+  List.iter
+    (fun (p : Soc_dse.Runner.point) ->
+      if not (List.exists (fun (q : Soc_dse.Runner.point) -> q == p) front) then
+        let dominated =
+          List.exists
+            (fun (q : Soc_dse.Runner.point) ->
+              q.Soc_dse.Runner.cycles <= p.Soc_dse.Runner.cycles
+              && q.Soc_dse.Runner.resources.Soc_hls.Report.lut
+                 <= p.Soc_dse.Runner.resources.Soc_hls.Report.lut)
+            front
+        in
+        check Alcotest.bool "dominated by front" true dominated)
+    r.Soc_dse.Explore.points;
+  (* The all-SW point (0 LUT) is always on the front. *)
+  check Alcotest.bool "SW on front" true
+    (List.exists
+       (fun (q : Soc_dse.Runner.point) -> P.is_all_sw q.Soc_dse.Runner.partition)
+       front)
+
+let test_greedy_descends () =
+  let g = Soc_dse.Explore.greedy ~width:16 ~height:16 () in
+  let cycles = List.map (fun (p : Soc_dse.Runner.point) -> p.Soc_dse.Runner.cycles) g.Soc_dse.Explore.points in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "strictly improving trajectory" true (decreasing cycles);
+  check Alcotest.bool "starts all-SW" true
+    (P.is_all_sw (List.hd g.Soc_dse.Explore.points).Soc_dse.Runner.partition);
+  check Alcotest.bool "fewer evals than exhaustive would need at scale" true
+    (g.Soc_dse.Explore.evaluations <= 16)
+
+let test_greedy_endpoint_not_dominated () =
+  let r = Lazy.force sweep in
+  let g = Soc_dse.Explore.greedy ~width:16 ~height:16 () in
+  let last = List.nth g.Soc_dse.Explore.points (List.length g.Soc_dse.Explore.points - 1) in
+  (* No exhaustive point strictly beats the greedy endpoint on latency. *)
+  let best_cycles =
+    List.fold_left
+      (fun acc (p : Soc_dse.Runner.point) -> min acc p.Soc_dse.Runner.cycles)
+      max_int r.Soc_dse.Explore.points
+  in
+  check Alcotest.bool "greedy reaches within 25% of the best latency" true
+    (float_of_int last.Soc_dse.Runner.cycles <= 1.25 *. float_of_int best_cycles)
+
+(* Property: spec_of never produces a spec whose validation fails, for any
+   random signature. *)
+let prop_random_partition_specs =
+  QCheck.Test.make ~name:"partition specs validate" ~count:50
+    (QCheck.make
+       (QCheck.Gen.oneofl (List.filter (fun p -> not (P.is_all_sw p)) (P.enumerate ()))))
+    (fun p -> Soc_core.Spec.validate (P.spec_of p) = Ok ())
+
+let suite =
+  [
+    ("enumerate covers the space", `Quick, test_enumerate_covers_space);
+    ("signature round-trip", `Quick, test_signature_roundtrip);
+    ("paper archs as partitions", `Quick, test_paper_archs_as_partitions);
+    ("all partition specs validate", `Quick, test_specs_validate);
+    ("partition specs match paper archs", `Quick, test_arch_partition_specs_match_paper_archs);
+    ("direct-link rule", `Quick, test_direct_link_rule);
+    ("hw run grouping", `Quick, test_hw_runs_grouping);
+    ("all-software point", `Quick, test_all_sw_point);
+    ("every partition bit-exact", `Slow, test_every_partition_is_bit_exact);
+    ("behavioral DSE mode", `Quick, test_behavioral_mode_bit_exact);
+    ("mixed partition threshold", `Quick, test_mixed_partition_threshold);
+    ("exhaustive evaluation count", `Quick, test_exhaustive_counts);
+    ("pareto front properties", `Quick, test_pareto_properties);
+    ("greedy trajectory", `Quick, test_greedy_descends);
+    ("greedy endpoint quality", `Quick, test_greedy_endpoint_not_dominated);
+    qtest prop_random_partition_specs;
+  ]

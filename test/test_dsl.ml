@@ -1,0 +1,482 @@
+(* Tests for the DSL itself: the embedded combinators (Section III), the
+   external-syntax lexer/parser (Listing 1 EBNF), the pretty-printer
+   round-trip, and spec validation. *)
+
+open Soc_core
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Embedded DSL                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_edsl_fig4 () =
+  let spec = Soc_apps.Graphs.fig4_spec in
+  check Alcotest.int "four nodes" 4 (List.length spec.Spec.nodes);
+  check Alcotest.int "five edges" 5 (List.length spec.Spec.edges);
+  check (Alcotest.list Alcotest.string) "connects" [ "MUL"; "ADD" ] (Spec.connects spec)
+
+let test_edsl_sections_enforced () =
+  let bad () =
+    Edsl.design "bad" (fun tg ->
+        Edsl.edges tg;
+        (* edges before nodes *)
+        Edsl.end_edges tg)
+  in
+  match bad () with
+  | exception Edsl.Syntax _ -> ()
+  | _ -> Alcotest.fail "expected syntax error"
+
+let test_edsl_node_outside_section () =
+  match Edsl.design "bad" (fun tg -> ignore (Edsl.node tg "X")) with
+  | exception Edsl.Syntax _ -> ()
+  | _ -> Alcotest.fail "expected syntax error"
+
+let test_edsl_missing_edges_section () =
+  let bad () =
+    Edsl.design "bad" (fun tg ->
+        Edsl.nodes tg;
+        ignore (Edsl.node tg "X" |> Edsl.is "p" |> Edsl.end_);
+        Edsl.end_nodes tg)
+  in
+  match bad () with
+  | exception Edsl.Syntax _ -> ()
+  | _ -> Alcotest.fail "expected missing edges"
+
+let test_edsl_node_without_interface () =
+  let bad () =
+    Edsl.design "bad" (fun tg ->
+        Edsl.nodes tg;
+        ignore (Edsl.node tg "X" |> Edsl.end_);
+        Edsl.end_nodes tg;
+        Edsl.edges tg;
+        Edsl.end_edges tg)
+  in
+  match bad () with
+  | exception Edsl.Syntax _ -> ()
+  | _ -> Alcotest.fail "expected interface error"
+
+let test_edsl_trace_mirrors_fig6 () =
+  let _, trace =
+    Edsl.design_with_trace "t" (fun tg ->
+        Edsl.nodes tg;
+        ignore (Edsl.node tg "A" |> Edsl.is "in" |> Edsl.is "out" |> Edsl.end_);
+        Edsl.end_nodes tg;
+        Edsl.edges tg;
+        Edsl.link tg Edsl.soc ~to_:(Edsl.port "A" "in");
+        Edsl.link tg (Edsl.port "A" "out") ~to_:Edsl.soc;
+        Edsl.end_edges tg)
+  in
+  let has p = List.exists p trace in
+  check Alcotest.bool "project created" true
+    (has (function Edsl.Created_project "t" -> true | _ -> false));
+  check Alcotest.bool "hls project per node" true
+    (has (function Edsl.Created_node "A" -> true | _ -> false));
+  check Alcotest.bool "synthesis on end" true
+    (has (function Edsl.Synthesized_node "A" -> true | _ -> false));
+  check Alcotest.bool "integration on end_edges" true
+    (has (function Edsl.Executed_integration -> true | _ -> false));
+  (* HLS runs before integration, as in Fig. 6. *)
+  let idx p =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if p x then i else go (i + 1) rest
+    in
+    go 0 trace
+  in
+  check Alcotest.bool "ordering" true
+    (idx (function Edsl.Synthesized_node _ -> true | _ -> false)
+    < idx (function Edsl.Executed_integration -> true | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Spec validation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let node name ports = { Spec.node_name = name; node_ports = ports }
+
+let test_spec_unknown_node_in_edge () =
+  let spec =
+    {
+      Spec.design_name = "d";
+      nodes = [ node "A" [ ("o", Spec.Stream) ] ];
+      edges = [ Spec.Link (Spec.Port ("A", "o"), Spec.Port ("B", "i")) ];
+    }
+  in
+  match Spec.validate spec with
+  | Error errs ->
+    check Alcotest.bool "unknown node" true
+      (List.exists (function Spec.Unknown_node "B" -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_spec_lite_port_in_link () =
+  let spec =
+    {
+      Spec.design_name = "d";
+      nodes = [ node "A" [ ("p", Spec.Lite) ] ];
+      edges = [ Spec.Link (Spec.Soc, Spec.Port ("A", "p")) ];
+    }
+  in
+  match Spec.validate spec with
+  | Error errs ->
+    check Alcotest.bool "lite in link" true
+      (List.exists (function Spec.Lite_port_in_link _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_spec_direction_conflict () =
+  let spec =
+    {
+      Spec.design_name = "d";
+      nodes = [ node "A" [ ("p", Spec.Stream) ] ];
+      edges =
+        [ Spec.Link (Spec.Soc, Spec.Port ("A", "p"));
+          Spec.Link (Spec.Port ("A", "p"), Spec.Soc) ];
+    }
+  in
+  match Spec.validate spec with
+  | Error errs ->
+    check Alcotest.bool "conflict" true
+      (List.exists (function Spec.Port_direction_conflict _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_spec_port_reuse () =
+  let spec =
+    {
+      Spec.design_name = "d";
+      nodes = [ node "A" [ ("p", Spec.Stream) ]; node "B" [ ("i", Spec.Stream) ];
+                node "C" [ ("i", Spec.Stream) ] ];
+      edges =
+        [ Spec.Link (Spec.Port ("A", "p"), Spec.Port ("B", "i"));
+          Spec.Link (Spec.Port ("A", "p"), Spec.Port ("C", "i")) ];
+    }
+  in
+  match Spec.validate spec with
+  | Error errs ->
+    check Alcotest.bool "reuse" true
+      (List.exists (function Spec.Port_reused ("A", "p") -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_spec_unconnected_stream () =
+  let spec =
+    {
+      Spec.design_name = "d";
+      nodes = [ node "A" [ ("p", Spec.Stream); ("q", Spec.Stream) ] ];
+      edges = [ Spec.Link (Spec.Soc, Spec.Port ("A", "p")) ];
+    }
+  in
+  match Spec.validate spec with
+  | Error errs ->
+    check Alcotest.bool "unconnected" true
+      (List.exists
+         (function Spec.Unconnected_stream_port ("A", "q") -> true | _ -> false)
+         errs)
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_spec_soc_to_soc () =
+  let spec =
+    { Spec.design_name = "d"; nodes = [ node "A" [ ("p", Spec.Lite) ] ];
+      edges = [ Spec.Link (Spec.Soc, Spec.Soc); Spec.Connect "A" ] }
+  in
+  match Spec.validate spec with
+  | Error errs ->
+    check Alcotest.bool "soc-to-soc" true (List.mem Spec.Soc_to_soc_link errs)
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_spec_connect_needs_lite () =
+  let spec =
+    {
+      Spec.design_name = "d";
+      nodes = [ node "A" [ ("p", Spec.Stream) ] ];
+      edges =
+        [ Spec.Connect "A"; Spec.Link (Spec.Soc, Spec.Port ("A", "p")) ];
+    }
+  in
+  match Spec.validate spec with
+  | Error errs ->
+    check Alcotest.bool "no lite port" true
+      (List.exists (function Spec.Stream_port_in_connect "A" -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_spec_direction_inference () =
+  let spec = Soc_apps.Graphs.arch_spec Soc_apps.Graphs.Arch3 in
+  check Alcotest.bool "input" true
+    (Spec.stream_direction spec ~node:"computeHistogram" ~port:"grayScaleImage"
+    = Some Spec.Input);
+  check Alcotest.bool "output" true
+    (Spec.stream_direction spec ~node:"halfProbability" ~port:"probability"
+    = Some Spec.Output);
+  check Alcotest.bool "unknown port" true
+    (Spec.stream_direction spec ~node:"computeHistogram" ~port:"nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* External syntax: lexer                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "tg node \"A\" is \"p\" end; 'soc (," in
+  let kinds = List.map (fun t -> t.Lexer.tok) toks in
+  check Alcotest.bool "keywords and literals" true
+    (kinds
+    = [ Lexer.Kw "tg"; Lexer.Kw "node"; Lexer.Str "A"; Lexer.Kw "is"; Lexer.Str "p";
+        Lexer.Kw "end"; Lexer.Semi; Lexer.Soc; Lexer.Lparen; Lexer.Comma; Lexer.Eof ])
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "// line\ntg /* block\nspanning */ nodes" in
+  check Alcotest.int "comments skipped" 3 (List.length toks)
+
+let test_lexer_unterminated_string () =
+  match Lexer.tokenize "tg node \"oops" with
+  | exception Lexer.Lex_error (_, 1, _) -> ()
+  | _ -> Alcotest.fail "expected lex error"
+
+let test_lexer_unterminated_comment () =
+  match Lexer.tokenize "/* never closed" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "expected lex error"
+
+let test_lexer_bad_symbol () =
+  match Lexer.tokenize "'bus" with
+  | exception Lexer.Lex_error (msg, _, _) ->
+    check Alcotest.bool "mentions symbol" true (Tstr.contains msg "bus")
+  | _ -> Alcotest.fail "expected lex error"
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "tg\n  node" in
+  match toks with
+  | [ t1; t2; _eof ] ->
+    check Alcotest.int "line 1" 1 t1.Lexer.line;
+    check Alcotest.int "line 2" 2 t2.Lexer.line;
+    check Alcotest.int "col 3" 3 t2.Lexer.col
+  | _ -> Alcotest.fail "token count"
+
+(* ------------------------------------------------------------------ *)
+(* External syntax: parser                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_listing4 () =
+  let spec = Parser.parse Soc_apps.Graphs.listing4_source in
+  check Alcotest.string "project name" "otsu" spec.Spec.design_name;
+  check Alcotest.int "nodes" 4 (List.length spec.Spec.nodes);
+  check Alcotest.int "edges" 6 (List.length spec.Spec.edges);
+  check Alcotest.int "soc inputs" 1 (List.length (Spec.soc_to_node_links spec));
+  check Alcotest.int "soc outputs" 1 (List.length (Spec.node_to_soc_links spec));
+  check Alcotest.int "internal links" 4 (List.length (Spec.internal_links spec))
+
+let test_parse_connect () =
+  let src =
+    {|object f extends App {
+      tg nodes;
+        tg node "MUL" i "A" i "B" end;
+      tg end_nodes;
+      tg edges;
+        tg connect "MUL";
+      tg end_edges;
+    }|}
+  in
+  let spec = Parser.parse src in
+  check (Alcotest.list Alcotest.string) "connect" [ "MUL" ] (Spec.connects spec)
+
+let test_parse_error_position () =
+  match Parser.parse "object x extends App { tg nodes; tg node end" with
+  | exception Parser.Parse_error (_, 1, _) -> ()
+  | exception _ -> Alcotest.fail "wrong exception"
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parse_missing_to () =
+  let src =
+    {|object f extends App {
+      tg nodes; tg node "A" is "o" end; tg end_nodes;
+      tg edges; tg link ("A","o") 'soc end; tg end_edges; }|}
+  in
+  match Parser.parse src with
+  | exception Parser.Parse_error (msg, _, _) ->
+    check Alcotest.bool "mentions 'to'" true (Tstr.contains msg "to")
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parse_empty_nodes_rejected () =
+  match Parser.parse "object f extends App { tg nodes; tg end_nodes; tg edges; tg end_edges; }" with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parse_validates_semantics () =
+  (* Syntactically fine, semantically broken (unconnected stream port). *)
+  let src =
+    {|object f extends App {
+      tg nodes; tg node "A" is "o" end; tg end_nodes;
+      tg edges; tg end_edges; }|}
+  in
+  match Parser.parse src with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected validation failure"
+
+let test_parse_result_wrapper () =
+  (match Parser.parse_result Soc_apps.Graphs.listing4_source with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Parser.parse_result "garbage" with
+  | Error msg -> check Alcotest.bool "position prefix" true (Tstr.contains msg "1:")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_parse_listings_2_and_3 () =
+  (* The paper's Listing 2 (nodes) and Listing 3 (edges) for the Fig. 4
+     system, composed into one source. *)
+  let src =
+    {|object fig4 extends App {
+      tg nodes;
+        tg node "MUL" i "A" i "B" i "return" end;
+        tg node "ADD" i "A" i "B" i "return" end;
+        tg node "GAUSS" is "in" is "out" end;
+        tg node "EDGE" is "in" is "out" end;
+      tg end_nodes;
+      tg edges;
+        tg connect "MUL";
+        tg connect "ADD";
+        tg link 'soc to ("GAUSS", "in") end;
+        tg link ("GAUSS", "out") to ("EDGE", "in") end;
+        tg link ("EDGE", "out") to 'soc end;
+      tg end_edges;
+    }|}
+  in
+  let spec = Parser.parse src in
+  (* Same structure as the EDSL-built Fig. 4 spec, modulo the "return"
+     port spelling (OCaml kernels use "return_" since "return" is not an
+     issue in strings — only the node list differs in that one name). *)
+  let ref_spec = Soc_apps.Graphs.fig4_spec in
+  check Alcotest.int "nodes" (List.length ref_spec.Spec.nodes) (List.length spec.Spec.nodes);
+  check (Alcotest.list Alcotest.string) "connects" (Spec.connects ref_spec)
+    (Spec.connects spec);
+  check Alcotest.int "links" (List.length (Spec.links ref_spec))
+    (List.length (Spec.links spec));
+  check Alcotest.bool "gauss->edge link present" true
+    (List.mem
+       ((("GAUSS", "out"), ("EDGE", "in")))
+       (Spec.internal_links spec))
+
+(* ------------------------------------------------------------------ *)
+(* Printer round-trip                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let spec_equal (a : Spec.t) (b : Spec.t) =
+  a.Spec.design_name = b.Spec.design_name && a.Spec.nodes = b.Spec.nodes
+  && a.Spec.edges = b.Spec.edges
+
+let test_roundtrip_listing4 () =
+  let spec = Parser.parse Soc_apps.Graphs.listing4_source in
+  let spec' = Parser.parse (Printer.to_source spec) in
+  check Alcotest.bool "round trip" true (spec_equal spec spec')
+
+let test_roundtrip_fig4 () =
+  let spec = Soc_apps.Graphs.fig4_spec in
+  let spec' = Parser.parse (Printer.to_source spec) in
+  check Alcotest.bool "round trip" true (spec_equal spec spec')
+
+(* Random specs: generate consistent node/edge sets, print, reparse. *)
+let random_spec_gen =
+  QCheck.Gen.(
+    let* n_chains = int_range 1 4 in
+    (* Build independent chains soc -> a -> b -> ... -> soc, which are
+       always valid, plus AXI-Lite nodes. *)
+    let* chain_lens = flatten_l (List.init n_chains (fun _ -> int_range 1 4)) in
+    let* n_lite = int_range 0 3 in
+    let counter = ref 0 in
+    let fresh () =
+      incr counter;
+      Printf.sprintf "n%d" !counter
+    in
+    let nodes = ref [] and edges = ref [] in
+    List.iter
+      (fun len ->
+        let names = List.init len (fun _ -> fresh ()) in
+        List.iteri
+          (fun i name ->
+            nodes :=
+              {
+                Spec.node_name = name;
+                node_ports =
+                  (if i = 0 then [ ("in", Spec.Stream) ] else [ ("in", Spec.Stream) ])
+                  @ [ ("out", Spec.Stream) ];
+              }
+              :: !nodes)
+          names;
+        (* links *)
+        edges := Spec.Link (Spec.Soc, Spec.Port (List.hd names, "in")) :: !edges;
+        List.iteri
+          (fun i name ->
+            if i < len - 1 then
+              edges :=
+                Spec.Link (Spec.Port (name, "out"), Spec.Port (List.nth names (i + 1), "in"))
+                :: !edges)
+          names;
+        edges :=
+          Spec.Link (Spec.Port (List.nth names (len - 1), "out"), Spec.Soc) :: !edges)
+      chain_lens;
+    for _ = 1 to n_lite do
+      let name = fresh () in
+      nodes := { Spec.node_name = name; node_ports = [ ("A", Spec.Lite); ("B", Spec.Lite) ] } :: !nodes;
+      edges := Spec.Connect name :: !edges
+    done;
+    return
+      { Spec.design_name = "rand"; nodes = List.rev !nodes; edges = List.rev !edges })
+
+(* Fuzz: the lexer either tokenizes or raises Lex_error — never anything
+   else — on arbitrary printable input. *)
+let prop_lexer_total =
+  QCheck.Test.make ~name:"lexer total on printable input" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 80) QCheck.Gen.printable)
+    (fun src ->
+      match Lexer.tokenize src with
+      | _ -> true
+      | exception Lexer.Lex_error _ -> true)
+
+(* Fuzz: the parser front end never escapes its declared error channel. *)
+let prop_parser_total =
+  QCheck.Test.make ~name:"parse_result total on printable input" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 120) QCheck.Gen.printable)
+    (fun src ->
+      match Parser.parse_result src with Ok _ | Error _ -> true)
+
+let prop_random_specs_validate =
+  QCheck.Test.make ~name:"generated chain specs validate" ~count:100
+    (QCheck.make random_spec_gen) (fun spec -> Spec.validate spec = Ok ())
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:100 (QCheck.make random_spec_gen)
+    (fun spec -> spec_equal spec (Parser.parse (Printer.to_source spec)))
+
+let suite =
+  [
+    ("edsl builds fig4", `Quick, test_edsl_fig4);
+    ("edsl enforces sections", `Quick, test_edsl_sections_enforced);
+    ("edsl node outside section", `Quick, test_edsl_node_outside_section);
+    ("edsl missing edges section", `Quick, test_edsl_missing_edges_section);
+    ("edsl node without interface", `Quick, test_edsl_node_without_interface);
+    ("edsl trace mirrors fig6", `Quick, test_edsl_trace_mirrors_fig6);
+    ("spec: unknown node", `Quick, test_spec_unknown_node_in_edge);
+    ("spec: lite port in link", `Quick, test_spec_lite_port_in_link);
+    ("spec: direction conflict", `Quick, test_spec_direction_conflict);
+    ("spec: port reuse", `Quick, test_spec_port_reuse);
+    ("spec: unconnected stream", `Quick, test_spec_unconnected_stream);
+    ("spec: soc-to-soc", `Quick, test_spec_soc_to_soc);
+    ("spec: connect needs lite", `Quick, test_spec_connect_needs_lite);
+    ("spec: direction inference", `Quick, test_spec_direction_inference);
+    ("lexer tokens", `Quick, test_lexer_tokens);
+    ("lexer comments", `Quick, test_lexer_comments);
+    ("lexer unterminated string", `Quick, test_lexer_unterminated_string);
+    ("lexer unterminated comment", `Quick, test_lexer_unterminated_comment);
+    ("lexer bad symbol", `Quick, test_lexer_bad_symbol);
+    ("lexer positions", `Quick, test_lexer_positions);
+    ("parse listing 4", `Quick, test_parse_listing4);
+    ("parse listings 2+3 (fig4)", `Quick, test_parse_listings_2_and_3);
+    ("parse connect", `Quick, test_parse_connect);
+    ("parse error position", `Quick, test_parse_error_position);
+    ("parse missing to", `Quick, test_parse_missing_to);
+    ("parse empty nodes", `Quick, test_parse_empty_nodes_rejected);
+    ("parse runs validation", `Quick, test_parse_validates_semantics);
+    ("parse_result wrapper", `Quick, test_parse_result_wrapper);
+    ("round-trip listing4", `Quick, test_roundtrip_listing4);
+    ("round-trip fig4", `Quick, test_roundtrip_fig4);
+    qtest prop_lexer_total;
+    qtest prop_parser_total;
+    qtest prop_random_specs_validate;
+    qtest prop_print_parse_roundtrip;
+  ]

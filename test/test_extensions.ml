@@ -1,0 +1,182 @@
+(* Tests for the extension modules: the HTG-to-DSL bridge (Section III
+   mapping), the Quartus backend (Section II-C extensibility claim),
+   interrupt-driven completion, and device-utilization reporting. *)
+
+open Soc_core
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* HTG bridge                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig1_maps_to_fig4 () =
+  (* The paper's worked example: applying the Section III mapping to the
+     Fig. 1 HTG must yield the Fig. 4 architecture. *)
+  let derived = Htg_bridge.to_spec Soc_apps.Graphs.fig1_htg in
+  let reference = Soc_apps.Graphs.fig4_spec in
+  let node_set spec =
+    List.sort compare
+      (List.map
+         (fun (n : Spec.node_spec) -> (n.Spec.node_name, List.sort compare n.Spec.node_ports))
+         spec.Spec.nodes)
+  in
+  check Alcotest.bool "same node set" true (node_set derived = node_set reference);
+  check
+    (Alcotest.slist Alcotest.string compare)
+    "same AXI-Lite connections"
+    (Spec.connects reference) (Spec.connects derived);
+  let links spec = List.sort compare (Spec.links spec) in
+  check Alcotest.bool "same stream links" true (links derived = links reference)
+
+let test_sw_nodes_dropped () =
+  let derived = Htg_bridge.to_spec Soc_apps.Graphs.fig1_htg in
+  check Alcotest.bool "N1 not in the system" true (Spec.find_node derived "N1" = None);
+  check
+    (Alcotest.slist Alcotest.string compare)
+    "software residual" [ "N1"; "N4" ]
+    (Htg_bridge.software_residual Soc_apps.Graphs.fig1_htg)
+
+let test_custom_lite_ports () =
+  let g =
+    Soc_htg.Htg.make ~name:"g"
+      ~nodes:[ Soc_htg.Htg.task ~mapping:Soc_htg.Htg.Hw "FIR" ]
+      ~edges:[]
+  in
+  let spec =
+    Htg_bridge.to_spec ~lite_ports:(fun _ -> [ "coeff"; "length"; "status" ]) g
+  in
+  match Spec.find_node spec "FIR" with
+  | Some n ->
+    check
+      (Alcotest.list Alcotest.string)
+      "custom ports" [ "coeff"; "length"; "status" ]
+      (List.map fst n.Spec.node_ports)
+  | None -> Alcotest.fail "FIR missing"
+
+let test_derived_spec_flows_end_to_end () =
+  (* The derived Fig. 4 spec must drive the whole flow like the manual one. *)
+  let spec = Htg_bridge.to_spec Soc_apps.Graphs.fig1_htg in
+  let b = Flow.build spec ~kernels:(Soc_apps.Graphs.fig4_kernels ~width:8 ~height:8) in
+  check Alcotest.int "four accelerators" 4 (List.length b.Flow.impls)
+
+let test_all_sw_htg () =
+  let g =
+    Soc_htg.Htg.make ~name:"allsw"
+      ~nodes:[ Soc_htg.Htg.task "a"; Soc_htg.Htg.task "b" ]
+      ~edges:[ ("a", "b") ]
+  in
+  let spec = Htg_bridge.to_spec ~validate:false g in
+  check Alcotest.int "empty system" 0 (List.length spec.Spec.nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Quartus backend                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_quartus_structure () =
+  let q = Quartus.generate (Soc_apps.Graphs.arch_spec Soc_apps.Graphs.Arch4) in
+  List.iter
+    (fun frag -> check Alcotest.bool ("qsys has " ^ frag) true (Tstr.contains q frag))
+    [ "package require -exact qsys"; "altera_hps"; "altera_msgdma"; "grayScale_0";
+      "segment_0"; "save_system"; "quartus_sh --flow compile";
+      "add_connection grayScale_0.imageOutCH computeHistogram_0.grayScaleImage" ]
+
+let test_quartus_dma_per_crossing () =
+  let q = Quartus.generate (Soc_apps.Graphs.arch_spec Soc_apps.Graphs.Arch4) in
+  (* one mSGDMA per 'soc crossing: msgdma_0 (in) and msgdma_1 (out) *)
+  check Alcotest.bool "msgdma_0" true (Tstr.contains q "add_instance msgdma_0");
+  check Alcotest.bool "msgdma_1" true (Tstr.contains q "add_instance msgdma_1");
+  check Alcotest.bool "no msgdma_2" false (Tstr.contains q "add_instance msgdma_2")
+
+let test_quartus_comparable_volume () =
+  (* The extensibility claim: a different vendor backend with the same
+     command-per-element shape, within 2x of the Xilinx script size. *)
+  let c = Quartus.compare_backends (Soc_apps.Graphs.arch_spec Soc_apps.Graphs.Arch4) in
+  let ratio = float_of_int c.Quartus.altera_lines /. float_of_int c.Quartus.xilinx_lines in
+  check Alcotest.bool "same order of magnitude" true (ratio > 0.2 && ratio < 2.0)
+
+let test_quartus_deterministic () =
+  let spec = Soc_apps.Graphs.fig4_spec in
+  check Alcotest.string "stable output" (Quartus.generate spec) (Quartus.generate spec)
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt-driven completion                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lite_system () =
+  let sys = Soc_platform.System.create () in
+  ignore
+    (Soc_platform.System.add_accel sys ~name:"ADD"
+       (Soc_hls.Engine.synthesize Soc_apps.Filters.add_kernel).Soc_hls.Engine.fsmd);
+  Soc_platform.Executive.create sys
+
+let test_irq_wait_correct () =
+  let exec = lite_system () in
+  let module Exec = Soc_platform.Executive in
+  Exec.set_arg exec ~accel:"ADD" ~port:"A" 30;
+  Exec.set_arg exec ~accel:"ADD" ~port:"B" 12;
+  Exec.start_accel exec "ADD";
+  Exec.wait_accel_irq exec "ADD";
+  check Alcotest.int "result via irq" 42 (Exec.get_arg exec ~accel:"ADD" ~port:"return_")
+
+let test_irq_saves_bus_traffic () =
+  let module Exec = Soc_platform.Executive in
+  let run wait =
+    let exec = lite_system () in
+    Exec.set_arg exec ~accel:"ADD" ~port:"A" 1;
+    Exec.set_arg exec ~accel:"ADD" ~port:"B" 2;
+    Exec.start_accel exec "ADD";
+    wait exec;
+    exec.Exec.timeline.Exec.bus
+  in
+  let polled = run (fun e -> Exec.wait_accel e "ADD") in
+  let irq = run (fun e -> Exec.wait_accel_irq e "ADD") in
+  check Alcotest.bool "irq wait issues fewer bus transactions" true (irq <= polled)
+
+(* ------------------------------------------------------------------ *)
+(* Utilization report                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_utilization_percentages () =
+  let u = { Soc_hls.Report.lut = 5320; ff = 10640; bram18 = 28; dsp = 22 } in
+  List.iter
+    (fun (name, _, _, pct) ->
+      check (Alcotest.float 0.01) (name ^ " at 10%") 10.0 pct)
+    (Soc_hls.Report.utilization u)
+
+let test_case_study_fits_the_device () =
+  (* Every generated architecture must fit the Zedboard's XC7Z020, like the
+     paper's bitstreams did. *)
+  List.iter
+    (fun arch ->
+      let b =
+        Flow.build (Soc_apps.Graphs.arch_spec arch)
+          ~kernels:(Soc_apps.Graphs.arch_kernels arch ~width:48 ~height:48)
+      in
+      check Alcotest.bool
+        (Soc_apps.Graphs.arch_name arch ^ " fits xc7z020")
+        true
+        (Soc_hls.Report.fits b.Flow.resources))
+    Soc_apps.Graphs.all_archs
+
+let test_oversized_detected () =
+  let u = { Soc_hls.Report.lut = 1_000_000; ff = 0; bram18 = 0; dsp = 0 } in
+  check Alcotest.bool "does not fit" false (Soc_hls.Report.fits u)
+
+let suite =
+  [
+    ("htg bridge: fig1 -> fig4", `Quick, test_fig1_maps_to_fig4);
+    ("htg bridge: sw nodes dropped", `Quick, test_sw_nodes_dropped);
+    ("htg bridge: custom lite ports", `Quick, test_custom_lite_ports);
+    ("htg bridge: derived spec flows", `Quick, test_derived_spec_flows_end_to_end);
+    ("htg bridge: all-sw graph", `Quick, test_all_sw_htg);
+    ("quartus structure", `Quick, test_quartus_structure);
+    ("quartus dma per crossing", `Quick, test_quartus_dma_per_crossing);
+    ("quartus comparable volume", `Quick, test_quartus_comparable_volume);
+    ("quartus deterministic", `Quick, test_quartus_deterministic);
+    ("irq wait correct", `Quick, test_irq_wait_correct);
+    ("irq saves bus traffic", `Quick, test_irq_saves_bus_traffic);
+    ("utilization percentages", `Quick, test_utilization_percentages);
+    ("case study fits xc7z020", `Quick, test_case_study_fits_the_device);
+    ("oversize detected", `Quick, test_oversized_detected);
+  ]

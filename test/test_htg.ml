@@ -1,0 +1,226 @@
+(* Tests for the hierarchical task graph model (Fig. 1 semantics). *)
+
+open Soc_htg.Htg
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let ok_or_fail = function
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " (List.map error_to_string es))
+
+let simple_chain () =
+  make ~name:"chain"
+    ~nodes:[ task "a"; task "b"; task "c" ]
+    ~edges:[ ("a", "b"); ("b", "c") ]
+
+let test_validate_ok () = ok_or_fail (validate (simple_chain ()))
+
+let test_fig1_validates () = ok_or_fail (validate Soc_apps.Graphs.fig1_htg)
+
+let test_fig8_validates () = ok_or_fail (validate Soc_apps.Graphs.fig8_htg)
+
+let test_duplicate_node () =
+  let g = make ~name:"dup" ~nodes:[ task "a"; task "a" ] ~edges:[] in
+  match validate g with
+  | Error [ Duplicate_node "a" ] -> ()
+  | _ -> Alcotest.fail "expected duplicate error"
+
+let test_unknown_endpoint () =
+  let g = make ~name:"u" ~nodes:[ task "a" ] ~edges:[ ("a", "zz") ] in
+  match validate g with
+  | Error errs ->
+    check Alcotest.bool "mentions zz" true
+      (List.exists (function Unknown_endpoint "zz" -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_cycle_detected () =
+  let g =
+    make ~name:"cyc" ~nodes:[ task "a"; task "b" ] ~edges:[ ("a", "b"); ("b", "a") ]
+  in
+  match validate g with
+  | Error errs ->
+    check Alcotest.bool "cycle" true
+      (List.exists (function Cycle _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected cycle"
+
+let test_self_loop_is_cycle () =
+  let g = make ~name:"self" ~nodes:[ task "a" ] ~edges:[ ("a", "a") ] in
+  match validate g with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "self loop must be rejected"
+
+let test_topo_order_respects_edges () =
+  let g = Soc_apps.Graphs.fig8_htg in
+  let order = topological_sort g in
+  let pos n =
+    match List.find_index (( = ) n) order with Some i -> i | None -> -1
+  in
+  List.iter
+    (fun (e : edge) ->
+      if pos e.src >= pos e.dst then
+        Alcotest.fail (Printf.sprintf "%s not before %s" e.src e.dst))
+    g.edges
+
+let test_sources_sinks () =
+  let g = Soc_apps.Graphs.fig8_htg in
+  check (Alcotest.list Alcotest.string) "sources" [ "readImage" ]
+    (List.map (fun n -> n.name) (sources g));
+  check (Alcotest.list Alcotest.string) "sinks" [ "writeImage" ]
+    (List.map (fun n -> n.name) (sinks g))
+
+let test_preds_succs () =
+  let g = Soc_apps.Graphs.fig8_htg in
+  check
+    (Alcotest.slist Alcotest.string compare)
+    "binarization preds" [ "grayScale"; "otsuMethod" ]
+    (predecessors g "binarization");
+  check (Alcotest.list Alcotest.string) "grayScale succs" [ "histogram"; "binarization" ]
+    (successors g "grayScale")
+
+let test_hw_sw_split () =
+  let g = Soc_apps.Graphs.fig8_htg in
+  check Alcotest.int "hw count" 4 (List.length (hw_nodes g));
+  check Alcotest.int "sw count" 2 (List.length (sw_nodes g))
+
+let test_remap () =
+  let g = Soc_apps.Graphs.fig8_htg in
+  let g' = remap g ~name:"grayScale" ~mapping:Sw in
+  check Alcotest.int "hw count after remap" 3 (List.length (hw_nodes g'));
+  (* original unchanged *)
+  check Alcotest.int "original untouched" 4 (List.length (hw_nodes g))
+
+let test_partition_signature () =
+  let g = Soc_apps.Graphs.fig8_htg in
+  check Alcotest.string "signature" "SHHHHS" (partition_signature g)
+
+let test_phase_duplicate_actor () =
+  let df =
+    { actors = [ actor "x" ~outputs:[ ("o", 1) ]; actor "x" ~inputs:[ ("i", 1) ] ]; links = [] }
+  in
+  let g = make ~name:"p" ~nodes:[ phase "ph" df ] ~edges:[] in
+  match validate g with
+  | Error errs ->
+    check Alcotest.bool "dup actor" true
+      (List.exists (function Duplicate_actor _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected duplicate actor"
+
+let test_phase_unknown_port () =
+  let df =
+    {
+      actors = [ actor "a" ~outputs:[ ("o", 1) ]; actor "b" ~inputs:[ ("i", 1) ] ];
+      links = [ link ("a", "nope") ("b", "i") ];
+    }
+  in
+  let g = make ~name:"p" ~nodes:[ phase "ph" df ] ~edges:[] in
+  match validate g with
+  | Error errs ->
+    check Alcotest.bool "unknown port" true
+      (List.exists (function Unknown_actor_port _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected unknown port"
+
+let test_phase_port_reuse () =
+  let df =
+    {
+      actors =
+        [ actor "a" ~outputs:[ ("o", 1) ]; actor "b" ~inputs:[ ("i", 1) ];
+          actor "c" ~inputs:[ ("i", 1) ] ];
+      links = [ link ("a", "o") ("b", "i"); link ("a", "o") ("c", "i") ];
+    }
+  in
+  let g = make ~name:"p" ~nodes:[ phase "ph" df ] ~edges:[] in
+  match validate g with
+  | Error errs ->
+    check Alcotest.bool "port reuse" true
+      (List.exists (function Stream_port_reused _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected stream port reuse"
+
+let test_phase_cycle () =
+  let df =
+    {
+      actors =
+        [ actor "a" ~inputs:[ ("i", 1) ] ~outputs:[ ("o", 1) ];
+          actor "b" ~inputs:[ ("i", 1) ] ~outputs:[ ("o", 1) ] ];
+      links = [ link ("a", "o") ("b", "i"); link ("b", "o") ("a", "i") ];
+    }
+  in
+  let g = make ~name:"p" ~nodes:[ phase "ph" df ] ~edges:[] in
+  match validate g with
+  | Error errs ->
+    check Alcotest.bool "dataflow cycle" true
+      (List.exists (function Dataflow_cycle _ -> true | _ -> false) errs)
+  | Ok () -> Alcotest.fail "expected dataflow cycle"
+
+let test_dataflow_boundary () =
+  let df =
+    match Soc_apps.Graphs.fig1_htg.nodes |> List.find (fun n -> n.name = "IMAGE") with
+    | { kind = Phase df; _ } -> df
+    | _ -> Alcotest.fail "IMAGE phase missing"
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "phase inputs" [ ("GAUSS", "in") ] (dataflow_inputs df);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "phase outputs" [ ("EDGE", "out") ] (dataflow_outputs df)
+
+let test_to_dot () =
+  let s = to_dot Soc_apps.Graphs.fig1_htg in
+  check Alcotest.bool "has cluster for phase" true (Tstr.contains s "cluster_IMAGE");
+  check Alcotest.bool "has N1" true (Tstr.contains s "N1")
+
+(* Property: random DAGs (edges only forward) always validate and the
+   topological sort is consistent. *)
+let dag_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 12 in
+    let names = List.init n (fun i -> Printf.sprintf "n%d" i) in
+    let* edges =
+      let pairs =
+        List.concat_map
+          (fun i -> List.filter_map (fun j -> if i < j then Some (i, j) else None)
+            (List.init n Fun.id))
+          (List.init n Fun.id)
+      in
+      let* keep = flatten_l (List.map (fun _ -> bool) pairs) in
+      return
+        (List.filter_map
+           (fun ((i, j), k) ->
+             if k then Some (Printf.sprintf "n%d" i, Printf.sprintf "n%d" j) else None)
+           (List.combine pairs keep))
+    in
+    return (make ~name:"rand" ~nodes:(List.map (fun n -> task n) names) ~edges))
+
+let prop_random_dag_validates =
+  QCheck.Test.make ~name:"random forward DAGs validate" ~count:100
+    (QCheck.make dag_gen) (fun g -> validate g = Ok ())
+
+let prop_topo_sort_complete =
+  QCheck.Test.make ~name:"topological sort covers all nodes" ~count:100
+    (QCheck.make dag_gen) (fun g ->
+      List.sort compare (topological_sort g) = List.sort compare (node_names g))
+
+let suite =
+  [
+    ("simple chain validates", `Quick, test_validate_ok);
+    ("fig1 HTG validates", `Quick, test_fig1_validates);
+    ("fig8 HTG validates", `Quick, test_fig8_validates);
+    ("duplicate node rejected", `Quick, test_duplicate_node);
+    ("unknown endpoint rejected", `Quick, test_unknown_endpoint);
+    ("cycle detected", `Quick, test_cycle_detected);
+    ("self loop rejected", `Quick, test_self_loop_is_cycle);
+    ("topo sort respects edges", `Quick, test_topo_order_respects_edges);
+    ("sources and sinks", `Quick, test_sources_sinks);
+    ("predecessors/successors", `Quick, test_preds_succs);
+    ("hw/sw partition query", `Quick, test_hw_sw_split);
+    ("remap is functional", `Quick, test_remap);
+    ("partition signature", `Quick, test_partition_signature);
+    ("phase duplicate actor", `Quick, test_phase_duplicate_actor);
+    ("phase unknown port", `Quick, test_phase_unknown_port);
+    ("phase stream port reuse", `Quick, test_phase_port_reuse);
+    ("phase dataflow cycle", `Quick, test_phase_cycle);
+    ("phase boundary ports", `Quick, test_dataflow_boundary);
+    ("dot rendering", `Quick, test_to_dot);
+    qtest prop_random_dag_validates;
+    qtest prop_topo_sort_complete;
+  ]

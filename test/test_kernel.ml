@@ -1,0 +1,407 @@
+(* Tests for the kernel IR: typechecking, CFG lowering and the reference
+   interpreter. *)
+
+open Soc_kernel
+open Soc_kernel.Ast.Build
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let kernel ?(ports = []) ?(locals = []) ?(arrays = []) body =
+  { Ast.kname = "k"; ports; locals; arrays; body }
+
+let run_scalar ?(scalars = []) ?(streams = []) k port =
+  let r = Interp.run_kernel ~scalars ~streams k in
+  List.assoc port r.Interp.out_scalars
+
+(* ------------------------------------------------------------------ *)
+(* Typechecker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let has_error k pred =
+  match Typecheck.check k with
+  | Ok () -> false
+  | Error es -> List.exists pred es
+
+let test_tc_ok () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "a" Ty.U32; out_scalar "r" Ty.U32 ]
+      ~locals:[ ("t", Ty.U32) ]
+      [ set "t" (v "a" +: int 1); set "r" (v "t") ]
+  in
+  check Alcotest.bool "ok" true (Typecheck.check k = Ok ())
+
+let test_tc_unknown_var () =
+  let k = kernel ~ports:[ out_scalar "r" Ty.U32 ] [ set "r" (v "nope") ] in
+  check Alcotest.bool "unknown var" true
+    (has_error k (function Typecheck.Unknown_variable "nope" -> true | _ -> false))
+
+let test_tc_unknown_array () =
+  let k = kernel ~ports:[ out_scalar "r" Ty.U32 ] [ set "r" (load "arr" (int 0)) ] in
+  check Alcotest.bool "unknown array" true
+    (has_error k (function Typecheck.Unknown_array "arr" -> true | _ -> false))
+
+let test_tc_write_input_scalar () =
+  let k = kernel ~ports:[ in_scalar "a" Ty.U32 ] [ set "a" (int 1) ] in
+  check Alcotest.bool "assign to input" true
+    (has_error k (function Typecheck.Assign_to_input_scalar "a" -> true | _ -> false))
+
+let test_tc_stream_direction () =
+  let k =
+    kernel
+      ~ports:[ in_stream "s" Ty.U32 ]
+      ~locals:[ ("x", Ty.U32) ]
+      [ push "s" (int 1) ]
+  in
+  check Alcotest.bool "write to input stream" true
+    (has_error k (function Typecheck.Write_to_input "s" -> true | _ -> false));
+  let k2 = kernel ~ports:[ out_stream "o" Ty.U32 ] ~locals:[ ("x", Ty.U32) ] [ pop "x" "o" ] in
+  check Alcotest.bool "read from output stream" true
+    (has_error k2 (function Typecheck.Read_from_output "o" -> true | _ -> false))
+
+let test_tc_const_oob () =
+  let k =
+    kernel ~locals:[ ("x", Ty.U32) ] ~arrays:[ array "a" Ty.U32 4 ]
+      [ set "x" (load "a" (int 4)) ]
+  in
+  check Alcotest.bool "constant index oob" true
+    (has_error k (function
+      | Typecheck.Constant_index_out_of_bounds ("a", 4, 4) -> true
+      | _ -> false))
+
+let test_tc_duplicate_names () =
+  let k =
+    kernel ~ports:[ in_scalar "x" Ty.U32 ] ~locals:[ ("x", Ty.U32) ] [ ]
+  in
+  check Alcotest.bool "duplicate" true
+    (has_error k (function Typecheck.Duplicate_name "x" -> true | _ -> false))
+
+let test_tc_bad_array () =
+  let k = kernel ~arrays:[ array "a" Ty.U32 0 ] [] in
+  check Alcotest.bool "bad size" true
+    (has_error k (function Typecheck.Bad_array_size "a" -> true | _ -> false));
+  let k2 = kernel ~arrays:[ array ~init:[| 1; 2 |] "a" Ty.U32 3 ] [] in
+  check Alcotest.bool "bad init" true
+    (has_error k2 (function Typecheck.Bad_init_length "a" -> true | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter semantics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_arith () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "a" Ty.U32; in_scalar "b" Ty.U32; out_scalar "r" Ty.U32 ]
+      [ set "r" ((v "a" *: v "b") +: (v "a" -: v "b")) ]
+  in
+  check Alcotest.int "7*3 + 7-3" 25 (run_scalar ~scalars:[ ("a", 7); ("b", 3) ] k "r")
+
+let test_signed_division () =
+  (* -7 / 2 = -3 in C semantics (truncation toward zero). *)
+  let k =
+    kernel
+      ~ports:[ out_scalar "r" Ty.I32 ]
+      ~locals:[ ("x", Ty.I32) ]
+      [ set "x" (int 0 -: int 7); set "r" (v "x" /: int 2) ]
+  in
+  check Alcotest.int "-7/2 (two's complement)" (Soc_util.Bits.of_signed ~width:32 (-3))
+    (run_scalar k "r")
+
+let test_type_truncation () =
+  (* Storing 300 into a u8 local wraps to 44. *)
+  let k =
+    kernel ~ports:[ out_scalar "r" Ty.U32 ] ~locals:[ ("x", Ty.U8) ]
+      [ set "x" (int 300); set "r" (v "x") ]
+  in
+  check Alcotest.int "u8 truncation" 44 (run_scalar k "r")
+
+let test_if_else () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "a" Ty.U32; out_scalar "r" Ty.U32 ]
+      [ if_ (v "a" >: int 10) [ set "r" (int 1) ] [ set "r" (int 2) ] ]
+  in
+  check Alcotest.int "then" 1 (run_scalar ~scalars:[ ("a", 11) ] k "r");
+  check Alcotest.int "else" 2 (run_scalar ~scalars:[ ("a", 10) ] k "r")
+
+let test_while_loop () =
+  (* Integer log2 by repeated halving. *)
+  let k =
+    kernel
+      ~ports:[ in_scalar "n" Ty.U32; out_scalar "r" Ty.U32 ]
+      ~locals:[ ("x", Ty.U32); ("c", Ty.U32) ]
+      [
+        set "x" (v "n");
+        set "c" (int 0);
+        while_ (v "x" >: int 1) [ set "x" (v "x" >>: int 1); set "c" (v "c" +: int 1) ];
+        set "r" (v "c");
+      ]
+  in
+  check Alcotest.int "log2 1024" 10 (run_scalar ~scalars:[ ("n", 1024) ] k "r");
+  check Alcotest.int "log2 1" 0 (run_scalar ~scalars:[ ("n", 1) ] k "r")
+
+let test_for_loop_sum () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "n" Ty.U32; out_scalar "r" Ty.U32 ]
+      ~locals:[ ("i", Ty.U32); ("acc", Ty.U32) ]
+      [
+        set "acc" (int 0);
+        for_ "i" ~from:(int 0) ~below:(v "n") [ set "acc" (v "acc" +: v "i") ];
+        set "r" (v "acc");
+      ]
+  in
+  check Alcotest.int "sum 0..99" 4950 (run_scalar ~scalars:[ ("n", 100) ] k "r")
+
+let test_for_loop_zero_trip () =
+  let k =
+    kernel
+      ~ports:[ out_scalar "r" Ty.U32 ]
+      ~locals:[ ("i", Ty.U32) ]
+      [ set "r" (int 7); for_ "i" ~from:(int 5) ~below:(int 5) [ set "r" (int 0) ] ]
+  in
+  check Alcotest.int "zero-trip loop" 7 (run_scalar k "r")
+
+let test_array_roundtrip () =
+  let k =
+    kernel
+      ~ports:[ out_scalar "r" Ty.U32 ]
+      ~locals:[ ("i", Ty.U32); ("acc", Ty.U32) ]
+      ~arrays:[ array "a" Ty.U32 8 ]
+      [
+        for_ "i" ~from:(int 0) ~below:(int 8) [ store "a" (v "i") (v "i" *: v "i") ];
+        set "acc" (int 0);
+        for_ "i" ~from:(int 0) ~below:(int 8) [ set "acc" (v "acc" +: load "a" (v "i")) ];
+        set "r" (v "acc");
+      ]
+  in
+  check Alcotest.int "sum of squares 0..7" 140 (run_scalar k "r")
+
+let test_array_init () =
+  let k =
+    kernel
+      ~ports:[ out_scalar "r" Ty.U32 ]
+      ~arrays:[ array ~init:[| 10; 20; 30 |] "a" Ty.U32 3 ]
+      [ set "r" (load "a" (int 1)) ]
+  in
+  check Alcotest.int "initialized array" 20 (run_scalar k "r")
+
+let test_array_oob_dynamic () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "i" Ty.U32; out_scalar "r" Ty.U32 ]
+      ~arrays:[ array "a" Ty.U32 4 ]
+      [ set "r" (load "a" (v "i")) ]
+  in
+  (match Interp.run_kernel ~scalars:[ ("i", 9) ] k with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected runtime error")
+
+let test_streams () =
+  let k =
+    kernel
+      ~ports:[ in_stream "xs" Ty.U32; out_stream "ys" Ty.U32 ]
+      ~locals:[ ("i", Ty.U32); ("x", Ty.U32) ]
+      [ for_ "i" ~from:(int 0) ~below:(int 4) [ pop "x" "xs"; push "ys" (v "x" +: int 1) ] ]
+  in
+  let r = Interp.run_kernel ~streams:[ ("xs", [ 1; 2; 3; 4 ]) ] k in
+  check (Alcotest.list Alcotest.int) "incremented" [ 2; 3; 4; 5 ]
+    (Interp.Channels.drain r.Interp.channels "ys")
+
+let test_stream_underflow () =
+  let k =
+    kernel ~ports:[ in_stream "xs" Ty.U32 ] ~locals:[ ("x", Ty.U32) ] [ pop "x" "xs" ]
+  in
+  match Interp.run_kernel ~streams:[ ("xs", []) ] k with
+  | exception Interp.Stuck _ -> ()
+  | _ -> Alcotest.fail "expected Stuck"
+
+let test_fuel_exhaustion () =
+  let k =
+    kernel ~locals:[ ("x", Ty.U32) ]
+      [ set "x" (int 1); while_ (v "x" >: int 0) [ set "x" (int 1) ] ]
+  in
+  match Interp.run_kernel ~fuel:10_000 k with
+  | exception Interp.Stuck _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_unops () =
+  let k =
+    kernel
+      ~ports:[ out_scalar "a" Ty.U32; out_scalar "b" Ty.U32; out_scalar "c" Ty.U32 ]
+      [
+        set "a" (Ast.Un (Ast.Neg, int 5));
+        set "b" (Ast.Un (Ast.Bnot, int 0));
+        set "c" (Ast.Un (Ast.Lnot, int 42));
+      ]
+  in
+  let r = Interp.run_kernel k in
+  check Alcotest.int "neg" (Soc_util.Bits.of_signed ~width:32 (-5))
+    (List.assoc "a" r.Interp.out_scalars);
+  check Alcotest.int "bnot 0" 0xFFFFFFFF (List.assoc "b" r.Interp.out_scalars);
+  check Alcotest.int "lnot 42" 0 (List.assoc "c" r.Interp.out_scalars)
+
+let test_stats_counted () =
+  let k =
+    kernel
+      ~ports:[ in_stream "xs" Ty.U32; out_stream "ys" Ty.U32 ]
+      ~locals:[ ("x", Ty.U32) ]
+      [ pop "x" "xs"; push "ys" (v "x" *: int 2) ]
+  in
+  let r = Interp.run_kernel ~streams:[ ("xs", [ 21 ]) ] k in
+  let s = r.Interp.run_stats in
+  check Alcotest.int "stream reads" 1 s.Interp.stream_reads;
+  check Alcotest.int "stream writes" 1 s.Interp.stream_writes;
+  check Alcotest.bool "alu ops counted" true (s.Interp.alu_ops >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* CFG structure                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_cfg_straightline_single_block () =
+  let k = kernel ~ports:[ out_scalar "r" Ty.U32 ] [ set "r" (int 1 +: int 2) ] in
+  let cfg = Cfg.of_kernel k in
+  check Alcotest.int "one block" 1 (Array.length cfg.Cfg.blocks);
+  check Alcotest.bool "halts" true (cfg.Cfg.blocks.(0).Cfg.term = Cfg.Halt)
+
+let test_cfg_if_shape () =
+  let k =
+    kernel ~ports:[ in_scalar "a" Ty.U32; out_scalar "r" Ty.U32 ]
+      [ if_ (v "a") [ set "r" (int 1) ] [ set "r" (int 2) ] ]
+  in
+  let cfg = Cfg.of_kernel k in
+  (* entry + then + else + join *)
+  check Alcotest.int "four blocks" 4 (Array.length cfg.Cfg.blocks);
+  match cfg.Cfg.blocks.(0).Cfg.term with
+  | Cfg.Branch (_, t, e) ->
+    check Alcotest.bool "distinct targets" true (t <> e)
+  | _ -> Alcotest.fail "entry must branch"
+
+let test_cfg_temps_are_typed () =
+  let k = kernel ~ports:[ out_scalar "r" Ty.U32 ] [ set "r" (int 1 +: int 2) ] in
+  let cfg = Cfg.of_kernel k in
+  check Alcotest.bool "temp registered" true
+    (List.exists (fun r -> String.length r > 1 && r.[0] = '%') (Cfg.all_regs cfg))
+
+let test_cfg_instr_count () =
+  let k =
+    kernel ~ports:[ out_scalar "r" Ty.U32 ]
+      [ set "r" ((int 1 +: int 2) *: (int 3 -: int 4)) ]
+  in
+  let cfg = Cfg.of_kernel k in
+  (* add, sub, mul, mov *)
+  check Alcotest.int "TAC ops" 4 (Cfg.instr_count cfg)
+
+let test_cfg_rejects_illtyped () =
+  let k = kernel [ set "ghost" (int 1) ] in
+  match Cfg.of_kernel k with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected typecheck failure"
+
+let test_cfg_to_string () =
+  let k = kernel ~ports:[ out_scalar "r" Ty.U32 ] [ set "r" (int 1) ] in
+  let s = Cfg.to_string (Cfg.of_kernel k) in
+  check Alcotest.bool "mentions B0" true (Tstr.contains s "B0:")
+
+(* ------------------------------------------------------------------ *)
+(* C emission and complexity                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_c () =
+  let k = Soc_apps.Otsu.histogram_kernel ~pixels:64 in
+  let c = Ast.to_c k in
+  check Alcotest.bool "signature" true (Tstr.contains c "void computeHistogram(");
+  check Alcotest.bool "stream type" true (Tstr.contains c "hls::stream<uint32_t>");
+  check Alcotest.bool "array decl" true (Tstr.contains c "uint32_t hist[256]");
+  check Alcotest.bool "loop" true (Tstr.contains c "for (")
+
+let test_complexity_monotone () =
+  let small = Soc_apps.Filters.add_kernel in
+  let big = Soc_apps.Otsu.otsu_method_kernel ~pixels:4096 in
+  check Alcotest.bool "otsu more complex than add" true
+    (Ast.complexity big > Ast.complexity small)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Interpreter agrees with a native OCaml fold for a sum-of-stream kernel. *)
+let prop_stream_sum =
+  QCheck.Test.make ~name:"stream sum matches native fold" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 50) (int_bound 10000))
+    (fun xs ->
+      let n = List.length xs in
+      let k =
+        kernel
+          ~ports:[ in_stream "xs" Ty.U32; out_scalar "r" Ty.U32 ]
+          ~locals:[ ("i", Ty.U32); ("x", Ty.U32); ("acc", Ty.U32) ]
+          [
+            set "acc" (int 0);
+            for_ "i" ~from:(int 0) ~below:(int n)
+              [ pop "x" "xs"; set "acc" (v "acc" +: v "x") ];
+            set "r" (v "acc");
+          ]
+      in
+      run_scalar ~streams:[ ("xs", xs) ] k "r"
+      = Soc_util.Bits.truncate ~width:32 (List.fold_left ( + ) 0 xs))
+
+(* Binary operators agree with Semantics (itself Int64-tested in
+   test_util) when evaluated through a full kernel round-trip. *)
+let binop_gen =
+  QCheck.Gen.oneofl
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Udiv; Ast.Band; Ast.Bor; Ast.Bxor;
+      Ast.Shl; Ast.Shr; Ast.Lt; Ast.Ult; Ast.Eq ]
+
+let prop_binop_roundtrip =
+  QCheck.Test.make ~name:"kernel binop = Semantics.eval_binop" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let* op = binop_gen in
+         let* a = int_bound 0xFFFFF in
+         let* b = int_bound 0xFFFFF in
+         return (op, a, b)))
+    (fun (op, a, b) ->
+      let k =
+        kernel
+          ~ports:[ in_scalar "a" Ty.U32; in_scalar "b" Ty.U32; out_scalar "r" Ty.U32 ]
+          [ set "r" (Ast.Bin (op, v "a", v "b")) ]
+      in
+      run_scalar ~scalars:[ ("a", a); ("b", b) ] k "r" = Semantics.eval_binop op a b)
+
+let suite =
+  [
+    ("typecheck accepts valid kernel", `Quick, test_tc_ok);
+    ("typecheck unknown variable", `Quick, test_tc_unknown_var);
+    ("typecheck unknown array", `Quick, test_tc_unknown_array);
+    ("typecheck write to input scalar", `Quick, test_tc_write_input_scalar);
+    ("typecheck stream directions", `Quick, test_tc_stream_direction);
+    ("typecheck constant index bounds", `Quick, test_tc_const_oob);
+    ("typecheck duplicate names", `Quick, test_tc_duplicate_names);
+    ("typecheck array declarations", `Quick, test_tc_bad_array);
+    ("arithmetic", `Quick, test_arith);
+    ("signed division", `Quick, test_signed_division);
+    ("type truncation on store", `Quick, test_type_truncation);
+    ("if/else", `Quick, test_if_else);
+    ("while loop", `Quick, test_while_loop);
+    ("for loop sum", `Quick, test_for_loop_sum);
+    ("zero-trip for loop", `Quick, test_for_loop_zero_trip);
+    ("array store/load", `Quick, test_array_roundtrip);
+    ("array initializer", `Quick, test_array_init);
+    ("dynamic bounds check", `Quick, test_array_oob_dynamic);
+    ("stream pipeline", `Quick, test_streams);
+    ("stream underflow raises Stuck", `Quick, test_stream_underflow);
+    ("fuel exhaustion", `Quick, test_fuel_exhaustion);
+    ("unary operators", `Quick, test_unops);
+    ("dynamic stats", `Quick, test_stats_counted);
+    ("cfg: straight line", `Quick, test_cfg_straightline_single_block);
+    ("cfg: if shape", `Quick, test_cfg_if_shape);
+    ("cfg: temps typed", `Quick, test_cfg_temps_are_typed);
+    ("cfg: TAC decomposition", `Quick, test_cfg_instr_count);
+    ("cfg: rejects ill-typed", `Quick, test_cfg_rejects_illtyped);
+    ("cfg: printer", `Quick, test_cfg_to_string);
+    ("C emission", `Quick, test_to_c);
+    ("complexity monotone", `Quick, test_complexity_monotone);
+    qtest prop_stream_sum;
+    qtest prop_binop_roundtrip;
+  ]

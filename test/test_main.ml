@@ -1,0 +1,23 @@
+(* Test entry point: one alcotest run over all library suites. *)
+
+let () =
+  Alcotest.run "soc-dsl-repro"
+    [
+      ("util", Test_util.suite);
+      ("htg", Test_htg.suite);
+      ("kernel", Test_kernel.suite);
+      ("rtl", Test_rtl.suite);
+      ("hls", Test_hls.suite);
+      ("axi", Test_axi.suite);
+      ("platform", Test_platform.suite);
+      ("dsl", Test_dsl.suite);
+      ("flow", Test_flow.suite);
+      ("apps", Test_apps.suite);
+      ("integration", Test_integration.suite);
+      ("dse", Test_dse.suite);
+      ("opt", Test_opt.suite);
+      ("extensions", Test_extensions.suite);
+      ("domains", Test_domains.suite);
+      ("cosim", Test_cosim.suite);
+      ("perf", Test_perf.suite);
+    ]

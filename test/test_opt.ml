@@ -1,0 +1,260 @@
+(* Tests for the CFG optimizer: folding, propagation, dead-code
+   elimination, unreachable-block pruning — and semantic preservation,
+   both against the interpreter and through full HLS to RTL. *)
+
+open Soc_kernel
+open Soc_kernel.Ast.Build
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let kernel ?(ports = []) ?(locals = []) ?(arrays = []) body =
+  { Ast.kname = "k"; ports; locals; arrays; body }
+
+let optimized k =
+  let cfg = Cfg.of_kernel k in
+  let stats = Opt.run cfg in
+  (cfg, stats)
+
+let run_cfg ?(scalars = []) ?(streams = []) cfg =
+  let r = Interp.run ~scalars ~streams cfg in
+  r.Interp.out_scalars
+
+(* ------------------------------------------------------------------ *)
+(* Individual transformations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_constant_folding () =
+  let k =
+    kernel ~ports:[ out_scalar "r" Ty.U32 ]
+      [ set "r" ((int 6 *: int 7) +: (int 10 -: int 10)) ]
+  in
+  let cfg, stats = optimized k in
+  (* Everything folds into a single constant move. *)
+  check Alcotest.int "one instruction left" 1 stats.Opt.after;
+  check Alcotest.int "result" 42 (List.assoc "r" (run_cfg cfg))
+
+let test_algebraic_identities () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "x" Ty.U32; out_scalar "r" Ty.U32 ]
+      [ set "r" ((v "x" *: int 1) +: int 0) ]
+  in
+  let _, stats = optimized k in
+  (* mul and add both disappear: r := x remains. *)
+  check Alcotest.int "identities removed" 1 stats.Opt.after
+
+let test_mul_by_zero () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "x" Ty.U32; out_scalar "r" Ty.U32 ]
+      [ set "r" ((v "x" *: int 0) |: int 5) ]
+  in
+  let cfg, _ = optimized k in
+  check Alcotest.int "folded through" 5 (List.assoc "r" (run_cfg ~scalars:[ ("x", 999) ] cfg))
+
+let test_sub_self () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "x" Ty.U32; out_scalar "r" Ty.U32 ]
+      ~locals:[ ("t", Ty.U32) ]
+      [ set "t" (v "x"); set "r" (Ast.Bin (Ast.Sub, Ast.Var "t", Ast.Var "t")) ]
+  in
+  let cfg, _ = optimized k in
+  check Alcotest.int "x - x = 0" 0 (List.assoc "r" (run_cfg ~scalars:[ ("x", 123) ] cfg))
+
+let test_dead_code_removed () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "x" Ty.U32; out_scalar "r" Ty.U32 ]
+      ~locals:[ ("dead1", Ty.U32); ("dead2", Ty.U32) ]
+      [
+        set "dead1" (v "x" *: v "x");
+        set "dead2" (v "dead1" +: int 1); (* transitively dead *)
+        set "r" (v "x" +: int 1);
+      ]
+  in
+  let _, stats = optimized k in
+  check Alcotest.int "only the live chain remains" 2 stats.Opt.after
+
+let test_pop_preserved_even_if_dead () =
+  (* Consuming a beat is observable; the pop must survive DCE. *)
+  let k =
+    kernel
+      ~ports:[ in_stream "s" Ty.U32; out_scalar "r" Ty.U32 ]
+      ~locals:[ ("unused", Ty.U32) ]
+      [ pop "unused" "s"; set "r" (int 1) ]
+  in
+  let cfg, _ = optimized k in
+  let result = Interp.run ~streams:[ ("s", [ 9; 8 ]) ] cfg in
+  check Alcotest.int "one beat consumed" 1
+    (Interp.Channels.length result.Interp.channels "s")
+
+let test_stores_preserved () =
+  let k =
+    kernel ~arrays:[ Ast.Build.array "a" Ty.U32 4 ] ~ports:[ out_scalar "r" Ty.U32 ]
+      [ store "a" (int 0) (int 5); set "r" (load "a" (int 0)) ]
+  in
+  let cfg, _ = optimized k in
+  check Alcotest.int "store visible through load" 5 (List.assoc "r" (run_cfg cfg))
+
+let test_branch_folding_prunes () =
+  let k =
+    kernel ~ports:[ out_scalar "r" Ty.U32 ]
+      [ if_ (int 1) [ set "r" (int 10) ] [ set "r" (int 20) ] ]
+  in
+  let cfg, _ = optimized k in
+  check Alcotest.int "then taken" 10 (List.assoc "r" (run_cfg cfg));
+  (* entry must now jump directly (no Branch left anywhere) *)
+  let has_branch =
+    Array.exists
+      (fun (b : Cfg.block) -> match b.Cfg.term with Cfg.Branch _ -> true | _ -> false)
+      cfg.Cfg.blocks
+  in
+  check Alcotest.bool "branch folded to goto" false has_branch;
+  (* the dead else-branch contributes no instructions *)
+  let total = Cfg.instr_count cfg in
+  check Alcotest.bool "dead arm pruned" true (total <= 2)
+
+let test_copy_propagation_local_only () =
+  (* A variable redefined in a loop must not be propagated stalely. *)
+  let k =
+    kernel
+      ~ports:[ in_scalar "n" Ty.U32; out_scalar "r" Ty.U32 ]
+      ~locals:[ ("i", Ty.U32); ("acc", Ty.U32); ("c", Ty.U32) ]
+      [
+        set "c" (int 2);
+        set "acc" (int 0);
+        for_ "i" ~from:(int 0) ~below:(v "n")
+          [ set "acc" (v "acc" +: v "c"); set "c" (v "c" +: int 1) ];
+        set "r" (v "acc");
+      ]
+  in
+  let cfg, _ = optimized k in
+  (* 2 + 3 + 4 = 9 for n = 3 *)
+  check Alcotest.int "loop-carried value correct" 9
+    (List.assoc "r" (run_cfg ~scalars:[ ("n", 3) ] cfg))
+
+(* ------------------------------------------------------------------ *)
+(* Effect on generated hardware                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_opt_shrinks_hardware () =
+  (* grayScale has foldable shifts/masks; optimized synthesis must not be
+     larger and must still agree with the interpreter. *)
+  let k = Soc_apps.Otsu.gray_scale_kernel ~pixels:16 in
+  let on = Soc_hls.Engine.synthesize ~config:Soc_hls.Engine.default_config k in
+  let off =
+    Soc_hls.Engine.synthesize
+      ~config:{ Soc_hls.Engine.default_config with Soc_hls.Engine.optimize = false } k
+  in
+  check Alcotest.bool "no larger with optimizer" true
+    (on.Soc_hls.Engine.report.Soc_hls.Report.resources.Soc_hls.Report.lut
+    <= off.Soc_hls.Engine.report.Soc_hls.Report.resources.Soc_hls.Report.lut)
+
+let test_opt_preserves_latency_or_better () =
+  let k = Soc_apps.Otsu.histogram_kernel ~pixels:32 in
+  let rng = Soc_util.Rng.create 8 in
+  let pixels = List.init 32 (fun _ -> Soc_util.Rng.int rng 256) in
+  let run optimize =
+    let config = { Soc_hls.Engine.default_config with Soc_hls.Engine.optimize } in
+    let accel = Soc_hls.Engine.synthesize ~config k in
+    Soc_hls.Testbench.run ~streams:[ ("grayScaleImage", pixels) ] accel.Soc_hls.Engine.fsmd
+  in
+  let fast = run true and slow = run false in
+  check (Alcotest.list Alcotest.int) "same histogram"
+    (List.assoc "histogram" slow.Soc_hls.Testbench.out_streams)
+    (List.assoc "histogram" fast.Soc_hls.Testbench.out_streams);
+  check Alcotest.bool "no slower" true
+    (fast.Soc_hls.Testbench.cycles <= slow.Soc_hls.Testbench.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: semantics preserved on random kernels                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Reuse the expression-heavy generator: straight-line code with loads,
+   stores, division, then compare unoptimized vs optimized interpreter
+   results. *)
+let random_program =
+  QCheck.Gen.(
+    let var i = Printf.sprintf "v%d" (i mod 4) in
+    let* n = int_range 1 30 in
+    let* ops =
+      flatten_l
+        (List.init n (fun i ->
+             let* kind = int_bound 6 in
+             let* a = int_bound 3 in
+             let* b = int_bound 3 in
+             let* c = int_bound 64 in
+             let dst = var i in
+             return
+               (match kind with
+               | 0 -> set dst (v (var a) +: Ast.Int c)
+               | 1 -> set dst (v (var a) *: Ast.Int (c land 7))
+               | 2 -> set dst (v (var a) -: v (var b))
+               | 3 -> set dst (v (var a) *: Ast.Int 0)
+               | 4 -> set dst (v (var a) |: Ast.Int 0)
+               | 5 -> store "arr" (v (var a) &: Ast.Int 7) (v (var b))
+               | _ -> set dst (load "arr" (v (var b) &: Ast.Int 7)))))
+    in
+    let* seed = int_bound 100000 in
+    return
+      ( kernel
+          ~ports:[ in_scalar "seed" Ty.U32; out_scalar "out" Ty.U32 ]
+          ~locals:[ ("v0", Ty.U32); ("v1", Ty.U32); ("v2", Ty.U32); ("v3", Ty.U32) ]
+          ~arrays:[ Ast.Build.array "arr" Ty.U32 8 ]
+          ((set "v0" (v "seed") :: ops)
+          @ [ set "out" (v "v0" +: v "v1" +: v "v2" +: v "v3") ]),
+        seed ))
+
+let prop_opt_preserves_interpreter =
+  QCheck.Test.make ~name:"optimizer preserves interpreter semantics" ~count:100
+    (QCheck.make random_program) (fun (k, seed) ->
+      let plain = Interp.run ~scalars:[ ("seed", seed) ] (Cfg.of_kernel k) in
+      let cfg = Cfg.of_kernel k in
+      ignore (Opt.run cfg);
+      let opt = Interp.run ~scalars:[ ("seed", seed) ] cfg in
+      plain.Interp.out_scalars = opt.Interp.out_scalars)
+
+let prop_opt_never_grows =
+  QCheck.Test.make ~name:"optimizer never adds instructions" ~count:100
+    (QCheck.make random_program) (fun (k, _) ->
+      let cfg = Cfg.of_kernel k in
+      let stats = Opt.run cfg in
+      stats.Opt.after <= stats.Opt.before)
+
+let prop_opt_idempotent =
+  QCheck.Test.make ~name:"optimizer is idempotent" ~count:50
+    (QCheck.make random_program) (fun (k, _) ->
+      let cfg = Cfg.of_kernel k in
+      ignore (Opt.run cfg);
+      let s2 = Opt.run cfg in
+      s2.Opt.after = s2.Opt.before)
+
+let prop_opt_preserves_rtl =
+  QCheck.Test.make ~name:"optimized RTL = unoptimized interpreter" ~count:25
+    (QCheck.make random_program) (fun (k, seed) ->
+      let plain = Interp.run ~scalars:[ ("seed", seed) ] (Cfg.of_kernel k) in
+      let accel = Soc_hls.Engine.synthesize k in
+      let rt = Soc_hls.Testbench.run ~scalars:[ ("seed", seed) ] accel.Soc_hls.Engine.fsmd in
+      List.assoc "out" plain.Interp.out_scalars
+      = List.assoc "out" rt.Soc_hls.Testbench.out_scalars)
+
+let suite =
+  [
+    ("constant folding", `Quick, test_constant_folding);
+    ("algebraic identities", `Quick, test_algebraic_identities);
+    ("mul by zero", `Quick, test_mul_by_zero);
+    ("x - x", `Quick, test_sub_self);
+    ("dead code removed", `Quick, test_dead_code_removed);
+    ("dead pop preserved", `Quick, test_pop_preserved_even_if_dead);
+    ("stores preserved", `Quick, test_stores_preserved);
+    ("branch folding + pruning", `Quick, test_branch_folding_prunes);
+    ("propagation is loop-safe", `Quick, test_copy_propagation_local_only);
+    ("optimizer shrinks hardware", `Quick, test_opt_shrinks_hardware);
+    ("optimizer keeps/improves latency", `Quick, test_opt_preserves_latency_or_better);
+    qtest prop_opt_preserves_interpreter;
+    qtest prop_opt_never_grows;
+    qtest prop_opt_idempotent;
+    qtest prop_opt_preserves_rtl;
+  ]

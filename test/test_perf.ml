@@ -1,0 +1,204 @@
+(* Tests for the static performance estimator: exactness against measured
+   RTL cycles for deterministic kernels, sound intervals for
+   data-dependent ones, loop reports, and unbounded bounds for unknown
+   trip counts. *)
+
+open Soc_kernel
+open Soc_kernel.Ast.Build
+module Perf = Soc_hls.Perf
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let kernel ?(name = "k") ?(ports = []) ?(locals = []) ?(arrays = []) body =
+  { Ast.kname = name; ports; locals; arrays; body }
+
+let synth ?config k = Soc_hls.Engine.synthesize ?config k
+
+let measured ?(scalars = []) ?(streams = []) accel =
+  (Soc_hls.Testbench.run ~scalars ~streams accel.Soc_hls.Engine.fsmd)
+    .Soc_hls.Testbench.cycles
+
+let assert_exact ?(scalars = []) ?(streams = []) k =
+  let accel = synth k in
+  let m = measured ~scalars ~streams accel in
+  let p = accel.Soc_hls.Engine.perf in
+  check Alcotest.int "min = measured" m p.Perf.latency.Perf.min_cycles;
+  check Alcotest.bool "max = measured" true
+    (p.Perf.latency.Perf.max_cycles = Perf.Finite m)
+
+(* ------------------------------------------------------------------ *)
+(* Exactness on deterministic kernels                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_straightline () =
+  assert_exact ~scalars:[ ("a", 5); ("b", 6) ]
+    (kernel
+       ~ports:[ in_scalar "a" Ty.U32; in_scalar "b" Ty.U32; out_scalar "r" Ty.U32 ]
+       [ set "r" ((v "a" *: v "b") +: int 1) ])
+
+let test_exact_constant_loop () =
+  assert_exact
+    (kernel
+       ~ports:[ out_scalar "r" Ty.U32 ]
+       ~locals:[ ("i", Ty.U32); ("acc", Ty.U32) ]
+       [
+         set "acc" (int 0);
+         for_ "i" ~from:(int 0) ~below:(int 13) [ set "acc" (v "acc" +: v "i") ];
+         set "r" (v "acc");
+       ])
+
+let test_exact_nested_loops () =
+  assert_exact
+    (kernel
+       ~ports:[ out_scalar "r" Ty.U32 ]
+       ~locals:[ ("i", Ty.U32); ("j", Ty.U32); ("acc", Ty.U32) ]
+       [
+         set "acc" (int 0);
+         for_ "i" ~from:(int 0) ~below:(int 5)
+           [ for_ "j" ~from:(int 0) ~below:(int 7) [ set "acc" (v "acc" +: int 1) ] ];
+         set "r" (v "acc");
+       ])
+
+let test_exact_streaming_kernel () =
+  (* Ideal source/sink: stall-free estimate equals the measured run. *)
+  let k = Soc_apps.Otsu.histogram_kernel ~pixels:32 in
+  let rng = Soc_util.Rng.create 1 in
+  let pixels = List.init 32 (fun _ -> Soc_util.Rng.int rng 256) in
+  assert_exact ~streams:[ ("grayScaleImage", pixels) ] k
+
+let test_exact_xtea () =
+  assert_exact
+    ~scalars:[ ("key0", 1); ("key1", 2); ("key2", 3); ("key3", 4) ]
+    ~streams:[ ("pt", [ 7; 8 ]) ]
+    (Soc_apps.Xtea.encrypt_kernel ~blocks:1)
+
+(* ------------------------------------------------------------------ *)
+(* Intervals for data-dependent control                                *)
+(* ------------------------------------------------------------------ *)
+
+let branchy =
+  kernel
+    ~ports:[ in_scalar "a" Ty.U32; out_scalar "r" Ty.U32 ]
+    ~locals:[ ("t", Ty.U32) ]
+    [
+      if_ (v "a" >: int 10)
+        [ set "t" (v "a" *: v "a" *: v "a") ] (* long arm: two multiplies *)
+        [ set "t" (int 0) ];
+      set "r" (v "t");
+    ]
+
+let test_branch_interval_sound () =
+  let accel = synth branchy in
+  let p = accel.Soc_hls.Engine.perf in
+  check Alcotest.bool "min < max" true
+    (match p.Perf.latency.Perf.max_cycles with
+    | Perf.Finite mx -> p.Perf.latency.Perf.min_cycles < mx
+    | Perf.Unbounded -> false);
+  (* Both concrete executions land inside the interval. *)
+  List.iter
+    (fun a ->
+      let m = measured ~scalars:[ ("a", a) ] accel in
+      check Alcotest.bool "within interval" true
+        (m >= p.Perf.latency.Perf.min_cycles
+        &&
+        match p.Perf.latency.Perf.max_cycles with
+        | Perf.Finite mx -> m <= mx
+        | Perf.Unbounded -> true))
+    [ 0; 100 ]
+
+let test_unknown_trip_unbounded () =
+  let k =
+    kernel
+      ~ports:[ in_scalar "n" Ty.U32; out_scalar "r" Ty.U32 ]
+      ~locals:[ ("i", Ty.U32); ("acc", Ty.U32) ]
+      [
+        set "acc" (int 0);
+        for_ "i" ~from:(int 0) ~below:(v "n") [ set "acc" (v "acc" +: v "i") ];
+        set "r" (v "acc");
+      ]
+  in
+  let p = (synth k).Soc_hls.Engine.perf in
+  check Alcotest.bool "max unbounded" true (p.Perf.latency.Perf.max_cycles = Perf.Unbounded);
+  (* The zero-trip execution is exactly the minimum. *)
+  let m0 = measured ~scalars:[ ("n", 0) ] (synth k) in
+  check Alcotest.int "min = zero-trip run" m0 p.Perf.latency.Perf.min_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Loop reports                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_loop_report_contents () =
+  let p = (synth (Soc_apps.Otsu.histogram_kernel ~pixels:64)).Soc_hls.Engine.perf in
+  check Alcotest.int "three loops (zero, fill, drain)" 3 (List.length p.Perf.loop_reports);
+  List.iter
+    (fun (l : Perf.loop_report) ->
+      match l.Perf.trip_count with
+      | Some n -> check Alcotest.bool "known trip" true (n = 64 || n = 256)
+      | None -> Alcotest.fail "constant loop lost its trip count")
+    p.Perf.loop_reports
+
+let test_stream_flag () =
+  check Alcotest.bool "stream kernels flagged" true
+    (synth (Soc_apps.Otsu.segment_kernel ~pixels:4)).Soc_hls.Engine.perf.Perf.has_stream_io;
+  check Alcotest.bool "scalar kernels not flagged" false
+    (synth Soc_apps.Filters.add_kernel).Soc_hls.Engine.perf.Perf.has_stream_io
+
+let test_pp_renders () =
+  let p = (synth (Soc_apps.Otsu.histogram_kernel ~pixels:16)).Soc_hls.Engine.perf in
+  let text = Format.asprintf "%a" Perf.pp p in
+  check Alcotest.bool "mentions latency" true (Tstr.contains text "Latency");
+  check Alcotest.bool "mentions loops" true (Tstr.contains text "Loop 1")
+
+(* ------------------------------------------------------------------ *)
+(* Property: estimate brackets the measured run on random loop nests   *)
+(* ------------------------------------------------------------------ *)
+
+let loopnest_gen =
+  QCheck.Gen.(
+    let* outer = int_range 0 6 in
+    let* inner = int_range 0 6 in
+    let* guard = int_bound 40 in
+    let* a = int_bound 1000 in
+    return
+      ( kernel
+          ~ports:[ in_scalar "a" Ty.U32; out_scalar "r" Ty.U32 ]
+          ~locals:[ ("i", Ty.U32); ("j", Ty.U32); ("acc", Ty.U32) ]
+          [
+            set "acc" (Ast.Int 0);
+            for_ "i" ~from:(Ast.Int 0) ~below:(Ast.Int outer)
+              [
+                for_ "j" ~from:(Ast.Int 0) ~below:(Ast.Int inner)
+                  [ set "acc" (v "acc" +: (v "i" *: v "j")) ];
+                if_ (v "a" >: Ast.Int guard) [ set "acc" (v "acc" +: Ast.Int 1) ] [];
+              ];
+            set "r" (v "acc");
+          ],
+        a ))
+
+let prop_interval_brackets_measurement =
+  QCheck.Test.make ~name:"perf interval brackets measured cycles" ~count:40
+    (QCheck.make loopnest_gen) (fun (k, a) ->
+      let accel = synth k in
+      let p = accel.Soc_hls.Engine.perf in
+      let m = measured ~scalars:[ ("a", a) ] accel in
+      m >= p.Perf.latency.Perf.min_cycles
+      &&
+      match p.Perf.latency.Perf.max_cycles with
+      | Perf.Finite mx -> m <= mx
+      | Perf.Unbounded -> true)
+
+let suite =
+  [
+    ("exact: straight line", `Quick, test_exact_straightline);
+    ("exact: constant loop", `Quick, test_exact_constant_loop);
+    ("exact: nested loops", `Quick, test_exact_nested_loops);
+    ("exact: streaming kernel", `Quick, test_exact_streaming_kernel);
+    ("exact: xtea round function", `Quick, test_exact_xtea);
+    ("interval: data-dependent branch", `Quick, test_branch_interval_sound);
+    ("interval: unknown trip count", `Quick, test_unknown_trip_unbounded);
+    ("loop report contents", `Quick, test_loop_report_contents);
+    ("stream flag", `Quick, test_stream_flag);
+    ("report rendering", `Quick, test_pp_renders);
+    qtest prop_interval_brackets_measurement;
+  ]

@@ -1,0 +1,15 @@
+(* Tiny string helpers shared by the test suites. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to nh - nn do
+      if (not !found) && String.sub haystack i nn = needle then found := true
+    done;
+    !found
+  end
+
+let count_lines s =
+  List.length (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s))

@@ -23,9 +23,12 @@ let read_source path =
   else In_channel.with_open_text path In_channel.input_all
 
 let load path =
-  match Soc_core.Parser.parse_result (read_source path) with
-  | Ok spec -> Ok spec
-  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  match read_source path with
+  | exception Sys_error msg -> Error msg
+  | source -> (
+    match Soc_core.Parser.parse_result source with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
 
 let or_die = function
   | Ok v -> v
@@ -201,6 +204,73 @@ let build_cmd =
           node names against the built-in kernel library (case-study kernels).")
     Term.(const run $ file_arg)
 
+(* ---------------- farm ---------------- *)
+
+let farm_cmd =
+  let run files jobs cache_dir trace_out retries timeout =
+    let entries =
+      List.map
+        (fun file ->
+          let spec = or_die (load file) in
+          let kernels =
+            List.filter
+              (fun (name, _) ->
+                List.exists
+                  (fun (n : Soc_core.Spec.node_spec) -> n.Soc_core.Spec.node_name = name)
+                  spec.Soc_core.Spec.nodes)
+              (builtin_kernels ())
+          in
+          { Soc_farm.Jobgraph.spec; kernels })
+        files
+    in
+    let cache = Soc_farm.Cache.create ?disk_dir:cache_dir () in
+    let report =
+      Soc_farm.Farm.build_batch ?jobs ~cache ?retries ?timeout entries
+    in
+    print_string (Soc_farm.Farm.render_report report);
+    (match trace_out with
+    | Some path ->
+      Soc_farm.Trace.save report.Soc_farm.Farm.trace path;
+      Printf.printf "trace written to %s (load in chrome://tracing)\n" path
+    | None -> ());
+    if report.Soc_farm.Farm.failures <> [] then exit 1
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE"
+         ~doc:"DSL source files; the batch shares one content-addressed HLS cache.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains (default: the recommended domain count). Results are \
+               bit-identical for any value.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persist the artifact cache to $(docv); later runs reuse HLS results \
+               across invocations.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON timeline of the batch to $(docv).")
+  in
+  let retries_arg =
+    Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N"
+         ~doc:"Retry budget per job for transient failures (default 2).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Per-job deadline; a job past it is cancelled and reported.")
+  in
+  Cmd.v
+    (Cmd.info "farm"
+       ~doc:
+         "Build a batch of DSL sources on the parallel build farm: per-kernel HLS jobs \
+          are deduplicated by content hash and shared across architectures, work runs \
+          on worker domains, and failures are reported per job without aborting the \
+          batch.")
+    Term.(const run $ files_arg $ jobs_arg $ cache_dir_arg $ trace_arg $ retries_arg
+          $ timeout_arg)
+
 (* ---------------- demo ---------------- *)
 
 let demo_cmd =
@@ -218,4 +288,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ check_cmd; print_cmd; tcl_cmd; qsys_cmd; devicetree_cmd; api_cmd; diagram_cmd;
-            metrics_cmd; build_cmd; demo_cmd ]))
+            metrics_cmd; build_cmd; farm_cmd; demo_cmd ]))

@@ -134,73 +134,149 @@ let integration_resources (spec : Spec.t) ~fifo_depth : Soc_hls.Report.usage =
     dsp = 0;
   }
 
-let build ?(hls_config = Soc_hls.Engine.default_config)
-    ?(fifo_depth = Soc_platform.Config.zedboard.Soc_platform.Config.default_fifo_depth)
-    ?(hls_cache : (string, unit) Hashtbl.t option) (spec : Spec.t)
-    ~(kernels : (string * Ast.kernel) list) : build =
-  Spec.validate_exn spec;
-  (* 1. Kernel/interface consistency. *)
-  let impls =
+(* ------------------------------------------------------------------ *)
+(* Staged flow                                                         *)
+(*                                                                     *)
+(* [build] is a composition of the stages below. They are exposed      *)
+(* separately so an orchestrator (Soc_farm) can run them as jobs of a  *)
+(* dependency graph — per-kernel HLS, per-arch integration, synthesis  *)
+(* aggregation and software generation — without duplicating the flow  *)
+(* logic here.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type hls_engine =
+  config:Soc_hls.Engine.config ->
+  Ast.kernel ->
+  [ `Reused | `Synthesized ] * Soc_hls.Engine.accel
+
+let direct_hls : hls_engine =
+ fun ~config kernel -> (`Synthesized, Soc_hls.Engine.synthesize ~config kernel)
+
+(* Legacy shim for the deprecated [?hls_cache] parameter: name-keyed reuse
+   flags through a caller-shared unit table, real synthesis every time —
+   exactly the historical behaviour (only the Toolsim estimate was
+   discounted). The farm cache replaces this with content-addressed reuse
+   of the actual accelerators. *)
+let legacy_cache_hls (table : (string, unit) Hashtbl.t) : hls_engine =
+ fun ~config kernel ->
+  let reused = Hashtbl.mem table kernel.Ast.kname in
+  if not reused then Hashtbl.replace table kernel.Ast.kname ();
+  ((if reused then `Reused else `Synthesized), Soc_hls.Engine.synthesize ~config kernel)
+
+(* Stage 1: kernel/interface consistency. *)
+let pair_kernels (spec : Spec.t) ~(kernels : (string * Ast.kernel) list) :
+    (Spec.node_spec * Ast.kernel) list =
+  List.map
+    (fun (node : Spec.node_spec) ->
+      match List.assoc_opt node.node_name kernels with
+      | None -> fail "%s" (Format.asprintf "%a" pp_mismatch (Missing_kernel node.node_name))
+      | Some kernel -> (
+        match check_kernel spec node kernel with
+        | [] -> (node, kernel)
+        | errs ->
+          fail "%s" (String.concat "; " (List.map (Format.asprintf "%a" pp_mismatch) errs))))
+    spec.nodes
+
+(* Stage 2: HLS per node, through a pluggable engine. *)
+let synthesize_impls ?(hls = direct_hls) ~hls_config pairs :
+    (node_impl * [ `Reused | `Synthesized ]) list =
+  List.map
+    (fun (node, kernel) ->
+      let origin, accel = hls ~config:hls_config kernel in
+      ({ node; kernel; accel }, origin))
+    pairs
+
+(* Stage 3: system integration (Tcl for both backends, address map, DMA). *)
+type integration = {
+  int_tcl_2014 : string;
+  int_tcl_2015 : string;
+  int_address_map : (string * int * int) list;
+  int_dma_channels : dma_channel list;
+}
+
+let integrate (spec : Spec.t) : integration =
+  {
+    int_tcl_2014 = Tcl.generate ~version:Tcl.V2014_2 spec;
+    int_tcl_2015 = Tcl.generate ~version:Tcl.V2015_3 spec;
+    int_address_map = address_map_of_spec spec;
+    int_dma_channels = dma_channels_of_spec spec;
+  }
+
+(* Stage 4: resource aggregation ("post-synthesis" Table II numbers). *)
+let aggregate_resources (spec : Spec.t) ~fifo_depth (impls : node_impl list) :
+    (string * Soc_hls.Report.usage) list * Soc_hls.Report.usage =
+  let by_core =
     List.map
-      (fun (node : Spec.node_spec) ->
-        match List.assoc_opt node.node_name kernels with
-        | None ->
-          fail "%s" (Format.asprintf "%a" pp_mismatch (Missing_kernel node.node_name))
-        | Some kernel -> (
-          match check_kernel spec node kernel with
-          | [] -> (node, kernel)
-          | errs ->
-            fail "%s"
-              (String.concat "; " (List.map (Format.asprintf "%a" pp_mismatch) errs))))
-      spec.nodes
-  in
-  (* 2. HLS per node. *)
-  let impls =
-    List.map
-      (fun (node, kernel) ->
-        { node; kernel; accel = Soc_hls.Engine.synthesize ~config:hls_config kernel })
+      (fun impl ->
+        (impl.node.Spec.node_name, impl.accel.Soc_hls.Engine.report.Soc_hls.Report.resources))
       impls
   in
-  (* 3. System integration. *)
-  let tcl_2014 = Tcl.generate ~version:Tcl.V2014_2 spec in
-  let tcl_2015 = Tcl.generate ~version:Tcl.V2015_3 spec in
-  let dma_channels = dma_channels_of_spec spec in
-  let address_map = address_map_of_spec spec in
-  (* 4. Resource aggregation ("post-synthesis" Table II numbers). *)
-  let resources_by_core =
-    List.map (fun impl -> (impl.node.Spec.node_name, impl.accel.Soc_hls.Engine.report.Soc_hls.Report.resources)) impls
+  let total =
+    Soc_hls.Report.sum (List.map snd by_core @ [ integration_resources spec ~fifo_depth ])
   in
-  let resources =
-    Soc_hls.Report.sum (List.map snd resources_by_core @ [ integration_resources spec ~fifo_depth ])
-  in
-  (* 5. Software generation. *)
-  let sw = Swgen.generate spec ~address_map in
-  (* 6. Tool-runtime estimation. *)
-  let dsl_source = Printer.to_source spec in
-  let cache = match hls_cache with Some c -> c | None -> Hashtbl.create 8 in
-  let tool_times =
-    Toolsim.estimate ~arch:spec.design_name
-      ~dsl_lines:(Soc_util.Metrics.of_string dsl_source).Soc_util.Metrics.lines
-      ~kernel_complexities:
-        (List.map (fun i -> (i.kernel.Ast.kname, Ast.complexity i.kernel)) impls)
-      ~hls_cache:cache
-      ~cells:(List.length spec.nodes + List.length dma_channels + 3)
-      ~luts:resources.Soc_hls.Report.lut
-  in
+  (by_core, total)
+
+(* Stage 5: software generation. *)
+let generate_software (spec : Spec.t) (integ : integration) : Swgen.boot_artifacts =
+  Swgen.generate spec ~address_map:integ.int_address_map
+
+(* Stage 6: tool-runtime estimation, charging only freshly-synthesized
+   kernels for the HLS phase (the Fig. 9 reuse, keyed the same way the
+   actual accelerator reuse is). *)
+let estimate_tools (spec : Spec.t) ~dsl_source
+    (impls : (node_impl * [ `Reused | `Synthesized ]) list) (integ : integration)
+    ~(resources : Soc_hls.Report.usage) : Toolsim.breakdown =
+  Toolsim.estimate_costed ~arch:spec.design_name
+    ~dsl_lines:(Soc_util.Metrics.of_string dsl_source).Soc_util.Metrics.lines
+    ~kernel_costs:
+      (List.map
+         (fun (i, origin) ->
+           {
+             Toolsim.kname = i.kernel.Ast.kname;
+             complexity = Ast.complexity i.kernel;
+             reused = origin = `Reused;
+           })
+         impls)
+    ~cells:(List.length spec.nodes + List.length integ.int_dma_channels + 3)
+    ~luts:resources.Soc_hls.Report.lut
+
+let assemble (spec : Spec.t) ~dsl_source (impls : node_impl list) (integ : integration)
+    ~resources ~resources_by_core ~sw ~tool_times : build =
   {
     spec;
     dsl_source;
     impls;
-    tcl_2014;
-    tcl_2015;
-    address_map;
-    dma_channels;
+    tcl_2014 = integ.int_tcl_2014;
+    tcl_2015 = integ.int_tcl_2015;
+    address_map = integ.int_address_map;
+    dma_channels = integ.int_dma_channels;
     resources;
     resources_by_core;
     sw;
     tool_times;
     bitstream = spec.design_name ^ "_bd_wrapper.bit";
   }
+
+let build ?(hls_config = Soc_hls.Engine.default_config)
+    ?(fifo_depth = Soc_platform.Config.zedboard.Soc_platform.Config.default_fifo_depth)
+    ?(hls_cache : (string, unit) Hashtbl.t option) ?hls (spec : Spec.t)
+    ~(kernels : (string * Ast.kernel) list) : build =
+  Spec.validate_exn spec;
+  let hls =
+    match (hls, hls_cache) with
+    | Some h, _ -> h (* explicit engine wins *)
+    | None, Some table -> legacy_cache_hls table
+    | None, None -> direct_hls
+  in
+  let pairs = pair_kernels spec ~kernels in
+  let impls_o = synthesize_impls ~hls ~hls_config pairs in
+  let impls = List.map fst impls_o in
+  let integ = integrate spec in
+  let resources_by_core, resources = aggregate_resources spec ~fifo_depth impls in
+  let sw = generate_software spec integ in
+  let dsl_source = Printer.to_source spec in
+  let tool_times = estimate_tools spec ~dsl_source impls_o integ ~resources in
+  assemble spec ~dsl_source impls integ ~resources ~resources_by_core ~sw ~tool_times
 
 (* ------------------------------------------------------------------ *)
 (* Instantiation: "boot the board"                                     *)

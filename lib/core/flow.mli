@@ -48,14 +48,92 @@ type build = {
 
 exception Build_error of string
 
+(** {2 Staged flow}
+
+    [build] is a composition of the stages below; they are exposed so an
+    orchestrator ({!Soc_farm}) can execute them as jobs of a dependency
+    graph (per-kernel HLS, per-arch integration / synthesis aggregation /
+    software generation) without duplicating the flow logic. *)
+
+type hls_engine =
+  config:Soc_hls.Engine.config ->
+  Soc_kernel.Ast.kernel ->
+  [ `Reused | `Synthesized ] * Soc_hls.Engine.accel
+(** How stage 2 obtains an accelerator for a kernel. [`Reused] marks
+    results shared from an earlier build; they cost nothing in the Fig. 9
+    estimate, and a caching engine also skips the actual synthesis work. *)
+
+val direct_hls : hls_engine
+(** Always runs {!Soc_hls.Engine.synthesize}; every kernel is [`Synthesized]. *)
+
+val legacy_cache_hls : (string, unit) Hashtbl.t -> hls_engine
+(** The historical [?hls_cache] semantics: name-keyed reuse flags through a
+    caller-shared unit table, real synthesis every time. Only the estimate
+    is discounted — prefer [Soc_farm.Cache.hls_engine]. *)
+
+val pair_kernels :
+  Spec.t -> kernels:(string * Soc_kernel.Ast.kernel) list -> (Spec.node_spec * Soc_kernel.Ast.kernel) list
+(** Stage 1: kernel/interface consistency; raises [Build_error]. *)
+
+val synthesize_impls :
+  ?hls:hls_engine ->
+  hls_config:Soc_hls.Engine.config ->
+  (Spec.node_spec * Soc_kernel.Ast.kernel) list ->
+  (node_impl * [ `Reused | `Synthesized ]) list
+(** Stage 2: HLS per node through the pluggable engine. *)
+
+type integration = {
+  int_tcl_2014 : string;
+  int_tcl_2015 : string;
+  int_address_map : (string * int * int) list;
+  int_dma_channels : dma_channel list;
+}
+
+val integrate : Spec.t -> integration
+(** Stage 3: Tcl for both backend versions, address map, DMA planning. *)
+
+val aggregate_resources :
+  Spec.t ->
+  fifo_depth:int ->
+  node_impl list ->
+  (string * Soc_hls.Report.usage) list * Soc_hls.Report.usage
+(** Stage 4: per-core and aggregated system resources (Table II). *)
+
+val generate_software : Spec.t -> integration -> Swgen.boot_artifacts
+(** Stage 5: device tree, boot set, C API. *)
+
+val estimate_tools :
+  Spec.t ->
+  dsl_source:string ->
+  (node_impl * [ `Reused | `Synthesized ]) list ->
+  integration ->
+  resources:Soc_hls.Report.usage ->
+  Toolsim.breakdown
+(** Stage 6: Fig. 9 tool-runtime estimate; reused kernels cost nothing. *)
+
+val assemble :
+  Spec.t ->
+  dsl_source:string ->
+  node_impl list ->
+  integration ->
+  resources:Soc_hls.Report.usage ->
+  resources_by_core:(string * Soc_hls.Report.usage) list ->
+  sw:Swgen.boot_artifacts ->
+  tool_times:Toolsim.breakdown ->
+  build
+
 val build :
   ?hls_config:Soc_hls.Engine.config ->
   ?fifo_depth:int ->
   ?hls_cache:(string, unit) Hashtbl.t ->
+  ?hls:hls_engine ->
   Spec.t ->
   kernels:(string * Soc_kernel.Ast.kernel) list ->
   build
-(** [hls_cache] lets several builds share HLS results (Fig. 9 reuse). *)
+(** [hls] supplies accelerators (default {!direct_hls}); pass
+    [Soc_farm.Cache.hls_engine] to share real HLS results across builds.
+    [hls_cache] is the deprecated estimate-only sharing mechanism, kept for
+    one release as {!legacy_cache_hls}; it is ignored when [hls] is given. *)
 
 type live = {
   lbuild : build;

@@ -23,6 +23,21 @@ val synthesis_time : luts:int -> float
 val implementation_time : luts:int -> float
 val bitgen_time : float
 
+type kernel_cost = { kname : string; complexity : int; reused : bool }
+(** One kernel's contribution to the HLS phase; [reused] marks accelerators
+    taken from an earlier build ("cores are generated only once"). *)
+
+val estimate_costed :
+  arch:string ->
+  dsl_lines:int ->
+  kernel_costs:kernel_cost list ->
+  cells:int ->
+  luts:int ->
+  breakdown
+(** Primary entry point: reused kernels cost nothing in the HLS phase. The
+    caller decides reuse — {!Soc_farm.Cache} attributes it by content hash
+    so the estimate and the actual HLS work agree by construction. *)
+
 val estimate :
   arch:string ->
   dsl_lines:int ->
@@ -31,7 +46,9 @@ val estimate :
   cells:int ->
   luts:int ->
   breakdown
-(** Kernels present in [hls_cache] cost nothing (the paper's "cores are
-    generated only once" reuse); new ones are added to the cache. *)
+(** @deprecated Name-keyed wrapper over {!estimate_costed}, kept for one
+    release. Kernels present in [hls_cache] cost nothing; new ones are added
+    to the cache. The table only discounts the estimate — it shares no
+    actual HLS work, so prefer the farm cache. *)
 
 val pp : Format.formatter -> breakdown -> unit

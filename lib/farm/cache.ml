@@ -1,0 +1,130 @@
+type stats = { hits : int; disk_hits : int; misses : int; stores : int }
+
+type t = {
+  lock : Mutex.t;
+  mem : (string, Soc_hls.Engine.accel) Hashtbl.t;
+  disk_dir : string option;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+let create ?disk_dir () =
+  { lock = Mutex.create (); mem = Hashtbl.create 32; disk_dir; hits = 0; disk_hits = 0;
+    misses = 0; stores = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let stats t =
+  locked t (fun () -> { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses; stores = t.stores })
+
+let size t = locked t (fun () -> Hashtbl.length t.mem)
+
+(* ------------------------------------------------------------------ *)
+(* Disk layer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let entry_path dir key = Filename.concat dir (Chash.to_hex key ^ ".accel")
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+(* Entries are (format tag, accel); a tag mismatch — different serializer
+   version or OCaml magic — reads as a miss. *)
+let disk_read t key =
+  match t.disk_dir with
+  | None -> None
+  | Some dir -> (
+    let path = entry_path dir key in
+    if not (Sys.file_exists path) then None
+    else
+      try
+        In_channel.with_open_bin path (fun ic ->
+            let tag, accel = (Marshal.from_channel ic : string * Soc_hls.Engine.accel) in
+            if tag = Chash.format_version then Some accel else None)
+      with _ -> None)
+
+let disk_write t key accel =
+  match t.disk_dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      ensure_dir dir;
+      let path = entry_path dir key in
+      let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+      Out_channel.with_open_bin tmp (fun oc ->
+          Marshal.to_channel oc (Chash.format_version, accel) []);
+      Sys.rename tmp path;
+      t.stores <- t.stores + 1
+    with _ -> () (* the disk layer is best-effort *))
+
+(* ------------------------------------------------------------------ *)
+(* Lookup / memoized synthesis                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Counts hits (memory and disk) but not misses: the find-then-synthesize
+   pattern would otherwise count every cold lookup twice. *)
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.mem (Chash.to_hex key) with
+      | Some a ->
+        t.hits <- t.hits + 1;
+        Some a
+      | None -> (
+        match disk_read t key with
+        | Some a ->
+          t.disk_hits <- t.disk_hits + 1;
+          Hashtbl.replace t.mem (Chash.to_hex key) a;
+          Some a
+        | None -> None))
+
+let store t key accel =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.mem (Chash.to_hex key)) then begin
+        Hashtbl.replace t.mem (Chash.to_hex key) accel;
+        disk_write t key accel
+      end)
+
+let synthesize t ~config kernel =
+  let key = Chash.kernel ~config kernel in
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.mem (Chash.to_hex key) with
+        | Some a ->
+          t.hits <- t.hits + 1;
+          Some a
+        | None -> (
+          match disk_read t key with
+          | Some a ->
+            t.disk_hits <- t.disk_hits + 1;
+            Hashtbl.replace t.mem (Chash.to_hex key) a;
+            Some a
+          | None -> None))
+  in
+  match cached with
+  | Some a -> (`Hit, a)
+  | None ->
+    (* Synthesize outside the lock: concurrent HLS of *different* kernels
+       must proceed in parallel. Two racing misses on the same key both
+       synthesize (deterministic result; first store wins) — the farm's job
+       graph dedups keys upfront so this only happens for ad-hoc users. *)
+    let accel = Soc_hls.Engine.synthesize ~config kernel in
+    locked t (fun () -> t.misses <- t.misses + 1);
+    store t key accel;
+    (`Miss, accel)
+
+let hls_engine t : Soc_core.Flow.hls_engine =
+ fun ~config kernel ->
+  match synthesize t ~config kernel with
+  | `Hit, a -> (`Reused, a)
+  | `Miss, a -> (`Synthesized, a)
+
+let render_stats t =
+  let s = stats t in
+  Printf.sprintf "cache: %d hit%s, %d disk hit%s, %d miss%s, %d stored, %d resident"
+    s.hits (if s.hits = 1 then "" else "s")
+    s.disk_hits (if s.disk_hits = 1 then "" else "s")
+    s.misses (if s.misses = 1 then "" else "es")
+    s.stores (size t)

@@ -1,0 +1,48 @@
+(** Content-addressed artifact cache for HLS results.
+
+    Keys are {!Chash.t} structural hashes of (kernel IR, HLS config,
+    interface kinds); values are real {!Soc_hls.Engine.accel} records — not
+    time-estimate discounts. A batch that shares a cache compiles each
+    distinct kernel exactly once, and because the Fig. 9 estimate is fed
+    from the same keys, modelled reuse and actual reuse can never disagree.
+
+    The store is domain-safe (one mutex) with an optional on-disk layer:
+    [Marshal] under a {!Chash.format_version} tag, written atomically
+    (temp + rename), read defensively — a stale or corrupt entry is a miss,
+    never an error. *)
+
+type t
+
+type stats = {
+  hits : int;  (** in-memory hits *)
+  disk_hits : int;  (** misses served from the disk layer *)
+  misses : int;  (** real {!Soc_hls.Engine.synthesize} runs *)
+  stores : int;  (** entries written to disk *)
+}
+
+val create : ?disk_dir:string -> unit -> t
+(** [disk_dir], when given, persists artifacts across processes; the
+    directory is created on demand. *)
+
+val stats : t -> stats
+val size : t -> int
+
+val find : t -> Chash.t -> Soc_hls.Engine.accel option
+(** Memory first, then disk; does not count as a hit or miss. *)
+
+val store : t -> Chash.t -> Soc_hls.Engine.accel -> unit
+
+val synthesize :
+  t ->
+  config:Soc_hls.Engine.config ->
+  Soc_kernel.Ast.kernel ->
+  [ `Hit | `Miss ] * Soc_hls.Engine.accel
+(** Memoized {!Soc_hls.Engine.synthesize}: returns the cached accelerator
+    ([`Hit]) or synthesizes, stores and returns it ([`Miss]). *)
+
+val hls_engine : t -> Soc_core.Flow.hls_engine
+(** Plug the cache into {!Soc_core.Flow.build}: hits are [`Reused] (free in
+    the Fig. 9 estimate {e and} no engine work), misses [`Synthesized]. *)
+
+val render_stats : t -> string
+(** One-line summary, e.g. for CLI output. *)

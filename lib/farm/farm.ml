@@ -1,0 +1,223 @@
+module Spec = Soc_core.Spec
+module Flow = Soc_core.Flow
+module Ast = Soc_kernel.Ast
+
+type stats = {
+  total_jobs : int;
+  succeeded : int;
+  failed : int;
+  skipped : int;
+  distinct_kernels : int;
+  cache : Cache.stats;
+  engine_invocations : int;
+  wall_seconds : float;
+}
+
+type report = {
+  builds : (int * Flow.build) list;
+  failures : Pool.failure list;
+  stats : stats;
+  trace : Trace.t;
+}
+
+(* The value flowing along DAG edges. *)
+type value =
+  | V_accel of Soc_hls.Engine.accel
+  | V_integration of (Spec.node_spec * Ast.kernel) list * Flow.integration
+  | V_synth of (string * Soc_hls.Report.usage) list * Soc_hls.Report.usage * Soc_core.Toolsim.breakdown
+  | V_sw of Soc_core.Swgen.boot_artifacts
+  | V_build of Flow.build
+
+let the_accel = function V_accel a -> a | _ -> assert false
+let the_integration = function V_integration (p, i) -> (p, i) | _ -> assert false
+let the_synth = function V_synth (b, r, t) -> (b, r, t) | _ -> assert false
+let the_sw = function V_sw s -> s | _ -> assert false
+
+(* node_impls of entry [i] in spec-node order, with batch-positional reuse
+   flags: the owner of an HLS job is charged, everyone else reuses. *)
+let impls_of (g : Jobgraph.t) i (pairs : (Spec.node_spec * Ast.kernel) list)
+    (get : int -> value) : (Flow.node_impl * [ `Reused | `Synthesized ]) list =
+  List.map
+    (fun ((ns : Spec.node_spec), kernel) ->
+      let id = List.assoc ns.Spec.node_name g.Jobgraph.kernel_jobs.(i) in
+      let owner =
+        match g.Jobgraph.nodes.(id).Jobgraph.task with
+        | Jobgraph.Hls { owner; _ } -> owner
+        | _ -> assert false
+      in
+      ( { Flow.node = ns; kernel; accel = the_accel (get id) },
+        if owner = i then `Synthesized else `Reused ))
+    pairs
+
+let jobs_of_graph (g : Jobgraph.t) (cache : Cache.t) : value Pool.job array =
+  Array.map
+    (fun (node : Jobgraph.node) ->
+      let work =
+        match node.Jobgraph.task with
+        | Jobgraph.Hls { kernel; key; _ } ->
+          fun (_ : Pool.token) (_ : int -> value) ->
+            (* Content-addressed: a warm cache (memory or disk) skips the
+               real engine run entirely. *)
+            (match Cache.find cache key with
+            | Some a -> V_accel a
+            | None -> V_accel (snd (Cache.synthesize cache ~config:g.Jobgraph.hls_config kernel)))
+        | Jobgraph.Integrate i ->
+          fun _ _ ->
+            let e = g.Jobgraph.entries.(i) in
+            Spec.validate_exn e.Jobgraph.spec;
+            let pairs = Flow.pair_kernels e.Jobgraph.spec ~kernels:e.Jobgraph.kernels in
+            V_integration (pairs, Flow.integrate e.Jobgraph.spec)
+        | Jobgraph.Synthesis i ->
+          fun _ get ->
+            let e = g.Jobgraph.entries.(i) in
+            let spec = e.Jobgraph.spec in
+            let pairs, integ = the_integration (get g.Jobgraph.integrate_ids.(i)) in
+            let impls_o = impls_of g i pairs get in
+            let impls = List.map fst impls_o in
+            let by_core, total =
+              Flow.aggregate_resources spec ~fifo_depth:g.Jobgraph.fifo_depth impls
+            in
+            let dsl_source = Soc_core.Printer.to_source spec in
+            let tool_times =
+              Flow.estimate_tools spec ~dsl_source impls_o integ ~resources:total
+            in
+            V_synth (by_core, total, tool_times)
+        | Jobgraph.Software i ->
+          fun _ get ->
+            let e = g.Jobgraph.entries.(i) in
+            let _, integ = the_integration (get g.Jobgraph.integrate_ids.(i)) in
+            V_sw (Flow.generate_software e.Jobgraph.spec integ)
+        | Jobgraph.Finalize i ->
+          fun _ get ->
+            let e = g.Jobgraph.entries.(i) in
+            let spec = e.Jobgraph.spec in
+            let pairs, integ = the_integration (get g.Jobgraph.integrate_ids.(i)) in
+            let impls = List.map fst (impls_of g i pairs get) in
+            let by_core, total, tool_times = the_synth (get g.Jobgraph.synthesis_ids.(i)) in
+            let sw = the_sw (get g.Jobgraph.software_ids.(i)) in
+            V_build
+              (Flow.assemble spec ~dsl_source:(Soc_core.Printer.to_source spec) impls integ
+                 ~resources:total ~resources_by_core:by_core ~sw ~tool_times)
+      in
+      { Pool.label = node.Jobgraph.label; cat = node.Jobgraph.cat; deps = node.Jobgraph.deps; work })
+    g.Jobgraph.nodes
+
+let build_batch ?jobs ?hls_config ?fifo_depth ?cache ?retries ?backoff ?timeout ?fault
+    ?trace (entries : Jobgraph.entry list) : report =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let trace = match trace with Some t -> t | None -> Trace.create () in
+  let graph = Jobgraph.plan ?hls_config ?fifo_depth entries in
+  let cache0 = Cache.stats cache in
+  let engine0 = Soc_hls.Engine.invocation_count () in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Pool.run ?jobs ?retries ?backoff ?timeout ?fault ~trace (jobs_of_graph graph cache)
+  in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let builds = ref [] in
+  Array.iteri
+    (fun i fid ->
+      match outcomes.(fid) with
+      | Pool.Done (V_build b) -> builds := (i, b) :: !builds
+      | Pool.Done _ -> assert false
+      | Pool.Failed _ -> ())
+    graph.Jobgraph.finalize_ids;
+  let failures, skipped =
+    Array.fold_left
+      (fun (fs, sk) o ->
+        match o with
+        | Pool.Failed ({ Pool.reason = Pool.Dependency _; _ } : Pool.failure) -> (fs, sk + 1)
+        | Pool.Failed f -> (f :: fs, sk)
+        | Pool.Done _ -> (fs, sk))
+      ([], 0) outcomes
+  in
+  let failures = List.rev failures in
+  let cache1 = Cache.stats cache in
+  let dcache =
+    {
+      Cache.hits = cache1.Cache.hits - cache0.Cache.hits;
+      disk_hits = cache1.Cache.disk_hits - cache0.Cache.disk_hits;
+      misses = cache1.Cache.misses - cache0.Cache.misses;
+      stores = cache1.Cache.stores - cache0.Cache.stores;
+    }
+  in
+  Trace.add trace "cache.hits" (dcache.Cache.hits + dcache.Cache.disk_hits);
+  Trace.add trace "cache.misses" dcache.Cache.misses;
+  let stats =
+    {
+      total_jobs = Array.length outcomes;
+      succeeded =
+        Array.fold_left (fun n o -> match o with Pool.Done _ -> n + 1 | _ -> n) 0 outcomes;
+      failed = List.length failures;
+      skipped;
+      distinct_kernels = Jobgraph.distinct_kernels graph;
+      cache = dcache;
+      engine_invocations = Soc_hls.Engine.invocation_count () - engine0;
+      wall_seconds;
+    }
+  in
+  { builds = List.rev !builds; failures; stats; trace }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault injection                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a over the label so the decision depends only on (seed, label,
+   attempt) — never on scheduling order or worker identity. *)
+let label_hash label attempt =
+  let h = ref 0xcbf29ce484222325L in
+  let mix c = h := Int64.mul (Int64.logxor !h (Int64.of_int c)) 0x100000001b3L in
+  String.iter (fun c -> mix (Char.code c)) label;
+  mix (0x100 + attempt);
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
+let random_faults ~seed ~rate ?(max_attempt = 3) () ~label ~attempt =
+  if attempt >= max_attempt then None
+  else
+    let rng = Soc_util.Rng.create (seed lxor label_hash label attempt) in
+    if Soc_util.Rng.float rng < rate then
+      Some (Pool.Transient (Printf.sprintf "injected fault (seed %d, attempt %d)" seed attempt))
+    else None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let summary_table (r : report) =
+  let t =
+    Soc_util.Table.create ~title:"farm batch"
+      [ "#"; "design"; "outcome"; "bitstream"; "LUT"; "est. tool s" ]
+      ~aligns:
+        [ Soc_util.Table.Right; Soc_util.Table.Left; Soc_util.Table.Left; Soc_util.Table.Left;
+          Soc_util.Table.Right; Soc_util.Table.Right ]
+  in
+  List.iter
+    (fun ((i : int), (b : Flow.build)) ->
+      Soc_util.Table.add_row t
+        [ string_of_int i; b.Flow.spec.Spec.design_name; "ok"; b.Flow.bitstream;
+          string_of_int b.Flow.resources.Soc_hls.Report.lut;
+          Printf.sprintf "%.0f" (Soc_core.Toolsim.total b.Flow.tool_times) ])
+    r.builds;
+  List.iter
+    (fun (f : Pool.failure) ->
+      Soc_util.Table.add_row t
+        [ "-"; f.Pool.label; "FAILED"; Format.asprintf "%a" Pool.pp_failure f; "-"; "-" ])
+    r.failures;
+  t
+
+let render_report (r : report) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Soc_util.Table.render (summary_table r));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Soc_util.Table.render (Trace.counter_table r.trace));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf
+       "jobs: %d total, %d ok, %d failed, %d skipped; %d distinct kernels; %d engine runs; %.3fs wall\n"
+       r.stats.total_jobs r.stats.succeeded r.stats.failed r.stats.skipped
+       r.stats.distinct_kernels r.stats.engine_invocations r.stats.wall_seconds);
+  Buffer.add_string buf
+    (Printf.sprintf "cache: +%d hits, +%d disk hits, +%d misses, +%d stores\n"
+       r.stats.cache.Cache.hits r.stats.cache.Cache.disk_hits r.stats.cache.Cache.misses
+       r.stats.cache.Cache.stores);
+  Buffer.contents buf

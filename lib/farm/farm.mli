@@ -1,0 +1,66 @@
+(** The build farm: execute a batch of SoC generation flows as a parallel,
+    fault-tolerant, observable job DAG.
+
+    [build_batch] plans the batch with {!Jobgraph.plan}, runs it on a
+    {!Pool} of worker domains sharing a content-addressed {!Cache}, and
+    returns every architecture's {!Soc_core.Flow.build} plus structured
+    failure reports — a failing or hung job never aborts the batch.
+
+    Determinism guarantees (tested):
+    - results are bit-identical for any [jobs] count;
+    - a warm cache yields bit-identical build records to a cold one
+      (reuse is attributed by batch position, not cache state);
+    - injected transient faults that are retried to success leave no trace
+      in the artifacts. *)
+
+type stats = {
+  total_jobs : int;
+  succeeded : int;
+  failed : int;  (** primary failures *)
+  skipped : int;  (** jobs skipped because a dependency failed *)
+  distinct_kernels : int;
+  cache : Cache.stats;
+  engine_invocations : int;  (** real HLS engine runs during this batch *)
+  wall_seconds : float;
+}
+
+type report = {
+  builds : (int * Soc_core.Flow.build) list;
+      (** successful architectures, (batch index, build), ascending *)
+  failures : Pool.failure list;
+      (** primary failures in job order (dependency skips excluded) *)
+  stats : stats;
+  trace : Trace.t;
+}
+
+val build_batch :
+  ?jobs:int ->
+  ?hls_config:Soc_hls.Engine.config ->
+  ?fifo_depth:int ->
+  ?cache:Cache.t ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?timeout:float ->
+  ?fault:(label:string -> attempt:int -> Pool.fault option) ->
+  ?trace:Trace.t ->
+  Jobgraph.entry list ->
+  report
+(** Defaults: [jobs] = {!Domain.recommended_domain_count}, a fresh
+    in-memory [cache], [retries] = 2, [backoff] = 0, no [timeout], no
+    [fault] injection. Pass the same [cache] across batches (or one with a
+    [disk_dir]) to share real HLS work. *)
+
+val random_faults :
+  seed:int -> rate:float -> ?max_attempt:int -> unit ->
+  label:string -> attempt:int -> Pool.fault option
+(** Deterministic transient-fault injector for robustness testing: fires
+    with probability [rate] per (label, attempt), derived from [seed] via
+    {!Soc_util.Rng} — independent of scheduling order. Never fires once
+    [attempt >= max_attempt] (default 3), so [retries >= max_attempt]
+    guarantees convergence. *)
+
+val summary_table : report -> Soc_util.Table.t
+(** Per-architecture outcome table. *)
+
+val render_report : report -> string
+(** Summary + counters + cache line, for CLI / bench output. *)

@@ -1,0 +1,224 @@
+type fault = Transient of string | Hang
+
+type token = { flag : bool Atomic.t }
+
+let cancelled tok = Atomic.get tok.flag
+
+exception Cancelled
+
+let check tok = if cancelled tok then raise Cancelled
+
+(* An injected hang: burn scheduler slots exactly like a wedged external
+   tool would, but observe the cancellation token so the deadline monitor
+   can reclaim the worker. *)
+let hang_until_cancelled tok =
+  while not (cancelled tok) do
+    Domain.cpu_relax ()
+  done;
+  raise Cancelled
+
+type reason = Timed_out of float | Exception of string | Dependency of int
+
+type failure = { index : int; label : string; attempts : int; reason : reason }
+
+let pp_failure fmt f =
+  Format.fprintf fmt "job %d (%s) failed after %d attempt%s: %s" f.index f.label f.attempts
+    (if f.attempts = 1 then "" else "s")
+    (match f.reason with
+    | Timed_out s -> Printf.sprintf "exceeded %.3fs deadline" s
+    | Exception msg -> msg
+    | Dependency d -> Printf.sprintf "dependency %d failed" d)
+
+type 'a outcome = Done of 'a | Failed of failure
+
+type 'a job = {
+  label : string;
+  cat : string;
+  deps : int list;
+  work : token -> (int -> 'a) -> 'a;
+}
+
+exception Injected_transient of string
+
+type 'a state = {
+  jobs : 'a job array;
+  results : 'a outcome option array;
+  remaining : int array;  (* unfinished dependency count *)
+  failed_dep : int option array;  (* first failed dependency, if any *)
+  dependents : int list array;
+  mutable ready : int list;  (* ascending ids *)
+  mutable completed : int;
+  mutable running : (int * float * token) list;  (* id, start, token *)
+  lock : Mutex.t;
+  work_available : Condition.t;
+}
+
+let insert_sorted x l =
+  let rec go = function [] -> [ x ] | y :: tl -> if x < y then x :: y :: tl else y :: go tl in
+  go l
+
+let run ?jobs:(nworkers = Domain.recommended_domain_count ()) ?(retries = 2) ?(backoff = 0.0)
+    ?timeout ?fault ?trace (jobs : 'a job array) : 'a outcome array =
+  let n = Array.length jobs in
+  Array.iteri
+    (fun i j ->
+      List.iter
+        (fun d ->
+          if d < 0 || d >= i then
+            invalid_arg (Printf.sprintf "Pool.run: job %d has illegal dep %d" i d))
+        j.deps)
+    jobs;
+  let st =
+    {
+      jobs;
+      results = Array.make n None;
+      remaining = Array.map (fun j -> List.length j.deps) jobs;
+      failed_dep = Array.make n None;
+      dependents = Array.make n [];
+      ready = [];
+      completed = 0;
+      running = [];
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+    }
+  in
+  Array.iteri
+    (fun i j -> List.iter (fun d -> st.dependents.(d) <- i :: st.dependents.(d)) j.deps)
+    jobs;
+  let gauge_depth () =
+    match trace with
+    | Some t -> Trace.max_gauge t "queue.depth.max" (List.length st.ready)
+    | None -> ()
+  in
+  Array.iteri (fun i j -> if j.deps = [] then st.ready <- insert_sorted i st.ready) jobs;
+  gauge_depth ();
+  (* Finish a job (lock held): record the outcome, unblock dependents, and
+     propagate failures to dependents that will never run. *)
+  let rec finish i outcome =
+    st.results.(i) <- Some outcome;
+    st.completed <- st.completed + 1;
+    st.running <- List.filter (fun (id, _, _) -> id <> i) st.running;
+    (match outcome with
+    | Failed _ ->
+      List.iter
+        (fun d -> if st.failed_dep.(d) = None then st.failed_dep.(d) <- Some i)
+        st.dependents.(i)
+    | Done _ -> ());
+    List.iter
+      (fun d ->
+        st.remaining.(d) <- st.remaining.(d) - 1;
+        if st.remaining.(d) = 0 then
+          match st.failed_dep.(d) with
+          | Some dep ->
+            finish d
+              (Failed
+                 { index = d; label = st.jobs.(d).label; attempts = 0; reason = Dependency dep })
+          | None ->
+            st.ready <- insert_sorted d st.ready;
+            gauge_depth ())
+      st.dependents.(i);
+    Condition.broadcast st.work_available
+  in
+  let get i =
+    Mutex.lock st.lock;
+    let r = st.results.(i) in
+    Mutex.unlock st.lock;
+    match r with
+    | Some (Done v) -> v
+    | _ -> invalid_arg "Pool: dependency result requested before completion"
+  in
+  let record_span label cat worker t0 attempt outcome =
+    match trace with
+    | None -> ()
+    | Some t ->
+      Trace.add_span t
+        { Trace.name = label; cat; worker; t_start = t0; t_end = Trace.now t; attempt; outcome }
+  in
+  let tnow () = match trace with Some t -> Trace.now t | None -> Unix.gettimeofday () in
+  (* One attempt cycle for job [i], run without the lock. *)
+  let execute worker i tok =
+    let j = st.jobs.(i) in
+    let rec attempt k =
+      let t0 = tnow () in
+      let res =
+        try
+          (match fault with
+          | Some f -> (
+            match f ~label:j.label ~attempt:k with
+            | Some (Transient msg) -> raise (Injected_transient msg)
+            | Some Hang -> hang_until_cancelled tok
+            | None -> ())
+          | None -> ());
+          Ok (j.work tok get)
+        with e -> Error e
+      in
+      match res with
+      | Ok v ->
+        record_span j.label j.cat worker t0 k "ok";
+        Done v
+      | Error (Injected_transient msg) when k < retries ->
+        record_span j.label j.cat worker t0 k "transient";
+        (match trace with Some t -> Trace.incr t "retries" | None -> ());
+        if backoff > 0.0 then Unix.sleepf (backoff *. (2.0 ** float_of_int k));
+        attempt (k + 1)
+      | Error (Injected_transient msg) ->
+        record_span j.label j.cat worker t0 k "transient";
+        Failed
+          { index = i; label = j.label; attempts = k + 1;
+            reason = Exception ("transient fault (retries exhausted): " ^ msg) }
+      | Error Cancelled ->
+        record_span j.label j.cat worker t0 k "timeout";
+        Failed
+          { index = i; label = j.label; attempts = k + 1;
+            reason = Timed_out (Option.value ~default:0.0 timeout) }
+      | Error e ->
+        record_span j.label j.cat worker t0 k "error";
+        Failed { index = i; label = j.label; attempts = k + 1; reason = Exception (Printexc.to_string e) }
+    in
+    attempt 0
+  in
+  let worker_loop worker =
+    Mutex.lock st.lock;
+    let rec loop () =
+      if st.completed >= n then (
+        Condition.broadcast st.work_available;
+        Mutex.unlock st.lock)
+      else
+        match st.ready with
+        | [] ->
+          Condition.wait st.work_available st.lock;
+          loop ()
+        | i :: rest ->
+          st.ready <- rest;
+          let tok = { flag = Atomic.make false } in
+          st.running <- (i, tnow (), tok) :: st.running;
+          Mutex.unlock st.lock;
+          let outcome = execute worker i tok in
+          Mutex.lock st.lock;
+          finish i outcome;
+          loop ()
+    in
+    loop ()
+  in
+  let nworkers = max 1 (min nworkers (max 1 n)) in
+  let domains = List.init nworkers (fun w -> Domain.spawn (fun () -> worker_loop (w + 1))) in
+  (* Deadline monitor: poll running jobs and cancel those past the
+     per-job timeout. Cooperative — the job observes its token. *)
+  (match timeout with
+  | None -> ()
+  | Some limit ->
+    let rec monitor () =
+      Mutex.lock st.lock;
+      let done_ = st.completed >= n in
+      let now = tnow () in
+      List.iter
+        (fun (_, t0, tok) -> if now -. t0 > limit then Atomic.set tok.flag true)
+        st.running;
+      Mutex.unlock st.lock;
+      if not done_ then (
+        Unix.sleepf 0.001;
+        monitor ())
+    in
+    monitor ());
+  List.iter Domain.join domains;
+  Array.map (function Some o -> o | None -> assert false) st.results

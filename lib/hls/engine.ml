@@ -40,7 +40,15 @@ let directives_of_kernel (k : Soc_kernel.Ast.kernel) =
     (Printf.sprintf "set_directive_interface -mode s_axilite \"%s\" return\n" k.kname);
   Buffer.contents buf
 
+(* Global count of real synthesis runs. The farm's cache-effectiveness
+   guarantees are stated in terms of this counter: a cached build must
+   perform strictly fewer invocations than independent builds. *)
+let invocations = Atomic.make 0
+
+let invocation_count () = Atomic.get invocations
+
 let synthesize ?(config = default_config) (k : Soc_kernel.Ast.kernel) : accel =
+  Atomic.incr invocations;
   let cfg = Soc_kernel.Cfg.of_kernel k in
   if config.optimize then ignore (Soc_kernel.Opt.run cfg);
   let sched = Schedule.of_cfg ~strategy:config.strategy ~resources:config.resources cfg in

@@ -26,3 +26,8 @@ val directives_of_kernel : Soc_kernel.Ast.kernel -> string
 val synthesize : ?config:config -> Soc_kernel.Ast.kernel -> accel
 (** Raises [Failure] on typechecking errors or (internal) illegal
     schedules. *)
+
+val invocation_count : unit -> int
+(** Number of real [synthesize] runs in this process so far (all domains).
+    Cache layers (e.g. [Soc_farm.Cache]) are measured against this: a hit
+    must not move it. *)

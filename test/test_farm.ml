@@ -1,0 +1,445 @@
+(* Tests for the build farm: content hashing, the artifact cache, the
+   domain pool, and the batched generation flow — including the acceptance
+   guarantees: a shared farm cache performs strictly fewer real HLS engine
+   runs than independent builds, results are bit-identical for any worker
+   count, and warm-cache builds are bit-exact replicas of cold ones. *)
+
+module Farm = Soc_farm.Farm
+module Jobgraph = Soc_farm.Jobgraph
+module Cache = Soc_farm.Cache
+module Chash = Soc_farm.Chash
+module Pool = Soc_farm.Pool
+module Trace = Soc_farm.Trace
+module Flow = Soc_core.Flow
+module Graphs = Soc_apps.Graphs
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let w = 16
+let h = 16
+
+let entries () =
+  List.map
+    (fun arch ->
+      { Jobgraph.spec = Graphs.arch_spec arch;
+        kernels = Graphs.arch_kernels arch ~width:w ~height:h })
+    Graphs.all_archs
+
+(* Bit-exact comparison of whole build records (specs, Tcl, address maps,
+   accelerators down to the netlists, software artifacts, tool times).
+   [No_sharing] so the digest depends only on structure — a cached accel
+   that no longer physically shares its kernel with the node_impl must
+   still compare equal. *)
+let digest (b : Flow.build) =
+  Digest.to_hex (Digest.string (Marshal.to_string b [ Marshal.No_sharing ]))
+
+let digests (r : Farm.report) = List.map (fun (i, b) -> (i, digest b)) r.Farm.builds
+
+(* ------------------------------------------------------------------ *)
+(* Content hash                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cfg = Soc_hls.Engine.default_config
+
+let test_chash_stable () =
+  let k () = Soc_apps.Otsu.histogram_kernel ~pixels:64 in
+  check Alcotest.string "same IR, same hash"
+    (Chash.to_hex (Chash.kernel ~config:cfg (k ())))
+    (Chash.to_hex (Chash.kernel ~config:cfg (k ())))
+
+let test_chash_discriminates () =
+  let k = Soc_apps.Otsu.histogram_kernel ~pixels:64 in
+  let k' = Soc_apps.Otsu.histogram_kernel ~pixels:65 in
+  check Alcotest.bool "different trip count, different hash" true
+    (Chash.kernel ~config:cfg k <> Chash.kernel ~config:cfg k');
+  let cfg' = { cfg with Soc_hls.Engine.optimize = false } in
+  check Alcotest.bool "different HLS config, different hash" true
+    (Chash.kernel ~config:cfg k <> Chash.kernel ~config:cfg' k)
+
+let test_chash_name_is_not_the_key () =
+  (* Two kernels with the same name but different bodies must never alias —
+     the failure mode of the old name-keyed cache. *)
+  let open Soc_kernel.Ast.Build in
+  let mk body =
+    { Soc_kernel.Ast.kname = "f";
+      ports = [ in_scalar "a" Soc_kernel.Ty.U32; out_scalar "r" Soc_kernel.Ty.U32 ];
+      locals = []; arrays = []; body }
+  in
+  check Alcotest.bool "same name, different body" true
+    (Chash.kernel ~config:cfg (mk [ set "r" (v "a" +: int 1) ])
+    <> Chash.kernel ~config:cfg (mk [ set "r" (v "a" +: int 2) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let int_job ?(deps = []) label f : int Pool.job =
+  { Pool.label; cat = "test"; deps; work = (fun _ get -> f get) }
+
+let test_pool_dag_order () =
+  (* A diamond: 0 -> {1, 2} -> 3. *)
+  let jobs =
+    [|
+      int_job "a" (fun _ -> 1);
+      int_job ~deps:[ 0 ] "b" (fun get -> (get 0) * 10);
+      int_job ~deps:[ 0 ] "c" (fun get -> (get 0) + 5);
+      int_job ~deps:[ 1; 2 ] "d" (fun get -> get 1 + get 2);
+    |]
+  in
+  match Pool.run ~jobs:4 jobs with
+  | [| Pool.Done 1; Pool.Done 10; Pool.Done 6; Pool.Done 16 |] -> ()
+  | _ -> Alcotest.fail "unexpected outcomes"
+
+let test_pool_deterministic_across_workers () =
+  let jobs =
+    Array.init 40 (fun i ->
+        int_job (Printf.sprintf "j%d" i)
+          ~deps:(if i = 0 then [] else [ i - 1 ])
+          (fun get -> if i = 0 then 7 else (get (i - 1) * 31 + i) land 0xFFFF))
+  in
+  let run n = Array.map (function Pool.Done v -> v | _ -> -1) (Pool.run ~jobs:n jobs) in
+  check (Alcotest.array Alcotest.int) "1 worker = 8 workers" (run 1) (run 8)
+
+let test_pool_failure_propagates () =
+  let jobs =
+    [|
+      int_job "ok" (fun _ -> 1);
+      { Pool.label = "boom"; cat = "test"; deps = [ 0 ];
+        work = (fun _ _ -> failwith "kaboom") };
+      int_job ~deps:[ 1 ] "downstream" (fun get -> get 1);
+      int_job ~deps:[ 0 ] "independent" (fun get -> get 0 + 1);
+    |]
+  in
+  let o = Pool.run ~jobs:2 ~retries:0 jobs in
+  (match o.(1) with
+  | Pool.Failed { Pool.reason = Pool.Exception msg; attempts = 1; _ } ->
+    check Alcotest.bool "message kept" true (Tstr.contains msg "kaboom")
+  | _ -> Alcotest.fail "job 1 should fail");
+  (match o.(2) with
+  | Pool.Failed { Pool.reason = Pool.Dependency 1; _ } -> ()
+  | _ -> Alcotest.fail "job 2 should be skipped on dependency failure");
+  match o.(3) with
+  | Pool.Done 2 -> ()
+  | _ -> Alcotest.fail "independent job must still run"
+
+let test_pool_retries_transient () =
+  (* Fails twice, succeeds on the third attempt. *)
+  let fault ~label ~attempt =
+    if label = "flaky" && attempt < 2 then Some (Pool.Transient "simulated") else None
+  in
+  let trace = Trace.create () in
+  let jobs = [| int_job "flaky" (fun _ -> 42) |] in
+  (match Pool.run ~jobs:1 ~retries:3 ~fault ~trace jobs with
+  | [| Pool.Done 42 |] -> ()
+  | _ -> Alcotest.fail "should converge after retries");
+  check Alcotest.int "two retries counted" 2 (List.assoc "retries" (Trace.counters trace))
+
+let test_pool_retries_exhausted () =
+  let fault ~label:_ ~attempt:_ = Some (Pool.Transient "always") in
+  match Pool.run ~jobs:1 ~retries:2 ~fault [| int_job "doomed" (fun _ -> 0) |] with
+  | [| Pool.Failed { Pool.attempts = 3; reason = Pool.Exception msg; _ } |] ->
+    check Alcotest.bool "says retries exhausted" true (Tstr.contains msg "retries exhausted")
+  | _ -> Alcotest.fail "should fail after exhausting retries"
+
+let test_pool_hang_cancelled () =
+  let fault ~label ~attempt:_ = if label = "wedged" then Some Pool.Hang else None in
+  let t0 = Unix.gettimeofday () in
+  match
+    Pool.run ~jobs:2 ~retries:0 ~timeout:0.05 ~fault
+      [| int_job "wedged" (fun _ -> 0); int_job "fine" (fun _ -> 9) |]
+  with
+  | [| Pool.Failed { Pool.reason = Pool.Timed_out _; _ }; Pool.Done 9 |] ->
+    check Alcotest.bool "cancelled promptly (not a test-suite hang)" true
+      (Unix.gettimeofday () -. t0 < 10.0)
+  | _ -> Alcotest.fail "hung job must time out; healthy job must finish"
+
+(* ------------------------------------------------------------------ *)
+(* Job graph                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_dedups_kernels () =
+  let g = Jobgraph.plan (entries ()) in
+  (* grayScale, computeHistogram, halfProbability, segment — shared nodes
+     across Arch1-4 collapse to one HLS job each. *)
+  check Alcotest.int "4 distinct kernels" 4 (Jobgraph.distinct_kernels g);
+  (* 4 HLS + 4 per-arch stage jobs * 4 archs *)
+  check Alcotest.int "job count" (4 + (4 * 4)) (Array.length g.Jobgraph.nodes);
+  (* Deps are well-formed (each dep precedes its job). *)
+  Array.iteri
+    (fun i (n : Jobgraph.node) ->
+      List.iter (fun d -> check Alcotest.bool "dep < job" true (d < i)) n.Jobgraph.deps)
+    g.Jobgraph.nodes
+
+let test_plan_ownership_by_batch_order () =
+  let g = Jobgraph.plan (entries ()) in
+  Array.iter
+    (fun (n : Jobgraph.node) ->
+      match n.Jobgraph.task with
+      | Jobgraph.Hls { kernel; owner; _ } ->
+        let expected =
+          match kernel.Soc_kernel.Ast.kname with
+          | "computeHistogram" -> 0 (* first needed by Arch1 *)
+          | "halfProbability" -> 1 (* Arch2 *)
+          | "grayScale" | "segment" -> 3 (* only Arch4 *)
+          | k -> Alcotest.failf "unexpected kernel %s" k
+        in
+        check Alcotest.int ("owner of " ^ kernel.Soc_kernel.Ast.kname) expected owner
+      | _ -> ())
+    g.Jobgraph.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Farm batches                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_matches_serial_flow () =
+  (* The farm must produce bit-identical build records to the serial
+     legacy path (shared name-keyed cache, same batch order). *)
+  let serial =
+    let table = Hashtbl.create 8 in
+    List.map
+      (fun (e : Jobgraph.entry) ->
+        digest (Flow.build ~hls_cache:table e.Jobgraph.spec ~kernels:e.Jobgraph.kernels))
+      (entries ())
+  in
+  let r = Farm.build_batch ~jobs:4 (entries ()) in
+  check Alcotest.int "all four built" 4 (List.length r.Farm.builds);
+  check (Alcotest.list Alcotest.string) "farm = serial flow, bit-exact" serial
+    (List.map snd (digests r))
+
+let test_batch_fewer_engine_invocations () =
+  (* Acceptance: Arch1-4 through a shared farm cache performs strictly
+     fewer real HLS engine invocations than four independent builds. *)
+  let before = Soc_hls.Engine.invocation_count () in
+  List.iter
+    (fun (e : Jobgraph.entry) ->
+      ignore (Flow.build e.Jobgraph.spec ~kernels:e.Jobgraph.kernels))
+    (entries ());
+  let independent = Soc_hls.Engine.invocation_count () - before in
+  let r = Farm.build_batch ~jobs:2 (entries ()) in
+  check Alcotest.int "independent builds run HLS per (arch, kernel)" 8 independent;
+  check Alcotest.int "farm runs HLS once per distinct kernel" 4
+    r.Farm.stats.Farm.engine_invocations;
+  check Alcotest.bool "strictly fewer" true
+    (r.Farm.stats.Farm.engine_invocations < independent)
+
+let test_batch_warm_cache_bit_exact () =
+  let cache = Cache.create () in
+  let cold = Farm.build_batch ~jobs:4 ~cache (entries ()) in
+  let e0 = Soc_hls.Engine.invocation_count () in
+  let warm = Farm.build_batch ~jobs:4 ~cache (entries ()) in
+  check Alcotest.int "warm batch runs no engine" 0 (Soc_hls.Engine.invocation_count () - e0);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "warm = cold, bit-exact records (incl. tool-time reuse attribution)"
+    (digests cold) (digests warm)
+
+let test_batch_warm_from_disk () =
+  let dir = Filename.temp_file "socfarm" ".cache" in
+  Sys.remove dir;
+  let cold = Farm.build_batch ~cache:(Cache.create ~disk_dir:dir ()) (entries ()) in
+  (* A fresh in-memory cache, same disk layer: everything loads from disk. *)
+  let cache2 = Cache.create ~disk_dir:dir () in
+  let e0 = Soc_hls.Engine.invocation_count () in
+  let warm = Farm.build_batch ~cache:cache2 (entries ()) in
+  check Alcotest.int "no engine runs" 0 (Soc_hls.Engine.invocation_count () - e0);
+  check Alcotest.bool "served from disk" true ((Cache.stats cache2).Cache.disk_hits >= 4);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "disk-warm = cold" (digests cold) (digests warm)
+
+let test_batch_disk_version_mismatch_is_miss () =
+  let dir = Filename.temp_file "socfarm" ".cache" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  (* Poison the directory with garbage entries; they must read as misses. *)
+  let c = Cache.create ~disk_dir:dir () in
+  ignore (Farm.build_batch ~cache:c (entries ()));
+  Array.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      Out_channel.with_open_bin path (fun oc -> output_string oc "not a marshal"))
+    (Sys.readdir dir);
+  let c2 = Cache.create ~disk_dir:dir () in
+  let r = Farm.build_batch ~cache:c2 (entries ()) in
+  check Alcotest.int "all four built despite corrupt disk cache" 4 (List.length r.Farm.builds);
+  check Alcotest.bool "corrupt entries were not disk hits" true
+    ((Cache.stats c2).Cache.disk_hits = 0)
+
+let prop_jobs_count_invariant =
+  QCheck.Test.make ~name:"farm: --jobs N bit-identical to --jobs 1" ~count:3
+    QCheck.(int_range 2 8)
+    (fun n ->
+      let one = Farm.build_batch ~jobs:1 (entries ()) in
+      let many = Farm.build_batch ~jobs:n (entries ()) in
+      digests one = digests many)
+
+let prop_transient_faults_converge =
+  QCheck.Test.make ~name:"farm: retried transient faults leave no trace in artifacts"
+    ~count:5
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let baseline = digests (Farm.build_batch ~jobs:2 (entries ())) in
+      let faulty =
+        Farm.build_batch ~jobs:4
+          ~fault:(Farm.random_faults ~seed ~rate:0.5 ~max_attempt:2 ())
+          ~retries:4 (entries ())
+      in
+      faulty.Farm.failures = [] && digests faulty = baseline)
+
+let test_batch_retries_exhausted_reported () =
+  (* A kernel job that always faults: its architectures fail with a
+     structured report; unaffected architectures still build. *)
+  let fault ~label ~attempt:_ =
+    if Tstr.contains label "halfProbability" then Some (Pool.Transient "injected") else None
+  in
+  let r = Farm.build_batch ~jobs:2 ~retries:1 ~fault (entries ()) in
+  (* Arch2/3/4 need halfProbability; Arch1 does not. *)
+  check (Alcotest.list Alcotest.int) "only Arch1 builds" [ 0 ]
+    (List.map fst r.Farm.builds);
+  check Alcotest.int "one primary failure" 1 (List.length r.Farm.failures);
+  (match r.Farm.failures with
+  | [ { Pool.reason = Pool.Exception msg; attempts = 2; label; _ } ] ->
+    check Alcotest.bool "names the kernel" true (Tstr.contains label "halfProbability");
+    check Alcotest.bool "explains" true (Tstr.contains msg "retries exhausted")
+  | _ -> Alcotest.fail "expected a structured transient-failure report");
+  check Alcotest.bool "dependents skipped, not failed" true (r.Farm.stats.Farm.skipped > 0)
+
+let test_batch_hung_job_deadline () =
+  (* Acceptance (satellite): a hung job is cancelled and reported; the
+     rest of the batch completes. *)
+  let fault ~label ~attempt:_ =
+    if Tstr.contains label "halfProbability" then Some Pool.Hang else None
+  in
+  let r = Farm.build_batch ~jobs:2 ~retries:0 ~timeout:0.05 ~fault (entries ()) in
+  check (Alcotest.list Alcotest.int) "only Arch1 builds" [ 0 ] (List.map fst r.Farm.builds);
+  match r.Farm.failures with
+  | [ { Pool.reason = Pool.Timed_out limit; label; _ } ] ->
+    check Alcotest.bool "the hung HLS job" true (Tstr.contains label "halfProbability");
+    check (Alcotest.float 1e-9) "reports the deadline" 0.05 limit
+  | _ -> Alcotest.fail "expected a timeout report"
+
+let test_batch_missing_kernel_is_structured () =
+  (* A broken entry surfaces as Job_failed data, not an exception, and
+     does not poison the rest of the batch. *)
+  let good = entries () in
+  let broken =
+    { Jobgraph.spec = Graphs.arch_spec Graphs.Arch1; kernels = [] (* nothing *) }
+  in
+  let r = Farm.build_batch ~jobs:2 (broken :: good) in
+  check (Alcotest.list Alcotest.int) "the four good entries build" [ 1; 2; 3; 4 ]
+    (List.map fst r.Farm.builds);
+  match r.Farm.failures with
+  | [ { Pool.reason = Pool.Exception msg; label; _ } ] ->
+    check Alcotest.bool "integrate job" true (Tstr.contains label "integrate");
+    check Alcotest.bool "names the node" true (Tstr.contains msg "computeHistogram")
+  | _ -> Alcotest.fail "expected one structured failure"
+
+(* ------------------------------------------------------------------ *)
+(* Estimate/actual reuse agreement + deprecated wrapper                 *)
+(* ------------------------------------------------------------------ *)
+
+let hls_seconds (b : Flow.build) =
+  List.assoc Soc_core.Toolsim.Hls b.Flow.tool_times.Soc_core.Toolsim.seconds
+
+let test_reuse_agreement () =
+  (* In a farm batch, an arch is charged HLS time exactly when its kernels'
+     HLS jobs were owned by it — modelled reuse = actual reuse. *)
+  let r = Farm.build_batch (entries ()) in
+  let by i = List.assoc i r.Farm.builds in
+  check Alcotest.bool "Arch1 pays for computeHistogram" true (hls_seconds (by 0) > 0.0);
+  check Alcotest.bool "Arch2 pays for halfProbability" true (hls_seconds (by 1) > 0.0);
+  check (Alcotest.float 1e-9) "Arch3 reuses both" 0.0 (hls_seconds (by 2));
+  check Alcotest.bool "Arch4 pays only for its own kernels" true
+    (hls_seconds (by 3) > 0.0)
+
+let test_deprecated_hls_cache_wrapper () =
+  (* The back-compat wrapper keeps the historical semantics: shared table,
+     name-keyed discounts, second build's HLS phase costs nothing. *)
+  let table = Hashtbl.create 8 in
+  let e = List.nth (entries ()) 0 in
+  let b1 = Flow.build ~hls_cache:table e.Jobgraph.spec ~kernels:e.Jobgraph.kernels in
+  let b2 = Flow.build ~hls_cache:table e.Jobgraph.spec ~kernels:e.Jobgraph.kernels in
+  check Alcotest.bool "first build charged" true (hls_seconds b1 > 0.0);
+  check (Alcotest.float 1e-9) "second build free" 0.0 (hls_seconds b2);
+  (* ... but unlike the farm cache it still re-ran the engine. *)
+  let before = Soc_hls.Engine.invocation_count () in
+  ignore (Flow.build ~hls_cache:table e.Jobgraph.spec ~kernels:e.Jobgraph.kernels);
+  check Alcotest.int "legacy path re-synthesizes" 1
+    (Soc_hls.Engine.invocation_count () - before)
+
+let test_flow_hls_hook () =
+  (* Flow.build with the farm cache engine: second call does no HLS work. *)
+  let cache = Cache.create () in
+  let e = List.nth (entries ()) 3 in
+  let b1 = Flow.build ~hls:(Cache.hls_engine cache) e.Jobgraph.spec ~kernels:e.Jobgraph.kernels in
+  let before = Soc_hls.Engine.invocation_count () in
+  let b2 = Flow.build ~hls:(Cache.hls_engine cache) e.Jobgraph.spec ~kernels:e.Jobgraph.kernels in
+  check Alcotest.int "cached build runs no engine" 0
+    (Soc_hls.Engine.invocation_count () - before);
+  check Alcotest.string "accelerators bit-identical" (digest b1)
+    (digest { b2 with Flow.tool_times = b1.Flow.tool_times })
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_spans_and_json () =
+  let r = Farm.build_batch ~jobs:2 (entries ()) in
+  let spans = Trace.spans r.Farm.trace in
+  check Alcotest.bool "one span per job" true
+    (List.length spans = r.Farm.stats.Farm.total_jobs);
+  let cats = List.sort_uniq compare (List.map (fun s -> s.Trace.cat) spans) in
+  check (Alcotest.list Alcotest.string) "all phases traced"
+    [ "finalize"; "hls"; "integrate"; "swgen"; "synth" ] cats;
+  List.iter
+    (fun (s : Trace.span) ->
+      check Alcotest.bool "span has duration >= 0" true (s.Trace.t_end >= s.Trace.t_start))
+    spans;
+  let json = Trace.to_chrome_json r.Farm.trace in
+  check Alcotest.bool "chrome trace envelope" true
+    (Tstr.contains json "\"traceEvents\"" && Tstr.contains json "\"ph\":\"X\"");
+  check Alcotest.bool "counters exported" true (Tstr.contains json "cache.misses");
+  check Alcotest.int "cache misses counted" 4
+    (List.assoc "cache.misses" (Trace.counters r.Farm.trace))
+
+let test_report_rendering () =
+  let r = Farm.build_batch ~jobs:2 (entries ()) in
+  let s = Farm.render_report r in
+  check Alcotest.bool "mentions every arch" true
+    (List.for_all (fun a -> Tstr.contains s (Graphs.arch_name a |> String.lowercase_ascii))
+       Graphs.all_archs
+    || List.for_all
+         (fun (_, (b : Flow.build)) -> Tstr.contains s b.Flow.spec.Soc_core.Spec.design_name)
+         r.Farm.builds);
+  check Alcotest.bool "mentions cache" true (Tstr.contains s "cache")
+
+let suite =
+  [
+    ("chash stable", `Quick, test_chash_stable);
+    ("chash discriminates IR and config", `Quick, test_chash_discriminates);
+    ("chash: name is not the key", `Quick, test_chash_name_is_not_the_key);
+    ("pool: diamond DAG", `Quick, test_pool_dag_order);
+    ("pool: deterministic across workers", `Quick, test_pool_deterministic_across_workers);
+    ("pool: failure propagates to dependents", `Quick, test_pool_failure_propagates);
+    ("pool: transient retried", `Quick, test_pool_retries_transient);
+    ("pool: retries exhausted", `Quick, test_pool_retries_exhausted);
+    ("pool: hung job cancelled", `Quick, test_pool_hang_cancelled);
+    ("plan: kernels deduplicated", `Quick, test_plan_dedups_kernels);
+    ("plan: ownership by batch order", `Quick, test_plan_ownership_by_batch_order);
+    ("batch = serial flow (bit-exact)", `Quick, test_batch_matches_serial_flow);
+    ("batch: strictly fewer engine runs", `Quick, test_batch_fewer_engine_invocations);
+    ("batch: warm cache bit-exact", `Quick, test_batch_warm_cache_bit_exact);
+    ("batch: warm from disk", `Quick, test_batch_warm_from_disk);
+    ("batch: corrupt disk cache = miss", `Quick, test_batch_disk_version_mismatch_is_miss);
+    ("batch: faulty kernel reported, rest builds", `Quick, test_batch_retries_exhausted_reported);
+    ("batch: hung job hits deadline", `Quick, test_batch_hung_job_deadline);
+    ("batch: missing kernel reported", `Quick, test_batch_missing_kernel_is_structured);
+    ("reuse: estimate = actual", `Quick, test_reuse_agreement);
+    ("deprecated hls_cache wrapper", `Quick, test_deprecated_hls_cache_wrapper);
+    ("flow hls hook + farm cache", `Quick, test_flow_hls_hook);
+    ("trace spans + chrome json", `Quick, test_trace_spans_and_json);
+    ("report rendering", `Quick, test_report_rendering);
+    qtest prop_jobs_count_invariant;
+    qtest prop_transient_faults_converge;
+  ]

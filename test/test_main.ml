@@ -17,7 +17,8 @@ let () =
       ("dse", Test_dse.suite);
       ("opt", Test_opt.suite);
       ("extensions", Test_extensions.suite);
-      ("domains", Test_domains.suite);
+      ("workloads", Test_workloads.suite);
       ("cosim", Test_cosim.suite);
       ("perf", Test_perf.suite);
+      ("farm", Test_farm.suite);
     ]

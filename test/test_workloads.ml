@@ -1,4 +1,4 @@
-(* Tests for the additional application domains: the XTEA crypto SoC and
+(* Tests for the additional application workloads: the XTEA crypto SoC and
    the FIR DSP pipeline. These exercise the DSL/flow/platform stack with
    workloads very different from the image case study. *)
 

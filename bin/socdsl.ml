@@ -39,6 +39,13 @@ let or_die = function
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"DSL source file (- for stdin).")
 
+(* Global deterministic seed, shared by every subcommand that involves any
+   randomness (chaos campaigns) or emits a report (build, farm): the
+   effective seed is always printed, so any run can be reproduced. *)
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+       ~doc:"Deterministic seed; every report prints the effective value.")
+
 (* ---------------- check ---------------- *)
 
 let check_cmd =
@@ -161,8 +168,9 @@ let builtin_kernels () =
   @ Soc_apps.Fir.pipeline_kernels ~samples:(w * h)
 
 let build_cmd =
-  let run file =
+  let run file seed =
     let spec = or_die (load file) in
+    Printf.printf "effective seed: %d\n" seed;
     let missing =
       List.filter
         (fun (n : Soc_core.Spec.node_spec) ->
@@ -202,12 +210,13 @@ let build_cmd =
        ~doc:
          "Run the full flow (HLS + integration + swgen) on a DSL source, resolving \
           node names against the built-in kernel library (case-study kernels).")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ seed_arg)
 
 (* ---------------- farm ---------------- *)
 
 let farm_cmd =
-  let run files jobs cache_dir trace_out retries timeout =
+  let run files jobs cache_dir trace_out retries timeout seed =
+    Printf.printf "effective seed: %d\n" seed;
     let entries =
       List.map
         (fun file ->
@@ -269,7 +278,115 @@ let farm_cmd =
           on worker domains, and failures are reported per job without aborting the \
           batch.")
     Term.(const run $ files_arg $ jobs_arg $ cache_dir_arg $ trace_arg $ retries_arg
-          $ timeout_arg)
+          $ timeout_arg $ seed_arg)
+
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let run seed faults width height no_fallback permanent bit_flips arch =
+    let archs =
+      match arch with
+      | None -> Soc_apps.Graphs.all_archs
+      | Some a -> [ a ]
+    in
+    Printf.printf "chaos campaign: effective seed %d, %d faults/arch, %dx%d image%s\n\n"
+      seed faults width height
+      (if no_fallback then ", fallback disabled" else "");
+    let outcomes =
+      List.map
+        (fun a ->
+          match
+            Soc_apps.Chaos_runner.run ~width ~height ~seed ~n_faults:faults
+              ~fallback:(not no_fallback) ~include_permanent:permanent
+              ~include_bit_flips:bit_flips a
+          with
+          | o ->
+            print_string (Soc_apps.Chaos_runner.render_outcome o);
+            print_newline ();
+            (a, Some o)
+          | exception (Soc_platform.Executive.Unrecoverable _ as e) ->
+            (* The registered printer renders the structured failure
+               report: faulty unit, injected faults, attempt history. *)
+            Printf.printf "=== %s: %s ===\n\n" (Soc_apps.Graphs.arch_name a)
+              (Printexc.to_string e);
+            (a, None))
+        archs
+    in
+    (* Recovery-counter summary over the whole campaign. *)
+    let keys =
+      [ "injected"; "detected"; "resets"; "retried"; "recovered"; "fell_back";
+        "unrecovered" ]
+    in
+    Printf.printf "%-8s %s %s\n" "arch"
+      (String.concat " " (List.map (Printf.sprintf "%11s") keys))
+      "output";
+    List.iter
+      (fun (a, o) ->
+        match o with
+        | Some (o : Soc_apps.Chaos_runner.outcome) ->
+          let ctrs = Soc_fault.Fault.counters o.Soc_apps.Chaos_runner.plan in
+          Printf.printf "%-8s %s %s\n"
+            (Soc_apps.Graphs.arch_name a)
+            (String.concat " "
+               (List.map
+                  (fun k -> Printf.sprintf "%11d" (Soc_util.Metrics.Counters.get ctrs k))
+                  keys))
+            (if o.Soc_apps.Chaos_runner.output_ok then "golden" else "MISMATCH")
+        | None ->
+          Printf.printf "%-8s %s %s\n" (Soc_apps.Graphs.arch_name a)
+            (String.concat " " (List.map (fun _ -> Printf.sprintf "%11s" "-") keys))
+            "UNRECOVERED")
+      outcomes;
+    let healthy =
+      List.for_all
+        (function
+          | _, Some (o : Soc_apps.Chaos_runner.outcome) -> o.Soc_apps.Chaos_runner.output_ok
+          | _, None -> false)
+        outcomes
+    in
+    Printf.printf "\ncampaign %s (reproduce with --seed %d)\n"
+      (if healthy then "healthy: all outputs golden" else "UNHEALTHY")
+      seed;
+    if not healthy then exit 1
+  in
+  let faults_arg =
+    Arg.(value & opt int 4 & info [ "faults" ] ~docv:"N"
+         ~doc:"Faults injected per architecture.")
+  in
+  let width_arg =
+    Arg.(value & opt int 32 & info [ "width" ] ~docv:"W" ~doc:"Image width.")
+  in
+  let height_arg =
+    Arg.(value & opt int 32 & info [ "height" ] ~docv:"H" ~doc:"Image height.")
+  in
+  let no_fallback_arg =
+    Arg.(value & flag & info [ "no-fallback" ]
+         ~doc:"Disable the software fallback; unrecovered campaigns report and fail.")
+  in
+  let permanent_arg =
+    Arg.(value & flag & info [ "permanent" ]
+         ~doc:"Allow permanently dead accelerators in the campaign.")
+  in
+  let bit_flips_arg =
+    Arg.(value & flag & info [ "bit-flips" ]
+         ~doc:"Allow single-bit DRAM flips in the output buffer.")
+  in
+  let arch_arg =
+    Arg.(value & opt (some (enum
+           [ ("1", Soc_apps.Graphs.Arch1); ("2", Soc_apps.Graphs.Arch2);
+             ("3", Soc_apps.Graphs.Arch3); ("4", Soc_apps.Graphs.Arch4) ])) None
+         & info [ "arch" ] ~docv:"N" ~doc:"Run a single architecture (1-4; default all).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos-test the co-simulated platform: run the Otsu case study under a \
+          seeded fault-injection campaign (accelerator hangs, spurious dones, DMA \
+          stalls and errors, stuck FIFOs, bus SLVERRs) with the fault-tolerant \
+          runtime (watchdog, soft reset + retry, software fallback), and verify \
+          the output stays bit-identical to the golden model.")
+    Term.(const run $ seed_arg $ faults_arg $ width_arg $ height_arg $ no_fallback_arg
+          $ permanent_arg $ bit_flips_arg $ arch_arg)
 
 (* ---------------- demo ---------------- *)
 
@@ -288,4 +405,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ check_cmd; print_cmd; tcl_cmd; qsys_cmd; devicetree_cmd; api_cmd; diagram_cmd;
-            metrics_cmd; build_cmd; farm_cmd; demo_cmd ]))
+            metrics_cmd; build_cmd; farm_cmd; chaos_cmd; demo_cmd ]))

@@ -1,0 +1,103 @@
+(** Chaos harness for the case-study architectures: run an Otsu host
+    program with a seeded (or explicit) fault campaign armed on the
+    executive, the hardware phase wrapped in the fault-tolerant runtime,
+    and the final segmented image checked bit-for-bit against the golden
+    model. One {!outcome} holds the recovery report, the full fault
+    narrative and the verdict. *)
+
+open Soc_core
+module Exec = Soc_platform.Executive
+module Fault = Soc_fault.Fault
+
+type outcome = {
+  arch : Graphs.arch;
+  plan : Fault.plan;
+  report : Exec.report;
+  output_ok : bool;  (** final image and threshold bit-identical to golden *)
+  cycles : int;
+}
+
+(* Per-architecture verification hook: check the region of DRAM the
+   hardware phase was responsible for against the golden model. *)
+let phase_verify exec (rgb : Image.rgb_image) pixels (arch : Graphs.arch) () =
+  let dram = Exec.dram exec in
+  let gray = Otsu.Golden.gray_scale rgb in
+  match arch with
+  | Graphs.Arch1 ->
+    let expected = Image.histogram gray in
+    let got = Soc_axi.Dram.read_block dram ~addr:Otsu_runner.hist_addr ~len:256 in
+    expected = got
+  | Graphs.Arch2 | Graphs.Arch3 ->
+    let expected = Otsu.Golden.otsu_threshold (Image.histogram gray) ~total:pixels in
+    Soc_axi.Dram.read dram Otsu_runner.thresh_addr = expected
+  | Graphs.Arch4 ->
+    let golden, _ = Otsu.Golden.run rgb in
+    let got = Soc_axi.Dram.read_block dram ~addr:Otsu_runner.out_addr ~len:pixels in
+    golden.Image.pixels = got
+
+let default_horizon = 20_000
+
+let run ?(width = 32) ?(height = 32) ?(image_seed = 42) ?(fallback = true)
+    ?(n_faults = 4) ?(horizon = default_horizon) ?include_permanent ?include_bit_flips
+    ?scenario ?timeout ~seed (arch : Graphs.arch) : outcome =
+  let pixels = width * height in
+  let rgb = Image.synthetic_rgb ~seed:image_seed ~width ~height () in
+  let _build, live = Otsu_runner.build_arch ~width ~height arch in
+  let exec = live.Flow.exec in
+  Otsu_runner.load_image exec rgb;
+  let t0 = Exec.elapsed_cycles exec in
+  let ph = Otsu_runner.arch_phases ~width ~height live arch in
+  ph.Otsu_runner.pre ();
+  (* Arm the campaign only around the hardware phase: injection cycles are
+     relative to this point, and the faults target exactly the accelerated
+     region the resilient runtime protects. Bit flips, when enabled, are
+     confined to the output buffer so a flip is either overwritten by the
+     phase or caught by verification. *)
+  let plan =
+    match scenario with
+    | Some faults -> Fault.plan_of_faults ~seed faults
+    | None ->
+      let inv =
+        Exec.inventory ~dram_range:(Otsu_runner.out_addr, pixels) exec
+      in
+      Fault.plan_of_faults ~seed
+        (Fault.random_campaign ~seed ~n:n_faults ~horizon ?include_permanent
+           ?include_bit_flips inv)
+  in
+  Exec.set_fault_plan exec plan;
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Exec.clear_fault_plan exec)
+      (fun () ->
+        Exec.run_task_resilient exec ~task:ph.Otsu_runner.task ?timeout
+          ~verify:(phase_verify exec rgb pixels arch)
+          ?fallback:(if fallback then Some ph.Otsu_runner.sw_fallback else None)
+          ph.Otsu_runner.hw)
+  in
+  ph.Otsu_runner.post ();
+  let cycles = Exec.elapsed_cycles exec - t0 in
+  let golden, golden_thresh = Otsu.Golden.run rgb in
+  let output = Otsu_runner.read_output exec ~width ~height in
+  let thresh_ok =
+    (* Arch4 keeps the threshold on an internal stream, never in DRAM. *)
+    arch = Graphs.Arch4
+    || Soc_axi.Dram.read (Exec.dram exec) Otsu_runner.thresh_addr = golden_thresh
+  in
+  {
+    arch;
+    plan;
+    report;
+    output_ok = Image.equal output golden && thresh_ok;
+    cycles;
+  }
+
+let render_outcome o =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "=== %s: %s, output %s, %d cycles ===\n"
+       (Graphs.arch_name o.arch)
+       (Format.asprintf "%a" Exec.pp_report o.report)
+       (if o.output_ok then "golden" else "MISMATCH")
+       o.cycles);
+  Buffer.add_string b (Fault.render_report ~label:(Graphs.arch_name o.arch) o.plan);
+  Buffer.contents b

@@ -71,65 +71,135 @@ let start_all exec (spec : Spec.t) =
 (* Architecture-specific host programs                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_arch ?(width = 64) ?(height = 64) ?(seed = 42)
-    ?(hls_config = Soc_hls.Engine.default_config) (arch : Graphs.arch) : result =
+(* Each host program split at its hardware phase, so the chaos harness can
+   wrap exactly the accelerated region in the fault-tolerant runtime.
+   [pre (); hw (); post ()] performs the very same driver-call sequence the
+   monolithic program did, so the timeline is unchanged. [sw_fallback]
+   redoes the work of [hw] on the GPP model (graceful degradation). *)
+type phases = {
+  task : string;  (** name of the hardware phase, for reports *)
+  hw_accels : string list;
+  pre : unit -> unit;
+  hw : unit -> unit;
+  post : unit -> unit;
+  sw_fallback : unit -> unit;
+}
+
+let arch_phases ~width ~height (live : Flow.live) (arch : Graphs.arch) : phases =
   let pixels = width * height in
-  let rgb = Image.synthetic_rgb ~seed ~width ~height () in
+  let exec = live.Flow.exec in
   let spec = Graphs.arch_spec arch in
   let kernels = Otsu.kernels ~width ~height in
+  match arch with
+  | Graphs.Arch1 ->
+    {
+      task = "computeHistogram";
+      hw_accels = [ "computeHistogram" ];
+      pre = (fun () -> Sw.gray_scale exec ~kernels ~pixels);
+      hw =
+        (fun () ->
+          Exec.start_accel exec "computeHistogram";
+          Exec.start_read_dma exec
+            ~channel:(Flow.channel live ~node:"computeHistogram" ~port:"histogram")
+            ~addr:hist_addr ~len:256;
+          Exec.start_write_dma exec
+            ~channel:(Flow.channel live ~node:"computeHistogram" ~port:"grayScaleImage")
+            ~addr:gray_ch_addr ~len:pixels;
+          Exec.run_phase exec ~accels:[ "computeHistogram" ]);
+      post =
+        (fun () ->
+          Sw.otsu_method exec ~kernels;
+          Sw.segment exec ~kernels ~pixels);
+      sw_fallback = (fun () -> Sw.histogram exec ~kernels ~pixels);
+    }
+  | Graphs.Arch2 ->
+    {
+      task = "halfProbability";
+      hw_accels = [ "halfProbability" ];
+      pre =
+        (fun () ->
+          Sw.gray_scale exec ~kernels ~pixels;
+          Sw.histogram exec ~kernels ~pixels);
+      hw =
+        (fun () ->
+          Exec.start_accel exec "halfProbability";
+          Exec.start_read_dma exec
+            ~channel:(Flow.channel live ~node:"halfProbability" ~port:"probability")
+            ~addr:thresh_addr ~len:1;
+          Exec.start_write_dma exec
+            ~channel:(Flow.channel live ~node:"halfProbability" ~port:"histogram")
+            ~addr:hist_addr ~len:256;
+          Exec.run_phase exec ~accels:[ "halfProbability" ]);
+      post = (fun () -> Sw.segment exec ~kernels ~pixels);
+      sw_fallback = (fun () -> Sw.otsu_method exec ~kernels);
+    }
+  | Graphs.Arch3 ->
+    {
+      task = "computeHistogram+halfProbability";
+      hw_accels = [ "computeHistogram"; "halfProbability" ];
+      pre = (fun () -> Sw.gray_scale exec ~kernels ~pixels);
+      hw =
+        (fun () ->
+          start_all exec spec;
+          Exec.start_read_dma exec
+            ~channel:(Flow.channel live ~node:"halfProbability" ~port:"probability")
+            ~addr:thresh_addr ~len:1;
+          Exec.start_write_dma exec
+            ~channel:(Flow.channel live ~node:"computeHistogram" ~port:"grayScaleImage")
+            ~addr:gray_ch_addr ~len:pixels;
+          Exec.run_phase exec ~accels:[ "computeHistogram"; "halfProbability" ]);
+      post = (fun () -> Sw.segment exec ~kernels ~pixels);
+      sw_fallback =
+        (fun () ->
+          Sw.histogram exec ~kernels ~pixels;
+          Sw.otsu_method exec ~kernels);
+    }
+  | Graphs.Arch4 ->
+    {
+      task = "full-pipeline";
+      hw_accels = [ "grayScale"; "computeHistogram"; "halfProbability"; "segment" ];
+      pre = (fun () -> ());
+      hw =
+        (fun () ->
+          start_all exec spec;
+          Exec.start_read_dma exec
+            ~channel:(Flow.channel live ~node:"segment" ~port:"segmentedGrayImage")
+            ~addr:out_addr ~len:pixels;
+          Exec.start_write_dma exec
+            ~channel:(Flow.channel live ~node:"grayScale" ~port:"imageIn")
+            ~addr:rgb_addr ~len:pixels;
+          Exec.run_phase exec
+            ~accels:[ "grayScale"; "computeHistogram"; "halfProbability"; "segment" ]);
+      post = (fun () -> ());
+      sw_fallback =
+        (fun () ->
+          Sw.gray_scale exec ~kernels ~pixels;
+          Sw.histogram exec ~kernels ~pixels;
+          Sw.otsu_method exec ~kernels;
+          Sw.segment exec ~kernels ~pixels);
+    }
+
+let build_arch ?(hls_config = Soc_hls.Engine.default_config) ~width ~height arch =
+  let pixels = width * height in
+  let spec = Graphs.arch_spec arch in
   let arch_kernels = Graphs.arch_kernels arch ~width ~height in
   let fifo_depth = max 1024 (pixels + 16) in
   let build = Flow.build ~hls_config ~fifo_depth spec ~kernels:arch_kernels in
   let live = Flow.instantiate ~fifo_depth build in
+  (build, live)
+
+let run_arch ?(width = 64) ?(height = 64) ?(seed = 42)
+    ?(hls_config = Soc_hls.Engine.default_config) (arch : Graphs.arch) : result =
+  let pixels = width * height in
+  let rgb = Image.synthetic_rgb ~seed ~width ~height () in
+  let build, live = build_arch ~hls_config ~width ~height arch in
   let exec = live.Flow.exec in
   load_image exec rgb;
   let t0 = Exec.elapsed_cycles exec in
-  (match arch with
-  | Graphs.Arch1 ->
-    Sw.gray_scale exec ~kernels ~pixels;
-    Exec.start_accel exec "computeHistogram";
-    Exec.start_read_dma exec
-      ~channel:(Flow.channel live ~node:"computeHistogram" ~port:"histogram")
-      ~addr:hist_addr ~len:256;
-    Exec.start_write_dma exec
-      ~channel:(Flow.channel live ~node:"computeHistogram" ~port:"grayScaleImage")
-      ~addr:gray_ch_addr ~len:pixels;
-    Exec.run_phase exec ~accels:[ "computeHistogram" ];
-    Sw.otsu_method exec ~kernels;
-    Sw.segment exec ~kernels ~pixels
-  | Graphs.Arch2 ->
-    Sw.gray_scale exec ~kernels ~pixels;
-    Sw.histogram exec ~kernels ~pixels;
-    Exec.start_accel exec "halfProbability";
-    Exec.start_read_dma exec
-      ~channel:(Flow.channel live ~node:"halfProbability" ~port:"probability")
-      ~addr:thresh_addr ~len:1;
-    Exec.start_write_dma exec
-      ~channel:(Flow.channel live ~node:"halfProbability" ~port:"histogram")
-      ~addr:hist_addr ~len:256;
-    Exec.run_phase exec ~accels:[ "halfProbability" ];
-    Sw.segment exec ~kernels ~pixels
-  | Graphs.Arch3 ->
-    Sw.gray_scale exec ~kernels ~pixels;
-    start_all exec spec;
-    Exec.start_read_dma exec
-      ~channel:(Flow.channel live ~node:"halfProbability" ~port:"probability")
-      ~addr:thresh_addr ~len:1;
-    Exec.start_write_dma exec
-      ~channel:(Flow.channel live ~node:"computeHistogram" ~port:"grayScaleImage")
-      ~addr:gray_ch_addr ~len:pixels;
-    Exec.run_phase exec ~accels:[ "computeHistogram"; "halfProbability" ];
-    Sw.segment exec ~kernels ~pixels
-  | Graphs.Arch4 ->
-    start_all exec spec;
-    Exec.start_read_dma exec
-      ~channel:(Flow.channel live ~node:"segment" ~port:"segmentedGrayImage")
-      ~addr:out_addr ~len:pixels;
-    Exec.start_write_dma exec
-      ~channel:(Flow.channel live ~node:"grayScale" ~port:"imageIn")
-      ~addr:rgb_addr ~len:pixels;
-    Exec.run_phase exec
-      ~accels:[ "grayScale"; "computeHistogram"; "halfProbability"; "segment" ]);
+  let ph = arch_phases ~width ~height live arch in
+  ph.pre ();
+  ph.hw ();
+  ph.post ();
   let cycles = Exec.elapsed_cycles exec - t0 in
   (* Protocol checkers must stay silent. *)
   (match Soc_platform.System.protocol_violations live.Flow.system with

@@ -13,6 +13,43 @@ type result = {
   build : Soc_core.Flow.build option;  (** [None] for the SW baseline *)
 }
 
+(** {2 DRAM layout (word addresses)} *)
+
+val rgb_addr : int
+val gray_ch_addr : int
+val gray_seg_addr : int
+val hist_addr : int
+val thresh_addr : int
+val out_addr : int
+
+val load_image : Soc_platform.Executive.t -> Image.rgb_image -> unit
+val read_output : Soc_platform.Executive.t -> width:int -> height:int -> Image.t
+
+type phases = {
+  task : string;  (** name of the hardware phase, for reports *)
+  hw_accels : string list;
+  pre : unit -> unit;
+  hw : unit -> unit;
+  post : unit -> unit;
+  sw_fallback : unit -> unit;
+}
+(** A host program split at its hardware phase: [pre (); hw (); post ()]
+    is the very driver-call sequence [run_arch] performs, and
+    [sw_fallback] redoes the work of [hw] on the GPP model. The split lets
+    the chaos harness wrap exactly the accelerated region in the
+    fault-tolerant runtime. *)
+
+val arch_phases : width:int -> height:int -> Soc_core.Flow.live -> Graphs.arch -> phases
+
+val build_arch :
+  ?hls_config:Soc_hls.Engine.config ->
+  width:int ->
+  height:int ->
+  Graphs.arch ->
+  Soc_core.Flow.build * Soc_core.Flow.live
+(** Build and instantiate one case-study architecture (FIFO depth sized as
+    [run_arch] does). *)
+
 val run_arch :
   ?width:int ->
   ?height:int ->

@@ -18,6 +18,8 @@ type mm2s = {
   mutable m_wait : int; (* cycles until the in-flight burst data arrives *)
   mutable m_busy : bool;
   mutable m_total_beats : int;
+  mutable m_stall : int; (* injected: cycles of no progress *)
+  mutable m_error : bool; (* injected: descriptor aborted with an error *)
 }
 
 type s2mm = {
@@ -30,17 +32,20 @@ type s2mm = {
   mutable s_wait : int;
   mutable s_busy : bool;
   mutable s_total_beats : int;
+  mutable s_stall : int;
+  mutable s_error : bool;
 }
 
 let create_mm2s ~name ~dram ~dest =
   { m_name = name; dram; dest; m_addr = 0; m_remaining = 0; m_buffer = [];
-    m_wait = 0; m_busy = false; m_total_beats = 0 }
+    m_wait = 0; m_busy = false; m_total_beats = 0; m_stall = 0; m_error = false }
 
 let create_s2mm ~name ~dram ~src =
   { s_name = name; s_dram = dram; src; s_addr = 0; s_remaining = 0; s_credit = 0;
-    s_wait = 0; s_busy = false; s_total_beats = 0 }
+    s_wait = 0; s_busy = false; s_total_beats = 0; s_stall = 0; s_error = false }
 
-(* Program a read descriptor: stream [len] words starting at [addr]. *)
+(* Program a read descriptor: stream [len] words starting at [addr]. The
+   error bit is per-descriptor, like a real DMA status register. *)
 let start_mm2s t ~addr ~len =
   if t.m_busy then invalid_arg (t.m_name ^ ": MM2S already busy");
   if len < 0 then invalid_arg (t.m_name ^ ": negative length");
@@ -48,6 +53,7 @@ let start_mm2s t ~addr ~len =
   t.m_remaining <- len;
   t.m_buffer <- [];
   t.m_wait <- 0;
+  t.m_error <- false;
   t.m_busy <- len > 0
 
 let start_s2mm t ~addr ~len =
@@ -57,14 +63,56 @@ let start_s2mm t ~addr ~len =
   t.s_remaining <- len;
   t.s_credit <- 0;
   t.s_wait <- 0;
+  t.s_error <- false;
   t.s_busy <- len > 0
 
 let mm2s_idle t = not t.m_busy
 let s2mm_idle t = not t.s_busy
+let mm2s_ok t = not t.m_error
+let s2mm_ok t = not t.s_error
+
+(* ---- fault injection and recovery -------------------------------- *)
+
+let inject_stall_mm2s t ~cycles = t.m_stall <- max t.m_stall cycles
+let inject_stall_s2mm t ~cycles = t.s_stall <- max t.s_stall cycles
+
+(* Abort the in-flight descriptor with a transfer error: the channel goes
+   idle with its error bit set and the rest of the transfer is lost. *)
+let inject_error_mm2s t =
+  t.m_error <- true;
+  t.m_busy <- false;
+  t.m_buffer <- [];
+  t.m_remaining <- 0;
+  t.m_wait <- 0
+
+let inject_error_s2mm t =
+  t.s_error <- true;
+  t.s_busy <- false;
+  t.s_remaining <- 0;
+  t.s_credit <- 0;
+  t.s_wait <- 0
+
+(* Driver-level channel reset: clears any descriptor, stall and error. *)
+let reset_mm2s t =
+  t.m_busy <- false;
+  t.m_buffer <- [];
+  t.m_remaining <- 0;
+  t.m_wait <- 0;
+  t.m_stall <- 0;
+  t.m_error <- false
+
+let reset_s2mm t =
+  t.s_busy <- false;
+  t.s_remaining <- 0;
+  t.s_credit <- 0;
+  t.s_wait <- 0;
+  t.s_stall <- 0;
+  t.s_error <- false
 
 (* One simulated cycle of the MM2S channel. *)
 let step_mm2s t =
-  if t.m_busy then begin
+  if t.m_stall > 0 then t.m_stall <- t.m_stall - 1
+  else if t.m_busy then begin
     if t.m_wait > 0 then t.m_wait <- t.m_wait - 1
     else begin
       match t.m_buffer with
@@ -91,7 +139,8 @@ let step_mm2s t =
   end
 
 let step_s2mm t =
-  if t.s_busy then begin
+  if t.s_stall > 0 then t.s_stall <- t.s_stall - 1
+  else if t.s_busy then begin
     if t.s_wait > 0 then t.s_wait <- t.s_wait - 1
     else if t.s_credit = 0 then begin
       (* Pay the write-burst issue latency when data is available. *)

@@ -16,6 +16,8 @@ type mm2s = {
   mutable m_wait : int;
   mutable m_busy : bool;
   mutable m_total_beats : int;
+  mutable m_stall : int;
+  mutable m_error : bool;
 }
 
 type s2mm = {
@@ -28,6 +30,8 @@ type s2mm = {
   mutable s_wait : int;
   mutable s_busy : bool;
   mutable s_total_beats : int;
+  mutable s_stall : int;
+  mutable s_error : bool;
 }
 
 val create_mm2s : name:string -> dram:Dram.t -> dest:Fifo.t -> mm2s
@@ -41,6 +45,28 @@ val start_s2mm : s2mm -> addr:int -> len:int -> unit
 
 val mm2s_idle : mm2s -> bool
 val s2mm_idle : s2mm -> bool
+
+val mm2s_ok : mm2s -> bool
+(** False once the current/last descriptor aborted with a transfer error;
+    cleared by [start_mm2s] or [reset_mm2s]. *)
+
+val s2mm_ok : s2mm -> bool
+
+val inject_stall_mm2s : mm2s -> cycles:int -> unit
+(** Fault injection: the channel makes no progress for [cycles] steps. *)
+
+val inject_stall_s2mm : s2mm -> cycles:int -> unit
+
+val inject_error_mm2s : mm2s -> unit
+(** Fault injection: abort the in-flight descriptor; the channel goes
+    idle with its error bit set and the rest of the transfer is lost. *)
+
+val inject_error_s2mm : s2mm -> unit
+
+val reset_mm2s : mm2s -> unit
+(** Driver-level channel reset: clears descriptor, stall and error. *)
+
+val reset_s2mm : s2mm -> unit
 
 val step_mm2s : mm2s -> unit
 (** One simulated PL cycle. *)

@@ -15,7 +15,9 @@ type t = {
   staging : int Queue.t;
   mutable total_pushed : int;
   mutable total_popped : int;
+  mutable total_dropped : int; (* flushed by a soft reset *)
   mutable high_water : int;
+  mutable stuck_cycles : int; (* injected stuck-full backpressure *)
 }
 
 let create ~name ~capacity =
@@ -27,12 +29,14 @@ let create ~name ~capacity =
     staging = Queue.create ();
     total_pushed = 0;
     total_popped = 0;
+    total_dropped = 0;
     high_water = 0;
+    stuck_cycles = 0;
   }
 
 let occupancy t = Queue.length t.queue + Queue.length t.staging
 
-let can_push t = occupancy t < t.capacity
+let can_push t = t.stuck_cycles = 0 && occupancy t < t.capacity
 
 let is_empty t = Queue.is_empty t.queue
 
@@ -50,11 +54,24 @@ let pop t =
   Queue.pop t.queue
 
 let commit t =
+  if t.stuck_cycles > 0 then t.stuck_cycles <- t.stuck_cycles - 1;
   Queue.transfer t.staging t.queue;
   t.high_water <- max t.high_water (Queue.length t.queue)
 
-(* Conservation invariant: everything pushed is either popped or queued. *)
-let conserved t = t.total_pushed = t.total_popped + occupancy t
+(* Fault injection: assert full (refuse pushes) for [cycles] commits. *)
+let inject_stuck t ~cycles = t.stuck_cycles <- max t.stuck_cycles cycles
+
+(* Soft reset: drop all queued beats and clear any injected backpressure.
+   Dropped beats are accounted separately so conservation still holds. *)
+let flush t =
+  t.total_dropped <- t.total_dropped + occupancy t;
+  Queue.clear t.queue;
+  Queue.clear t.staging;
+  t.stuck_cycles <- 0
+
+(* Conservation invariant: everything pushed is popped, queued, or was
+   dropped by an explicit flush. *)
+let conserved t = t.total_pushed = t.total_popped + t.total_dropped + occupancy t
 
 (* Estimated BRAM cost of implementing this channel in fabric. *)
 let bram18_cost t = if t.capacity <= 32 then 0 else (t.capacity * 32 + 18431) / 18432

@@ -10,7 +10,9 @@ type t = {
   staging : int Queue.t;
   mutable total_pushed : int;
   mutable total_popped : int;
+  mutable total_dropped : int;
   mutable high_water : int;
+  mutable stuck_cycles : int;
 }
 
 val create : name:string -> capacity:int -> t
@@ -31,10 +33,19 @@ val pop : t -> int
 (** Raises [Invalid_argument] when empty. *)
 
 val commit : t -> unit
-(** Make staged beats visible; updates the high-water mark. *)
+(** Make staged beats visible; updates the high-water mark and ages any
+    injected stuck-full backpressure by one cycle. *)
+
+val inject_stuck : t -> cycles:int -> unit
+(** Fault injection: [can_push] reports full for the next [cycles]
+    commits, regardless of occupancy. *)
+
+val flush : t -> unit
+(** Soft reset: drop every queued/staged beat (accounted in
+    [total_dropped]) and clear injected backpressure. *)
 
 val conserved : t -> bool
-(** Conservation invariant: pushed = popped + in flight. *)
+(** Conservation invariant: pushed = popped + dropped + in flight. *)
 
 val bram18_cost : t -> int
 (** Estimated BRAM cost of implementing this channel in fabric. *)

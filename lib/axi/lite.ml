@@ -20,6 +20,7 @@ type regfile = {
   values : (int, int) Hashtbl.t; (* offset -> value *)
   mutable reads : int;
   mutable writes : int;
+  mutable error_budget : int; (* injected: upcoming transactions that SLVERR *)
 }
 
 let ctrl_offset = 0x00 (* bit0 = ap_start *)
@@ -28,7 +29,7 @@ let arg_base = 0x10
 let arg_stride = 0x8
 
 let create_regfile ~owner ~base ~size =
-  { owner; base; size; values = Hashtbl.create 8; reads = 0; writes = 0 }
+  { owner; base; size; values = Hashtbl.create 8; reads = 0; writes = 0; error_budget = 0 }
 
 let arg_offset index = arg_base + (index * arg_stride)
 
@@ -69,7 +70,9 @@ let attach ic ~owner ~size =
   ic.slaves <- rf :: ic.slaves;
   rf
 
-type decode_error = No_slave of int
+type decode_error =
+  | No_slave of int (* decoded to no register file *)
+  | Slave_error of int (* the slave responded SLVERR (injected fault) *)
 
 let decode ic addr =
   match
@@ -78,15 +81,34 @@ let decode ic addr =
   | Some rf -> Ok (rf, addr - rf.base)
   | None -> Error (No_slave addr)
 
+(* Fault injection: the next [count] transactions that decode to [owner]
+   respond SLVERR instead of completing. Returns false if no slave with
+   that owner is attached. *)
+let inject_slave_error ic ~owner ~count =
+  match List.find_opt (fun rf -> rf.owner = owner) ic.slaves with
+  | Some rf ->
+    rf.error_budget <- rf.error_budget + count;
+    true
+  | None -> false
+
+let consume_error rf =
+  if rf.error_budget > 0 then begin
+    rf.error_budget <- rf.error_budget - 1;
+    true
+  end
+  else false
+
 (* Bus-level accessors used by the GPP model; they return the transaction
    latency so the caller can account for it. *)
 let bus_read ic addr =
   match decode ic addr with
+  | Ok (rf, _) when consume_error rf -> Error (Slave_error addr)
   | Ok (rf, offset) -> Ok (rf_read rf ~offset, read_latency)
   | Error e -> Error e
 
 let bus_write ic addr v =
   match decode ic addr with
+  | Ok (rf, _) when consume_error rf -> Error (Slave_error addr)
   | Ok (rf, offset) ->
     rf_write rf ~offset v;
     Ok write_latency

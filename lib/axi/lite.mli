@@ -15,6 +15,7 @@ type regfile = {
   values : (int, int) Hashtbl.t;
   mutable reads : int;  (** bus transactions observed *)
   mutable writes : int;
+  mutable error_budget : int;  (** injected SLVERRs still to deliver *)
 }
 
 val ctrl_offset : int
@@ -50,10 +51,16 @@ val create_interconnect : unit -> interconnect
 val attach : interconnect -> owner:string -> size:int -> regfile
 (** Allocate the next 64 KiB-aligned segment. *)
 
-type decode_error = No_slave of int
+type decode_error =
+  | No_slave of int  (** decoded to no register file *)
+  | Slave_error of int  (** the slave responded SLVERR (injected fault) *)
 
 val decode : interconnect -> int -> (regfile * int, decode_error) result
 (** Route a global address to (slave, offset). *)
+
+val inject_slave_error : interconnect -> owner:string -> count:int -> bool
+(** Fault injection: the next [count] transactions decoding to [owner]
+    respond [Slave_error]. False if no such slave is attached. *)
 
 val bus_read : interconnect -> int -> (int * int, decode_error) result
 (** Value and transaction latency. *)

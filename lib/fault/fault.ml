@@ -1,0 +1,217 @@
+(** Deterministic, seed-driven fault injection: fault vocabulary, plans
+    (pending faults + event log + counters) and seeded campaign
+    generation. The platform executive owns the application of faults to
+    simulated hardware; this module is pure bookkeeping so it can sit
+    below both [Soc_axi] and [Soc_platform]. *)
+
+type target =
+  | Accel of string
+  | Mm2s of string
+  | S2mm of string
+  | Fifo of string
+  | Lite_slave of string
+  | Dram_word of int
+
+type kind =
+  | Hang
+  | Spurious_done
+  | Corrupt_result of int
+  | Dma_stall
+  | Dma_error
+  | Fifo_stuck
+  | Slave_error
+  | Bit_flip of int
+
+type fault = { at_cycle : int; target : target; kind : kind; duration : int }
+
+let permanent = max_int
+
+let pp_target fmt = function
+  | Accel n -> Format.fprintf fmt "accel %s" n
+  | Mm2s n -> Format.fprintf fmt "mm2s %s" n
+  | S2mm n -> Format.fprintf fmt "s2mm %s" n
+  | Fifo n -> Format.fprintf fmt "fifo %s" n
+  | Lite_slave n -> Format.fprintf fmt "lite slave %s" n
+  | Dram_word a -> Format.fprintf fmt "dram word 0x%x" a
+
+let kind_name = function
+  | Hang -> "hang"
+  | Spurious_done -> "spurious-done"
+  | Corrupt_result m -> Printf.sprintf "corrupt-result(0x%x)" m
+  | Dma_stall -> "dma-stall"
+  | Dma_error -> "dma-transfer-error"
+  | Fifo_stuck -> "fifo-stuck-full"
+  | Slave_error -> "axi-lite-slverr"
+  | Bit_flip b -> Printf.sprintf "bit-flip(b%d)" b
+
+let pp_fault fmt f =
+  Format.fprintf fmt "@@%d %s on %a%s" f.at_cycle (kind_name f.kind) pp_target f.target
+    (if f.duration = permanent then " (permanent)"
+     else if f.duration > 0 then Printf.sprintf " for %d cycles" f.duration
+     else "")
+
+let fault_to_string f = Format.asprintf "%a" pp_fault f
+
+(* ------------------------------------------------------------------ *)
+(* Event log                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Injected of { cycle : int; fault : fault }
+  | Skipped of { cycle : int; fault : fault; reason : string }
+  | Detected of { cycle : int; unit_ : string; what : string }
+  | Reset of { cycle : int; units : string list }
+  | Retried of { cycle : int; task : string; attempt : int; backoff : int }
+  | Fell_back of { cycle : int; task : string }
+  | Recovered of { cycle : int; task : string; attempts : int }
+  | Unrecovered of { cycle : int; task : string }
+
+let pp_event fmt = function
+  | Injected { cycle; fault } -> Format.fprintf fmt "[%8d] inject %a" cycle pp_fault fault
+  | Skipped { cycle; fault; reason } ->
+    Format.fprintf fmt "[%8d] skip %a (%s)" cycle pp_fault fault reason
+  | Detected { cycle; unit_; what } ->
+    Format.fprintf fmt "[%8d] detect %s: %s" cycle unit_ what
+  | Reset { cycle; units } ->
+    Format.fprintf fmt "[%8d] soft-reset %s" cycle (String.concat ", " units)
+  | Retried { cycle; task; attempt; backoff } ->
+    Format.fprintf fmt "[%8d] retry %s: attempt %d after %d-cycle backoff" cycle task
+      attempt backoff
+  | Fell_back { cycle; task } ->
+    Format.fprintf fmt "[%8d] fallback %s: re-dispatched to the GPP" cycle task
+  | Recovered { cycle; task; attempts } ->
+    Format.fprintf fmt "[%8d] recovered %s after %d attempts" cycle task attempts
+  | Unrecovered { cycle; task } -> Format.fprintf fmt "[%8d] UNRECOVERED %s" cycle task
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  all : fault list; (* sorted by at_cycle *)
+  mutable pending : fault list;
+  mutable log : event list; (* reverse chronological *)
+  ctrs : Soc_util.Metrics.Counters.t;
+  plan_seed : int option;
+}
+
+let plan_of_faults ?seed faults =
+  let sorted = List.stable_sort (fun a b -> compare a.at_cycle b.at_cycle) faults in
+  {
+    all = sorted;
+    pending = sorted;
+    log = [];
+    ctrs = Soc_util.Metrics.Counters.create ();
+    plan_seed = seed;
+  }
+
+let seed p = p.plan_seed
+let faults p = p.all
+
+let due p ~cycle =
+  let rec take acc = function
+    | f :: rest when f.at_cycle <= cycle -> take (f :: acc) rest
+    | rest ->
+      p.pending <- rest;
+      List.rev acc
+  in
+  take [] p.pending
+
+let record p e = p.log <- e :: p.log
+let events p = List.rev p.log
+let counters p = p.ctrs
+
+let injected_faults p =
+  List.rev
+    (List.filter_map (function Injected { fault; _ } -> Some fault | _ -> None) p.log)
+
+let render_report ?(label = "chaos") p =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s: seed=%s faults=%d\n" label
+       (match p.plan_seed with Some s -> string_of_int s | None -> "-")
+       (List.length p.all));
+  Buffer.add_string b
+    (Printf.sprintf "counters: %s\n"
+       (Format.asprintf "%a" Soc_util.Metrics.Counters.pp p.ctrs));
+  List.iter
+    (fun e -> Buffer.add_string b (Format.asprintf "%a\n" pp_event e))
+    (events p);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Seeded campaigns                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type inventory = {
+  accels : string list;
+  mm2s : string list;
+  s2mm : string list;
+  fifos : string list;
+  slaves : string list;
+  dram_range : (int * int) option;
+}
+
+let random_campaign ~seed ~n ~horizon ?(include_permanent = false)
+    ?(include_bit_flips = false) (inv : inventory) : fault list =
+  let rng = Soc_util.Rng.create seed in
+  let horizon = max 1 horizon in
+  (* A transient long enough to be felt, short enough to self-heal well
+     inside one watchdog window. *)
+  let transient () = 50 + Soc_util.Rng.int rng (max 1 (horizon / 2)) in
+  let classes =
+    List.concat
+      [
+        (if inv.accels = [] then [] else [ `Accel ]);
+        (if inv.mm2s = [] then [] else [ `Mm2s ]);
+        (if inv.s2mm = [] then [] else [ `S2mm ]);
+        (if inv.fifos = [] then [] else [ `Fifo ]);
+        (if inv.slaves = [] then [] else [ `Slave ]);
+        (match inv.dram_range with
+        | Some (_, len) when include_bit_flips && len > 0 -> [ `Dram ]
+        | _ -> []);
+      ]
+  in
+  if classes = [] then []
+  else
+    List.init n (fun _ ->
+        let at_cycle = Soc_util.Rng.int rng horizon in
+        match Soc_util.Rng.choose rng classes with
+        | `Accel ->
+          let name = Soc_util.Rng.choose rng inv.accels in
+          let kind, duration =
+            match Soc_util.Rng.int rng (if include_permanent then 3 else 2) with
+            | 0 -> (Hang, transient ())
+            | 1 -> (Spurious_done, permanent)
+            | _ -> (Hang, permanent)
+          in
+          { at_cycle; target = Accel name; kind; duration }
+        | `Mm2s ->
+          let name = Soc_util.Rng.choose rng inv.mm2s in
+          if Soc_util.Rng.bool rng then
+            { at_cycle; target = Mm2s name; kind = Dma_stall; duration = transient () }
+          else { at_cycle; target = Mm2s name; kind = Dma_error; duration = 0 }
+        | `S2mm ->
+          let name = Soc_util.Rng.choose rng inv.s2mm in
+          if Soc_util.Rng.bool rng then
+            { at_cycle; target = S2mm name; kind = Dma_stall; duration = transient () }
+          else { at_cycle; target = S2mm name; kind = Dma_error; duration = 0 }
+        | `Fifo ->
+          let name = Soc_util.Rng.choose rng inv.fifos in
+          { at_cycle; target = Fifo name; kind = Fifo_stuck; duration = transient () }
+        | `Slave ->
+          let owner = Soc_util.Rng.choose rng inv.slaves in
+          {
+            at_cycle;
+            target = Lite_slave owner;
+            kind = Slave_error;
+            duration = 1 + Soc_util.Rng.int rng 3;
+          }
+        | `Dram ->
+          let addr, len = Option.get inv.dram_range in
+          {
+            at_cycle;
+            target = Dram_word (addr + Soc_util.Rng.int rng len);
+            kind = Bit_flip (Soc_util.Rng.int rng 32);
+            duration = 0;
+          })

@@ -1,0 +1,119 @@
+(** Deterministic, seed-driven fault injection for the co-simulated
+    platform.
+
+    A {!plan} is a list of faults — each with an injection cycle (relative
+    to the cycle the plan is armed), a target unit and a duration — plus a
+    structured event log and counters. The platform executive consults the
+    plan once per fabric cycle and applies due faults to the simulated
+    hardware; the fault-tolerant driver layer records detections,
+    retries, fallbacks and resets into the same plan, so one object holds
+    the full chaos narrative of a run.
+
+    Plans are built either from an explicit scenario list or from a
+    {!Soc_util.Rng} seed ({!random_campaign}), and are reproducible from
+    the seed alone. *)
+
+type target =
+  | Accel of string  (** accelerator instance name *)
+  | Mm2s of string  (** DMA read channel name *)
+  | S2mm of string  (** DMA write channel name *)
+  | Fifo of string  (** stream FIFO name *)
+  | Lite_slave of string  (** AXI-Lite register-file owner *)
+  | Dram_word of int  (** DRAM word address *)
+
+type kind =
+  | Hang  (** accelerator stops making progress; status never goes done *)
+  | Spurious_done
+      (** accelerator latches done early without completing, then wedges *)
+  | Corrupt_result of int  (** XOR mask applied to the first scalar result *)
+  | Dma_stall  (** DMA channel makes no progress for [duration] cycles *)
+  | Dma_error  (** DMA descriptor aborts with a transfer error *)
+  | Fifo_stuck  (** FIFO asserts full (refuses pushes) for [duration] cycles *)
+  | Slave_error  (** next [duration] AXI-Lite accesses to the slave SLVERR *)
+  | Bit_flip of int  (** flip bit [b] of the targeted DRAM word *)
+
+type fault = {
+  at_cycle : int;  (** injection cycle, relative to plan arming *)
+  target : target;
+  kind : kind;
+  duration : int;  (** transient length in cycles; {!permanent} = forever *)
+}
+
+val permanent : int
+(** Duration marking a permanent fault (never self-heals). *)
+
+val pp_target : Format.formatter -> target -> unit
+val pp_fault : Format.formatter -> fault -> unit
+val fault_to_string : fault -> string
+
+(** {2 Structured fault/recovery event log} *)
+
+type event =
+  | Injected of { cycle : int; fault : fault }
+  | Skipped of { cycle : int; fault : fault; reason : string }
+      (** the plan named a unit the system does not have *)
+  | Detected of { cycle : int; unit_ : string; what : string }
+  | Reset of { cycle : int; units : string list }
+  | Retried of { cycle : int; task : string; attempt : int; backoff : int }
+  | Fell_back of { cycle : int; task : string }
+  | Recovered of { cycle : int; task : string; attempts : int }
+  | Unrecovered of { cycle : int; task : string }
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {2 Plans} *)
+
+type plan
+
+val plan_of_faults : ?seed:int -> fault list -> plan
+(** Faults are sorted by injection cycle; [seed] is carried for
+    reporting only. *)
+
+val seed : plan -> int option
+val faults : plan -> fault list
+
+val due : plan -> cycle:int -> fault list
+(** Faults whose injection cycle has arrived. Each fault is returned
+    exactly once over the life of the plan. *)
+
+val record : plan -> event -> unit
+val events : plan -> event list
+(** Chronological. *)
+
+val counters : plan -> Soc_util.Metrics.Counters.t
+(** Keys used by the runtime: injected, skipped, detected, resets,
+    retried, recovered, fell_back, unrecovered. *)
+
+val injected_faults : plan -> fault list
+(** The faults actually applied so far, in injection order. *)
+
+val render_report : ?label:string -> plan -> string
+(** Human-readable health report: seed, counters, event log. *)
+
+(** {2 Seeded campaign generation} *)
+
+type inventory = {
+  accels : string list;
+  mm2s : string list;
+  s2mm : string list;
+  fifos : string list;
+  slaves : string list;
+  dram_range : (int * int) option;  (** word address, length *)
+}
+(** What a system exposes to the injector (see
+    [Soc_platform.Executive.inventory]). *)
+
+val random_campaign :
+  seed:int ->
+  n:int ->
+  horizon:int ->
+  ?include_permanent:bool ->
+  ?include_bit_flips:bool ->
+  inventory ->
+  fault list
+(** [n] faults with injection cycles uniform in [0, horizon), drawn over
+    the inventory. By default every generated fault is recoverable
+    (transient hangs, spurious dones, DMA stalls and transfer errors,
+    stuck FIFOs, slave errors); [include_permanent] adds permanently dead
+    accelerators, [include_bit_flips] adds single-bit DRAM flips inside
+    [dram_range]. Deterministic in [seed]. *)

@@ -44,6 +44,8 @@ type t = {
   mutable done_latched : bool;
   mutable busy_cycles : int;
   mutable total_cycles : int;
+  mutable hang_cycles : int; (* injected: 0 = healthy, max_int = permanent *)
+  mutable corrupt_mask : int option; (* injected: XORed into the next result *)
 }
 
 let make_common ~name ~engine ~regfile ~scalar_in_ports ~scalar_out_ports
@@ -68,6 +70,8 @@ let make_common ~name ~engine ~regfile ~scalar_in_ports ~scalar_out_ports
     done_latched = false;
     busy_cycles = 0;
     total_cycles = 0;
+    hang_cycles = 0;
+    corrupt_mask = None;
   }
 
 let create ~name ~(fsmd : Fsmd.t) ~regfile =
@@ -134,6 +138,8 @@ let unbound_streams t =
       t.stream_out_ports
 
 let is_done t = t.done_latched
+let name t = t.name
+let bound_fifos t = List.map snd t.in_bindings @ List.map snd t.out_bindings
 
 let is_idle t =
   match t.engine with
@@ -143,6 +149,15 @@ let is_idle t =
 let started t = Soc_axi.Lite.rf_peek t.regfile ~offset:Soc_axi.Lite.ctrl_offset land 1 = 1
 
 let finish t ~out_scalars =
+  (* An injected result corruption lands on the first scalar result as it
+     is copied back, exactly once. *)
+  let out_scalars =
+    match (t.corrupt_mask, out_scalars) with
+    | Some mask, (port, v) :: rest ->
+      t.corrupt_mask <- None;
+      (port, v lxor mask) :: rest
+    | _ -> out_scalars
+  in
   t.done_latched <- true;
   Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.status_offset 1;
   Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.ctrl_offset 0;
@@ -264,9 +279,15 @@ let step_behavioral t (b : behavioral_engine) =
 
 let step t =
   let moved =
-    match t.engine with
-    | Rtl e -> step_rtl t e
-    | Behavioral b -> step_behavioral t b
+    if t.hang_cycles <> 0 then begin
+      (* Injected hang: the core is frozen — no handshake, no done. *)
+      if t.hang_cycles <> max_int then t.hang_cycles <- t.hang_cycles - 1;
+      false
+    end
+    else
+      match t.engine with
+      | Rtl e -> step_rtl t e
+      | Behavioral b -> step_behavioral t b
   in
   t.total_cycles <- t.total_cycles + 1;
   if not (is_idle t) then t.busy_cycles <- t.busy_cycles + 1;
@@ -275,6 +296,37 @@ let step t =
 (* Arm the core for a new run: clears sticky done. *)
 let arm t =
   t.done_latched <- false;
+  Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.status_offset 0
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection and recovery                                        *)
+(* ------------------------------------------------------------------ *)
+
+let inject_hang t ~cycles = t.hang_cycles <- cycles
+
+(* Latch done without finishing the computation (no results copied back),
+   then wedge: models a core that raises ap_done spuriously and stops. *)
+let inject_spurious_done t =
+  if not t.done_latched then begin
+    t.done_latched <- true;
+    Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.status_offset 1;
+    Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.ctrl_offset 0
+  end;
+  t.hang_cycles <- max_int
+
+let inject_result_corruption t ~mask = t.corrupt_mask <- Some mask
+
+(* Driver-level soft reset: back to the post-bitstream state — datapath
+   re-initialized, sticky done and any injected accelerator fault
+   cleared. Argument registers survive, as on real hardware. *)
+let soft_reset t =
+  (match t.engine with
+  | Rtl { sim; _ } -> Sim.reset sim
+  | Behavioral b -> b.inst <- None);
+  t.done_latched <- false;
+  t.hang_cycles <- 0;
+  t.corrupt_mask <- None;
+  Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.ctrl_offset 0;
   Soc_axi.Lite.rf_poke t.regfile ~offset:Soc_axi.Lite.status_offset 0
 
 let protocol_violations t =

@@ -25,11 +25,15 @@ val create_behavioral :
 (** Behavioural instance straight from the kernel (no HLS needed). *)
 
 val regfile : t -> Soc_axi.Lite.regfile
+val name : t -> string
 
 val arg_offset : t -> string -> int
 val bind_input : t -> port:string -> Soc_axi.Fifo.t -> unit
 val bind_output : t -> port:string -> Soc_axi.Fifo.t -> unit
 val unbound_streams : t -> string list
+
+val bound_fifos : t -> Soc_axi.Fifo.t list
+(** Every FIFO bound to an input or output stream port. *)
 
 val is_done : t -> bool
 val is_idle : t -> bool
@@ -39,3 +43,21 @@ val step : t -> bool
 
 val arm : t -> unit
 val protocol_violations : t -> Soc_axi.Stream_rules.violation list
+
+(** {2 Fault injection and recovery} *)
+
+val inject_hang : t -> cycles:int -> unit
+(** Freeze the core for [cycles] steps ([max_int] = permanently): no
+    handshakes, status never goes done. *)
+
+val inject_spurious_done : t -> unit
+(** Latch sticky done without completing (no results copied back), then
+    wedge until reset. *)
+
+val inject_result_corruption : t -> mask:int -> unit
+(** XOR [mask] into the first scalar result at the next completion. *)
+
+val soft_reset : t -> unit
+(** Driver-level reset to the post-bitstream state: datapath
+    re-initialized, sticky done and injected faults cleared; argument
+    registers survive. *)

@@ -10,6 +10,9 @@ type t = {
      A9 instructions (address arithmetic, load/store, branch) *)
   default_fifo_depth : int; (* stream channel capacity in beats *)
   deadlock_window : int; (* cycles without any stream transfer before failing *)
+  watchdog_cycles : int; (* per-attempt budget for resilient hardware tasks *)
+  retry_backoff_cycles : int; (* base retry backoff, doubled per attempt *)
+  max_attempts : int; (* hardware attempts before falling back to software *)
 }
 
 let zedboard =
@@ -19,6 +22,9 @@ let zedboard =
     gpp_cpi = 5.0;
     default_fifo_depth = 1024;
     deadlock_window = 200_000;
+    watchdog_cycles = 100_000;
+    retry_backoff_cycles = 2_000;
+    max_attempts = 3;
   }
 
 (* PL cycles for [gpp_cycles] of ARM work. *)

@@ -10,6 +10,11 @@ type t = {
   default_fifo_depth : int;
   deadlock_window : int;
       (** cycles without any stream transfer before declaring deadlock *)
+  watchdog_cycles : int;
+      (** per-attempt cycle budget for resilient hardware tasks *)
+  retry_backoff_cycles : int;  (** base retry backoff, doubled per attempt *)
+  max_attempts : int;
+      (** hardware attempts before falling back to software *)
 }
 
 val zedboard : t

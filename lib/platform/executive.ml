@@ -5,10 +5,36 @@
     advances it by stepping every accelerator, DMA channel and FIFO one
     cycle at a time. The host API mirrors the driver interface the paper's
     flow generates: AXI-Lite register access, accelerator start/poll, and
-    blocking [writeDMA]/[readDMA] calls backed by the DMA engines. *)
+    blocking [writeDMA]/[readDMA] calls backed by the DMA engines.
+
+    On top of the plain driver sits a fault-tolerant layer: the executive
+    can carry a {!Soc_fault.Fault.plan} that it consults once per fabric
+    cycle, injecting the due faults into the simulated hardware, and
+    [run_task_resilient] wraps a hardware task in the recovery ladder
+    (watchdog -> soft reset + retry with backoff -> software fallback). *)
+
+module Fault = Soc_fault.Fault
 
 exception Deadlock of { cycle : int; detail : string list }
-exception Bus_error of int
+
+exception
+  Bus_error of {
+    addr : int;
+    dir : [ `Read | `Write ];
+    kind : [ `Decode | `Slverr ];
+  }
+
+exception Watchdog_expired of { cycle : int; task : string }
+
+type failure = { attempt : int; at_cycle : int; cause : string }
+
+exception
+  Unrecoverable of {
+    task : string;
+    cycle : int;
+    failures : failure list;
+    injected : Fault.fault list;
+  }
 
 type timeline = {
   mutable total : int; (* PL cycles elapsed *)
@@ -21,10 +47,20 @@ type t = {
   sys : System.t;
   timeline : timeline;
   mutable last_transfer_cycle : int;
+  mutable plan : Fault.plan option;
+  mutable plan_base : int; (* timeline cycle at which the plan was armed *)
+  mutable watchdog : (string * int) option; (* task, absolute deadline *)
 }
 
 let create sys =
-  { sys; timeline = { total = 0; gpp_compute = 0; bus = 0; hw = 0 }; last_transfer_cycle = 0 }
+  {
+    sys;
+    timeline = { total = 0; gpp_compute = 0; bus = 0; hw = 0 };
+    last_transfer_cycle = 0;
+    plan = None;
+    plan_base = 0;
+    watchdog = None;
+  }
 
 let config t = t.sys.System.config
 let dram t = t.sys.System.dram
@@ -33,12 +69,125 @@ let elapsed_cycles t = t.timeline.total
 let elapsed_us t = Config.pl_cycles_to_us (config t) t.timeline.total
 
 (* ------------------------------------------------------------------ *)
+(* Fault application                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply one fault to the simulated hardware. Returns [Ok ()] when the
+   fault landed, [Error reason] when the plan named a unit or combination
+   the system does not have. *)
+let apply_raw t (f : Fault.fault) =
+  let sys = t.sys in
+  match (f.Fault.target, f.Fault.kind) with
+  | Fault.Accel name, kind -> (
+    match List.assoc_opt name sys.System.accels with
+    | None -> Error "no such accelerator"
+    | Some inst -> (
+      match kind with
+      | Fault.Hang ->
+        Accel_inst.inject_hang inst ~cycles:f.Fault.duration;
+        Ok ()
+      | Fault.Spurious_done ->
+        Accel_inst.inject_spurious_done inst;
+        Ok ()
+      | Fault.Corrupt_result mask ->
+        Accel_inst.inject_result_corruption inst ~mask;
+        Ok ()
+      | _ -> Error "kind does not apply to an accelerator"))
+  | Fault.Mm2s name, kind -> (
+    match List.assoc_opt name sys.System.mm2s with
+    | None -> Error "no such MM2S channel"
+    | Some dma -> (
+      match kind with
+      | Fault.Dma_stall ->
+        Soc_axi.Dma.inject_stall_mm2s dma ~cycles:f.Fault.duration;
+        Ok ()
+      | Fault.Dma_error ->
+        Soc_axi.Dma.inject_error_mm2s dma;
+        Ok ()
+      | _ -> Error "kind does not apply to a DMA channel"))
+  | Fault.S2mm name, kind -> (
+    match List.assoc_opt name sys.System.s2mm with
+    | None -> Error "no such S2MM channel"
+    | Some dma -> (
+      match kind with
+      | Fault.Dma_stall ->
+        Soc_axi.Dma.inject_stall_s2mm dma ~cycles:f.Fault.duration;
+        Ok ()
+      | Fault.Dma_error ->
+        Soc_axi.Dma.inject_error_s2mm dma;
+        Ok ()
+      | _ -> Error "kind does not apply to a DMA channel"))
+  | Fault.Fifo name, kind -> (
+    match
+      List.find_opt (fun (q : Soc_axi.Fifo.t) -> String.equal q.name name) sys.System.fifos
+    with
+    | None -> Error "no such FIFO"
+    | Some fifo -> (
+      match kind with
+      | Fault.Fifo_stuck ->
+        Soc_axi.Fifo.inject_stuck fifo ~cycles:f.Fault.duration;
+        Ok ()
+      | _ -> Error "kind does not apply to a FIFO"))
+  | Fault.Lite_slave owner, Fault.Slave_error ->
+    if Soc_axi.Lite.inject_slave_error sys.System.ic ~owner ~count:(max 1 f.Fault.duration)
+    then Ok ()
+    else Error "no such AXI-Lite slave"
+  | Fault.Lite_slave _, _ -> Error "kind does not apply to an AXI-Lite slave"
+  | Fault.Dram_word addr, Fault.Bit_flip b -> (
+    try
+      let v = Soc_axi.Dram.read sys.System.dram addr in
+      Soc_axi.Dram.write sys.System.dram addr (v lxor (1 lsl (b land 31)));
+      Ok ()
+    with Invalid_argument _ -> Error "address outside DRAM")
+  | Fault.Dram_word _, _ -> Error "kind does not apply to DRAM"
+
+let apply_fault t plan (f : Fault.fault) =
+  let cycle = t.timeline.total in
+  let ctrs = Fault.counters plan in
+  match apply_raw t f with
+  | Ok () ->
+    Fault.record plan (Fault.Injected { cycle; fault = f });
+    Soc_util.Metrics.Counters.incr ctrs "injected"
+  | Error reason ->
+    Fault.record plan (Fault.Skipped { cycle; fault = f; reason });
+    Soc_util.Metrics.Counters.incr ctrs "skipped"
+
+let set_fault_plan t plan =
+  t.plan <- Some plan;
+  t.plan_base <- t.timeline.total
+
+let clear_fault_plan t = t.plan <- None
+let fault_plan t = t.plan
+
+let inventory ?dram_range t =
+  {
+    Fault.accels = List.map fst t.sys.System.accels;
+    mm2s = List.map fst t.sys.System.mm2s;
+    s2mm = List.map fst t.sys.System.s2mm;
+    fifos = List.map (fun (q : Soc_axi.Fifo.t) -> q.name) t.sys.System.fifos;
+    slaves = List.map (fun (o, _, _) -> o) (Soc_axi.Lite.address_map t.sys.System.ic);
+    dram_range;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Cycle-level stepping                                                *)
 (* ------------------------------------------------------------------ *)
 
 (* One PL cycle of the whole fabric. Returns true if any stream beat moved
-   anywhere (accelerator handshake or DMA beat). *)
+   anywhere (accelerator handshake or DMA beat). With no armed fault plan
+   and no watchdog the prologue is two cheap matches, so the timeline is
+   bit-identical to a build without the fault subsystem. *)
 let step_fabric t =
+  (match t.plan with
+  | None -> ()
+  | Some plan ->
+    let rel = t.timeline.total - t.plan_base in
+    List.iter (apply_fault t plan) (Fault.due plan ~cycle:rel));
+  (match t.watchdog with
+  | Some (task, deadline) when t.timeline.total >= deadline ->
+    t.watchdog <- None;
+    raise (Watchdog_expired { cycle = t.timeline.total; task })
+  | _ -> ());
   let moved = ref false in
   List.iter (fun (_, inst) -> if Accel_inst.step inst then moved := true) t.sys.System.accels;
   List.iter
@@ -94,7 +243,10 @@ let bus_write t addr v =
   | Ok lat ->
     t.timeline.bus <- t.timeline.bus + lat;
     for _ = 1 to lat do ignore (step_fabric t) done
-  | Error (Soc_axi.Lite.No_slave a) -> raise (Bus_error a)
+  | Error (Soc_axi.Lite.No_slave a) ->
+    raise (Bus_error { addr = a; dir = `Write; kind = `Decode })
+  | Error (Soc_axi.Lite.Slave_error a) ->
+    raise (Bus_error { addr = a; dir = `Write; kind = `Slverr })
 
 let bus_read t addr =
   match Soc_axi.Lite.bus_read t.sys.System.ic addr with
@@ -102,7 +254,10 @@ let bus_read t addr =
     t.timeline.bus <- t.timeline.bus + lat;
     for _ = 1 to lat do ignore (step_fabric t) done;
     v
-  | Error (Soc_axi.Lite.No_slave a) -> raise (Bus_error a)
+  | Error (Soc_axi.Lite.No_slave a) ->
+    raise (Bus_error { addr = a; dir = `Read; kind = `Decode })
+  | Error (Soc_axi.Lite.Slave_error a) ->
+    raise (Bus_error { addr = a; dir = `Read; kind = `Slverr })
 
 let regfile_base t name = (Accel_inst.regfile (System.accel t.sys name)).Soc_axi.Lite.base
 
@@ -149,6 +304,24 @@ let wait_accel_irq t name =
   advance_gpp t (Config.gpp_to_pl_cycles (config t) irq_service_gpp_cycles);
   ignore (bus_read t (regfile_base t name + Soc_axi.Lite.status_offset))
 
+(* Bounded wait: like [wait_accel_irq] but gives up after [timeout] fabric
+   cycles instead of running into the deadlock detector. *)
+let wait_accel_timeout t name ~timeout =
+  let inst = System.accel t.sys name in
+  let deadline = t.timeline.total + timeout in
+  let rec loop () =
+    if Accel_inst.is_done inst then begin
+      ignore (bus_read t (regfile_base t name + Soc_axi.Lite.status_offset));
+      Ok ()
+    end
+    else if t.timeline.total >= deadline then Error `Timeout
+    else begin
+      ignore (step_fabric t);
+      loop ()
+    end
+  in
+  loop ()
+
 (* Blocking writeDMA: stream [len] words from DRAM address [addr] into the
    channel and wait for completion. *)
 let write_dma t ~channel ~addr ~len =
@@ -188,6 +361,197 @@ let run_software t kernel ~scalars ~stream_bufs_in ~stream_bufs_out =
   advance_gpp t r.Gpp.pl_cycles;
   r
 
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant driver layer                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* DMA channels whose current/last descriptor aborted with a transfer
+   error. *)
+let dma_faults t =
+  List.filter_map
+    (fun (n, d) -> if Soc_axi.Dma.mm2s_ok d then None else Some n)
+    t.sys.System.mm2s
+  @ List.filter_map
+      (fun (n, d) -> if Soc_axi.Dma.s2mm_ok d then None else Some n)
+      t.sys.System.s2mm
+
+(* Driver-level reset of one accelerator plus the FIFOs bound to it. *)
+let soft_reset t name =
+  let inst = System.accel t.sys name in
+  Accel_inst.soft_reset inst;
+  List.iter Soc_axi.Fifo.flush (Accel_inst.bound_fifos inst);
+  t.last_transfer_cycle <- t.timeline.total
+
+(* Full fabric reset: every accelerator back to its post-bitstream state,
+   every DMA channel and FIFO cleared. Permanent injected faults model
+   broken silicon, so a driver-level reset cannot heal them: they are
+   silently re-applied. *)
+let soft_reset_all t =
+  List.iter (fun (_, inst) -> Accel_inst.soft_reset inst) t.sys.System.accels;
+  List.iter (fun (_, d) -> Soc_axi.Dma.reset_mm2s d) t.sys.System.mm2s;
+  List.iter (fun (_, d) -> Soc_axi.Dma.reset_s2mm d) t.sys.System.s2mm;
+  List.iter Soc_axi.Fifo.flush t.sys.System.fifos;
+  t.last_transfer_cycle <- t.timeline.total;
+  match t.plan with
+  | None -> ()
+  | Some plan ->
+    let units =
+      List.map fst t.sys.System.accels
+      @ List.map fst t.sys.System.mm2s
+      @ List.map fst t.sys.System.s2mm
+    in
+    Fault.record plan (Fault.Reset { cycle = t.timeline.total; units });
+    Soc_util.Metrics.Counters.incr (Fault.counters plan) "resets";
+    List.iter
+      (fun (f : Fault.fault) ->
+        if f.Fault.duration = Fault.permanent then ignore (apply_raw t f))
+      (Fault.injected_faults plan)
+
+type outcome = Hardware | Fallback
+
+type report = {
+  task : string;
+  attempts_made : int;
+  outcome : outcome;
+  failures : failure list;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt "%s: %s after %d attempt%s" r.task
+    (match r.outcome with
+    | Hardware -> "completed in hardware"
+    | Fallback -> "fell back to software")
+    r.attempts_made
+    (if r.attempts_made = 1 then "" else "s");
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "@.  attempt %d failed at cycle %d: %s" f.attempt f.at_cycle
+        f.cause)
+    r.failures
+
+(* The recovery ladder. Run [run] as one hardware attempt under a watchdog;
+   on any detected failure (watchdog expiry, fabric deadlock, bus error,
+   DMA transfer error, failed verification) soft-reset the fabric and retry
+   after an exponentially growing backoff; after [max_attempts] hardware
+   attempts, re-dispatch to the GPP via [fallback], or raise
+   {!Unrecoverable} when no fallback exists. *)
+let run_task_resilient ?max_attempts ?backoff ?timeout ?verify ?fallback t ~task run =
+  let cfg = config t in
+  let max_attempts = Option.value max_attempts ~default:cfg.Config.max_attempts in
+  let backoff = Option.value backoff ~default:cfg.Config.retry_backoff_cycles in
+  let timeout = Option.value timeout ~default:cfg.Config.watchdog_cycles in
+  let log e = match t.plan with Some p -> Fault.record p e | None -> () in
+  let bump key =
+    match t.plan with
+    | Some p -> Soc_util.Metrics.Counters.incr (Fault.counters p) key
+    | None -> ()
+  in
+  let failures = ref [] in
+  let rec attempt i =
+    t.watchdog <- Some (task, t.timeline.total + timeout);
+    let result =
+      match run () with
+      | () -> (
+        t.watchdog <- None;
+        match dma_faults t with
+        | [] -> (
+          match verify with
+          | Some v when not (v ()) -> Error "result verification failed"
+          | _ -> Ok ())
+        | chans -> Error ("DMA transfer error on " ^ String.concat ", " chans))
+      | exception Watchdog_expired _ ->
+        t.watchdog <- None;
+        Error (Printf.sprintf "watchdog expired after %d cycles" timeout)
+      | exception Deadlock { cycle; _ } ->
+        t.watchdog <- None;
+        Error (Printf.sprintf "fabric deadlock at cycle %d" cycle)
+      | exception Bus_error { addr; dir; kind } ->
+        t.watchdog <- None;
+        Error
+          (Printf.sprintf "bus error: %s 0x%x %s"
+             (match dir with `Read -> "read" | `Write -> "write")
+             addr
+             (match kind with
+             | `Decode -> "decoded to no slave"
+             | `Slverr -> "answered SLVERR"))
+    in
+    match result with
+    | Ok () ->
+      if i > 1 then begin
+        bump "recovered";
+        log (Fault.Recovered { cycle = t.timeline.total; task; attempts = i })
+      end;
+      { task; attempts_made = i; outcome = Hardware; failures = List.rev !failures }
+    | Error cause ->
+      failures := { attempt = i; at_cycle = t.timeline.total; cause } :: !failures;
+      bump "detected";
+      log (Fault.Detected { cycle = t.timeline.total; unit_ = task; what = cause });
+      soft_reset_all t;
+      if i < max_attempts then begin
+        let pause = backoff * (1 lsl (i - 1)) in
+        bump "retried";
+        log (Fault.Retried { cycle = t.timeline.total; task; attempt = i + 1; backoff = pause });
+        advance_gpp t pause;
+        attempt (i + 1)
+      end
+      else begin
+        match fallback with
+        | Some sw ->
+          bump "fell_back";
+          log (Fault.Fell_back { cycle = t.timeline.total; task });
+          sw ();
+          { task; attempts_made = i; outcome = Fallback; failures = List.rev !failures }
+        | None ->
+          bump "unrecovered";
+          log (Fault.Unrecovered { cycle = t.timeline.total; task });
+          raise
+            (Unrecoverable
+               {
+                 task;
+                 cycle = t.timeline.total;
+                 failures = List.rev !failures;
+                 injected =
+                   (match t.plan with
+                   | Some p -> Fault.injected_faults p
+                   | None -> []);
+               })
+      end
+  in
+  attempt 1
+
 let pp_timeline fmt (tl : timeline) =
   Format.fprintf fmt "total=%d cycles (gpp=%d, bus=%d, hw=%d)" tl.total tl.gpp_compute tl.bus
     (max 0 tl.hw)
+
+(* Uncaught platform exceptions should explain themselves. *)
+let () =
+  Printexc.register_printer (function
+    | Deadlock { cycle; detail } ->
+      Some
+        (Printf.sprintf "Executive.Deadlock at cycle %d:\n  %s" cycle
+           (String.concat "\n  " detail))
+    | Bus_error { addr; dir; kind } ->
+      Some
+        (Printf.sprintf "Executive.Bus_error: %s 0x%x %s"
+           (match dir with `Read -> "read at" | `Write -> "write at")
+           addr
+           (match kind with
+           | `Decode -> "decoded to no slave"
+           | `Slverr -> "answered SLVERR"))
+    | Watchdog_expired { cycle; task } ->
+      Some (Printf.sprintf "Executive.Watchdog_expired: task %s at cycle %d" task cycle)
+    | Unrecoverable { task; cycle; failures; injected } ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b
+        (Printf.sprintf "Executive.Unrecoverable: task %s at cycle %d" task cycle);
+      List.iter
+        (fun f ->
+          Buffer.add_string b
+            (Printf.sprintf "\n  attempt %d failed at cycle %d: %s" f.attempt f.at_cycle
+               f.cause))
+        failures;
+      List.iter
+        (fun f -> Buffer.add_string b ("\n  injected: " ^ Fault.fault_to_string f))
+        injected;
+      Some (Buffer.contents b)
+    | _ -> None)

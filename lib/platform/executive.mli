@@ -5,13 +5,43 @@
     fabric keeps ticking), hardware work advances cycle by cycle. The host
     API mirrors the generated driver interface: AXI-Lite register access,
     accelerator start / polled wait / interrupt wait, and blocking
-    [writeDMA]/[readDMA]. *)
+    [writeDMA]/[readDMA].
+
+    A {!Soc_fault.Fault.plan} can be armed on the executive; it is
+    consulted once per fabric cycle and due faults are injected into the
+    simulated hardware. {!run_task_resilient} wraps a hardware task in the
+    recovery ladder: watchdog timeout -> soft reset + bounded retry with
+    exponential backoff -> software fallback on the GPP. All exceptions
+    below register [Printexc] printers, so an uncaught one prints a
+    structured report rather than an opaque constructor name. *)
 
 exception Deadlock of { cycle : int; detail : string list }
 (** No stream transfer for the configured window while work is pending. *)
 
-exception Bus_error of int
-(** AXI-Lite access decoded to no slave. *)
+exception
+  Bus_error of {
+    addr : int;
+    dir : [ `Read | `Write ];
+    kind : [ `Decode | `Slverr ];
+  }
+(** AXI-Lite access failed: [`Decode] = no slave at that address,
+    [`Slverr] = the slave answered SLVERR (injected fault). *)
+
+exception Watchdog_expired of { cycle : int; task : string }
+(** A resilient task overran its per-attempt cycle budget. *)
+
+type failure = { attempt : int; at_cycle : int; cause : string }
+(** One failed hardware attempt of a resilient task. *)
+
+exception
+  Unrecoverable of {
+    task : string;
+    cycle : int;
+    failures : failure list;
+    injected : Soc_fault.Fault.fault list;
+  }
+(** Every hardware attempt failed and no software fallback exists. Carries
+    the full attempt history and the faults injected so far. *)
 
 type timeline = {
   mutable total : int;
@@ -24,6 +54,9 @@ type t = {
   sys : System.t;
   timeline : timeline;
   mutable last_transfer_cycle : int;
+  mutable plan : Soc_fault.Fault.plan option;
+  mutable plan_base : int;
+  mutable watchdog : (string * int) option;
 }
 
 val create : System.t -> t
@@ -35,13 +68,24 @@ val elapsed_us : t -> float
 
 val step_fabric : t -> bool
 (** One PL cycle of every accelerator, DMA and FIFO; true iff a beat
-    moved. *)
+    moved. Applies due plan faults first and checks the watchdog. *)
 
 val run_until : t -> (unit -> bool) -> unit
 (** Step until the predicate holds; raises [Deadlock] when stuck. *)
 
 val advance_gpp : t -> int -> unit
 (** Charge GPP time; the fabric keeps running concurrently. *)
+
+(** {2 Fault plan} *)
+
+val set_fault_plan : t -> Soc_fault.Fault.plan -> unit
+(** Arm a plan; its injection cycles are relative to the current cycle. *)
+
+val clear_fault_plan : t -> unit
+val fault_plan : t -> Soc_fault.Fault.plan option
+
+val inventory : ?dram_range:int * int -> t -> Soc_fault.Fault.inventory
+(** The injectable units of this system, for seeded campaigns. *)
 
 (** {2 Driver API} *)
 
@@ -61,6 +105,9 @@ val wait_accel : t -> string -> unit
 val wait_accel_irq : t -> string -> unit
 (** Interrupt-driven wait: block until done, pay one ISR overhead plus a
     single acknowledging status read. *)
+
+val wait_accel_timeout : t -> string -> timeout:int -> (unit, [ `Timeout ]) result
+(** Bounded wait: give up after [timeout] fabric cycles. *)
 
 val write_dma : t -> channel:string -> addr:int -> len:int -> unit
 (** Blocking writeDMA (MM2S): stream a DRAM buffer into the channel. *)
@@ -86,5 +133,47 @@ val run_software :
   stream_bufs_out:(string * (int * int)) list ->
   Gpp.task_result
 (** Execute a software task on the GPP model; advances the clock. *)
+
+(** {2 Fault-tolerant driver layer} *)
+
+val dma_faults : t -> string list
+(** Channels whose current/last descriptor aborted with a transfer error. *)
+
+val soft_reset : t -> string -> unit
+(** Driver-level reset of one accelerator plus the FIFOs bound to it. *)
+
+val soft_reset_all : t -> unit
+(** Reset every accelerator, DMA channel and FIFO. Permanent injected
+    faults model broken silicon and survive the reset. *)
+
+type outcome = Hardware | Fallback
+
+type report = {
+  task : string;
+  attempts_made : int;
+  outcome : outcome;
+  failures : failure list;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run_task_resilient :
+  ?max_attempts:int ->
+  ?backoff:int ->
+  ?timeout:int ->
+  ?verify:(unit -> bool) ->
+  ?fallback:(unit -> unit) ->
+  t ->
+  task:string ->
+  (unit -> unit) ->
+  report
+(** Run a hardware task under the recovery ladder. Each attempt runs under
+    a watchdog of [timeout] cycles (default [Config.watchdog_cycles]); on
+    watchdog expiry, deadlock, bus error, DMA transfer error or failed
+    [verify], the fabric is soft-reset and the task retried after an
+    exponential backoff ([backoff] * 2^(attempt-1), charged as GPP time),
+    up to [max_attempts] hardware attempts. When all fail, [fallback] is
+    invoked (graceful degradation to the GPP) if given, otherwise
+    {!Unrecoverable} is raised with the attempt history. *)
 
 val pp_timeline : Format.formatter -> timeline -> unit

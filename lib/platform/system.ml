@@ -78,12 +78,37 @@ let add_s2mm t ?capacity ~src:(src_accel, src_port) () =
   t.s2mm <- (name, dma) :: t.s2mm;
   (name, dma)
 
-(* Every stream port of every accelerator must be wired to something. *)
+(* Static design-rule checks, run before co-simulation: every stream port
+   wired, DMA channel names unique, no orphaned FIFOs. *)
 let validate t =
-  List.concat_map
-    (fun (name, inst) ->
-      List.map (fun p -> name ^ "." ^ p) (Accel_inst.unbound_streams inst))
-    t.accels
+  let unbound =
+    List.concat_map
+      (fun (name, inst) ->
+        List.map (fun p -> name ^ "." ^ p) (Accel_inst.unbound_streams inst))
+      t.accels
+  in
+  let dma_names = List.map fst t.mm2s @ List.map fst t.s2mm in
+  let duplicate_dmas =
+    List.filter_map
+      (fun name ->
+        match List.filter (String.equal name) dma_names with
+        | _ :: _ :: _ -> Some ("duplicate DMA channel " ^ name)
+        | _ -> None)
+      (List.sort_uniq compare dma_names)
+  in
+  let attached =
+    List.concat_map (fun (_, inst) -> Accel_inst.bound_fifos inst) t.accels
+    @ List.map (fun (_, (m : Soc_axi.Dma.mm2s)) -> m.dest) t.mm2s
+    @ List.map (fun (_, (s : Soc_axi.Dma.s2mm)) -> s.src) t.s2mm
+  in
+  let orphans =
+    List.filter_map
+      (fun f ->
+        if List.memq f attached then None
+        else Some ("unattached FIFO " ^ f.Soc_axi.Fifo.name))
+      t.fifos
+  in
+  unbound @ duplicate_dmas @ orphans
 
 let protocol_violations t =
   List.concat_map (fun (_, inst) -> Accel_inst.protocol_violations inst) t.accels

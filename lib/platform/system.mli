@@ -44,7 +44,9 @@ val add_s2mm :
   t -> ?capacity:int -> src:string * string -> unit -> string * Soc_axi.Dma.s2mm
 
 val validate : t -> string list
-(** Unbound stream ports ("accel.in:port"); empty means fully wired. *)
+(** Static design-rule check; empty means clean. Reports unbound stream
+    ports ("accel.in:port"), duplicate DMA channel names and FIFOs that
+    were created but never attached to an accelerator or DMA engine. *)
 
 val protocol_violations : t -> Soc_axi.Stream_rules.violation list
 val fifo_stats : t -> string list

@@ -25,3 +25,32 @@ let ratio ~num ~den = if den = 0 then 0.0 else float_of_int num /. float_of_int 
 
 let pp_volume fmt v =
   Format.fprintf fmt "%d lines (%d non-blank), %d chars" v.lines v.nonblank_lines v.chars
+
+(* ------------------------------------------------------------------ *)
+(* Named event counters                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Small named-counter registry used by runtime subsystems (the fault
+    injector's injected/detected/retried/fell_back/unrecovered tallies).
+    Counters spring into existence at first increment. *)
+module Counters = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let add t name n =
+    Hashtbl.replace t name (Option.value ~default:0 (Hashtbl.find_opt t name) + n)
+
+  let incr t name = add t name 1
+
+  let get t name = Option.value ~default:0 (Hashtbl.find_opt t name)
+
+  (* Sorted for deterministic reports. *)
+  let to_list t =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+
+  let pp fmt t =
+    Format.fprintf fmt "%s"
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (to_list t)))
+end

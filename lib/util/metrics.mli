@@ -11,3 +11,21 @@ val ratio : num:int -> den:int -> float
 (** [num /. den], or [0.0] when [den] is zero. *)
 
 val pp_volume : Format.formatter -> volume -> unit
+
+(** Named event counters (runtime observability: the fault injector's
+    injected/detected/retried/fell_back/unrecovered tallies). Counters
+    spring into existence at first increment. *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> string -> int -> unit
+  val incr : t -> string -> unit
+  val get : t -> string -> int
+  (** 0 for a counter never incremented. *)
+
+  val to_list : t -> (string * int) list
+  (** Sorted by name, for deterministic reports. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -220,6 +220,105 @@ let test_dma_zero_length_is_noop () =
   Dma.start_mm2s dma ~addr:0 ~len:0;
   check Alcotest.bool "immediately idle" true (Dma.mm2s_idle dma)
 
+let test_dma_negative_length_rejected () =
+  let dram = Dram.create ~words:64 () in
+  let dest = Fifo.create ~name:"f" ~capacity:4 in
+  let src = Fifo.create ~name:"g" ~capacity:4 in
+  let m = Dma.create_mm2s ~name:"m" ~dram ~dest in
+  let s = Dma.create_s2mm ~name:"s" ~dram ~src in
+  Alcotest.check_raises "mm2s negative" (Invalid_argument "m: negative length") (fun () ->
+      Dma.start_mm2s m ~addr:0 ~len:(-1));
+  Alcotest.check_raises "s2mm negative" (Invalid_argument "s: negative length") (fun () ->
+      Dma.start_s2mm s ~addr:0 ~len:(-4))
+
+let test_dma_s2mm_double_start_rejected () =
+  let dram = Dram.create ~words:64 () in
+  let src = Fifo.create ~name:"g" ~capacity:4 in
+  let s = Dma.create_s2mm ~name:"s" ~dram ~src in
+  Dma.start_s2mm s ~addr:0 ~len:8;
+  Alcotest.check_raises "busy" (Invalid_argument "s: S2MM already busy") (fun () ->
+      Dma.start_s2mm s ~addr:0 ~len:8)
+
+let test_dma_error_injection () =
+  let dram = Dram.create ~words:64 () in
+  let dest = Fifo.create ~name:"f" ~capacity:16 in
+  let dma = Dma.create_mm2s ~name:"m" ~dram ~dest in
+  Dma.start_mm2s dma ~addr:0 ~len:8;
+  Dma.inject_error_mm2s dma;
+  check Alcotest.bool "aborted to idle" true (Dma.mm2s_idle dma);
+  check Alcotest.bool "error latched" false (Dma.mm2s_ok dma);
+  (* Per-descriptor status: programming the next descriptor clears it. *)
+  Dma.start_mm2s dma ~addr:0 ~len:0;
+  check Alcotest.bool "cleared by next start" true (Dma.mm2s_ok dma)
+
+let test_dma_stall_injection () =
+  let dram = Dram.create ~words:64 () in
+  Dram.write_block dram ~addr:0 [| 1; 2; 3; 4 |];
+  let dest = Fifo.create ~name:"f" ~capacity:16 in
+  let dma = Dma.create_mm2s ~name:"m" ~dram ~dest in
+  Dma.start_mm2s dma ~addr:0 ~len:4;
+  let run_to_idle () =
+    let n = ref 0 in
+    while not (Dma.mm2s_idle dma) do
+      Dma.step_mm2s dma;
+      Fifo.commit dest;
+      incr n
+    done;
+    !n
+  in
+  let baseline = run_to_idle () in
+  let dma2 = Dma.create_mm2s ~name:"m2" ~dram ~dest in
+  Dma.start_mm2s dma2 ~addr:0 ~len:4;
+  Dma.inject_stall_mm2s dma2 ~cycles:25;
+  let n = ref 0 in
+  while not (Dma.mm2s_idle dma2) do
+    Dma.step_mm2s dma2;
+    Fifo.commit dest;
+    incr n
+  done;
+  check Alcotest.int "stall delays completion by its length" (baseline + 25) !n
+
+let test_fifo_stuck_injection () =
+  let f = Fifo.create ~name:"f" ~capacity:4 in
+  Fifo.inject_stuck f ~cycles:2;
+  check Alcotest.bool "stuck refuses push" false (Fifo.can_push f);
+  Fifo.commit f;
+  check Alcotest.bool "still stuck" false (Fifo.can_push f);
+  Fifo.commit f;
+  check Alcotest.bool "self-heals after duration" true (Fifo.can_push f);
+  Fifo.push f 1;
+  check Alcotest.bool "conserved" true (Fifo.conserved f)
+
+let test_fifo_flush_accounts_drops () =
+  let f = Fifo.create ~name:"f" ~capacity:8 in
+  List.iter (Fifo.push f) [ 1; 2; 3 ];
+  Fifo.commit f;
+  Fifo.push f 4 (* staged, not yet visible *);
+  Fifo.flush f;
+  check Alcotest.int "empty after flush" 0 (Fifo.occupancy f);
+  check Alcotest.int "drops accounted" 4 f.Fifo.total_dropped;
+  check Alcotest.bool "conserved" true (Fifo.conserved f)
+
+let test_lite_slave_error_injection () =
+  let ic = Lite.create_interconnect () in
+  let rf = Lite.attach ic ~owner:"acc" ~size:0x100 in
+  Lite.rf_poke rf ~offset:0x10 7;
+  check Alcotest.bool "unknown owner rejected" false
+    (Lite.inject_slave_error ic ~owner:"nope" ~count:1);
+  check Alcotest.bool "known owner accepted" true
+    (Lite.inject_slave_error ic ~owner:"acc" ~count:2);
+  let addr = Lite.gp0_base + 0x10 in
+  (match Lite.bus_read ic addr with
+  | Error (Lite.Slave_error a) -> check Alcotest.int "slverr address" addr a
+  | _ -> Alcotest.fail "expected SLVERR");
+  (match Lite.bus_write ic addr 9 with
+  | Error (Lite.Slave_error _) -> ()
+  | _ -> Alcotest.fail "expected second SLVERR");
+  (* Budget exhausted: the slave answers normally again. *)
+  match Lite.bus_read ic addr with
+  | Ok (v, _) -> check Alcotest.int "recovered read" 7 v
+  | Error _ -> Alcotest.fail "expected clean read after budget drained"
+
 let test_dma_resource_cost_scales () =
   let l1, f1, b1 = Dma.resource_cost ~channels:1 in
   let l2, f2, b2 = Dma.resource_cost ~channels:2 in
@@ -301,7 +400,14 @@ let suite =
     ("mm2s respects backpressure", `Quick, test_mm2s_respects_backpressure);
     ("s2mm writes dram", `Quick, test_s2mm_writes_dram);
     ("dma double start rejected", `Quick, test_dma_double_start_rejected);
+    ("dma s2mm double start rejected", `Quick, test_dma_s2mm_double_start_rejected);
+    ("dma negative length rejected", `Quick, test_dma_negative_length_rejected);
     ("dma zero-length noop", `Quick, test_dma_zero_length_is_noop);
+    ("dma error injection", `Quick, test_dma_error_injection);
+    ("dma stall injection", `Quick, test_dma_stall_injection);
+    ("fifo stuck-full injection", `Quick, test_fifo_stuck_injection);
+    ("fifo flush accounts drops", `Quick, test_fifo_flush_accounts_drops);
+    ("lite slave error injection", `Quick, test_lite_slave_error_injection);
     ("dma resource cost scales", `Quick, test_dma_resource_cost_scales);
     ("rules: clean handshake", `Quick, test_rules_clean_handshake);
     ("rules: data change", `Quick, test_rules_data_change_detected);

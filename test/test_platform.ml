@@ -114,11 +114,54 @@ let test_unbound_stream_reported () =
     "both ports unbound" [ "P.in:xin"; "P.out:xout" ]
     (List.sort compare (P.System.validate sys))
 
+let test_duplicate_dma_channel_reported () =
+  let sys = P.System.create () in
+  ignore (P.System.add_accel sys ~name:"P" (synth (passthrough 4)));
+  let name, dma = P.System.add_mm2s sys ~dst:("P", "xin") () in
+  ignore (P.System.add_s2mm sys ~src:("P", "xout") ());
+  (* A buggy integration frontend registering the same channel twice. *)
+  sys.P.System.mm2s <- (name, dma) :: sys.P.System.mm2s;
+  check Alcotest.bool "duplicate flagged" true
+    (List.exists
+       (fun m -> m = "duplicate DMA channel dma_mm2s->P.xin")
+       (P.System.validate sys))
+
+let test_unattached_fifo_reported () =
+  let sys = P.System.create () in
+  ignore (P.System.add_accel sys ~name:"P" (synth (passthrough 4)));
+  ignore (P.System.add_mm2s sys ~dst:("P", "xin") ());
+  ignore (P.System.add_s2mm sys ~src:("P", "xout") ());
+  ignore (P.System.new_fifo sys ~name:"orphan" ());
+  check
+    (Alcotest.list Alcotest.string)
+    "orphan flagged" [ "unattached FIFO orphan" ] (P.System.validate sys)
+
 let test_bus_error () =
   let _, exec = lite_system () in
   match Exec.bus_read exec 0x10 with
-  | exception Exec.Bus_error 0x10 -> ()
+  | exception Exec.Bus_error { addr = 0x10; dir = `Read; kind = `Decode } -> ()
   | _ -> Alcotest.fail "expected bus error"
+
+let test_bus_error_direction () =
+  let _, exec = lite_system () in
+  match Exec.bus_write exec 0x10 1 with
+  | exception Exec.Bus_error { addr = 0x10; dir = `Write; kind = `Decode } -> ()
+  | _ -> Alcotest.fail "expected bus error"
+
+let test_exception_printers () =
+  let has needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let s =
+    Printexc.to_string (Exec.Bus_error { addr = 0x40000010; dir = `Read; kind = `Slverr })
+  in
+  check Alcotest.bool "bus error printer names address" true (has "0x40000010" s);
+  check Alcotest.bool "bus error printer names SLVERR" true (has "SLVERR" s);
+  let s = Printexc.to_string (Exec.Deadlock { cycle = 99; detail = [ "P: done=false" ] }) in
+  check Alcotest.bool "deadlock printer has cycle" true (has "99" s);
+  check Alcotest.bool "deadlock printer has detail" true (has "P: done=false" s)
 
 (* ------------------------------------------------------------------ *)
 (* Streaming phase through DMA                                         *)
@@ -204,8 +247,18 @@ let test_fifo_too_small_deadlocks () =
   (* S2MM never started: output fifo fills, accel stalls, input fifo fills,
      MM2S stalls. *)
   match Exec.run_phase exec ~accels:[ "P" ] with
-  | exception Exec.Deadlock { detail; _ } ->
-    check Alcotest.bool "detail lists fifo stats" true (detail <> [])
+  | exception Exec.Deadlock { cycle; detail } ->
+    check Alcotest.bool "detail lists fifo stats" true (detail <> []);
+    check Alcotest.bool "cycle is plausible" true (cycle > 3000);
+    (* The detail must name the stuck accelerator and its state, not just
+       say "deadlock". *)
+    check Alcotest.bool "detail names the accelerator" true
+      (List.exists
+         (fun line ->
+           String.length line >= 2 && String.sub line 0 2 = "P:"
+           && List.exists (fun s -> s = line)
+                [ "P: done=false idle=false"; "P: done=false idle=true" ])
+         detail)
   | () -> Alcotest.fail "expected deadlock"
 
 let test_accel_to_accel_link () =
@@ -245,7 +298,11 @@ let suite =
     ("axi-lite accelerator rerun", `Quick, test_lite_accelerator_rerun);
     ("duplicate accel rejected", `Quick, test_duplicate_accel_rejected);
     ("unbound streams reported", `Quick, test_unbound_stream_reported);
+    ("duplicate dma channel reported", `Quick, test_duplicate_dma_channel_reported);
+    ("unattached fifo reported", `Quick, test_unattached_fifo_reported);
     ("bus error", `Quick, test_bus_error);
+    ("bus error carries direction", `Quick, test_bus_error_direction);
+    ("exception printers", `Quick, test_exception_printers);
     ("stream phase end to end", `Quick, test_stream_phase_end_to_end);
     ("blocking dma calls", `Quick, test_blocking_dma_calls);
     ("timeline accounting", `Quick, test_timeline_components);

@@ -195,6 +195,22 @@ let test_dot_render () =
   check Alcotest.bool "cluster" true (Tstr.contains s "subgraph cluster_k");
   check Alcotest.bool "edge" true (Tstr.contains s "a_b -> c")
 
+let test_counters () =
+  let c = Metrics.Counters.create () in
+  check Alcotest.int "absent is zero" 0 (Metrics.Counters.get c "injected");
+  Metrics.Counters.incr c "injected";
+  Metrics.Counters.incr c "injected";
+  Metrics.Counters.add c "detected" 3;
+  check Alcotest.int "incr" 2 (Metrics.Counters.get c "injected");
+  check Alcotest.int "add" 3 (Metrics.Counters.get c "detected");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "sorted listing"
+    [ ("detected", 3); ("injected", 2) ]
+    (Metrics.Counters.to_list c);
+  check Alcotest.string "rendering" "detected=3 injected=2"
+    (Format.asprintf "%a" Metrics.Counters.pp c)
+
 let suite =
   [
     ("mask widths", `Quick, test_mask);
@@ -209,6 +225,7 @@ let suite =
     ("metrics empty", `Quick, test_metrics_empty);
     ("metrics trailing newline", `Quick, test_metrics_no_trailing_newline);
     ("metrics ratio", `Quick, test_ratio);
+    ("metrics counters", `Quick, test_counters);
     ("rng deterministic", `Quick, test_rng_deterministic);
     ("rng bounds", `Quick, test_rng_bounds);
     ("rng copy", `Quick, test_rng_copy_independent);

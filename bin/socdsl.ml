@@ -48,23 +48,120 @@ let seed_arg =
 
 (* ---------------- check ---------------- *)
 
+(* The built-in kernel library: node names from the case studies resolve to
+   their kernels so a .tg file can be pushed through the whole flow from
+   the command line. *)
+let builtin_kernels () =
+  let w = 32 and h = 32 in
+  Soc_apps.Otsu.kernels ~width:w ~height:h
+  @ Soc_apps.Graphs.fig4_kernels ~width:w ~height:h
+  @ Soc_apps.Xtea.loopback_kernels ~blocks:(w * h / 2)
+  @ Soc_apps.Fir.pipeline_kernels ~samples:(w * h)
+
 let check_cmd =
-  let run file =
-    let spec = or_die (load file) in
-    Printf.printf "%s: OK\n" spec.Soc_core.Spec.design_name;
-    Printf.printf "  nodes: %d (%s)\n"
-      (List.length spec.Soc_core.Spec.nodes)
-      (String.concat ", "
-         (List.map (fun n -> n.Soc_core.Spec.node_name) spec.Soc_core.Spec.nodes));
-    Printf.printf "  AXI-Lite connections: %d\n"
-      (List.length (Soc_core.Spec.connects spec));
-    Printf.printf "  AXI-Stream links: %d (%d crossing 'soc)\n"
-      (List.length (Soc_core.Spec.links spec))
-      (List.length (Soc_core.Spec.soc_to_node_links spec)
-      + List.length (Soc_core.Spec.node_to_soc_links spec))
+  let module Diag = Soc_util.Diag in
+  (* Diagnostics of one file: SOC000 when the source does not even parse,
+     the full analyzer stream otherwise. *)
+  let diags_of_file ~graph_only file =
+    match read_source file with
+    | exception Sys_error msg ->
+      prerr_endline ("socdsl: " ^ msg);
+      exit 2
+    | source -> (
+      let parse_diag ~line ~col msg =
+        [ Diag.error
+            ~span:{ Diag.line; col }
+            ~code:"SOC000" ~subject:file msg ]
+      in
+      match Soc_core.Parser.parse ~validate:false source with
+      | exception Soc_core.Parser.Parse_error (msg, line, col) ->
+        parse_diag ~line ~col msg
+      | exception Soc_core.Lexer.Lex_error (msg, line, col) ->
+        parse_diag ~line ~col msg
+      | spec ->
+        (* The analyzer ignores kernels for nodes outside the spec and
+           reports SOC020 for spec nodes the library cannot resolve. *)
+        let kernels = if graph_only then [] else builtin_kernels () in
+        Soc_analysis.Analyze.run ~kernels spec)
   in
-  Cmd.v (Cmd.info "check" ~doc:"Parse and validate a DSL source.")
-    Term.(const run $ file_arg)
+  let run files format werror ignored graph_only codes =
+    if codes then begin
+      List.iter
+        (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
+        Soc_analysis.Analyze.code_table;
+      exit 0
+    end;
+    if files = [] then begin
+      prerr_endline "socdsl: no input files (or pass --codes)";
+      exit 2
+    end;
+    let per_file =
+      List.map
+        (fun file ->
+          let ds =
+            diags_of_file ~graph_only file
+            |> Diag.suppress ~codes:ignored
+            |> fun ds -> if werror then Diag.promote_warnings ds else ds
+          in
+          (file, Diag.sort ds))
+        files
+    in
+    (match format with
+    | `Text ->
+      List.iter
+        (fun (file, ds) ->
+          List.iter (fun d -> print_endline (Diag.to_string ~file d)) ds;
+          Printf.printf "%s: %s\n" file
+            (if ds = [] then "clean"
+             else
+               Printf.sprintf "%d error(s), %d warning(s)" (Diag.error_count ds)
+                 (Diag.warning_count ds)))
+        per_file
+    | `Json ->
+      let all =
+        List.concat_map
+          (fun (file, ds) -> List.map (Diag.to_json ~file) ds)
+          per_file
+      in
+      print_endline
+        (if all = [] then "[]"
+         else "[\n  " ^ String.concat ",\n  " all ^ "\n]"));
+    if List.exists (fun (_, ds) -> Diag.has_errors ds) per_file then exit 1
+  in
+  let files_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE"
+         ~doc:"DSL source files (- for stdin).")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let werror_arg =
+    Arg.(value & flag & info [ "Werror" ]
+         ~doc:"Treat warnings as errors (after --ignore filtering).")
+  in
+  let ignore_arg =
+    Arg.(value & opt (list string) [] & info [ "ignore" ] ~docv:"CODES"
+         ~doc:"Comma-separated diagnostic codes to suppress, e.g. SOC032,RES211.")
+  in
+  let graph_only_arg =
+    Arg.(value & flag & info [ "graph-only" ]
+         ~doc:"Skip kernel-level checks (rates, typecheck, resources); graph \
+               and address-map checks only.")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ]
+         ~doc:"List every stable diagnostic code with its meaning and exit.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze DSL sources: graph well-formedness, kernel \
+          interface and type checks, SDF-style stream rate/deadlock analysis, \
+          address-map and resource-budget checks. Exits 1 if any error is \
+          found, 0 otherwise.")
+    Term.(const run $ files_arg $ format_arg $ werror_arg $ ignore_arg
+          $ graph_only_arg $ codes_arg)
 
 (* ---------------- print ---------------- *)
 
@@ -156,16 +253,6 @@ let metrics_cmd =
     Term.(const run $ file_arg)
 
 (* ---------------- build ---------------- *)
-
-(* The built-in kernel library: node names from the case studies resolve to
-   their kernels so a .tg file can be pushed through the whole flow from
-   the command line. *)
-let builtin_kernels () =
-  let w = 32 and h = 32 in
-  Soc_apps.Otsu.kernels ~width:w ~height:h
-  @ Soc_apps.Graphs.fig4_kernels ~width:w ~height:h
-  @ Soc_apps.Xtea.loopback_kernels ~blocks:(w * h / 2)
-  @ Soc_apps.Fir.pipeline_kernels ~samples:(w * h)
 
 let build_cmd =
   let run file seed =
@@ -391,9 +478,35 @@ let chaos_cmd =
 (* ---------------- demo ---------------- *)
 
 let demo_cmd =
-  let run () = print_endline Soc_apps.Graphs.listing4_source in
-  Cmd.v (Cmd.info "demo" ~doc:"Print the paper's Listing 4 (the Otsu Arch4 description).")
-    Term.(const run $ const ())
+  let run design =
+    match design with
+    | `Listing4 -> print_endline Soc_apps.Graphs.listing4_source
+    | `Arch a -> print_string (Soc_core.Printer.to_source (Soc_apps.Graphs.arch_spec a))
+    | `Fig4 -> print_string (Soc_core.Printer.to_source Soc_apps.Graphs.fig4_spec)
+  in
+  let design_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("listing4", `Listing4);
+                  ("1", `Arch Soc_apps.Graphs.Arch1);
+                  ("2", `Arch Soc_apps.Graphs.Arch2);
+                  ("3", `Arch Soc_apps.Graphs.Arch3);
+                  ("4", `Arch Soc_apps.Graphs.Arch4);
+                  ("fig4", `Fig4) ])
+             `Listing4
+         & info [ "arch" ] ~docv:"N"
+             ~doc:
+               "Design to print: an Otsu architecture (1-4), the paper's \
+                Fig. 4 pipeline (fig4), or the verbatim Listing 4 source \
+                (listing4, default).")
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:
+         "Print a built-in design as canonical DSL source (the paper's \
+          Listing 4 by default; --arch selects other case studies).")
+    Term.(const run $ design_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

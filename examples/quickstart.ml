@@ -50,7 +50,7 @@ let () =
   let source = Soc_core.Printer.to_source spec in
   print_endline "--- DSL source (external syntax) ---";
   print_string source;
-  assert (Soc_core.Parser.parse source = spec);
+  assert (Soc_core.Spec.strip_spans (Soc_core.Parser.parse source) = spec);
 
   (* Step 3 -- execute the flow: HLS, Tcl, device tree, driver API. *)
   let build = Soc_core.Flow.build spec ~kernels:[ ("saxb", saxb_kernel n) ] in

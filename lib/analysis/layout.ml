@@ -1,0 +1,72 @@
+(* Integration planning from the spec alone. Moved out of Flow so the
+   static analyzer can check address maps and resource budgets without
+   depending on the flow coordinator (which sits above this library). *)
+
+type dma_channel = {
+  logical : string * string; (* node, port *)
+  direction : [ `To_device | `From_device ];
+}
+
+(* One DMA channel per 'soc-crossing stream link. *)
+let dma_channels_of_spec (spec : Spec.t) =
+  List.map
+    (fun (n, p) -> { logical = (n, p); direction = `To_device })
+    (Spec.soc_to_node_links spec)
+  @ List.map
+      (fun (n, p) -> { logical = (n, p); direction = `From_device })
+      (Spec.node_to_soc_links spec)
+
+(* Address map mirroring what instantiation creates: accelerators in node
+   order, then DMA register files, in 64 KiB segments from GP0. *)
+let address_map_of_spec (spec : Spec.t) =
+  let seg = 0x1_0000 in
+  List.mapi
+    (fun idx (n : Spec.node_spec) ->
+      (n.Spec.node_name, Soc_axi.Lite.gp0_base + (idx * seg), seg))
+    spec.nodes
+  @ List.mapi
+      (fun idx ch ->
+        let n, p = ch.logical in
+        ( Printf.sprintf "dma_%s_%s" n p,
+          Soc_axi.Lite.gp0_base + ((List.length spec.nodes + idx) * seg),
+          seg ))
+      (dma_channels_of_spec spec)
+
+let address_overlaps map =
+  let rec go = function
+    | [] -> []
+    | (name1, base1, size1) :: rest ->
+      List.filter_map
+        (fun (name2, base2, size2) ->
+          if base1 < base2 + size2 && base2 < base1 + size1 then
+            Some (name1, name2, max base1 base2)
+          else None)
+        rest
+      @ go rest
+  in
+  go map
+
+(* Fabric cost of the integration glue around the accelerators. *)
+let integration_resources (spec : Spec.t) ~fifo_depth : Soc_hls.Report.usage =
+  let dma_count =
+    List.length (Spec.soc_to_node_links spec) + List.length (Spec.node_to_soc_links spec)
+  in
+  let lite_slave_count =
+    List.length (Spec.connects spec) + List.length (Spec.stream_nodes spec) + dma_count
+  in
+  let internal = List.length (Spec.internal_links spec) in
+  let dma_lut, dma_ff, dma_bram =
+    let l, f, b = Soc_axi.Dma.resource_cost ~channels:1 in
+    (l * dma_count, f * dma_count, b * dma_count)
+  in
+  (* AXI-Lite interconnect: per-master-port decode + register slices. *)
+  let ic_lut = 180 * lite_slave_count and ic_ff = 260 * lite_slave_count in
+  (* Inter-accelerator stream FIFOs. *)
+  let fifo_bram = internal * ((fifo_depth * 32 + 18431) / 18432) in
+  let fifo_lut = internal * 48 and fifo_ff = internal * 70 in
+  {
+    Soc_hls.Report.lut = dma_lut + ic_lut + fifo_lut;
+    ff = dma_ff + ic_ff + fifo_ff;
+    bram18 = dma_bram + fifo_bram;
+    dsp = 0;
+  }

@@ -1,0 +1,24 @@
+(** Integration-layer planning derived purely from the spec: DMA channels
+    for 'soc-crossing links, the AXI-Lite address map, and the fabric cost
+    of the integration glue. Shared by the flow coordinator (which builds
+    these artifacts) and the static analyzer (which checks them). *)
+
+type dma_channel = {
+  logical : string * string;  (** node, port *)
+  direction : [ `To_device | `From_device ];
+}
+
+val dma_channels_of_spec : Spec.t -> dma_channel list
+(** One DMA channel per 'soc-crossing stream link (MM2S then S2MM). *)
+
+val address_map_of_spec : Spec.t -> (string * int * int) list
+(** (name, base, size): accelerators in node order then DMA register
+    files, in 64 KiB segments from GP0 — mirroring instantiation. *)
+
+val address_overlaps : (string * int * int) list -> (string * string * int) list
+(** Pairs of map entries whose [base, base+size) ranges intersect, with
+    the first overlapping address. Empty for maps from
+    {!address_map_of_spec}; guards hand-edited or merged maps. *)
+
+val integration_resources : Spec.t -> fifo_depth:int -> Soc_hls.Report.usage
+(** Fabric cost of DMA cores, AXI-Lite interconnect and stream FIFOs. *)

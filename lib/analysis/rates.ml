@@ -1,0 +1,143 @@
+(* Static stream-rate bounds from the kernel AST.
+
+   The walk never lowers to the CFG (Cfg.of_kernel raises on kernels that
+   fail typecheck; the analyzer must keep going and report those errors
+   itself), so everything here is a direct structural pass:
+
+     For with constant bounds  ->  body counts x trip count (exact)
+     If                        ->  per-port [min, max] merge of branches
+     While with stream ops     ->  [0, unbounded)                       *)
+
+module Ast = Soc_kernel.Ast
+
+type count = { lo : int; hi : int option }
+
+let zero = { lo = 0; hi = Some 0 }
+let is_zero c = c.lo = 0 && c.hi = Some 0
+let exact c = match c.hi with Some h when h = c.lo -> Some c.lo | _ -> None
+
+let count_to_string c =
+  match c.hi with
+  | Some h when h = c.lo -> string_of_int c.lo
+  | Some h -> Printf.sprintf "%d..%d" c.lo h
+  | None -> Printf.sprintf "%d..?" c.lo
+
+let add a b =
+  {
+    lo = a.lo + b.lo;
+    hi = (match (a.hi, b.hi) with Some x, Some y -> Some (x + y) | _ -> None);
+  }
+
+let scale c ~trips =
+  if trips <= 0 then zero
+  else { lo = c.lo * trips; hi = Option.map (fun h -> h * trips) c.hi }
+
+(* Executed an unknown number of times (>= 0). *)
+let unbounded_repeat c =
+  if is_zero c then zero else { lo = 0; hi = None }
+
+(* Either branch may run. *)
+let merge a b =
+  {
+    lo = min a.lo b.lo;
+    hi = (match (a.hi, b.hi) with Some x, Some y -> Some (max x y) | _ -> None);
+  }
+
+type t = {
+  pops : (string * count) list;
+  pushes : (string * count) list;
+}
+
+(* Constant folding without an environment: only literal arithmetic, which
+   is exactly what the case-study kernels use for loop bounds. *)
+let rec const_eval (e : Ast.expr) : int option =
+  match e with
+  | Ast.Int n -> Some n
+  | Ast.Bin (op, a, b) -> (
+    match (const_eval a, const_eval b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Some (x + y)
+      | Ast.Sub -> Some (x - y)
+      | Ast.Mul -> Some (x * y)
+      | Ast.Div when y <> 0 -> Some (x / y)
+      | Ast.Rem when y <> 0 -> Some (x mod y)
+      | _ -> None)
+    | _ -> None)
+  | Ast.Un (Ast.Neg, a) -> Option.map Int.neg (const_eval a)
+  | _ -> None
+
+(* Per-port counts of one statement list, as a total map (assoc over the
+   ports actually touched; absent = zero). *)
+let rec counts_of_stmts stmts : (string * count) list * (string * count) list =
+  List.fold_left
+    (fun (pops, pushes) stmt ->
+      let p2, q2 = counts_of_stmt stmt in
+      (combine add pops p2, combine add pushes q2))
+    ([], []) stmts
+
+and counts_of_stmt (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Assign _ | Ast.Store _ -> ([], [])
+  | Ast.Pop (_, port) -> ([ (port, { lo = 1; hi = Some 1 }) ], [])
+  | Ast.Push (port, _) -> ([], [ (port, { lo = 1; hi = Some 1 }) ])
+  | Ast.If (_, then_, else_) ->
+    let tp, tq = counts_of_stmts then_ and ep, eq = counts_of_stmts else_ in
+    (merge_maps tp ep, merge_maps tq eq)
+  | Ast.While (_, body) ->
+    let p, q = counts_of_stmts body in
+    (map_counts unbounded_repeat p, map_counts unbounded_repeat q)
+  | Ast.For (_, lo, hi, body) -> (
+    let p, q = counts_of_stmts body in
+    match (const_eval lo, const_eval hi) with
+    | Some l, Some h ->
+      let trips = max 0 (h - l) in
+      (map_counts (scale ~trips) p, map_counts (scale ~trips) q)
+    | _ -> (map_counts unbounded_repeat p, map_counts unbounded_repeat q))
+
+and map_counts f m = List.map (fun (port, c) -> (port, f c)) m
+
+and combine f a b =
+  let keys = List.sort_uniq compare (List.map fst a @ List.map fst b) in
+  List.map
+    (fun k ->
+      let get m = Option.value ~default:zero (List.assoc_opt k m) in
+      (k, f (get a) (get b)))
+    keys
+
+(* Branch merge must treat a port absent on one side as zero there. *)
+and merge_maps a b = combine merge a b
+
+let of_kernel (k : Ast.kernel) : t =
+  let pops, pushes = counts_of_stmts k.Ast.body in
+  let total dir m =
+    List.map
+      (fun p ->
+        let name = Ast.port_name p in
+        (name, Option.value ~default:zero (List.assoc_opt name m)))
+      (match dir with `In -> Ast.stream_inputs k | `Out -> Ast.stream_outputs k)
+  in
+  { pops = total `In pops; pushes = total `Out pushes }
+
+let pop_count t port = Option.value ~default:zero (List.assoc_opt port t.pops)
+let push_count t port = Option.value ~default:zero (List.assoc_opt port t.pushes)
+
+(* Pre-order index of the first stream operation on [port]. *)
+let first_op_index (k : Ast.kernel) port =
+  let idx = ref 0 in
+  let found = ref None in
+  let rec walk_stmts stmts = List.iter walk stmts
+  and walk stmt =
+    if !found = None then
+      match stmt with
+      | Ast.Pop (_, p) | Ast.Push (p, _) ->
+        if p = port && !found = None then found := Some !idx;
+        incr idx
+      | Ast.If (_, a, b) ->
+        walk_stmts a;
+        walk_stmts b
+      | Ast.While (_, body) | Ast.For (_, _, _, body) -> walk_stmts body
+      | Ast.Assign _ | Ast.Store _ -> ()
+  in
+  walk_stmts k.Ast.body;
+  !found

@@ -1,0 +1,34 @@
+(** Static stream-rate derivation (SDF-style, Lee & Messerschmitt): how
+    many beats a kernel pops/pushes on each stream port per activation,
+    bounded from the AST. Constant-trip [For] loops give exact counts;
+    branches merge to intervals; [While] loops containing stream
+    operations are unbounded. The rate/deadlock checks in {!Analyze}
+    compare these counts across every link of the task graph. *)
+
+type count = { lo : int; hi : int option }
+(** Inclusive bounds on beats per activation; [hi = None] is unbounded. *)
+
+val exact : count -> int option
+(** [Some n] iff the bounds pin the count to exactly [n]. *)
+
+val count_to_string : count -> string
+(** ["1024"], ["0..16"] or ["0..?"]. *)
+
+type t = {
+  pops : (string * count) list;   (** per input stream port *)
+  pushes : (string * count) list; (** per output stream port *)
+}
+
+val of_kernel : Soc_kernel.Ast.kernel -> t
+(** Walks the kernel body; every stream port of the kernel appears. *)
+
+val pop_count : t -> string -> count
+val push_count : t -> string -> count
+(** Count for a port; zero for ports the kernel never touches. *)
+
+val first_op_index : Soc_kernel.Ast.kernel -> string -> int option
+(** Position of the first pop/push on [port] in a pre-order walk of the
+    body — the static order in which the kernel first touches its
+    streams. Drives the FIFO-sizing deadlock check: a consumer that
+    blocks on port A before first reading port B cannot drain B
+    meanwhile. *)

@@ -2,7 +2,15 @@
     III after DSL parsing/execution. Nodes carry AXI-Lite or AXI-Stream
     ports; edges are [Connect] (register interface on the bus) or [Link]
     (stream between ports, or through a DMA channel at the ['soc]
-    boundary). *)
+    boundary).
+
+    Nodes and edges optionally carry the line/column span of the DSL
+    source construct they came from ({!Soc_util.Diag.span}), so every
+    diagnostic about them can point back at the source. Specs built
+    programmatically (EDSL, HTG bridge) have no spans; the printer
+    round-trip law holds modulo spans ({!strip_spans}). *)
+
+module Diag = Soc_util.Diag
 
 type port_kind = Lite | Stream
 
@@ -11,21 +19,36 @@ val pp_port_kind : Format.formatter -> port_kind -> unit
 type node_spec = {
   node_name : string;
   node_ports : (string * port_kind) list;  (** declaration order *)
+  node_span : Diag.span option;
 }
 
 type endpoint = Soc | Port of string * string
 
 val pp_endpoint : Format.formatter -> endpoint -> unit
 
-type edge_spec =
+type edge_desc =
   | Connect of string
   | Link of endpoint * endpoint  (** src -> dst *)
+
+type edge_spec = { edge : edge_desc; edge_span : Diag.span option }
 
 type t = {
   design_name : string;
   nodes : node_spec list;
   edges : edge_spec list;
 }
+
+(** {2 Construction} *)
+
+val make_node : ?span:Diag.span -> string -> (string * port_kind) list -> node_spec
+val connect_edge : ?span:Diag.span -> string -> edge_spec
+val link_edge : ?span:Diag.span -> endpoint -> endpoint -> edge_spec
+
+val strip_spans : t -> t
+(** Same spec with every source span erased; two parses of equivalent
+    sources are structurally equal after stripping. *)
+
+(** {2 Queries} *)
 
 val find_node : t -> string -> node_spec option
 val port_kind : t -> node:string -> port:string -> port_kind option
@@ -42,6 +65,9 @@ val internal_links : t -> ((string * string) * (string * string)) list
 
 val stream_nodes : t -> string list
 (** Nodes touched by at least one stream link (sorted, unique). *)
+
+val node_span : t -> string -> Diag.span option
+(** Source span of a node, when the spec came from DSL source. *)
 
 (** {2 Validation} *)
 
@@ -61,8 +87,16 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+val error_code : error -> string
+(** Stable diagnostic code of a graph error (SOC001..SOC011). *)
+
 val validate : t -> (unit, error list) result
 val validate_exn : t -> unit
+
+val validate_diags : t -> Diag.t list
+(** The graph checks as diagnostics: every {!validate} error with its
+    stable code and source span, plus warning [SOC012] for a node that no
+    edge references at all. Sorted with {!Diag.sort}. *)
 
 type direction = Input | Output
 

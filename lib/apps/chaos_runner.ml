@@ -91,6 +91,34 @@ let run ?(width = 32) ?(height = 32) ?(image_seed = 42) ?(fallback = true)
     cycles;
   }
 
+let diags o =
+  let module Diag = Soc_util.Diag in
+  let subject = Graphs.arch_name o.arch in
+  let mismatch =
+    if o.output_ok then []
+    else
+      [ Diag.error ~code:"RUN311" ~subject
+          "campaign output diverged from the golden model" ]
+  in
+  let degraded =
+    match o.report.Exec.outcome with
+    | Exec.Fallback ->
+      [ Diag.warning ~code:"RUN310" ~subject
+          (Printf.sprintf
+             "hardware task degraded to its software fallback after %d attempts"
+             o.report.Exec.attempts_made) ]
+    | Exec.Hardware -> []
+  in
+  let retried =
+    if o.report.Exec.outcome = Exec.Hardware && o.report.Exec.attempts_made > 1
+    then
+      [ Diag.info ~code:"RUN312" ~subject
+          (Printf.sprintf "hardware recovery needed %d attempts"
+             o.report.Exec.attempts_made) ]
+    else []
+  in
+  Diag.sort (mismatch @ degraded @ retried)
+
 let render_outcome o =
   let b = Buffer.create 512 in
   Buffer.add_string b

@@ -35,6 +35,13 @@ val run :
     unrecovered campaign raises {!Soc_platform.Executive.Unrecoverable}.
     Reproducible from [seed] (and the image/geometry parameters) alone. *)
 
+val diags : outcome -> Soc_util.Diag.t list
+(** Health findings of one campaign as diagnostics, ready for the unified
+    pretty-printer: [RUN311] (error) when the output diverged from the
+    golden model, [RUN310] (warning) when the task degraded to its
+    software fallback, [RUN312] (info) when hardware recovery needed
+    retries. Empty for a clean run. *)
+
 val render_outcome : outcome -> string
 (** Multi-line health report: recovery summary, verdict, counters and the
     chronological fault/recovery event log. *)

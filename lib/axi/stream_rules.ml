@@ -50,3 +50,13 @@ let observe t ~tvalid ~tdata ~tready =
 
 let violations t = List.rev t.violations
 let handshakes t = t.handshakes
+
+let to_diag = function
+  | Valid_dropped { channel; cycle } ->
+    Soc_util.Diag.error ~code:"RUN301" ~subject:channel
+      (Printf.sprintf "TVALID deasserted before TREADY at cycle %d" cycle)
+  | Data_changed { channel; cycle; before; after } ->
+    Soc_util.Diag.error ~code:"RUN302" ~subject:channel
+      (Printf.sprintf
+         "TDATA changed while stalled at cycle %d (0x%x -> 0x%x)" cycle
+         before after)

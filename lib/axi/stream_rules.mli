@@ -18,3 +18,8 @@ val observe : t -> tvalid:bool -> tdata:int -> tready:bool -> unit
 
 val violations : t -> violation list
 val handshakes : t -> int
+
+val to_diag : violation -> Soc_util.Diag.t
+(** The violation as a runtime diagnostic: [RUN301] for a dropped TVALID,
+    [RUN302] for unstable TDATA, both errors with the channel as
+    subject — same renderer as the static checks ([socdsl check]). *)

@@ -84,7 +84,7 @@ let end_ (on : open_node) =
   let t = on.builder in
   require t In_nodes "end";
   if on.ports = [] then raise (Syntax "node declared without interfaces");
-  t.nodes_acc <- { Spec.node_name = on.oname; node_ports = List.rev on.ports } :: t.nodes_acc;
+  t.nodes_acc <- Spec.make_node on.oname (List.rev on.ports) :: t.nodes_acc;
   step t (Synthesized_node on.oname)
 
 let end_nodes t =
@@ -103,12 +103,12 @@ let port n p = Spec.Port (n, p)
 
 let connect t name =
   require t In_edges "tg connect";
-  t.edges_acc <- Spec.Connect name :: t.edges_acc;
+  t.edges_acc <- Spec.connect_edge name :: t.edges_acc;
   step t (Connected_lite name)
 
 let link t src ~to_ =
   require t In_edges "tg link";
-  t.edges_acc <- Spec.Link (src, to_) :: t.edges_acc;
+  t.edges_acc <- Spec.link_edge src to_ :: t.edges_acc;
   step t (Created_link (src, to_))
 
 let end_edges t =

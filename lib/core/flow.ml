@@ -65,32 +65,15 @@ type node_impl = {
   accel : Soc_hls.Engine.accel;
 }
 
-type dma_channel = {
+(* Integration planning lives in {!Soc_analysis.Layout} so the static
+   analyzer shares it; re-exported here under the historical names. *)
+type dma_channel = Soc_analysis.Layout.dma_channel = {
   logical : string * string; (* node, port *)
   direction : [ `To_device | `From_device ];
 }
 
-(* One DMA channel per 'soc-crossing stream link. *)
-let dma_channels_of_spec (spec : Spec.t) =
-  List.map (fun (n, p) -> { logical = (n, p); direction = `To_device })
-    (Spec.soc_to_node_links spec)
-  @ List.map (fun (n, p) -> { logical = (n, p); direction = `From_device })
-      (Spec.node_to_soc_links spec)
-
-(* Address map mirroring what [instantiate] creates: accelerators in node
-   order, then DMA register files, in 64 KiB segments from GP0. *)
-let address_map_of_spec (spec : Spec.t) =
-  let seg = 0x1_0000 in
-  List.mapi
-    (fun idx (n : Spec.node_spec) -> (n.node_name, Soc_axi.Lite.gp0_base + (idx * seg), seg))
-    spec.nodes
-  @ List.mapi
-      (fun idx ch ->
-        let n, p = ch.logical in
-        ( Printf.sprintf "dma_%s_%s" n p,
-          Soc_axi.Lite.gp0_base + ((List.length spec.nodes + idx) * seg),
-          seg ))
-      (dma_channels_of_spec spec)
+let dma_channels_of_spec = Soc_analysis.Layout.dma_channels_of_spec
+let address_map_of_spec = Soc_analysis.Layout.address_map_of_spec
 
 type build = {
   spec : Spec.t;
@@ -111,28 +94,27 @@ exception Build_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Build_error s)) fmt
 
-(* Fabric cost of the integration glue around the accelerators. *)
-let integration_resources (spec : Spec.t) ~fifo_depth : Soc_hls.Report.usage =
-  let dma_count =
-    List.length (Spec.soc_to_node_links spec) + List.length (Spec.node_to_soc_links spec)
-  in
-  let lite_slave_count = List.length (Spec.connects spec) + List.length (Spec.stream_nodes spec) + dma_count in
-  let internal = List.length (Spec.internal_links spec) in
-  let dma_lut, dma_ff, dma_bram =
-    let l, f, b = Soc_axi.Dma.resource_cost ~channels:1 in
-    (l * dma_count, f * dma_count, b * dma_count)
-  in
-  (* AXI-Lite interconnect: per-master-port decode + register slices. *)
-  let ic_lut = 180 * lite_slave_count and ic_ff = 260 * lite_slave_count in
-  (* Inter-accelerator stream FIFOs. *)
-  let fifo_bram = internal * ((fifo_depth * 32 + 18431) / 18432) in
-  let fifo_lut = internal * 48 and fifo_ff = internal * 70 in
-  {
-    Soc_hls.Report.lut = dma_lut + ic_lut + fifo_lut;
-    ff = dma_ff + ic_ff + fifo_ff;
-    bram18 = dma_bram + fifo_bram;
-    dsp = 0;
-  }
+let integration_resources = Soc_analysis.Layout.integration_resources
+
+(* Pre-flight static analysis: every error the analyzer can prove from
+   the spec and kernel ASTs alone refuses the build before any HLS is
+   spent — with diagnostics, not exceptions from deep in the flow. *)
+let pre_flight ?config (spec : Spec.t) ~(kernels : (string * Ast.kernel) list) :
+    Soc_util.Diag.t list =
+  Soc_analysis.Analyze.pre_flight ?config ~kernels spec
+
+let check_pre_flight spec ~kernels =
+  if kernels <> [] then
+    let diags = pre_flight spec ~kernels in
+    if Soc_util.Diag.has_errors diags then
+      fail "static analysis rejected the design:\n%s"
+        (String.concat "\n"
+           (List.filter_map
+              (fun (d : Soc_util.Diag.t) ->
+                if d.Soc_util.Diag.severity = Soc_util.Diag.Error then
+                  Some (Soc_util.Diag.to_string d)
+                else None)
+              diags))
 
 (* ------------------------------------------------------------------ *)
 (* Staged flow                                                         *)
@@ -262,6 +244,7 @@ let build ?(hls_config = Soc_hls.Engine.default_config)
     ?(hls_cache : (string, unit) Hashtbl.t option) ?hls (spec : Spec.t)
     ~(kernels : (string * Ast.kernel) list) : build =
   Spec.validate_exn spec;
+  check_pre_flight spec ~kernels;
   let hls =
     match (hls, hls_cache) with
     | Some h, _ -> h (* explicit engine wins *)
@@ -327,9 +310,15 @@ let instantiate ?(config = Soc_platform.Config.zedboard) ?fifo_depth
           (ch.logical, name))
       b.dma_channels
   in
-  (match Soc_platform.System.validate sys with
-  | [] -> ()
-  | unbound -> fail "integration left stream ports unbound: %s" (String.concat ", " unbound));
+  (let diags = Soc_platform.System.validate sys in
+   if Soc_util.Diag.has_errors diags then
+     fail "integration produced an inconsistent system:\n%s"
+       (String.concat "\n"
+          (List.map (fun d -> Soc_util.Diag.to_string d)
+             (List.filter
+                (fun (d : Soc_util.Diag.t) ->
+                  d.Soc_util.Diag.severity = Soc_util.Diag.Error)
+                diags))));
   { lbuild = b; system = sys; exec = Soc_platform.Executive.create sys; channels }
 
 let channel (live : live) ~node ~port =

@@ -23,13 +23,23 @@ type node_impl = {
   accel : Soc_hls.Engine.accel;
 }
 
-type dma_channel = {
+type dma_channel = Soc_analysis.Layout.dma_channel = {
   logical : string * string;  (** node, port *)
   direction : [ `To_device | `From_device ];
 }
 
 val dma_channels_of_spec : Spec.t -> dma_channel list
 val address_map_of_spec : Spec.t -> (string * int * int) list
+
+val pre_flight :
+  ?config:Soc_platform.Config.t ->
+  Spec.t ->
+  kernels:(string * Soc_kernel.Ast.kernel) list ->
+  Soc_util.Diag.t list
+(** The {!Soc_analysis.Analyze} checks the flow runs before spending any
+    HLS work. [build] (and the farm) refuse designs whose pre-flight
+    contains errors — a rate-inconsistent pipeline is rejected here
+    instead of deadlocking at co-simulation. *)
 
 type build = {
   spec : Spec.t;

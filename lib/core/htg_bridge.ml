@@ -38,36 +38,32 @@ let to_spec ?(lite_ports = default_lite_ports) ?(validate = true) (g : H.t) : Sp
       | H.Task, H.Hw ->
         (* Simple node: AXI-Lite interface, parameter copy by the GPP. *)
         add_node
-          {
-            Spec.node_name = n.H.name;
-            node_ports = List.map (fun p -> (p, Spec.Lite)) (lite_ports n.H.name);
-          };
-        add_edge (Spec.Connect n.H.name)
+          (Spec.make_node n.H.name
+             (List.map (fun p -> (p, Spec.Lite)) (lite_ports n.H.name)));
+        add_edge (Spec.connect_edge n.H.name)
       | H.Phase df, H.Hw ->
         (* One stream accelerator per actor. *)
         List.iter
           (fun (a : H.actor) ->
             add_node
-              {
-                Spec.node_name = a.H.actor_name;
-                node_ports =
-                  List.map (fun (p, _) -> (p, Spec.Stream)) a.H.inputs
-                  @ List.map (fun (p, _) -> (p, Spec.Stream)) a.H.outputs;
-              })
+              (Spec.make_node a.H.actor_name
+                 (List.map (fun (p, _) -> (p, Spec.Stream)) a.H.inputs
+                 @ List.map (fun (p, _) -> (p, Spec.Stream)) a.H.outputs)))
           df.H.actors;
         (* Boundary inputs are fed by the system (DMA), then internal links,
            then boundary outputs drain to the system. *)
         List.iter
-          (fun (actor, port) -> add_edge (Spec.Link (Spec.Soc, Spec.Port (actor, port))))
+          (fun (actor, port) -> add_edge (Spec.link_edge Spec.Soc (Spec.Port (actor, port))))
           (H.dataflow_inputs df);
         List.iter
           (fun (l : H.stream_link) ->
             add_edge
-              (Spec.Link (Spec.Port (l.H.src_actor, l.H.src_port),
-                          Spec.Port (l.H.dst_actor, l.H.dst_port))))
+              (Spec.link_edge
+                 (Spec.Port (l.H.src_actor, l.H.src_port))
+                 (Spec.Port (l.H.dst_actor, l.H.dst_port))))
           df.H.links;
         List.iter
-          (fun (actor, port) -> add_edge (Spec.Link (Spec.Port (actor, port), Spec.Soc)))
+          (fun (actor, port) -> add_edge (Spec.link_edge (Spec.Port (actor, port)) Spec.Soc))
           (H.dataflow_outputs df))
     g.H.nodes;
   let spec =

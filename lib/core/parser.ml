@@ -88,7 +88,12 @@ let parse_interfaces st =
   in
   go []
 
+let span_of st =
+  let t = peek st in
+  { Soc_util.Diag.line = t.Lexer.line; col = t.Lexer.col }
+
 let parse_node st : Spec.node_spec =
+  let span = span_of st in
   expect_kw st "tg";
   expect_kw st "node";
   let name = parse_string st "node name" in
@@ -96,7 +101,7 @@ let parse_node st : Spec.node_spec =
   if ports = [] then fail st ("node " ^ name ^ " needs at least one interface");
   expect_kw st "end";
   skip_semis st;
-  { Spec.node_name = name; node_ports = ports }
+  Spec.make_node ~span name ports
 
 let parse_nodes st =
   expect_kw st "tg";
@@ -117,6 +122,7 @@ let parse_nodes st =
   nodes
 
 let parse_edge st : Spec.edge_spec =
+  let span = span_of st in
   expect_kw st "tg";
   match (peek st).Lexer.tok with
   | Lexer.Kw "connect" ->
@@ -124,7 +130,7 @@ let parse_edge st : Spec.edge_spec =
     let name = parse_string st "node name" in
     ignore (accept st (Lexer.Kw "end"));
     skip_semis st;
-    Spec.Connect name
+    Spec.connect_edge ~span name
   | Lexer.Kw "link" ->
     advance st;
     let src = parse_port st in
@@ -132,7 +138,7 @@ let parse_edge st : Spec.edge_spec =
     let dst = parse_port st in
     expect_kw st "end";
     skip_semis st;
-    Spec.Link (src, dst)
+    Spec.link_edge ~span src dst
   | _ -> fail st "expected 'connect' or 'link'"
 
 let parse_edges st =

@@ -19,7 +19,8 @@ let node_to_source (n : Spec.node_spec) =
   in
   Printf.sprintf "    tg node %S %s end;" n.node_name ports
 
-let edge_to_source = function
+let edge_to_source (e : Spec.edge_spec) =
+  match e.Spec.edge with
   | Spec.Connect name -> Printf.sprintf "    tg connect %S;" name
   | Spec.Link (src, dst) ->
     Printf.sprintf "    tg link %s to %s end;" (endpoint_to_source src)

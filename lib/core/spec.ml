@@ -1,194 +1,1 @@
-(** Elaborated system specification: the task graph G = (N, E) of Section
-    III, after DSL parsing/execution. Nodes carry their interface ports
-    (AXI-Lite or AXI-Stream); edges are either [Connect] (an AXI-Lite
-    attachment of a node's register interface to the system bus) or [Link]
-    (an AXI-Stream connection between two stream ports, or between a stream
-    port and the system bus through a DMA core — the ['soc] endpoint). *)
-
-type port_kind = Lite | Stream
-
-let pp_port_kind fmt = function
-  | Lite -> Format.pp_print_string fmt "AXI-Lite"
-  | Stream -> Format.pp_print_string fmt "AXI-Stream"
-
-type node_spec = {
-  node_name : string;
-  node_ports : (string * port_kind) list; (* declaration order preserved *)
-}
-
-type endpoint = Soc | Port of string * string (* node, port *)
-
-let pp_endpoint fmt = function
-  | Soc -> Format.pp_print_string fmt "'soc"
-  | Port (n, p) -> Format.fprintf fmt "(%S, %S)" n p
-
-type edge_spec =
-  | Connect of string (* node whose AXI-Lite interface joins the bus *)
-  | Link of endpoint * endpoint (* AXI-Stream: src -> dst *)
-
-type t = {
-  design_name : string;
-  nodes : node_spec list;
-  edges : edge_spec list;
-}
-
-let find_node t name = List.find_opt (fun n -> n.node_name = name) t.nodes
-
-let port_kind t ~node ~port =
-  match find_node t node with
-  | None -> None
-  | Some n -> List.assoc_opt port n.node_ports
-
-let links t = List.filter_map (function Link (a, b) -> Some (a, b) | Connect _ -> None) t.edges
-let connects t = List.filter_map (function Connect n -> Some n | Link _ -> None) t.edges
-
-(* Stream ports that are sources (resp. destinations) of links. *)
-let stream_outputs t =
-  List.filter_map (function Link (Port (n, p), _) -> Some (n, p) | _ -> None) t.edges
-
-let stream_inputs t =
-  List.filter_map (function Link (_, Port (n, p)) -> Some (n, p) | _ -> None) t.edges
-
-(* Links that cross the 'soc boundary need a DMA channel. *)
-let soc_to_node_links t =
-  List.filter_map (function Link (Soc, Port (n, p)) -> Some (n, p) | _ -> None) t.edges
-
-let node_to_soc_links t =
-  List.filter_map (function Link (Port (n, p), Soc) -> Some (n, p) | _ -> None) t.edges
-
-let internal_links t =
-  List.filter_map
-    (function Link (Port (a, ap), Port (b, bp)) -> Some ((a, ap), (b, bp)) | _ -> None)
-    t.edges
-
-(* Nodes reached by at least one stream link. *)
-let stream_nodes t =
-  let names =
-    List.concat_map
-      (function
-        | Link (Port (a, _), Port (b, _)) -> [ a; b ]
-        | Link (Port (a, _), Soc) | Link (Soc, Port (a, _)) -> [ a ]
-        | Link (Soc, Soc) | Connect _ -> [])
-      t.edges
-  in
-  List.sort_uniq compare names
-
-(* ------------------------------------------------------------------ *)
-(* Validation                                                          *)
-(* ------------------------------------------------------------------ *)
-
-type error =
-  | Duplicate_node of string
-  | Duplicate_port of string * string
-  | Unknown_node of string
-  | Unknown_port of string * string
-  | Lite_port_in_link of string * string
-  | Stream_port_in_connect of string
-  | Port_direction_conflict of string * string
-  | Port_reused of string * string
-  | Soc_to_soc_link
-  | Unconnected_stream_port of string * string
-  | Node_without_interface of string
-
-let pp_error fmt = function
-  | Duplicate_node n -> Format.fprintf fmt "duplicate node %S" n
-  | Duplicate_port (n, p) -> Format.fprintf fmt "node %S: duplicate port %S" n p
-  | Unknown_node n -> Format.fprintf fmt "edge references unknown node %S" n
-  | Unknown_port (n, p) -> Format.fprintf fmt "edge references unknown port %S of node %S" p n
-  | Lite_port_in_link (n, p) ->
-    Format.fprintf fmt "AXI-Lite port %S.%S cannot appear in a stream link" n p
-  | Stream_port_in_connect n ->
-    Format.fprintf fmt "connect %S: node has no AXI-Lite port to attach" n
-  | Port_direction_conflict (n, p) ->
-    Format.fprintf fmt "stream port %S.%S is used both as source and destination" n p
-  | Port_reused (n, p) -> Format.fprintf fmt "stream port %S.%S used by more than one link" n p
-  | Soc_to_soc_link -> Format.fprintf fmt "a link cannot connect 'soc to 'soc"
-  | Unconnected_stream_port (n, p) ->
-    Format.fprintf fmt "stream port %S.%S is not connected by any link" n p
-  | Node_without_interface n -> Format.fprintf fmt "node %S declares no port" n
-
-let error_to_string e = Format.asprintf "%a" pp_error e
-
-let validate t =
-  let errs = ref [] in
-  let err e = errs := e :: !errs in
-  (* Node and port uniqueness. *)
-  let seen = Hashtbl.create 8 in
-  List.iter
-    (fun n ->
-      if Hashtbl.mem seen n.node_name then err (Duplicate_node n.node_name);
-      Hashtbl.replace seen n.node_name ();
-      if n.node_ports = [] then err (Node_without_interface n.node_name);
-      let pseen = Hashtbl.create 8 in
-      List.iter
-        (fun (p, _) ->
-          if Hashtbl.mem pseen p then err (Duplicate_port (n.node_name, p));
-          Hashtbl.replace pseen p ())
-        n.node_ports)
-    t.nodes;
-  (* Edge endpoint resolution. *)
-  let check_port role (node, port) =
-    match find_node t node with
-    | None -> err (Unknown_node node)
-    | Some n -> (
-      match List.assoc_opt port n.node_ports with
-      | None -> err (Unknown_port (node, port))
-      | Some Lite -> err (Lite_port_in_link (node, port))
-      | Some Stream -> ignore role)
-  in
-  let as_src = Hashtbl.create 8 and as_dst = Hashtbl.create 8 in
-  List.iter
-    (function
-      | Connect node -> (
-        match find_node t node with
-        | None -> err (Unknown_node node)
-        | Some n ->
-          if not (List.exists (fun (_, k) -> k = Lite) n.node_ports) then
-            err (Stream_port_in_connect node))
-      | Link (a, b) -> (
-        (match (a, b) with
-        | Soc, Soc -> err Soc_to_soc_link
-        | _ -> ());
-        (match a with
-        | Port (n, p) ->
-          check_port `Src (n, p);
-          if Hashtbl.mem as_src (n, p) then err (Port_reused (n, p));
-          Hashtbl.replace as_src (n, p) ()
-        | Soc -> ());
-        match b with
-        | Port (n, p) ->
-          check_port `Dst (n, p);
-          if Hashtbl.mem as_dst (n, p) then err (Port_reused (n, p));
-          Hashtbl.replace as_dst (n, p) ()
-        | Soc -> ()))
-    t.edges;
-  (* Direction conflicts and unconnected stream ports. *)
-  List.iter
-    (fun n ->
-      List.iter
-        (fun (p, kind) ->
-          if kind = Stream then begin
-            let s = Hashtbl.mem as_src (n.node_name, p)
-            and d = Hashtbl.mem as_dst (n.node_name, p) in
-            if s && d then err (Port_direction_conflict (n.node_name, p));
-            if (not s) && not d then err (Unconnected_stream_port (n.node_name, p))
-          end)
-        n.node_ports)
-    t.nodes;
-  match List.rev !errs with [] -> Ok () | es -> Error es
-
-let validate_exn t =
-  match validate t with
-  | Ok () -> ()
-  | Error es ->
-    failwith
-      (Printf.sprintf "invalid system spec %s: %s" t.design_name
-         (String.concat "; " (List.map error_to_string es)))
-
-(* Inferred direction of a stream port, from link usage. *)
-type direction = Input | Output
-
-let stream_direction t ~node ~port =
-  if List.mem (node, port) (stream_inputs t) then Some Input
-  else if List.mem (node, port) (stream_outputs t) then Some Output
-  else None
+include Soc_analysis.Spec

@@ -105,28 +105,26 @@ let spec_of (t : t) : Soc_core.Spec.t =
     List.filter_map
       (fun (stage, ports) ->
         if in_hw t stage then
-          Some
-            { node_name = node_name stage;
-              node_ports = List.map (fun p -> (p, Stream)) ports }
+          Some (make_node (node_name stage) (List.map (fun p -> (p, Stream)) ports))
         else None)
       port_lists
   in
   let edges = ref [] in
   let add e = edges := e :: !edges in
   (* Pipeline entry/exit. *)
-  if t.gray then add (Link (Soc, Port (node_name Gray, "imageIn")));
-  if t.seg then add (Link (Port (node_name Seg, "segmentedGrayImage"), Soc));
+  if t.gray then add (link_edge Soc (Port (node_name Gray, "imageIn")));
+  if t.seg then add (link_edge (Port (node_name Seg, "segmentedGrayImage")) Soc);
   List.iter
     (fun ((src, sport, dst, dport, _) as e) ->
       match (in_hw t src, in_hw t dst) with
       | true, true when direct_link t e ->
-        add (Link (Port (node_name src, sport), Port (node_name dst, dport)))
+        add (link_edge (Port (node_name src, sport)) (Port (node_name dst, dport)))
       | true, true ->
         (* Both HW but intermediate stages SW: route both through 'soc. *)
-        add (Link (Port (node_name src, sport), Soc));
-        add (Link (Soc, Port (node_name dst, dport)))
-      | true, false -> add (Link (Port (node_name src, sport), Soc))
-      | false, true -> add (Link (Soc, Port (node_name dst, dport)))
+        add (link_edge (Port (node_name src, sport)) Soc);
+        add (link_edge Soc (Port (node_name dst, dport)))
+      | true, false -> add (link_edge (Port (node_name src, sport)) Soc)
+      | false, true -> add (link_edge Soc (Port (node_name dst, dport)))
       | false, false -> ())
     data_edges;
   let spec = { design_name = name t; nodes; edges = List.rev !edges } in

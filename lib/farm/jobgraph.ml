@@ -45,10 +45,20 @@ let plan ?(hls_config = Soc_hls.Engine.default_config)
   Array.iteri
     (fun i (e : entry) ->
       let design = e.spec.Spec.design_name in
+      (* Entries the pre-flight analyzer already rejects get no HLS jobs:
+         their integrate job reports the diagnostics, and the farm never
+         spends synthesis work on a design that cannot run. *)
+      let rejected =
+        e.kernels <> []
+        && Soc_util.Diag.has_errors
+             (Soc_core.Flow.pre_flight e.spec ~kernels:e.kernels)
+      in
       (* Per-kernel HLS jobs, deduplicated across the whole batch by
          content hash; first-needing arch owns (pays for) the job. *)
       let jobs =
-        List.filter_map
+        if rejected then []
+        else
+          List.filter_map
           (fun (ns : Spec.node_spec) ->
             match List.assoc_opt ns.Spec.node_name e.kernels with
             | None -> None (* the integrate job will report the mismatch *)

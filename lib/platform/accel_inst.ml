@@ -140,6 +140,8 @@ let unbound_streams t =
 let is_done t = t.done_latched
 let name t = t.name
 let bound_fifos t = List.map snd t.in_bindings @ List.map snd t.out_bindings
+let input_bindings t = t.in_bindings
+let output_bindings t = t.out_bindings
 
 let is_idle t =
   match t.engine with

@@ -35,6 +35,11 @@ val unbound_streams : t -> string list
 val bound_fifos : t -> Soc_axi.Fifo.t list
 (** Every FIFO bound to an input or output stream port. *)
 
+val input_bindings : t -> (string * Soc_axi.Fifo.t) list
+val output_bindings : t -> (string * Soc_axi.Fifo.t) list
+(** (port, fifo) stream bindings, for integration-level design-rule
+    checks. *)
+
 val is_done : t -> bool
 val is_idle : t -> bool
 

@@ -79,12 +79,19 @@ let add_s2mm t ?capacity ~src:(src_accel, src_port) () =
   (name, dma)
 
 (* Static design-rule checks, run before co-simulation: every stream port
-   wired, DMA channel names unique, no orphaned FIFOs. *)
+   wired, DMA channel names unique, each input FIFO fed by exactly one
+   writer, no orphaned FIFOs. Reported as diagnostics so the flow and
+   [socdsl check] render them alongside the spec-level checks. *)
 let validate t =
+  let module Diag = Soc_util.Diag in
   let unbound =
     List.concat_map
       (fun (name, inst) ->
-        List.map (fun p -> name ^ "." ^ p) (Accel_inst.unbound_streams inst))
+        List.map
+          (fun p ->
+            Diag.error ~code:"SOC050" ~subject:(name ^ "." ^ p)
+              "integration left this stream port unbound")
+          (Accel_inst.unbound_streams inst))
       t.accels
   in
   let dma_names = List.map fst t.mm2s @ List.map fst t.s2mm in
@@ -92,9 +99,42 @@ let validate t =
     List.filter_map
       (fun name ->
         match List.filter (String.equal name) dma_names with
-        | _ :: _ :: _ -> Some ("duplicate DMA channel " ^ name)
+        | _ :: _ :: _ ->
+          Some
+            (Diag.error ~code:"SOC051" ~subject:name "duplicate DMA channel")
         | _ -> None)
       (List.sort_uniq compare dma_names)
+  in
+  (* A FIFO feeding an accelerator input must have exactly one writer:
+     either one accelerator output or one MM2S channel, never both. *)
+  let writers_of f =
+    List.concat_map
+      (fun (name, inst) ->
+        List.filter_map
+          (fun (port, f') ->
+            if f' == f then Some (name ^ "." ^ port) else None)
+          (Accel_inst.output_bindings inst))
+      t.accels
+    @ List.filter_map
+        (fun (name, (m : Soc_axi.Dma.mm2s)) ->
+          if m.dest == f then Some name else None)
+        t.mm2s
+  in
+  let double_driven =
+    List.concat_map
+      (fun (name, inst) ->
+        List.filter_map
+          (fun (port, f) ->
+            match writers_of f with
+            | _ :: _ :: _ as ws ->
+              Some
+                (Diag.error ~code:"SOC053" ~subject:(name ^ "." ^ port)
+                   (Printf.sprintf
+                      "stream port driven by multiple writers: %s"
+                      (String.concat ", " (List.sort compare ws))))
+            | _ -> None)
+          (Accel_inst.input_bindings inst))
+      t.accels
   in
   let attached =
     List.concat_map (fun (_, inst) -> Accel_inst.bound_fifos inst) t.accels
@@ -105,10 +145,14 @@ let validate t =
     List.filter_map
       (fun f ->
         if List.memq f attached then None
-        else Some ("unattached FIFO " ^ f.Soc_axi.Fifo.name))
+        else
+          Some
+            (Diag.warning ~code:"SOC052" ~subject:f.Soc_axi.Fifo.name
+               "FIFO attached to no accelerator or DMA engine")
+      )
       t.fifos
   in
-  unbound @ duplicate_dmas @ orphans
+  Diag.sort (unbound @ duplicate_dmas @ double_driven @ orphans)
 
 let protocol_violations t =
   List.concat_map (fun (_, inst) -> Accel_inst.protocol_violations inst) t.accels

@@ -43,10 +43,13 @@ val add_mm2s :
 val add_s2mm :
   t -> ?capacity:int -> src:string * string -> unit -> string * Soc_axi.Dma.s2mm
 
-val validate : t -> string list
+val validate : t -> Soc_util.Diag.t list
 (** Static design-rule check; empty means clean. Reports unbound stream
-    ports ("accel.in:port"), duplicate DMA channel names and FIFOs that
-    were created but never attached to an accelerator or DMA engine. *)
+    ports ([SOC050], subject "accel.in:port"), duplicate DMA channel names
+    ([SOC051]), stream inputs driven by more than one writer — e.g. both a
+    FIFO link and a DMA channel ([SOC053]) — and, as warnings, FIFOs that
+    were created but never attached to an accelerator or DMA engine
+    ([SOC052]). *)
 
 val protocol_violations : t -> Soc_axi.Stream_rules.violation list
 val fifo_stats : t -> string list

@@ -93,14 +93,14 @@ let test_edsl_trace_mirrors_fig6 () =
 (* Spec validation                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let node name ports = { Spec.node_name = name; node_ports = ports }
+let node name ports = Spec.make_node name ports
 
 let test_spec_unknown_node_in_edge () =
   let spec =
     {
       Spec.design_name = "d";
       nodes = [ node "A" [ ("o", Spec.Stream) ] ];
-      edges = [ Spec.Link (Spec.Port ("A", "o"), Spec.Port ("B", "i")) ];
+      edges = [ Spec.link_edge (Spec.Port ("A", "o")) (Spec.Port ("B", "i")) ];
     }
   in
   match Spec.validate spec with
@@ -114,7 +114,7 @@ let test_spec_lite_port_in_link () =
     {
       Spec.design_name = "d";
       nodes = [ node "A" [ ("p", Spec.Lite) ] ];
-      edges = [ Spec.Link (Spec.Soc, Spec.Port ("A", "p")) ];
+      edges = [ Spec.link_edge Spec.Soc (Spec.Port ("A", "p")) ];
     }
   in
   match Spec.validate spec with
@@ -129,8 +129,8 @@ let test_spec_direction_conflict () =
       Spec.design_name = "d";
       nodes = [ node "A" [ ("p", Spec.Stream) ] ];
       edges =
-        [ Spec.Link (Spec.Soc, Spec.Port ("A", "p"));
-          Spec.Link (Spec.Port ("A", "p"), Spec.Soc) ];
+        [ Spec.link_edge Spec.Soc (Spec.Port ("A", "p"));
+          Spec.link_edge (Spec.Port ("A", "p")) Spec.Soc ];
     }
   in
   match Spec.validate spec with
@@ -146,8 +146,8 @@ let test_spec_port_reuse () =
       nodes = [ node "A" [ ("p", Spec.Stream) ]; node "B" [ ("i", Spec.Stream) ];
                 node "C" [ ("i", Spec.Stream) ] ];
       edges =
-        [ Spec.Link (Spec.Port ("A", "p"), Spec.Port ("B", "i"));
-          Spec.Link (Spec.Port ("A", "p"), Spec.Port ("C", "i")) ];
+        [ Spec.link_edge (Spec.Port ("A", "p")) (Spec.Port ("B", "i"));
+          Spec.link_edge (Spec.Port ("A", "p")) (Spec.Port ("C", "i")) ];
     }
   in
   match Spec.validate spec with
@@ -161,7 +161,7 @@ let test_spec_unconnected_stream () =
     {
       Spec.design_name = "d";
       nodes = [ node "A" [ ("p", Spec.Stream); ("q", Spec.Stream) ] ];
-      edges = [ Spec.Link (Spec.Soc, Spec.Port ("A", "p")) ];
+      edges = [ Spec.link_edge Spec.Soc (Spec.Port ("A", "p")) ];
     }
   in
   match Spec.validate spec with
@@ -175,7 +175,7 @@ let test_spec_unconnected_stream () =
 let test_spec_soc_to_soc () =
   let spec =
     { Spec.design_name = "d"; nodes = [ node "A" [ ("p", Spec.Lite) ] ];
-      edges = [ Spec.Link (Spec.Soc, Spec.Soc); Spec.Connect "A" ] }
+      edges = [ Spec.link_edge Spec.Soc Spec.Soc; Spec.connect_edge "A" ] }
   in
   match Spec.validate spec with
   | Error errs ->
@@ -188,7 +188,7 @@ let test_spec_connect_needs_lite () =
       Spec.design_name = "d";
       nodes = [ node "A" [ ("p", Spec.Stream) ] ];
       edges =
-        [ Spec.Connect "A"; Spec.Link (Spec.Soc, Spec.Port ("A", "p")) ];
+        [ Spec.connect_edge "A"; Spec.link_edge Spec.Soc (Spec.Port ("A", "p")) ];
     }
   in
   match Spec.validate spec with
@@ -356,9 +356,7 @@ let test_parse_listings_2_and_3 () =
 (* Printer round-trip                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let spec_equal (a : Spec.t) (b : Spec.t) =
-  a.Spec.design_name = b.Spec.design_name && a.Spec.nodes = b.Spec.nodes
-  && a.Spec.edges = b.Spec.edges
+let spec_equal (a : Spec.t) (b : Spec.t) = Spec.strip_spans a = Spec.strip_spans b
 
 let test_roundtrip_listing4 () =
   let spec = Parser.parse Soc_apps.Graphs.listing4_source in
@@ -390,30 +388,28 @@ let random_spec_gen =
         List.iteri
           (fun i name ->
             nodes :=
-              {
-                Spec.node_name = name;
-                node_ports =
-                  (if i = 0 then [ ("in", Spec.Stream) ] else [ ("in", Spec.Stream) ])
-                  @ [ ("out", Spec.Stream) ];
-              }
+              Spec.make_node name
+                ((if i = 0 then [ ("in", Spec.Stream) ] else [ ("in", Spec.Stream) ])
+                @ [ ("out", Spec.Stream) ])
               :: !nodes)
           names;
         (* links *)
-        edges := Spec.Link (Spec.Soc, Spec.Port (List.hd names, "in")) :: !edges;
+        edges := Spec.link_edge Spec.Soc (Spec.Port (List.hd names, "in")) :: !edges;
         List.iteri
           (fun i name ->
             if i < len - 1 then
               edges :=
-                Spec.Link (Spec.Port (name, "out"), Spec.Port (List.nth names (i + 1), "in"))
+                Spec.link_edge (Spec.Port (name, "out"))
+                  (Spec.Port (List.nth names (i + 1), "in"))
                 :: !edges)
           names;
         edges :=
-          Spec.Link (Spec.Port (List.nth names (len - 1), "out"), Spec.Soc) :: !edges)
+          Spec.link_edge (Spec.Port (List.nth names (len - 1), "out")) Spec.Soc :: !edges)
       chain_lens;
     for _ = 1 to n_lite do
       let name = fresh () in
-      nodes := { Spec.node_name = name; node_ports = [ ("A", Spec.Lite); ("B", Spec.Lite) ] } :: !nodes;
-      edges := Spec.Connect name :: !edges
+      nodes := Spec.make_node name [ ("A", Spec.Lite); ("B", Spec.Lite) ] :: !nodes;
+      edges := Spec.connect_edge name :: !edges
     done;
     return
       { Spec.design_name = "rand"; nodes = List.rev !nodes; edges = List.rev !edges })

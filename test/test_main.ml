@@ -11,6 +11,7 @@ let () =
       ("axi", Test_axi.suite);
       ("platform", Test_platform.suite);
       ("dsl", Test_dsl.suite);
+      ("analysis", Test_analysis.suite);
       ("flow", Test_flow.suite);
       ("apps", Test_apps.suite);
       ("integration", Test_integration.suite);

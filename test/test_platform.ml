@@ -106,13 +106,20 @@ let test_duplicate_accel_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected duplicate rejection"
 
+let diag_testable =
+  Alcotest.testable Soc_util.Diag.pp (fun a b -> Soc_util.Diag.compare a b = 0)
+
 let test_unbound_stream_reported () =
   let sys = P.System.create () in
   ignore (P.System.add_accel sys ~name:"P" (synth (passthrough 4)));
   check
-    (Alcotest.list Alcotest.string)
-    "both ports unbound" [ "P.in:xin"; "P.out:xout" ]
-    (List.sort compare (P.System.validate sys))
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "both ports unbound"
+    [ ("SOC050", "P.in:xin"); ("SOC050", "P.out:xout") ]
+    (List.sort compare
+       (List.map
+          (fun (d : Soc_util.Diag.t) -> (d.Soc_util.Diag.code, d.Soc_util.Diag.subject))
+          (P.System.validate sys)))
 
 let test_duplicate_dma_channel_reported () =
   let sys = P.System.create () in
@@ -123,7 +130,9 @@ let test_duplicate_dma_channel_reported () =
   sys.P.System.mm2s <- (name, dma) :: sys.P.System.mm2s;
   check Alcotest.bool "duplicate flagged" true
     (List.exists
-       (fun m -> m = "duplicate DMA channel dma_mm2s->P.xin")
+       (fun (d : Soc_util.Diag.t) ->
+         d.Soc_util.Diag.code = "SOC051"
+         && d.Soc_util.Diag.subject = "dma_mm2s->P.xin")
        (P.System.validate sys))
 
 let test_unattached_fifo_reported () =
@@ -132,9 +141,15 @@ let test_unattached_fifo_reported () =
   ignore (P.System.add_mm2s sys ~dst:("P", "xin") ());
   ignore (P.System.add_s2mm sys ~src:("P", "xout") ());
   ignore (P.System.new_fifo sys ~name:"orphan" ());
-  check
-    (Alcotest.list Alcotest.string)
-    "orphan flagged" [ "unattached FIFO orphan" ] (P.System.validate sys)
+  (match P.System.validate sys with
+  | [ d ] ->
+    check Alcotest.string "orphan code" "SOC052" d.Soc_util.Diag.code;
+    check Alcotest.string "orphan subject" "orphan" d.Soc_util.Diag.subject;
+    check Alcotest.bool "orphan is a warning" true
+      (d.Soc_util.Diag.severity = Soc_util.Diag.Warning)
+  | ds ->
+    Alcotest.failf "expected exactly the orphan warning, got %d diagnostics"
+      (List.length ds))
 
 let test_bus_error () =
   let _, exec = lite_system () in
@@ -172,7 +187,7 @@ let stream_system n =
   ignore (P.System.add_accel sys ~name:"P" (synth (passthrough n)));
   let in_ch, _ = P.System.add_mm2s sys ~dst:("P", "xin") () in
   let out_ch, _ = P.System.add_s2mm sys ~src:("P", "xout") () in
-  check (Alcotest.list Alcotest.string) "fully bound" [] (P.System.validate sys);
+  check (Alcotest.list diag_testable) "fully bound" [] (P.System.validate sys);
   (sys, Exec.create sys, in_ch, out_ch)
 
 let test_stream_phase_end_to_end () =
@@ -280,6 +295,31 @@ let test_accel_to_accel_link () =
     (List.init n (fun i -> i + 2))
     (Array.to_list (Soc_axi.Dram.read_block (Exec.dram exec) ~addr:256 ~len:n))
 
+let test_double_driven_port_reported () =
+  let sys = P.System.create () in
+  ignore (P.System.add_accel sys ~name:"A" (synth (passthrough 4)));
+  ignore
+    (P.System.add_accel sys ~name:"B"
+       (synth { (passthrough 4) with Soc_kernel.Ast.kname = "pass2" }));
+  let link = P.System.link_stream sys ~src:("A", "xout") ~dst:("B", "xin") () in
+  ignore (P.System.add_mm2s sys ~dst:("A", "xin") ());
+  ignore (P.System.add_s2mm sys ~src:("B", "xout") ());
+  check (Alcotest.list diag_testable) "consistent before injection" []
+    (P.System.validate sys);
+  (* A buggy frontend aiming a DMA channel at the FIFO that A already
+     drives: B.xin now has two writers. *)
+  let rogue =
+    Soc_axi.Dma.create_mm2s ~name:"rogue" ~dram:sys.P.System.dram ~dest:link
+  in
+  sys.P.System.mm2s <- ("rogue", rogue) :: sys.P.System.mm2s;
+  check Alcotest.bool "double-driven flagged" true
+    (List.exists
+       (fun (d : Soc_util.Diag.t) ->
+         d.Soc_util.Diag.code = "SOC053"
+         && d.Soc_util.Diag.subject = "B.xin"
+         && d.Soc_util.Diag.severity = Soc_util.Diag.Error)
+       (P.System.validate sys))
+
 let test_double_bind_rejected () =
   let sys = P.System.create () in
   ignore (P.System.add_accel sys ~name:"P" (synth (passthrough 4)));
@@ -300,6 +340,7 @@ let suite =
     ("unbound streams reported", `Quick, test_unbound_stream_reported);
     ("duplicate dma channel reported", `Quick, test_duplicate_dma_channel_reported);
     ("unattached fifo reported", `Quick, test_unattached_fifo_reported);
+    ("double-driven port reported", `Quick, test_double_driven_port_reported);
     ("bus error", `Quick, test_bus_error);
     ("bus error carries direction", `Quick, test_bus_error_direction);
     ("exception printers", `Quick, test_exception_printers);

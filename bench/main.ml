@@ -51,8 +51,7 @@ let fig1 () =
     List.iter (fun e -> print_endline (Soc_htg.Htg.error_to_string e)) es);
   Format.printf "%a" Soc_htg.Htg.pp g;
   let path = "fig1_htg.dot" in
-  Out_channel.with_open_text path (fun oc ->
-      output_string oc (Soc_htg.Htg.to_dot g));
+  Soc_util.Atomic_io.write_file path (Soc_htg.Htg.to_dot g);
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -260,8 +259,7 @@ let fig10 () =
       let b = build_of arch in
       print_string (Soc_core.Block_diagram.to_ascii b);
       let path = Printf.sprintf "fig10_%s.dot" (Graphs.arch_name arch) in
-      Out_channel.with_open_text path (fun oc ->
-          output_string oc (Soc_core.Block_diagram.to_dot b));
+      Soc_util.Atomic_io.write_file path (Soc_core.Block_diagram.to_dot b);
       Printf.printf "wrote %s (PS blue, DMA green, cores per-function colours)\n" path)
     Graphs.all_archs
 
@@ -916,7 +914,7 @@ let farm_bench () =
       warm.Soc_farm.Farm.stats.Soc_farm.Farm.distinct_kernels
       (serial_cold /. parallel_warm)
   in
-  Out_channel.with_open_text "BENCH_farm.json" (fun oc -> output_string oc json);
+  Soc_util.Atomic_io.write_file "BENCH_farm.json" json;
   print_string json;
   print_endline "wrote BENCH_farm.json"
 

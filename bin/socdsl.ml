@@ -39,6 +39,20 @@ let or_die = function
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"DSL source file (- for stdin).")
 
+(* Every generator that can write a file goes through the shared atomic
+   writer: output is committed with temp + rename, so a crash mid-write
+   never leaves a torn artifact where a good one should be. *)
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+       ~doc:"Write the output atomically to $(docv) instead of stdout.")
+
+let emit output s =
+  match output with
+  | None -> print_string s
+  | Some path ->
+    Soc_util.Atomic_io.write_file path s;
+    Printf.printf "wrote %s\n" path
+
 (* Global deterministic seed, shared by every subcommand that involves any
    randomness (chaos campaigns) or emits a report (build, farm): the
    effective seed is always printed, so any run can be reproduced. *)
@@ -182,59 +196,60 @@ let backend_arg =
          ~doc:"Vivado backend version (2014.2 or 2015.3).")
 
 let tcl_cmd =
-  let run file backend =
-    print_string (Soc_core.Tcl.generate ~version:backend (or_die (load file)))
+  let run file backend output =
+    emit output (Soc_core.Tcl.generate ~version:backend (or_die (load file)))
   in
   Cmd.v (Cmd.info "tcl" ~doc:"Generate the Vivado integration Tcl script.")
-    Term.(const run $ file_arg $ backend_arg)
+    Term.(const run $ file_arg $ backend_arg $ output_arg)
 
 (* ---------------- qsys (Altera backend) ---------------- *)
 
 let qsys_cmd =
-  let run file = print_string (Soc_core.Quartus.generate (or_die (load file))) in
+  let run file output = emit output (Soc_core.Quartus.generate (or_die (load file))) in
   Cmd.v
     (Cmd.info "qsys"
        ~doc:"Generate the Altera Qsys/Quartus integration script (vendor extensibility).")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ output_arg)
 
 (* ---------------- devicetree / api ---------------- *)
 
 let devicetree_cmd =
-  let run file =
+  let run file output =
     let spec = or_die (load file) in
     let sw = Soc_core.Swgen.generate spec ~address_map:(Soc_core.Flow.address_map_of_spec spec) in
-    print_string sw.Soc_core.Swgen.device_tree
+    emit output sw.Soc_core.Swgen.device_tree
   in
   Cmd.v (Cmd.info "devicetree" ~doc:"Generate the Linux device-tree source.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ output_arg)
 
 let api_cmd =
-  let run file header =
+  let run file header output =
     let spec = or_die (load file) in
     let sw = Soc_core.Swgen.generate spec ~address_map:(Soc_core.Flow.address_map_of_spec spec) in
-    print_string (if header then sw.Soc_core.Swgen.api_header else sw.Soc_core.Swgen.api_source)
+    emit output (if header then sw.Soc_core.Swgen.api_header else sw.Soc_core.Swgen.api_source)
   in
   let header_arg =
     Arg.(value & flag & info [ "header" ] ~doc:"Emit the header instead of the C source.")
   in
   Cmd.v (Cmd.info "api" ~doc:"Generate the C driver API (source, or header with --header).")
-    Term.(const run $ file_arg $ header_arg)
+    Term.(const run $ file_arg $ header_arg $ output_arg)
 
 (* ---------------- diagram ---------------- *)
 
 let diagram_cmd =
-  let run file format =
+  let run file format output =
     let spec = or_die (load file) in
-    match format with
-    | `Dot -> print_string (Soc_core.Block_diagram.dot_of_spec spec)
-    | `Ascii -> print_string (Soc_core.Block_diagram.ascii_of_spec spec)
+    emit output
+      (match format with
+      | `Dot -> Soc_core.Block_diagram.dot_of_spec spec
+      | `Ascii -> Soc_core.Block_diagram.ascii_of_spec spec)
   in
   let format_arg =
     Arg.(value & opt (enum [ ("dot", `Dot); ("ascii", `Ascii) ]) `Ascii
          & info [ "format" ] ~docv:"FMT" ~doc:"Output format: dot or ascii.")
   in
   Cmd.v (Cmd.info "diagram" ~doc:"Render the Fig. 10-style block diagram.")
-    Term.(const run $ file_arg $ format_arg)
+    Term.(const run $ file_arg $ format_arg $ output_arg)
 
 (* ---------------- metrics ---------------- *)
 
@@ -252,10 +267,84 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc:"Report the Section VI.C conciseness metrics (DSL vs Tcl).")
     Term.(const run $ file_arg)
 
+(* ---------------- build / farm shared crash-safety plumbing ---------------- *)
+
+let kill_at_conv =
+  let parse s =
+    let bad = `Msg "expected STAGE:INDEX, e.g. hls:2 or synth:0" in
+    match String.index_opt s ':' with
+    | None -> Error bad
+    | Some i -> (
+      let stage = String.sub s 0 i
+      and idx = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt idx with
+      | Some k when k >= 0 && stage <> "" -> Ok (Soc_fault.Fault.Kill_at (stage, k))
+      | _ -> Error bad)
+  in
+  let print ppf (Soc_fault.Fault.Kill_at (s, k)) = Format.fprintf ppf "%s:%d" s k in
+  Arg.conv (parse, print)
+
+let kill_arg =
+  Arg.(value & opt (some kill_at_conv) None & info [ "kill-at" ] ~docv:"STAGE:K"
+       ~doc:"Crash-test the journal: simulate process death the instant the \
+             K-th job of STAGE (preflight, hls, integrate, synth, swgen, \
+             estimate, finalize) is journaled in-flight. The run exits 137 \
+             with the journal sealed; rerun with --resume.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+       ~doc:"Replay the write-ahead journal in --cache-dir: completed jobs \
+             are skipped (artifacts re-verified from the cache), in-flight \
+             ones re-enqueued.")
+
+let cache_max_mb_arg =
+  Arg.(value & opt (some int) None & info [ "cache-max-mb" ] ~docv:"MB"
+       ~doc:"Cap the disk cache at $(docv) megabytes; least-recently-used \
+             entries are evicted (journal-live entries never are).")
+
+let require_cache_dir ~resume cache_dir =
+  if resume && cache_dir = None then begin
+    prerr_endline "socdsl: --resume requires --cache-dir (the journal lives there)";
+    exit 2
+  end
+
+let open_journal ~resume cache_dir =
+  Option.map
+    (fun dir -> Soc_farm.Journal.open_ ~resume (Filename.concat dir Soc_farm.Journal.default_name))
+    cache_dir
+
+let report_replay journal =
+  match journal with
+  | None -> ()
+  | Some j ->
+    let st = Soc_farm.Journal.status_of (Soc_farm.Journal.replayed j) in
+    if st.Soc_farm.Journal.completed <> [] || st.Soc_farm.Journal.in_flight <> []
+       || Soc_farm.Journal.dropped j > 0
+    then
+      Printf.printf "journal: replaying %d completed, %d in-flight job(s)%s\n"
+        (List.length st.Soc_farm.Journal.completed)
+        (List.length st.Soc_farm.Journal.in_flight)
+        (if Soc_farm.Journal.dropped j > 0 then
+           Printf.sprintf " (%d corrupt line(s) dropped)" (Soc_farm.Journal.dropped j)
+         else "")
+
+let die_killed stage k =
+  Printf.eprintf
+    "socdsl: simulated crash at %s:%d; journal sealed, committed artifacts are \
+     intact -- rerun with --resume to continue\n"
+    stage k;
+  exit 137
+
+let print_cache_diags cache =
+  List.iter
+    (fun d -> print_endline (Soc_util.Diag.to_string d))
+    (Soc_farm.Cache.diags cache)
+
 (* ---------------- build ---------------- *)
 
 let build_cmd =
-  let run file seed =
+  let run file seed cache_dir max_mb resume kill =
+    require_cache_dir ~resume cache_dir;
     let spec = or_die (load file) in
     Printf.printf "effective seed: %d\n" seed;
     let missing =
@@ -272,11 +361,60 @@ let build_cmd =
         (String.concat ", " (List.map fst (builtin_kernels ())));
       exit 1
     end;
-    match Soc_core.Flow.build spec ~kernels:(builtin_kernels ()) with
+    let module Fault = Soc_fault.Fault in
+    let module Journal = Soc_farm.Journal in
+    let cache =
+      match cache_dir with
+      | None -> None
+      | Some _ -> Some (Soc_farm.Cache.create ?disk_dir:cache_dir ?max_mb ())
+    in
+    let journal = open_journal ~resume cache_dir in
+    report_replay journal;
+    let jappend e = Option.iter (fun j -> Journal.append j e) journal in
+    (* The serial flow journals each stage: Done for the previous stage is
+       written when the next one starts (the flow only exposes stage
+       entries), so a kill leaves exactly one in-flight entry. Skipping on
+       resume happens through the verified disk cache underneath. *)
+    let inj = Fault.arm kill in
+    let current = ref None in
+    let finish () =
+      Option.iter
+        (fun (cat, label) -> jappend (Journal.Done { stage = cat; label; key = "" }))
+        !current;
+      current := None
+    in
+    let on_stage label =
+      finish ();
+      let cat =
+        match String.index_opt label ':' with
+        | Some i -> String.sub label 0 i
+        | None -> label
+      in
+      jappend (Journal.Start { stage = cat; label; key = "" });
+      current := Some (cat, label);
+      try Fault.crash_step inj ~stage:cat
+      with Fault.Killed _ as e ->
+        Option.iter Journal.seal journal;
+        raise e
+    in
+    match
+      Soc_core.Flow.build
+        ?hls:(Option.map Soc_farm.Cache.hls_engine cache)
+        ~on_stage spec ~kernels:(builtin_kernels ())
+    with
+    | exception Fault.Killed (s, k) -> die_killed s k
     | exception Soc_core.Flow.Build_error msg ->
       prerr_endline ("socdsl: " ^ msg);
       exit 1
     | b ->
+      finish ();
+      jappend (Journal.Batch_done { ok = 1; failed = 0 });
+      Option.iter Journal.close journal;
+      Option.iter
+        (fun c ->
+          print_endline (Soc_farm.Cache.render_stats c);
+          print_cache_diags c)
+        cache;
       Printf.printf "%s: flow complete\n" spec.Soc_core.Spec.design_name;
       Printf.printf "bitstream artifact: %s\n" b.Soc_core.Flow.bitstream;
       Printf.printf "resources: %s\n"
@@ -292,17 +430,26 @@ let build_cmd =
           Format.printf "%a" Soc_hls.Perf.pp impl.Soc_core.Flow.accel.Soc_hls.Engine.perf)
         b.Soc_core.Flow.impls
   in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persist verified HLS artifacts (and the write-ahead journal) \
+               in $(docv); later runs reuse them.")
+  in
   Cmd.v
     (Cmd.info "build"
        ~doc:
          "Run the full flow (HLS + integration + swgen) on a DSL source, resolving \
-          node names against the built-in kernel library (case-study kernels).")
-    Term.(const run $ file_arg $ seed_arg)
+          node names against the built-in kernel library (case-study kernels). \
+          With --cache-dir the run is crash-safe: progress is journaled, artifacts \
+          are committed atomically, and --resume continues an interrupted run.")
+    Term.(const run $ file_arg $ seed_arg $ cache_dir_arg $ cache_max_mb_arg
+          $ resume_arg $ kill_arg)
 
 (* ---------------- farm ---------------- *)
 
 let farm_cmd =
-  let run files jobs cache_dir trace_out retries timeout seed =
+  let run files jobs cache_dir max_mb resume kill manifest trace_out retries timeout seed =
+    require_cache_dir ~resume cache_dir;
     Printf.printf "effective seed: %d\n" seed;
     let entries =
       List.map
@@ -319,17 +466,26 @@ let farm_cmd =
           { Soc_farm.Jobgraph.spec; kernels })
         files
     in
-    let cache = Soc_farm.Cache.create ?disk_dir:cache_dir () in
-    let report =
-      Soc_farm.Farm.build_batch ?jobs ~cache ?retries ?timeout entries
-    in
-    print_string (Soc_farm.Farm.render_report report);
-    (match trace_out with
-    | Some path ->
-      Soc_farm.Trace.save report.Soc_farm.Farm.trace path;
-      Printf.printf "trace written to %s (load in chrome://tracing)\n" path
-    | None -> ());
-    if report.Soc_farm.Farm.failures <> [] then exit 1
+    let cache = Soc_farm.Cache.create ?disk_dir:cache_dir ?max_mb () in
+    let journal = open_journal ~resume cache_dir in
+    report_replay journal;
+    match Soc_farm.Farm.build_batch ?jobs ~cache ?retries ?timeout ?journal ?kill entries with
+    | exception Soc_fault.Fault.Killed (s, k) -> die_killed s k
+    | report ->
+      print_string (Soc_farm.Farm.render_report report);
+      print_cache_diags cache;
+      Option.iter Soc_farm.Journal.close journal;
+      (match manifest with
+      | Some path ->
+        Soc_util.Atomic_io.write_file path (Soc_farm.Farm.manifest_json report);
+        Printf.printf "manifest written to %s\n" path
+      | None -> ());
+      (match trace_out with
+      | Some path ->
+        Soc_farm.Trace.save report.Soc_farm.Farm.trace path;
+        Printf.printf "trace written to %s (load in chrome://tracing)\n" path
+      | None -> ());
+      if report.Soc_farm.Farm.failures <> [] then exit 1
   in
   let files_arg =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE"
@@ -357,15 +513,91 @@ let farm_cmd =
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
          ~doc:"Per-job deadline; a job past it is cancelled and reported.")
   in
+  let manifest_arg =
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE"
+         ~doc:"Write a JSON manifest of per-design build digests to $(docv) \
+               (atomic); byte-compare a resumed run against a clean one.")
+  in
   Cmd.v
     (Cmd.info "farm"
        ~doc:
          "Build a batch of DSL sources on the parallel build farm: per-kernel HLS jobs \
           are deduplicated by content hash and shared across architectures, work runs \
           on worker domains, and failures are reported per job without aborting the \
-          batch.")
-    Term.(const run $ files_arg $ jobs_arg $ cache_dir_arg $ trace_arg $ retries_arg
+          batch. With --cache-dir the batch is crash-safe: journaled progress, \
+          atomic checksummed artifacts, --resume after any interruption.")
+    Term.(const run $ files_arg $ jobs_arg $ cache_dir_arg $ cache_max_mb_arg
+          $ resume_arg $ kill_arg $ manifest_arg $ trace_arg $ retries_arg
           $ timeout_arg $ seed_arg)
+
+(* ---------------- doctor ---------------- *)
+
+let doctor_cmd =
+  let module Diag = Soc_util.Diag in
+  let json_str s =
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  in
+  let run dir format =
+    let cr = Soc_farm.Cache.fsck ~dir in
+    let jr = Soc_farm.Journal.fsck (Filename.concat dir Soc_farm.Journal.default_name) in
+    let diags = cr.Soc_farm.Cache.fsck_diags @ jr.Soc_farm.Journal.jfsck_diags in
+    (match format with
+    | `Text ->
+      Printf.printf
+        "cache: %d artifact(s) checked, %d ok, %d quarantined, %d stale removed, %d orphan temp(s) removed\n"
+        cr.Soc_farm.Cache.fsck_checked cr.Soc_farm.Cache.fsck_ok
+        (List.length cr.Soc_farm.Cache.fsck_quarantined)
+        (List.length cr.Soc_farm.Cache.fsck_stale)
+        (List.length cr.Soc_farm.Cache.fsck_orphans);
+      Printf.printf "journal: %d entr%s kept, %d corrupt line(s) dropped, %d compacted away\n"
+        jr.Soc_farm.Journal.jfsck_entries
+        (if jr.Soc_farm.Journal.jfsck_entries = 1 then "y" else "ies")
+        jr.Soc_farm.Journal.jfsck_dropped jr.Soc_farm.Journal.jfsck_compacted;
+      List.iter (fun d -> print_endline (Diag.to_string ~file:dir d)) diags;
+      print_endline
+        (if diags = [] then "doctor: cache is healthy"
+         else "doctor: repairs applied; cache is now healthy")
+    | `Json ->
+      let names l = "[" ^ String.concat "," (List.map json_str l) ^ "]" in
+      Printf.printf
+        "{\n  \"cache\": {\"checked\": %d, \"ok\": %d, \"quarantined\": %s, \"stale\": %s, \"orphans\": %s},\n  \"journal\": {\"entries\": %d, \"dropped\": %d, \"compacted\": %d},\n  \"diags\": [%s]\n}\n"
+        cr.Soc_farm.Cache.fsck_checked cr.Soc_farm.Cache.fsck_ok
+        (names cr.Soc_farm.Cache.fsck_quarantined)
+        (names cr.Soc_farm.Cache.fsck_stale)
+        (names cr.Soc_farm.Cache.fsck_orphans)
+        jr.Soc_farm.Journal.jfsck_entries jr.Soc_farm.Journal.jfsck_dropped
+        jr.Soc_farm.Journal.jfsck_compacted
+        (String.concat ", " (List.map (Diag.to_json ~file:dir) diags)))
+  in
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CACHE-DIR"
+         ~doc:"Cache directory to check (as passed to --cache-dir).")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Check and repair a build cache: verify every artifact's integrity digest \
+          (corrupt entries are quarantined, never deserialized), drop stale-format \
+          entries and orphaned temp files from interrupted commits, and verify + \
+          compact the write-ahead journal. Never fails on corrupt input; exits 0 \
+          once the cache is healthy.")
+    Term.(const run $ dir_arg $ format_arg)
 
 (* ---------------- chaos ---------------- *)
 
@@ -518,4 +750,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ check_cmd; print_cmd; tcl_cmd; qsys_cmd; devicetree_cmd; api_cmd; diagram_cmd;
-            metrics_cmd; build_cmd; farm_cmd; chaos_cmd; demo_cmd ]))
+            metrics_cmd; build_cmd; farm_cmd; doctor_cmd; chaos_cmd; demo_cmd ]))

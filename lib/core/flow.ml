@@ -241,9 +241,11 @@ let assemble (spec : Spec.t) ~dsl_source (impls : node_impl list) (integ : integ
 
 let build ?(hls_config = Soc_hls.Engine.default_config)
     ?(fifo_depth = Soc_platform.Config.zedboard.Soc_platform.Config.default_fifo_depth)
-    ?(hls_cache : (string, unit) Hashtbl.t option) ?hls (spec : Spec.t)
+    ?(hls_cache : (string, unit) Hashtbl.t option) ?hls ?on_stage (spec : Spec.t)
     ~(kernels : (string * Ast.kernel) list) : build =
+  let note s = match on_stage with Some f -> f s | None -> () in
   Spec.validate_exn spec;
+  note "preflight";
   check_pre_flight spec ~kernels;
   let hls =
     match (hls, hls_cache) with
@@ -251,14 +253,23 @@ let build ?(hls_config = Soc_hls.Engine.default_config)
     | None, Some table -> legacy_cache_hls table
     | None, None -> direct_hls
   in
+  let hls ~config kernel =
+    note ("hls:" ^ kernel.Ast.kname);
+    hls ~config kernel
+  in
   let pairs = pair_kernels spec ~kernels in
   let impls_o = synthesize_impls ~hls ~hls_config pairs in
   let impls = List.map fst impls_o in
+  note "integrate";
   let integ = integrate spec in
+  note "synth";
   let resources_by_core, resources = aggregate_resources spec ~fifo_depth impls in
+  note "swgen";
   let sw = generate_software spec integ in
   let dsl_source = Printer.to_source spec in
+  note "estimate";
   let tool_times = estimate_tools spec ~dsl_source impls_o integ ~resources in
+  note "finalize";
   assemble spec ~dsl_source impls integ ~resources ~resources_by_core ~sw ~tool_times
 
 (* ------------------------------------------------------------------ *)

@@ -137,13 +137,18 @@ val build :
   ?fifo_depth:int ->
   ?hls_cache:(string, unit) Hashtbl.t ->
   ?hls:hls_engine ->
+  ?on_stage:(string -> unit) ->
   Spec.t ->
   kernels:(string * Soc_kernel.Ast.kernel) list ->
   build
 (** [hls] supplies accelerators (default {!direct_hls}); pass
     [Soc_farm.Cache.hls_engine] to share real HLS results across builds.
     [hls_cache] is the deprecated estimate-only sharing mechanism, kept for
-    one release as {!legacy_cache_hls}; it is ignored when [hls] is given. *)
+    one release as {!legacy_cache_hls}; it is ignored when [hls] is given.
+    [on_stage] is called at the entry of each flow stage with a stable
+    name — ["preflight"], ["hls:<kernel>"] per node, ["integrate"],
+    ["synth"], ["swgen"], ["estimate"], ["finalize"] — so a caller can
+    journal progress or inject crash points without forking the flow. *)
 
 type live = {
   lbuild : build;

@@ -9,6 +9,7 @@ module Ty = Soc_kernel.Ty
 type t = string
 
 let to_hex t = t
+let of_hex s = s
 
 let format_version = "soc-farm-chash-v1"
 

@@ -13,9 +13,17 @@ type t = private string
 
 val to_hex : t -> string
 
+val of_hex : string -> t
+(** Re-import a hash previously persisted with {!to_hex} (journal replay,
+    cache file names). Performs no validation — callers own the trust. *)
+
 val format_version : string
 (** Bumped whenever the canonical serialization changes; on-disk cache
     entries carry it so stale layouts read as misses, never as garbage. *)
+
+val digest : string -> t
+(** Raw digest of a byte string — the integrity checksum carried by every
+    on-disk artifact and journal entry. *)
 
 val kernel : config:Soc_hls.Engine.config -> Soc_kernel.Ast.kernel -> t
 (** Hash of one HLS job's full input. *)

@@ -1,6 +1,7 @@
 module Spec = Soc_core.Spec
 module Flow = Soc_core.Flow
 module Ast = Soc_kernel.Ast
+module Fault = Soc_fault.Fault
 
 type stats = {
   total_jobs : int;
@@ -49,9 +50,46 @@ let impls_of (g : Jobgraph.t) i (pairs : (Spec.node_spec * Ast.kernel) list)
         if owner = i then `Synthesized else `Reused ))
     pairs
 
-let jobs_of_graph (g : Jobgraph.t) (cache : Cache.t) : value Pool.job array =
+(* Wrap a job's work with write-ahead journaling and crash injection:
+   Start is on stable storage before any work happens, Done only after
+   the work (and, for HLS, its cache store) completed — so a kill at any
+   instant leaves the job either journaled-in-flight (re-enqueued on
+   resume) or journaled-done (skipped on resume, artifact verified). The
+   crash step fires between the two, at the worst possible moment; when
+   it does, the journal is sealed (a dead process writes nothing) and the
+   pool's abort switch stops all further dispatch. *)
+let journaled ?journal ?inj ~abort (node : Jobgraph.node) key_hex work =
+ fun tok get ->
+  let jappend e = match journal with Some j -> Journal.append j e | None -> () in
+  jappend (Journal.Start { stage = node.Jobgraph.cat; label = node.Jobgraph.label; key = key_hex });
+  (match inj with
+  | Some i -> (
+    try Fault.crash_step i ~stage:node.Jobgraph.cat
+    with Fault.Killed _ as e ->
+      (match journal with Some j -> Journal.seal j | None -> ());
+      Atomic.set abort true;
+      raise e)
+  | None -> ());
+  match work tok get with
+  | v ->
+    jappend (Journal.Done { stage = node.Jobgraph.cat; label = node.Jobgraph.label; key = key_hex });
+    v
+  | exception e ->
+    jappend
+      (Journal.Failed
+         { stage = node.Jobgraph.cat; label = node.Jobgraph.label;
+           reason = Printexc.to_string e });
+    raise e
+
+let jobs_of_graph ?journal ?inj ~abort (g : Jobgraph.t) (cache : Cache.t) :
+    value Pool.job array =
   Array.map
     (fun (node : Jobgraph.node) ->
+      let key_hex =
+        match node.Jobgraph.task with
+        | Jobgraph.Hls { key; _ } -> Chash.to_hex key
+        | _ -> ""
+      in
       let work =
         match node.Jobgraph.task with
         | Jobgraph.Hls { kernel; key; _ } ->
@@ -116,21 +154,65 @@ let jobs_of_graph (g : Jobgraph.t) (cache : Cache.t) : value Pool.job array =
               (Flow.assemble spec ~dsl_source:(Soc_core.Printer.to_source spec) impls integ
                  ~resources:total ~resources_by_core:by_core ~sw ~tool_times)
       in
-      { Pool.label = node.Jobgraph.label; cat = node.Jobgraph.cat; deps = node.Jobgraph.deps; work })
+      { Pool.label = node.Jobgraph.label; cat = node.Jobgraph.cat; deps = node.Jobgraph.deps;
+        work = journaled ?journal ?inj ~abort node key_hex work })
     g.Jobgraph.nodes
 
+let batch_key (g : Jobgraph.t) =
+  Chash.to_hex
+    (Chash.combine "farm-batch"
+       (Array.to_list
+          (Array.map (fun (n : Jobgraph.node) -> Chash.digest n.Jobgraph.label) g.Jobgraph.nodes)))
+
 let build_batch ?jobs ?hls_config ?fifo_depth ?cache ?retries ?backoff ?timeout ?fault
-    ?trace (entries : Jobgraph.entry list) : report =
+    ?trace ?journal ?kill (entries : Jobgraph.entry list) : report =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let trace = match trace with Some t -> t | None -> Trace.create () in
   let graph = Jobgraph.plan ?hls_config ?fifo_depth entries in
+  (* Journal replay: prefetch (and thereby digest-verify) the artifact of
+     every job the journal says completed — a verified artifact is the
+     skip, a quarantined one silently falls back to re-synthesis. All of
+     this batch's keys are protected from LRU eviction while the journal
+     that references them is live. *)
+  (match journal with
+  | Some j ->
+    let st = Journal.status_of (Journal.replayed j) in
+    List.iter
+      (fun key ->
+        Cache.protect cache key;
+        ignore (Cache.find cache key))
+      (Journal.completed_keys st);
+    Array.iter
+      (fun (n : Jobgraph.node) ->
+        match n.Jobgraph.task with
+        | Jobgraph.Hls { key; _ } -> Cache.protect cache key
+        | _ -> ())
+      graph.Jobgraph.nodes;
+    if st.Journal.completed <> [] || st.Journal.in_flight <> [] then begin
+      Trace.add trace "journal.replayed.completed" (List.length st.Journal.completed);
+      Trace.add trace "journal.replayed.in_flight" (List.length st.Journal.in_flight)
+    end;
+    Journal.append j
+      (Journal.Batch_start { key = batch_key graph; jobs = Array.length graph.Jobgraph.nodes })
+  | None -> ());
+  let inj = Option.map (fun cp -> Fault.arm (Some cp)) kill in
+  let abort = Atomic.make false in
   let cache0 = Cache.stats cache in
   let engine0 = Soc_hls.Engine.invocation_count () in
   let t0 = Unix.gettimeofday () in
   let outcomes =
-    Pool.run ?jobs ?retries ?backoff ?timeout ?fault ~trace (jobs_of_graph graph cache)
+    Pool.run ?jobs ?retries ?backoff ?timeout ?fault ~abort ~trace
+      (jobs_of_graph ?journal ?inj ~abort graph cache)
   in
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  (* A fired crash point means this process is "dead": re-raise instead of
+     reporting, exactly as the interrupted CLI run exits. *)
+  (match inj with
+  | Some i -> (
+    match Fault.crashed i with
+    | Some (s, k) -> raise (Fault.Killed (s, k))
+    | None -> ())
+  | None -> ());
   let builds = ref [] in
   Array.iteri
     (fun i fid ->
@@ -156,10 +238,17 @@ let build_batch ?jobs ?hls_config ?fifo_depth ?cache ?retries ?backoff ?timeout 
       disk_hits = cache1.Cache.disk_hits - cache0.Cache.disk_hits;
       misses = cache1.Cache.misses - cache0.Cache.misses;
       stores = cache1.Cache.stores - cache0.Cache.stores;
+      stale = cache1.Cache.stale - cache0.Cache.stale;
+      quarantined = cache1.Cache.quarantined - cache0.Cache.quarantined;
+      evictions = cache1.Cache.evictions - cache0.Cache.evictions;
     }
   in
   Trace.add trace "cache.hits" (dcache.Cache.hits + dcache.Cache.disk_hits);
   Trace.add trace "cache.misses" dcache.Cache.misses;
+  if dcache.Cache.stale > 0 then Trace.add trace "cache.stale" dcache.Cache.stale;
+  if dcache.Cache.quarantined > 0 then
+    Trace.add trace "cache.quarantined" dcache.Cache.quarantined;
+  if dcache.Cache.evictions > 0 then Trace.add trace "cache.evictions" dcache.Cache.evictions;
   let stats =
     {
       total_jobs = Array.length outcomes;
@@ -173,7 +262,30 @@ let build_batch ?jobs ?hls_config ?fifo_depth ?cache ?retries ?backoff ?timeout 
       wall_seconds;
     }
   in
+  (match journal with
+  | Some j ->
+    Journal.append j (Journal.Batch_done { ok = stats.succeeded; failed = stats.failed })
+  | None -> ());
   { builds = List.rev !builds; failures; stats; trace }
+
+(* Content digest of a whole build record (specs, Tcl, address maps,
+   accelerators down to the netlists, software artifacts, tool times).
+   [No_sharing] so the digest depends only on structure — a cached accel
+   that no longer physically shares its kernel with the node_impl must
+   still compare equal. This is what the kill-point campaign and the CI
+   crash-recovery smoke compare: resume ≡ uninterrupted, bit for bit. *)
+let build_digest (b : Flow.build) =
+  Digest.to_hex (Digest.string (Marshal.to_string b [ Marshal.No_sharing ]))
+
+let manifest_json (r : report) =
+  let entries =
+    List.map
+      (fun ((i : int), (b : Flow.build)) ->
+        Printf.sprintf "  {\"index\": %d, \"design\": \"%s\", \"digest\": \"%s\"}" i
+          b.Flow.spec.Spec.design_name (build_digest b))
+      r.builds
+  in
+  "[\n" ^ String.concat ",\n" entries ^ "\n]\n"
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic fault injection                                       *)
@@ -234,7 +346,16 @@ let render_report (r : report) =
        r.stats.total_jobs r.stats.succeeded r.stats.failed r.stats.skipped
        r.stats.distinct_kernels r.stats.engine_invocations r.stats.wall_seconds);
   Buffer.add_string buf
-    (Printf.sprintf "cache: +%d hits, +%d disk hits, +%d misses, +%d stores\n"
+    (Printf.sprintf "cache: +%d hits, +%d disk hits, +%d misses, +%d stores%s%s%s\n"
        r.stats.cache.Cache.hits r.stats.cache.Cache.disk_hits r.stats.cache.Cache.misses
-       r.stats.cache.Cache.stores);
+       r.stats.cache.Cache.stores
+       (if r.stats.cache.Cache.stale > 0 then
+          Printf.sprintf ", +%d stale" r.stats.cache.Cache.stale
+        else "")
+       (if r.stats.cache.Cache.quarantined > 0 then
+          Printf.sprintf ", +%d quarantined" r.stats.cache.Cache.quarantined
+        else "")
+       (if r.stats.cache.Cache.evictions > 0 then
+          Printf.sprintf ", +%d evicted" r.stats.cache.Cache.evictions
+        else ""));
   Buffer.contents buf

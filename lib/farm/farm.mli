@@ -43,12 +43,27 @@ val build_batch :
   ?timeout:float ->
   ?fault:(label:string -> attempt:int -> Pool.fault option) ->
   ?trace:Trace.t ->
+  ?journal:Journal.t ->
+  ?kill:Soc_fault.Fault.crash_point ->
   Jobgraph.entry list ->
   report
 (** Defaults: [jobs] = {!Domain.recommended_domain_count}, a fresh
     in-memory [cache], [retries] = 2, [backoff] = 0, no [timeout], no
     [fault] injection. Pass the same [cache] across batches (or one with a
-    [disk_dir]) to share real HLS work. *)
+    [disk_dir]) to share real HLS work.
+
+    [journal] makes the batch crash-safe: every job is journaled
+    in-flight before it runs and done after it completes, and a journal
+    opened with [~resume:true] skips completed HLS jobs (their artifacts
+    re-verified from the disk cache — protected from LRU eviction for the
+    batch's lifetime) and re-enqueues in-flight ones.
+
+    [kill] arms a deterministic crash point
+    ({!Soc_fault.Fault.Kill_at}[ (stage, k)]): the run raises
+    {!Soc_fault.Fault.Killed} the moment the k-th job of [stage] is
+    journaled in-flight, executes nothing further (the pool aborts), and
+    writes nothing more to the journal — a faithful process death for the
+    recovery campaign. *)
 
 val random_faults :
   seed:int -> rate:float -> ?max_attempt:int -> unit ->
@@ -58,6 +73,16 @@ val random_faults :
     {!Soc_util.Rng} — independent of scheduling order. Never fires once
     [attempt >= max_attempt] (default 3), so [retries >= max_attempt]
     guarantees convergence. *)
+
+val build_digest : Soc_core.Flow.build -> string
+(** Stable hex fingerprint of a finished build record (canonical
+    serialization, no sharing). Two runs producing the same digest built
+    bit-identical artifacts — the recovery campaign's equality witness. *)
+
+val manifest_json : report -> string
+(** JSON array of [{index, design, digest}] for the batch's successful
+    builds — written by [socdsl farm --manifest] so a resumed run can be
+    byte-compared against a clean one. *)
 
 val summary_table : report -> Soc_util.Table.t
 (** Per-architecture outcome table. *)

@@ -17,7 +17,7 @@ let hang_until_cancelled tok =
   done;
   raise Cancelled
 
-type reason = Timed_out of float | Exception of string | Dependency of int
+type reason = Timed_out of float | Exception of string | Dependency of int | Aborted
 
 type failure = { index : int; label : string; attempts : int; reason : reason }
 
@@ -27,7 +27,8 @@ let pp_failure fmt f =
     (match f.reason with
     | Timed_out s -> Printf.sprintf "exceeded %.3fs deadline" s
     | Exception msg -> msg
-    | Dependency d -> Printf.sprintf "dependency %d failed" d)
+    | Dependency d -> Printf.sprintf "dependency %d failed" d
+    | Aborted -> "aborted before dispatch (run killed)")
 
 type 'a outcome = Done of 'a | Failed of failure
 
@@ -58,7 +59,7 @@ let insert_sorted x l =
   go l
 
 let run ?jobs:(nworkers = Domain.recommended_domain_count ()) ?(retries = 2) ?(backoff = 0.0)
-    ?timeout ?fault ?trace (jobs : 'a job array) : 'a outcome array =
+    ?timeout ?fault ?abort ?trace (jobs : 'a job array) : 'a outcome array =
   let n = Array.length jobs in
   Array.iteri
     (fun i j ->
@@ -190,13 +191,22 @@ let run ?jobs:(nworkers = Domain.recommended_domain_count ()) ?(retries = 2) ?(b
           loop ()
         | i :: rest ->
           st.ready <- rest;
-          let tok = { flag = Atomic.make false } in
-          st.running <- (i, tnow (), tok) :: st.running;
-          Mutex.unlock st.lock;
-          let outcome = execute worker i tok in
-          Mutex.lock st.lock;
-          finish i outcome;
-          loop ()
+          (* The abort switch models process death for crash testing: a
+             job not yet dispatched when the run dies must never execute. *)
+          if (match abort with Some a -> Atomic.get a | None -> false) then begin
+            finish i
+              (Failed { index = i; label = st.jobs.(i).label; attempts = 0; reason = Aborted });
+            loop ()
+          end
+          else begin
+            let tok = { flag = Atomic.make false } in
+            st.running <- (i, tnow (), tok) :: st.running;
+            Mutex.unlock st.lock;
+            let outcome = execute worker i tok in
+            Mutex.lock st.lock;
+            finish i outcome;
+            loop ()
+          end
     in
     loop ()
   in

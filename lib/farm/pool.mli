@@ -31,6 +31,7 @@ type reason =
   | Timed_out of float  (** deadline in seconds that was exceeded *)
   | Exception of string
   | Dependency of int  (** id of the failed dependency *)
+  | Aborted  (** the run's abort switch was set before this job dispatched *)
 
 type failure = { index : int; label : string; attempts : int; reason : reason }
 
@@ -54,6 +55,7 @@ val run :
   ?backoff:float ->
   ?timeout:float ->
   ?fault:(label:string -> attempt:int -> fault option) ->
+  ?abort:bool Atomic.t ->
   ?trace:Trace.t ->
   'a job array ->
   'a outcome array
@@ -62,5 +64,8 @@ val run :
     base delay in seconds, doubled per attempt (default 0); [timeout]
     per-job deadline in seconds (default none — cancellation is cooperative,
     so only jobs that observe their token stop early). [fault] must be a
-    pure function of (label, attempt) to preserve determinism. Raises
-    [Invalid_argument] on malformed dependencies. *)
+    pure function of (label, attempt) to preserve determinism. [abort],
+    once set, makes every not-yet-dispatched job fail as {!Aborted}
+    without running — the crash-injection path uses it so a simulated
+    process death executes no further work. Raises [Invalid_argument] on
+    malformed dependencies. *)

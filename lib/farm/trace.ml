@@ -97,8 +97,7 @@ let to_chrome_json t =
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 
-let save t path =
-  Out_channel.with_open_text path (fun oc -> output_string oc (to_chrome_json t))
+let save t path = Soc_util.Atomic_io.write_file path (to_chrome_json t)
 
 let counter_table t =
   let tbl =

@@ -215,3 +215,89 @@ let random_campaign ~seed ~n ~horizon ?(include_permanent = false)
             kind = Bit_flip (Soc_util.Rng.int rng 32);
             duration = 0;
           })
+
+(* ------------------------------------------------------------------ *)
+(* Crash points: deterministic kill injection for the generation flow  *)
+(* ------------------------------------------------------------------ *)
+
+(* The runtime faults above perturb the *simulated hardware*; crash
+   points perturb the *tool itself*: [Kill_at (stage, k)] kills the run
+   the moment the k-th job of [stage] has been journaled as in-flight but
+   before it does any work — the worst instant for a write-ahead journal.
+   An armed injector is a one-shot guillotine: after it fires once, every
+   subsequent step dies too, mimicking a process that no longer exists. *)
+
+type crash_point = Kill_at of string * int
+
+exception Killed of string * int
+
+let () =
+  Printexc.register_printer (function
+    | Killed (stage, k) ->
+      Some (Printf.sprintf "Soc_fault.Fault.Killed(injected crash at %s #%d)" stage k)
+    | _ -> None)
+
+type crash_injector = {
+  cp : crash_point option;
+  clock : Mutex.t;
+  step_counts : (string, int) Hashtbl.t;
+  mutable fired : (string * int) option;
+}
+
+let arm cp = { cp; clock = Mutex.create (); step_counts = Hashtbl.create 8; fired = None }
+
+let crash_step inj ~stage =
+  match inj.cp with
+  | None -> ()
+  | Some (Kill_at (kstage, kidx)) ->
+    Mutex.lock inj.clock;
+    let fire =
+      if inj.fired <> None then true (* already dead: nothing runs any more *)
+      else begin
+        let k = Option.value ~default:0 (Hashtbl.find_opt inj.step_counts stage) in
+        Hashtbl.replace inj.step_counts stage (k + 1);
+        if stage = kstage && k = kidx then begin
+          inj.fired <- Some (kstage, kidx);
+          true
+        end
+        else false
+      end
+    in
+    Mutex.unlock inj.clock;
+    if fire then raise (Killed (kstage, kidx))
+
+let crashed inj =
+  Mutex.lock inj.clock;
+  let r = inj.fired in
+  Mutex.unlock inj.clock;
+  r
+
+let pick_kill_point ~seed points =
+  match points with
+  | [] -> None
+  | ps ->
+    let rng = Soc_util.Rng.create seed in
+    let stage, k = Soc_util.Rng.choose rng ps in
+    Some (Kill_at (stage, k))
+
+(* ------------------------------------------------------------------ *)
+(* Bit-flip machinery over byte strings                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The same single-event-upset model as the DRAM [Bit_flip] fault, lifted
+   to arbitrary blobs so corruption campaigns can fuzz disk artifacts and
+   journals with it. *)
+
+let flip_bit_in_blob s ~byte ~bit =
+  let n = String.length s in
+  if n = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = ((byte mod n) + n) mod n in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit land 7))));
+    Bytes.to_string b
+  end
+
+let truncate_blob s ~keep =
+  let keep = max 0 (min keep (String.length s)) in
+  String.sub s 0 keep

@@ -117,3 +117,43 @@ val random_campaign :
     stuck FIFOs, slave errors); [include_permanent] adds permanently dead
     accelerators, [include_bit_flips] adds single-bit DRAM flips inside
     [dram_range]. Deterministic in [seed]. *)
+
+(** {2 Crash points (tool-level kill injection)} *)
+
+type crash_point = Kill_at of string * int
+    (** Kill the run when the [k]-th job of [stage] is in-flight —
+        journaled as started, no work done yet. Stage names are the flow's
+        job categories ([hls], [integrate], [synth], [swgen],
+        [finalize]). *)
+
+exception Killed of string * int
+(** Raised by {!crash_step} when the armed point (or anything after the
+    kill) is reached; carries the armed [(stage, index)]. *)
+
+type crash_injector
+
+val arm : crash_point option -> crash_injector
+(** A fresh injector; [None] never fires. Domain-safe. *)
+
+val crash_step : crash_injector -> stage:string -> unit
+(** Count one job of [stage]; raises {!Killed} at the armed point and at
+    {e every} call after it (a dead process runs nothing). Deterministic:
+    the decision depends only on the armed point and the per-stage call
+    ordinal. *)
+
+val crashed : crash_injector -> (string * int) option
+(** The point this injector fired at, if it has. *)
+
+val pick_kill_point : seed:int -> (string * int) list -> crash_point option
+(** Seeded uniform choice among enumerated kill points; [None] on an
+    empty list. *)
+
+(** {2 Bit-flip machinery over byte strings} *)
+
+val flip_bit_in_blob : string -> byte:int -> bit:int -> string
+(** Flip one bit of a copy of the blob — the DRAM single-event-upset
+    model lifted to disk artifacts/journals ([byte] wraps modulo the
+    length; the empty blob is returned unchanged). *)
+
+val truncate_blob : string -> keep:int -> string
+(** The first [keep] bytes (clamped) — a torn write at a kill point. *)

@@ -1,0 +1,30 @@
+(* Atomic file commits. POSIX rename within one directory is atomic, so
+   the only non-atomic window is the temp write — which happens under a
+   name no reader ever opens. *)
+
+let seq = Atomic.make 0
+
+let temp_for path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Atomic.fetch_and_add seq 1)
+
+let is_temp name =
+  let base = Filename.basename name in
+  let marker = ".tmp." in
+  let bl = String.length base and ml = String.length marker in
+  let rec scan i = i + ml <= bl && (String.sub base i ml = marker || scan (i + 1)) in
+  scan 0
+
+let write_file ?(fsync = false) path contents =
+  let tmp = temp_for path in
+  (try
+     Out_channel.with_open_bin tmp (fun oc ->
+         Out_channel.output_string oc contents;
+         Out_channel.flush oc;
+         if fsync then Unix.fsync (Unix.descr_of_out_channel oc))
+   with e ->
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with _ -> ());
+    raise e

@@ -1,0 +1,23 @@
+(** Atomic file commits: temp + rename in the target directory.
+
+    Every disk artifact the tool produces (cache entries, journals, traces,
+    benchmark JSON, generated Tcl/software dumps) goes through
+    {!write_file}, so a crash mid-write can never leave a half-written
+    file under the final name — readers see either the old content or the
+    new content, and interrupted writes are identifiable orphan temps. *)
+
+val write_file : ?fsync:bool -> string -> string -> unit
+(** [write_file path contents] writes [contents] to a unique temporary
+    sibling of [path] and renames it over [path]. With [~fsync:true] the
+    temp file is flushed to stable storage before the rename, making the
+    commit durable across power loss, not just process death. Raises
+    [Sys_error] on I/O failure; the temp file is removed on error. *)
+
+val temp_for : string -> string
+(** The temp-file name [write_file] would use next for [path]
+    (pid + sequence suffix); exposed so fsck tools and tests agree on the
+    naming scheme. *)
+
+val is_temp : string -> bool
+(** Recognizes orphan temp files left by interrupted commits (basename
+    contains the [".tmp."] marker). *)

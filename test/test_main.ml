@@ -23,4 +23,5 @@ let () =
       ("fault", Test_fault.suite);
       ("perf", Test_perf.suite);
       ("farm", Test_farm.suite);
+      ("journal", Test_journal.suite);
     ]

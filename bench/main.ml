@@ -918,6 +918,121 @@ let farm_bench () =
   print_string json;
   print_endline "wrote BENCH_farm.json"
 
+let serve_bench () =
+  hr "Extension -- generation daemon: concurrent clients, cold vs warm cache";
+  print_endline "(the daemon admits requests through the analyzer gate, coalesces";
+  print_endline " identical in-flight specs and shares one content-addressed cache;";
+  print_endline " each round submits the four Otsu architectures concurrently)";
+  let module Server = Soc_serve.Server in
+  let module Client = Soc_serve.Client in
+  let module P = Soc_serve.Protocol in
+  let sources =
+    List.map
+      (fun arch -> Soc_core.Printer.to_source (Graphs.arch_spec arch))
+      Graphs.all_archs
+  in
+  let kernels = Soc_apps.Otsu.kernels ~width:case_w ~height:case_h in
+  (* One client per thread: the client is thread-compatible, not thread-safe. *)
+  let round port =
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.map
+        (fun src ->
+          Thread.create
+            (fun () ->
+              let c = Client.connect ~port () in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  match Client.submit_and_wait c src with
+                  | _, Some (P.Result_r { state = P.Done; _ }) -> ()
+                  | _ -> failwith "serve bench: request did not complete"))
+            ())
+        sources
+    in
+    List.iter Thread.join threads;
+    Unix.gettimeofday () -. t0
+  in
+  let n = List.length sources in
+  let configs =
+    [ ("1 worker", 1); (Printf.sprintf "%d workers" n, n) ]
+  in
+  let t =
+    Table.create ~title:"four-arch Otsu batch over TCP"
+      [ "configuration"; "cold (ms)"; "warm (ms)"; "cold req/s"; "warm req/s";
+        "p50 (ms)"; "p95 (ms)"; "engine runs" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right ]
+  in
+  let rows =
+    List.map
+      (fun (label, workers) ->
+        let server =
+          Server.start { Server.default_config with workers; kernels }
+        in
+        let port = Server.port server in
+        let cold = round port in
+        let mid = Server.stats server in
+        let warm = round port in
+        let stats = Server.stats server in
+        let c = Client.connect ~port () in
+        ignore (Client.drain c);
+        Client.close c;
+        ignore (Server.wait server);
+        Server.stop server;
+        Table.add_row t
+          [ label;
+            Printf.sprintf "%.2f" (1000.0 *. cold);
+            Printf.sprintf "%.2f" (1000.0 *. warm);
+            Printf.sprintf "%.1f" (float_of_int n /. cold);
+            Printf.sprintf "%.1f" (float_of_int n /. warm);
+            Printf.sprintf "%.2f" stats.P.lat_p50_ms;
+            Printf.sprintf "%.2f" stats.P.lat_p95_ms;
+            Printf.sprintf "%d + %d" mid.P.engine_runs
+              (stats.P.engine_runs - mid.P.engine_runs) ];
+        (label, workers, cold, warm, mid, stats))
+      configs
+  in
+  Table.print t;
+  (match rows with
+  | (_, _, _, _, _, s1) :: _ ->
+      Printf.printf "warm round hits the cache: %b (hit rate %.2f)\n"
+        (s1.P.cache_hits + s1.P.cache_disk_hits > 0)
+        s1.P.hit_rate;
+      Printf.printf "warm rounds ran the engine 0 times: %b\n"
+        (List.for_all
+           (fun (_, _, _, _, (m : P.server_stats), (s : P.server_stats)) ->
+             s.P.engine_runs = m.P.engine_runs)
+           rows)
+  | [] -> ());
+  let row_json (label, workers, cold, warm, (m : P.server_stats),
+                (s : P.server_stats)) =
+    Printf.sprintf
+      "    {\"config\": %S, \"workers\": %d, \"requests\": %d,\n\
+      \     \"cold_s\": %.6f, \"warm_s\": %.6f,\n\
+      \     \"cold_req_per_s\": %.2f, \"warm_req_per_s\": %.2f,\n\
+      \     \"lat_p50_ms\": %.3f, \"lat_p95_ms\": %.3f, \"lat_p99_ms\": %.3f,\n\
+      \     \"cold_engine_runs\": %d, \"warm_engine_runs\": %d,\n\
+      \     \"cache_hit_rate\": %.4f}"
+      label workers (2 * n) cold warm
+      (float_of_int n /. cold)
+      (float_of_int n /. warm)
+      s.P.lat_p50_ms s.P.lat_p95_ms s.P.lat_p99_ms m.P.engine_runs
+      (s.P.engine_runs - m.P.engine_runs)
+      s.P.hit_rate
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"serve\",\n  \"batch\": \"otsu_arch1_to_4\",\n  \
+       \"image\": \"%dx%d\",\n  \"rounds\": [\n%s\n  ]\n}\n"
+      case_w case_h
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  Soc_util.Atomic_io.write_file "BENCH_serve.json" json;
+  print_string json;
+  print_endline "wrote BENCH_serve.json"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
@@ -1011,6 +1126,7 @@ let experiments =
     ("cosim_modes", cosim_modes);
     ("hls_report", hls_report);
     ("farm", farm_bench);
+    ("serve", serve_bench);
   ]
 
 let () =

@@ -599,6 +599,232 @@ let doctor_cmd =
           once the cache is healthy.")
     Term.(const run $ dir_arg $ format_arg)
 
+(* ---------------- serve / client ---------------- *)
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+       ~doc:"Address to bind (serve) or connect to (client).")
+
+let port_arg ~default =
+  Arg.(value & opt int default & info [ "port" ] ~docv:"PORT"
+       ~doc:"TCP port. For serve, 0 picks an ephemeral port (printed at startup).")
+
+let serve_cmd =
+  let run host port workers queue_cap deadline_ms cache_dir max_mb kill =
+    require_cache_dir ~resume:false cache_dir;
+    let cfg =
+      { Soc_serve.Server.default_config with
+        host; port; workers; queue_cap; default_deadline_ms = deadline_ms;
+        cache_dir; cache_max_mb = max_mb; kill;
+        kernels = builtin_kernels () }
+    in
+    let srv =
+      try Soc_serve.Server.start cfg
+      with Unix.Unix_error (err, _, _) ->
+        prerr_endline
+          (Printf.sprintf "socdsl: cannot bind %s:%d: %s" host port
+             (Unix.error_message err));
+        exit 2
+    in
+    List.iter
+      (fun d -> print_endline (Soc_util.Diag.to_string d))
+      (Soc_serve.Server.startup_diags srv);
+    Printf.printf "socdsl serve: listening on %s:%d (%d worker(s), queue cap %d%s)\n%!"
+      host (Soc_serve.Server.port srv) workers queue_cap
+      (match cache_dir with Some d -> ", cache " ^ d | None -> ", in-memory cache");
+    match Soc_serve.Server.wait srv with
+    | `Drained (ok, failed) ->
+      Soc_serve.Server.stop srv;
+      Printf.printf "drained: %d request(s) completed, %d failed\n" ok failed;
+      if failed > 0 then exit 1
+    | `Killed (s, k) -> die_killed s k
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Concurrent builds in flight (worker threads; each build runs \
+               single-domain so results stay deterministic).")
+  in
+  let queue_cap_arg =
+    Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N"
+         ~doc:"Admission bound: submissions beyond $(docv) queued jobs are \
+               rejected with a structured backpressure reply, never parked.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Default per-request deadline; a request still queued past it is \
+               expired without running (a submit's own deadline wins).")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persist the shared HLS cache and write-ahead journal in $(docv); \
+               the daemon fscks both at startup and resumes committed work, so \
+               a killed server restarted on the same $(docv) loses nothing.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the generation daemon: accept DSL sources over TCP (length-prefixed \
+          JSON frames), gate each through the static analyzer, and build them on \
+          the farm with a shared content-addressed cache. Identical in-flight \
+          requests coalesce into one build; the queue is bounded (backpressure); \
+          'socdsl client drain' stops admission and exits cleanly. With --kill-at \
+          the armed crash point fires inside one build (exit 137) and a restart \
+          on the same --cache-dir recovers.")
+    Term.(const run $ host_arg $ port_arg ~default:0 $ workers_arg $ queue_cap_arg
+          $ deadline_arg $ cache_dir_arg $ cache_max_mb_arg $ kill_arg)
+
+let client_cmd =
+  let with_client host port f =
+    match Soc_serve.Client.connect ~host ~port () with
+    | exception Soc_serve.Client.Error msg ->
+      prerr_endline ("socdsl: " ^ msg);
+      exit 2
+    | c ->
+      Fun.protect ~finally:(fun () -> Soc_serve.Client.close c) (fun () ->
+          try f c
+          with Soc_serve.Client.Error msg ->
+            prerr_endline ("socdsl: " ^ msg);
+            exit 2)
+  in
+  let print_diags diags =
+    List.iter (fun d -> print_endline (Soc_util.Diag.to_string d)) diags
+  in
+  let submit =
+    let run file host port priority deadline_ms manifest quiet =
+      let source = read_source file in
+      with_client host port (fun c ->
+          match Soc_serve.Client.submit c ~priority ?deadline_ms source with
+          | Soc_serve.Protocol.Rejected { reason; detail; diags } ->
+            print_diags diags;
+            prerr_endline
+              (Printf.sprintf "socdsl: rejected (%s): %s"
+                 (Soc_serve.Protocol.reject_reason_label reason) detail);
+            exit 1
+          | Soc_serve.Protocol.Error_r msg ->
+            prerr_endline ("socdsl: server error: " ^ msg);
+            exit 2
+          | Soc_serve.Protocol.Accepted { id; key; coalesced; diags } ->
+            print_diags diags;
+            if not quiet then
+              Printf.printf "accepted: id %d, key %s%s\n%!" id key
+                (if coalesced then " (coalesced with an in-flight build)" else "");
+            (* Stream queue progress until the job leaves the queue, then
+               block on the result. *)
+            let rec watch last =
+              match Soc_serve.Client.status c id with
+              | Soc_serve.Protocol.Status_r { state = Soc_serve.Protocol.Queued n; _ } ->
+                if not quiet && last <> Some n then
+                  Printf.printf "queued: %d job(s) ahead\n%!" n;
+                Unix.sleepf 0.05;
+                watch (Some n)
+              | _ -> ()
+            in
+            watch None;
+            (match Soc_serve.Client.result c id with
+            | Soc_serve.Protocol.Result_r
+                { state = Soc_serve.Protocol.Done; design; digest; manifest = m; wall_ms; _ }
+              ->
+              Printf.printf "done: %s digest %s (%.1f ms)\n" design digest wall_ms;
+              (match manifest with
+              | Some path ->
+                Soc_util.Atomic_io.write_file path m;
+                Printf.printf "manifest written to %s\n" path
+              | None -> ())
+            | Soc_serve.Protocol.Result_r { state = Soc_serve.Protocol.Expired; _ } ->
+              prerr_endline "socdsl: request expired before it could run";
+              exit 1
+            | Soc_serve.Protocol.Result_r { state = Soc_serve.Protocol.Failed msg; _ } ->
+              prerr_endline ("socdsl: build failed: " ^ msg);
+              exit 1
+            | r ->
+              prerr_endline
+                ("socdsl: unexpected reply: "
+                ^ Soc_serve.Protocol.(to_string (encode_response r)));
+              exit 2)
+          | r ->
+            prerr_endline
+              ("socdsl: unexpected reply: "
+              ^ Soc_serve.Protocol.(to_string (encode_response r)));
+            exit 2)
+    in
+    let priority_arg =
+      Arg.(value & opt int 0 & info [ "priority" ] ~docv:"P"
+           ~doc:"Dispatch priority; higher runs first (FIFO within a level).")
+    in
+    let deadline_arg =
+      Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Expire the request if still queued after $(docv) milliseconds.")
+    in
+    let manifest_arg =
+      Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Write the build's JSON manifest to $(docv) (atomic) — the same \
+                 format as 'socdsl farm --manifest'.")
+    in
+    let quiet_arg =
+      Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the final result line.")
+    in
+    Cmd.v
+      (Cmd.info "submit"
+         ~doc:
+           "Submit a DSL source to a running daemon, stream its queue progress \
+            and block until the build finishes; analyzer warnings and rejections \
+            arrive as structured diagnostics.")
+      Term.(const run $ file_arg $ host_arg $ port_arg ~default:7171 $ priority_arg
+            $ deadline_arg $ manifest_arg $ quiet_arg)
+  in
+  let stats =
+    let run host port format =
+      with_client host port (fun c ->
+          let s = Soc_serve.Client.stats c in
+          match format with
+          | `Json ->
+            print_endline
+              Soc_serve.Protocol.(to_string (encode_response (Stats_r s)))
+          | `Text ->
+            let open Soc_serve.Protocol in
+            Printf.printf "uptime: %.0f ms, %d worker(s)%s\n" s.uptime_ms s.workers
+              (if s.draining then ", draining" else "");
+            Printf.printf
+              "requests: %d submitted (%d coalesced), %d completed, %d failed, %d expired\n"
+              s.submitted s.coalesced s.completed s.failed s.expired;
+            Printf.printf "rejected: %d backpressure, %d check/parse\n"
+              s.rejected_queue s.rejected_check;
+            Printf.printf "queue: %d deep, %d running\n" s.queue_depth s.running;
+            Printf.printf
+              "cache: %d hits, %d disk hits, %d misses (hit rate %.2f), %d engine run(s)\n"
+              s.cache_hits s.cache_disk_hits s.cache_misses s.hit_rate s.engine_runs;
+            Printf.printf "latency: n=%d p50=%.1f ms p95=%.1f ms p99=%.1f ms\n"
+              s.lat_count s.lat_p50_ms s.lat_p95_ms s.lat_p99_ms)
+    in
+    let format_arg =
+      Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+           & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Print a running daemon's counters: admissions, coalescing, \
+            backpressure, cache hit rate, engine runs and latency quantiles.")
+      Term.(const run $ host_arg $ port_arg ~default:7171 $ format_arg)
+  in
+  let drain =
+    let run host port =
+      with_client host port (fun c ->
+          let completed, failed = Soc_serve.Client.drain c in
+          Printf.printf "drained: %d request(s) completed, %d failed\n" completed failed)
+    in
+    Cmd.v
+      (Cmd.info "drain"
+         ~doc:
+           "Stop admission on a running daemon, wait for in-flight builds to \
+            finish, and make the daemon exit cleanly.")
+      Term.(const run $ host_arg $ port_arg ~default:7171)
+  in
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Talk to a running 'socdsl serve' daemon (submit, stats, drain).")
+    [ submit; stats; drain ]
+
 (* ---------------- chaos ---------------- *)
 
 let chaos_cmd =
@@ -750,4 +976,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ check_cmd; print_cmd; tcl_cmd; qsys_cmd; devicetree_cmd; api_cmd; diagram_cmd;
-            metrics_cmd; build_cmd; farm_cmd; doctor_cmd; chaos_cmd; demo_cmd ]))
+            metrics_cmd; build_cmd; farm_cmd; serve_cmd; client_cmd; doctor_cmd;
+            chaos_cmd; demo_cmd ]))

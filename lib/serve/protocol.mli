@@ -1,0 +1,122 @@
+(** Wire protocol of the generation daemon.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of UTF-8 JSON. Both sides speak the same [request]/[response]
+    vocabulary; diagnostics from the pre-flight static analyzer travel as
+    structured JSON objects (code / severity / subject / message / span),
+    never as flattened text. The JSON layer is self-contained — the repo
+    carries no JSON dependency. *)
+
+(** {2 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val to_string : json -> string
+(** Compact rendering; integral numbers print without a fraction. *)
+
+val of_string : string -> json
+(** Raises {!Parse_error} on malformed input or trailing content. *)
+
+val mem : string -> json -> json option
+(** Object field lookup; [None] on non-objects. *)
+
+(** {2 Framing} *)
+
+exception Framing_error of string
+
+val max_frame_default : int
+(** 16 MiB — the per-frame size limit both directions. *)
+
+val read_frame : ?max_len:int -> Unix.file_descr -> string option
+(** [None] on clean EOF at a frame boundary; {!Framing_error} on a torn
+    header/payload or an announced length beyond [max_len]. *)
+
+val write_frame : ?max_len:int -> Unix.file_descr -> string -> unit
+
+(** {2 Requests} *)
+
+type request =
+  | Submit of { source : string; priority : int; deadline_ms : int option }
+      (** [source] is DSL text; higher [priority] dispatches first. *)
+  | Status of int
+  | Result of int  (** blocks server-side until the request is terminal *)
+  | Stats
+  | Drain
+  | Ping
+
+val encode_request : request -> json
+val decode_request : json -> (request, string) result
+
+(** {2 Responses} *)
+
+type reject_reason = Queue_full | Draining | Parse_failed | Check_failed | Server_killed
+
+val reject_reason_label : reject_reason -> string
+
+type request_state =
+  | Queued of int  (** jobs ahead of it in the queue *)
+  | Running
+  | Done
+  | Failed of string
+  | Expired
+
+val state_label : request_state -> string
+
+type server_stats = {
+  uptime_ms : float;
+  workers : int;
+  draining : bool;
+  submitted : int;  (** admitted requests (got an id) *)
+  coalesced : int;  (** admitted requests that attached to a live job *)
+  completed : int;
+  failed : int;
+  expired : int;
+  rejected_queue : int;  (** backpressure rejections *)
+  rejected_check : int;  (** parse / static-analysis rejections *)
+  queue_depth : int;
+  running : int;
+  cache_hits : int;
+  cache_disk_hits : int;
+  cache_misses : int;
+  hit_rate : float;  (** (hits + disk hits) / lookups, 0 when none *)
+  engine_runs : int;  (** real HLS engine invocations since startup *)
+  lat_count : int;
+  lat_p50_ms : float;
+  lat_p95_ms : float;
+  lat_p99_ms : float;
+}
+
+type response =
+  | Accepted of { id : int; key : string; coalesced : bool; diags : Soc_util.Diag.t list }
+      (** [diags] are the analyzer's warnings (errors reject instead). *)
+  | Rejected of { reason : reject_reason; detail : string; diags : Soc_util.Diag.t list }
+  | Status_r of { id : int; state : request_state }
+  | Result_r of {
+      id : int;
+      state : request_state;  (** [Done], [Failed _] or [Expired] *)
+      design : string;
+      digest : string;
+      manifest : string;  (** the farm manifest JSON text, [""] unless [Done] *)
+      wall_ms : float;
+    }
+  | Stats_r of server_stats
+  | Drained of { completed : int; failed : int }
+  | Error_r of string  (** protocol-level: malformed frame, unknown id… *)
+  | Pong
+
+val json_of_diag : Soc_util.Diag.t -> json
+val diag_of_json : json -> Soc_util.Diag.t
+
+val encode_response : response -> json
+val decode_response : json -> (response, string) result
+
+val send : ?max_len:int -> Unix.file_descr -> json -> unit
+val recv : ?max_len:int -> Unix.file_descr -> json option

@@ -1,0 +1,265 @@
+(* Admission scheduler of the generation daemon: a bounded priority queue
+   of content-addressed jobs with in-flight coalescing.
+
+   Requests are admitted against a queue cap (backpressure: over-cap
+   submissions are rejected, never silently queued or hung). A request
+   whose spec content-hash matches a job already queued or running
+   attaches to that job instead of creating work — K concurrent identical
+   submissions cost one farm build and K answers. Dispatch order is
+   priority-then-FIFO; a request whose deadline passed while waiting is
+   expired at dispatch time, without running anything.
+
+   The scheduler is generic in the job payload ['a] and the success
+   result ['r] so it can be unit-tested with toy values and driven by the
+   server with real specs. All clocking goes through an injectable
+   [clock] for deterministic deadline tests. *)
+
+type 'r outcome = Ok_r of 'r | Failed of string | Expired
+
+type ('a, 'r) job = {
+  key : string;
+  payload : 'a;
+  priority : int;
+  seq : int;  (* admission order within a priority class *)
+  deadline : float option;  (* absolute, from [clock] *)
+  mutable ids : int list;  (* attached request ids, newest first *)
+  mutable jstate : [ `Queued | `Running | `Finished of 'r outcome ];
+}
+
+type ('a, 'r) t = {
+  clock : unit -> float;
+  queue_cap : int;
+  on_done : latency:float -> unit;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable queue : ('a, 'r) job list;  (* dispatch order: priority desc, seq asc *)
+  mutable live : (string * ('a, 'r) job) list;  (* key -> queued/running job *)
+  mutable by_id : (int * ('a, 'r) job) list;
+  mutable submit_times : (int * float) list;
+  mutable next_id : int;
+  mutable next_seq : int;
+  mutable running : int;
+  mutable draining : bool;
+  mutable paused : bool;
+  (* counters *)
+  mutable n_submitted : int;
+  mutable n_coalesced : int;
+  mutable n_rejected : int;
+  mutable n_expired : int;
+  mutable n_completed : int;
+  mutable n_failed : int;
+}
+
+type stats = {
+  submitted : int;
+  coalesced : int;
+  rejected : int;
+  expired : int;
+  completed : int;
+  failed : int;
+  queue_depth : int;
+  running : int;
+  draining : bool;
+}
+
+let create ?(clock = Unix.gettimeofday) ?(on_done = fun ~latency:_ -> ()) ~queue_cap () =
+  if queue_cap < 0 then invalid_arg "Scheduler.create: queue_cap < 0";
+  { clock; queue_cap; on_done; lock = Mutex.create (); cond = Condition.create ();
+    queue = []; live = []; by_id = []; submit_times = []; next_id = 1; next_seq = 0;
+    running = 0; draining = false; paused = false; n_submitted = 0; n_coalesced = 0;
+    n_rejected = 0; n_expired = 0; n_completed = 0; n_failed = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Dispatch order: higher priority first, FIFO within a priority. *)
+let insert_job t job =
+  let precedes a b = a.priority > b.priority || (a.priority = b.priority && a.seq < b.seq) in
+  let rec go = function
+    | [] -> [ job ]
+    | j :: tl -> if precedes job j then job :: j :: tl else j :: go tl
+  in
+  t.queue <- go t.queue
+
+type submit_result = Enqueued of int | Coalesced of int | Rejected_full
+
+let submit t ~key ?(priority = 0) ?deadline_ms payload =
+  locked t (fun () ->
+      if t.draining then Rejected_full (* callers gate on draining separately *)
+      else
+        let now = t.clock () in
+        let admit job coalesced =
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          job.ids <- id :: job.ids;
+          t.by_id <- (id, job) :: t.by_id;
+          t.submit_times <- (id, now) :: t.submit_times;
+          t.n_submitted <- t.n_submitted + 1;
+          if coalesced then t.n_coalesced <- t.n_coalesced + 1;
+          id
+        in
+        match List.assoc_opt key t.live with
+        | Some job -> Coalesced (admit job true)
+        | None ->
+          if List.length t.queue >= t.queue_cap then begin
+            t.n_rejected <- t.n_rejected + 1;
+            Rejected_full
+          end
+          else begin
+            let job =
+              { key; payload; priority; seq = t.next_seq;
+                deadline = Option.map (fun ms -> now +. (float_of_int ms /. 1000.0)) deadline_ms;
+                ids = []; jstate = `Queued }
+            in
+            t.next_seq <- t.next_seq + 1;
+            let id = admit job false in
+            t.live <- (key, job) :: t.live;
+            insert_job t job;
+            Condition.broadcast t.cond;
+            Enqueued id
+          end)
+
+let draining t = locked t (fun () -> t.draining)
+
+let drain t =
+  locked t (fun () ->
+      t.draining <- true;
+      Condition.broadcast t.cond)
+
+let pause t = locked t (fun () -> t.paused <- true)
+
+let unpause t =
+  locked t (fun () ->
+      t.paused <- false;
+      Condition.broadcast t.cond)
+
+(* Finish a job (lock held): detach every attached request, record its
+   service latency, count the outcome once per request. *)
+let finish_locked t job outcome =
+  job.jstate <- `Finished outcome;
+  t.live <- List.filter (fun (k, j) -> not (k = job.key && j == job)) t.live;
+  let now = t.clock () in
+  List.iter
+    (fun id ->
+      (match List.assoc_opt id t.submit_times with
+      | Some t0 -> t.on_done ~latency:(1000.0 *. (now -. t0))
+      | None -> ());
+      t.submit_times <- List.remove_assoc id t.submit_times;
+      match outcome with
+      | Ok_r _ -> t.n_completed <- t.n_completed + 1
+      | Failed _ -> t.n_failed <- t.n_failed + 1
+      | Expired -> t.n_expired <- t.n_expired + 1)
+    job.ids;
+  Condition.broadcast t.cond
+
+(* Blocking dequeue. Jobs whose deadline passed while queued are expired
+   here — before any work happens — and the scan continues. [None] once
+   the scheduler is draining with nothing queued, or a shutdown was
+   forced with [abort_all]. *)
+let next t =
+  locked t (fun () ->
+      let rec wait () =
+        if t.paused && not t.draining then begin
+          Condition.wait t.cond t.lock;
+          wait ()
+        end
+        else
+          match t.queue with
+          | [] ->
+            if t.draining then None
+            else begin
+              Condition.wait t.cond t.lock;
+              wait ()
+            end
+          | job :: rest ->
+            t.queue <- rest;
+            let now = t.clock () in
+            (match job.deadline with
+            | Some d when now > d ->
+              finish_locked t job Expired;
+              wait ()
+            | _ ->
+              job.jstate <- `Running;
+              t.running <- t.running + 1;
+              Some job)
+      in
+      wait ())
+
+let finish t job outcome =
+  locked t (fun () ->
+      match job.jstate with
+      | `Finished _ -> ()  (* already failed by [abort_all]; keep that verdict *)
+      | _ ->
+        t.running <- max 0 (t.running - 1);
+        finish_locked t job outcome)
+
+let job_key (j : ('a, 'r) job) = j.key
+let job_payload (j : ('a, 'r) job) = j.payload
+let job_ids (j : ('a, 'r) job) = List.rev j.ids
+
+(* Abandon everything still queued or running, marking every attached
+   request failed — the simulated-process-death path. Workers blocked in
+   [next] wake up and get [None]. *)
+let abort_all t ~reason =
+  locked t (fun () ->
+      t.draining <- true;
+      t.paused <- false;
+      List.iter (fun job -> finish_locked t job (Failed reason)) t.queue;
+      t.queue <- [];
+      List.iter
+        (fun (_, job) -> if job.jstate = `Running then finish_locked t job (Failed reason))
+        t.live;
+      t.running <- 0;
+      Condition.broadcast t.cond)
+
+type 'r status = Queued of int | Running | Finished of 'r outcome
+
+let status t id =
+  locked t (fun () ->
+      match List.assoc_opt id t.by_id with
+      | None -> None
+      | Some job ->
+        (match job.jstate with
+        | `Finished o -> Some (Finished o)
+        | `Running -> Some Running
+        | `Queued ->
+          (* Position = jobs ahead of it in dispatch order. *)
+          let rec pos i = function
+            | [] -> i
+            | j :: tl -> if j == job then i else pos (i + 1) tl
+          in
+          Some (Queued (pos 0 t.queue))))
+
+(* Block until the request's job is terminal. *)
+let wait t id =
+  locked t (fun () ->
+      match List.assoc_opt id t.by_id with
+      | None -> None
+      | Some job ->
+        let rec go () =
+          match job.jstate with
+          | `Finished o -> Some o
+          | _ ->
+            Condition.wait t.cond t.lock;
+            go ()
+        in
+        go ())
+
+(* Block until nothing is queued or running (drain barrier). *)
+let quiesce t =
+  locked t (fun () ->
+      let rec go () =
+        if t.queue = [] && t.running = 0 then ()
+        else begin
+          Condition.wait t.cond t.lock;
+          go ()
+        end
+      in
+      go ())
+
+let stats t =
+  locked t (fun () ->
+      { submitted = t.n_submitted; coalesced = t.n_coalesced; rejected = t.n_rejected;
+        expired = t.n_expired; completed = t.n_completed; failed = t.n_failed;
+        queue_depth = List.length t.queue; running = t.running; draining = t.draining })

@@ -1,0 +1,94 @@
+(** Admission scheduler of the generation daemon.
+
+    A bounded queue of content-addressed jobs with in-flight coalescing:
+    submissions whose [key] matches a job already queued or running attach
+    to it instead of creating work, so K identical concurrent requests
+    cost one build and yield K answers. Over-cap submissions are rejected
+    (backpressure), never silently queued. Dispatch is priority-then-FIFO;
+    a job whose deadline passed while waiting is expired at dispatch time
+    without running. Generic in the job payload ['a] and success result
+    ['r]; clocking is injectable for deterministic tests. All operations
+    are thread-safe. *)
+
+type 'r outcome = Ok_r of 'r | Failed of string | Expired
+
+type ('a, 'r) job
+type ('a, 'r) t
+
+val create :
+  ?clock:(unit -> float) ->
+  ?on_done:(latency:float -> unit) ->
+  queue_cap:int ->
+  unit ->
+  ('a, 'r) t
+(** [on_done] fires once per attached request when its job finishes, with
+    the request's queue-to-finish service latency in milliseconds (by
+    [clock]). Raises [Invalid_argument] if [queue_cap < 0]. *)
+
+type submit_result =
+  | Enqueued of int  (** fresh job; the request id *)
+  | Coalesced of int  (** attached to a live job; the request id *)
+  | Rejected_full
+
+val submit :
+  ('a, 'r) t -> key:string -> ?priority:int -> ?deadline_ms:int -> 'a -> submit_result
+(** Coalescing matches on [key] against queued and running jobs. The
+    deadline is relative to now and only checked at dispatch. While
+    draining, every submit is [Rejected_full]. *)
+
+val next : ('a, 'r) t -> ('a, 'r) job option
+(** Blocking dequeue for workers. [None] once draining with an empty
+    queue — the worker-exit signal. Expired jobs are finished here and
+    skipped. Blocks while paused. *)
+
+val finish : ('a, 'r) t -> ('a, 'r) job -> 'r outcome -> unit
+(** Terminal-state a dequeued job; wakes [wait]ers and fires [on_done]
+    for every attached request. *)
+
+val job_key : ('a, 'r) job -> string
+val job_payload : ('a, 'r) job -> 'a
+val job_ids : ('a, 'r) job -> int list
+(** Attached request ids in admission order. *)
+
+type 'r status =
+  | Queued of int  (** jobs ahead in dispatch order *)
+  | Running
+  | Finished of 'r outcome
+
+val status : ('a, 'r) t -> int -> 'r status option
+(** [None] for an unknown request id. *)
+
+val wait : ('a, 'r) t -> int -> 'r outcome option
+(** Block until the request is terminal; [None] for an unknown id. *)
+
+val drain : ('a, 'r) t -> unit
+(** Stop admitting; queued and running jobs still complete. *)
+
+val draining : ('a, 'r) t -> bool
+
+val quiesce : ('a, 'r) t -> unit
+(** Block until nothing is queued or running. *)
+
+val abort_all : ('a, 'r) t -> reason:string -> unit
+(** Fail everything queued or running and start draining — the
+    injected-crash path. Blocked workers wake with [None]. *)
+
+val pause : ('a, 'r) t -> unit
+(** Hold dispatch: workers block in [next] until [unpause]. Lets tests
+    build a known queue state before releasing workers. *)
+
+val unpause : ('a, 'r) t -> unit
+
+type stats = {
+  submitted : int;
+  coalesced : int;
+  rejected : int;
+  expired : int;
+  completed : int;
+  failed : int;
+  queue_depth : int;
+  running : int;
+  draining : bool;
+}
+
+val stats : ('a, 'r) t -> stats

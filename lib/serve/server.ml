@@ -1,0 +1,383 @@
+(* The generation daemon: the whole flow — parse, static-analysis gate,
+   crash-safe farm build — behind a TCP socket.
+
+   Threading model: one accept thread, one systhread per connection, and a
+   fixed pool of worker threads pulling from the {!Scheduler}. Each worker
+   runs [Farm.build_batch ~jobs:1], which spawns its domain underneath, so
+   total parallelism is [workers] builds in flight. Workers share one
+   content-addressed cache and one write-ahead journal (both are
+   internally locked; the journal's replay machinery ignores interleaved
+   batch markers), so coalesced or repeated requests reuse HLS work across
+   the daemon's whole lifetime and a kill at any instant is recoverable
+   by restarting the daemon on the same cache directory. *)
+
+module Protocol = Protocol
+module Scheduler = Scheduler
+module Diag = Soc_util.Diag
+module Fault = Soc_fault.Fault
+module Farm = Soc_farm.Farm
+module Histogram = Soc_util.Metrics.Histogram
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
+  workers : int;
+  queue_cap : int;
+  default_deadline_ms : int option;
+  cache_dir : string option;
+  cache_max_mb : int option;
+  kill : Fault.crash_point option;
+  kernels : (string * Soc_kernel.Ast.kernel) list;
+  max_frame : int;
+  clock : unit -> float;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 0; workers = 2; queue_cap = 64;
+    default_deadline_ms = None; cache_dir = None; cache_max_mb = None;
+    kill = None; kernels = []; max_frame = Protocol.max_frame_default;
+    clock = Unix.gettimeofday }
+
+(* What a job carries and what it yields. *)
+type payload = { entry : Soc_farm.Jobgraph.entry }
+
+type built = { design : string; digest : string; manifest : string; wall_ms : float }
+
+type phase = Serving | Drained of int * int | Killed of string * int
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  bound_port : int;
+  sched : (payload, built) Scheduler.t;
+  cache : Soc_farm.Cache.t;
+  journal : Soc_farm.Journal.t option;
+  kill_slot : Fault.crash_point option Atomic.t;
+  hist : Histogram.t;
+  started_at : float;
+  engine_base : int;
+  rejected_check : int Atomic.t;
+  startup_diags : Diag.t list;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable phase : phase;
+  mutable stopping : bool;
+  mutable worker_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+let startup_diags t = t.startup_diags
+let pause t = Scheduler.pause t.sched
+let unpause t = Scheduler.unpause t.sched
+
+let set_phase t p =
+  Mutex.lock t.lock;
+  (match t.phase with Serving -> t.phase <- p | _ -> ());
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let killed t =
+  Mutex.lock t.lock;
+  let k = match t.phase with Killed (s, k) -> Some (s, k) | _ -> None in
+  Mutex.unlock t.lock;
+  k
+
+(* ---------------- admission ---------------- *)
+
+(* The content key under which identical requests coalesce: the hash of
+   the spec's canonical printed form — whitespace or comment differences
+   in the submitted source do not defeat sharing. *)
+let coalescing_key spec =
+  Soc_farm.Chash.to_hex (Soc_farm.Chash.digest (Soc_core.Printer.to_source spec))
+
+(* Resolve the server's kernel library against one spec, exactly like the
+   [farm] subcommand does, so a served manifest byte-matches a direct
+   [socdsl farm --manifest] of the same source. *)
+let kernels_for t spec =
+  List.filter
+    (fun (name, _) ->
+      List.exists
+        (fun (n : Soc_core.Spec.node_spec) -> n.Soc_core.Spec.node_name = name)
+        spec.Soc_core.Spec.nodes)
+    t.cfg.kernels
+
+let admit t ~source ~priority ~deadline_ms : Protocol.response =
+  let reject reason detail diags =
+    Protocol.Rejected { reason; detail; diags }
+  in
+  match killed t with
+  | Some (s, k) ->
+    reject Protocol.Server_killed
+      (Printf.sprintf "server killed at %s:%d; restart it on the same cache dir" s k)
+      []
+  | None ->
+    if Scheduler.draining t.sched then reject Protocol.Draining "server is draining" []
+    else (
+      match Soc_core.Parser.parse ~validate:false source with
+      | exception Soc_core.Parser.Parse_error (msg, line, col)
+      | exception Soc_core.Lexer.Lex_error (msg, line, col) ->
+        Atomic.incr t.rejected_check;
+        reject Protocol.Parse_failed msg
+          [ Diag.error ~span:{ Diag.line; col } ~code:"SOC000" ~subject:"request" msg ]
+      | spec ->
+        let kernels = kernels_for t spec in
+        let diags = Soc_analysis.Analyze.run ~kernels spec in
+        if Diag.has_errors diags then begin
+          Atomic.incr t.rejected_check;
+          reject Protocol.Check_failed
+            (Printf.sprintf "static analysis found %d error(s)" (Diag.error_count diags))
+            diags
+        end
+        else
+          let key = coalescing_key spec in
+          let payload = { entry = { Soc_farm.Jobgraph.spec; kernels } } in
+          let deadline_ms =
+            match deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
+          in
+          match Scheduler.submit t.sched ~key ~priority ?deadline_ms payload with
+          | Scheduler.Enqueued id -> Protocol.Accepted { id; key; coalesced = false; diags }
+          | Scheduler.Coalesced id -> Protocol.Accepted { id; key; coalesced = true; diags }
+          | Scheduler.Rejected_full ->
+            if Scheduler.draining t.sched then reject Protocol.Draining "server is draining" []
+            else
+              reject Protocol.Queue_full
+                (Printf.sprintf "queue is at its cap of %d" t.cfg.queue_cap)
+                [])
+
+(* ---------------- workers ---------------- *)
+
+let build_one t job =
+  (* The armed kill point is taken by exactly one build: the daemon dies
+     once, like a process does. *)
+  let kill = Atomic.exchange t.kill_slot None in
+  let payload = Scheduler.job_payload job in
+  match
+    Farm.build_batch ~jobs:1 ~cache:t.cache ?journal:t.journal ?kill [ payload.entry ]
+  with
+  | exception Fault.Killed (s, k) ->
+    set_phase t (Killed (s, k));
+    (* Fail everything still live (the journal is sealed; committed work
+       is on disk) and send the blocked workers home. *)
+    Scheduler.abort_all t.sched
+      ~reason:(Printf.sprintf "server killed at %s:%d" s k);
+    `Killed
+  | report -> (
+    match report.Farm.builds with
+    | [ (_, b) ] ->
+      let built =
+        { design = b.Soc_core.Flow.spec.Soc_core.Spec.design_name;
+          digest = Farm.build_digest b;
+          manifest = Farm.manifest_json report;
+          wall_ms = 1000.0 *. report.Farm.stats.Farm.wall_seconds }
+      in
+      Scheduler.finish t.sched job (Scheduler.Ok_r built);
+      `Ok
+    | _ ->
+      let reason =
+        match report.Farm.failures with
+        | f :: _ -> Format.asprintf "%a" Soc_farm.Pool.pp_failure f
+        | [] -> "build produced no artifact"
+      in
+      Scheduler.finish t.sched job (Scheduler.Failed reason);
+      `Ok)
+
+let rec worker_loop t =
+  match Scheduler.next t.sched with
+  | None -> ()
+  | Some job -> (
+    match build_one t job with `Killed -> () | `Ok -> worker_loop t)
+
+(* ---------------- stats ---------------- *)
+
+let stats t : Protocol.server_stats =
+  let s = Scheduler.stats t.sched in
+  let c = Soc_farm.Cache.stats t.cache in
+  let lookups = c.Soc_farm.Cache.hits + c.Soc_farm.Cache.disk_hits + c.Soc_farm.Cache.misses in
+  let served = c.Soc_farm.Cache.hits + c.Soc_farm.Cache.disk_hits in
+  { uptime_ms = 1000.0 *. (t.cfg.clock () -. t.started_at);
+    workers = t.cfg.workers;
+    draining = s.Scheduler.draining;
+    submitted = s.Scheduler.submitted;
+    coalesced = s.Scheduler.coalesced;
+    completed = s.Scheduler.completed;
+    failed = s.Scheduler.failed;
+    expired = s.Scheduler.expired;
+    rejected_queue = s.Scheduler.rejected;
+    rejected_check = Atomic.get t.rejected_check;
+    queue_depth = s.Scheduler.queue_depth;
+    running = s.Scheduler.running;
+    cache_hits = c.Soc_farm.Cache.hits;
+    cache_disk_hits = c.Soc_farm.Cache.disk_hits;
+    cache_misses = c.Soc_farm.Cache.misses;
+    hit_rate = (if lookups = 0 then 0.0 else float_of_int served /. float_of_int lookups);
+    engine_runs = Soc_hls.Engine.invocation_count () - t.engine_base;
+    lat_count = Histogram.count t.hist;
+    lat_p50_ms = Histogram.p50 t.hist;
+    lat_p95_ms = Histogram.p95 t.hist;
+    lat_p99_ms = Histogram.p99 t.hist }
+
+(* ---------------- sessions ---------------- *)
+
+let state_of_outcome (o : built Scheduler.outcome) : Protocol.request_state =
+  match o with
+  | Scheduler.Ok_r _ -> Protocol.Done
+  | Scheduler.Failed m -> Protocol.Failed m
+  | Scheduler.Expired -> Protocol.Expired
+
+let handle t (req : Protocol.request) : Protocol.response =
+  match req with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Submit { source; priority; deadline_ms } ->
+    admit t ~source ~priority ~deadline_ms
+  | Protocol.Status id -> (
+    match Scheduler.status t.sched id with
+    | None -> Protocol.Error_r (Printf.sprintf "unknown request id %d" id)
+    | Some (Scheduler.Queued n) -> Protocol.Status_r { id; state = Protocol.Queued n }
+    | Some Scheduler.Running -> Protocol.Status_r { id; state = Protocol.Running }
+    | Some (Scheduler.Finished o) -> Protocol.Status_r { id; state = state_of_outcome o })
+  | Protocol.Result id -> (
+    match Scheduler.wait t.sched id with
+    | None -> Protocol.Error_r (Printf.sprintf "unknown request id %d" id)
+    | Some (Scheduler.Ok_r b) ->
+      Protocol.Result_r
+        { id; state = Protocol.Done; design = b.design; digest = b.digest;
+          manifest = b.manifest; wall_ms = b.wall_ms }
+    | Some o ->
+      Protocol.Result_r
+        { id; state = state_of_outcome o; design = ""; digest = ""; manifest = "";
+          wall_ms = 0.0 })
+  | Protocol.Stats -> Protocol.Stats_r (stats t)
+  | Protocol.Drain ->
+    Scheduler.drain t.sched;
+    Scheduler.quiesce t.sched;
+    let s = Scheduler.stats t.sched in
+    set_phase t (Drained (s.Scheduler.completed, s.Scheduler.failed));
+    Protocol.Drained { completed = s.Scheduler.completed; failed = s.Scheduler.failed }
+
+let session t fd =
+  let max_len = t.cfg.max_frame in
+  let reply v = Protocol.send fd (Protocol.encode_response v) in
+  let rec loop () =
+    match Protocol.recv ~max_len fd with
+    | None -> ()
+    | Some j ->
+      (match Protocol.decode_request j with
+      | Error msg -> reply (Protocol.Error_r msg)
+      | Ok req -> reply (handle t req));
+      loop ()
+  in
+  (try loop () with
+  | Protocol.Framing_error _ | Protocol.Parse_error _ | Unix.Unix_error _ | Sys_error _
+    -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listener with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      when t.stopping -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | fd, _ ->
+      if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else ignore (Thread.create (fun () -> session t fd) ());
+      if not t.stopping then loop ()
+  in
+  loop ()
+
+(* ---------------- lifecycle ---------------- *)
+
+let start (cfg : config) =
+  (* Startup hygiene, the doctor's passes: verify every cache artifact and
+     compact the journal before trusting either. *)
+  let startup_diags =
+    match cfg.cache_dir with
+    | None -> []
+    | Some dir ->
+      if not (Sys.file_exists dir) then []
+      else begin
+        let cr = Soc_farm.Cache.fsck ~dir in
+        let jr =
+          Soc_farm.Journal.fsck (Filename.concat dir Soc_farm.Journal.default_name)
+        in
+        cr.Soc_farm.Cache.fsck_diags @ jr.Soc_farm.Journal.jfsck_diags
+      end
+  in
+  let cache =
+    Soc_farm.Cache.create ?disk_dir:cfg.cache_dir ?max_mb:cfg.cache_max_mb ()
+  in
+  let journal =
+    Option.map
+      (fun dir ->
+        Soc_farm.Journal.open_ ~resume:true
+          (Filename.concat dir Soc_farm.Journal.default_name))
+      cfg.cache_dir
+  in
+  let hist = Histogram.create () in
+  let sched =
+    Scheduler.create ~clock:cfg.clock
+      ~on_done:(fun ~latency -> Histogram.observe hist latency)
+      ~queue_cap:cfg.queue_cap ()
+  in
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen listener 64
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let t =
+    { cfg; listener; bound_port; sched; cache; journal;
+      kill_slot = Atomic.make cfg.kill; hist; started_at = cfg.clock ();
+      engine_base = Soc_hls.Engine.invocation_count ();
+      rejected_check = Atomic.make 0; startup_diags; lock = Mutex.create ();
+      cond = Condition.create (); phase = Serving; stopping = false;
+      worker_threads = []; accept_thread = None }
+  in
+  t.worker_threads <-
+    List.init (max 1 cfg.workers) (fun _ -> Thread.create (fun () -> worker_loop t) ());
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let wait t =
+  Mutex.lock t.lock;
+  let rec go () =
+    match t.phase with
+    | Serving ->
+      Condition.wait t.cond t.lock;
+      go ()
+    | Drained (ok, failed) -> `Drained (ok, failed)
+    | Killed (s, k) -> `Killed (s, k)
+  in
+  let r = go () in
+  Mutex.unlock t.lock;
+  r
+
+(* Wake a (possibly) blocked accept by connecting to ourselves: closing a
+   listening socket does not reliably interrupt accept on Linux. *)
+let poke_accept t =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.cfg.host, t.bound_port))
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let stop t =
+  t.stopping <- true;
+  Scheduler.abort_all t.sched ~reason:"server stopped";
+  set_phase t (Drained (0, 0));
+  poke_accept t;
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  List.iter Thread.join t.worker_threads;
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  Option.iter Soc_farm.Journal.close t.journal
+
+let cache_diags t = Soc_farm.Cache.diags t.cache

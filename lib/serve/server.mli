@@ -1,0 +1,69 @@
+(** The generation daemon: the whole flow — parse, static-analysis gate,
+    crash-safe farm build — behind a TCP socket speaking {!Protocol}.
+
+    One accept thread, one thread per connection, and [workers] worker
+    threads pulling from the admission {!Scheduler}; each worker runs
+    [Farm.build_batch ~jobs:1] (one domain under the hood). Workers share
+    one content-addressed cache and one write-ahead journal, so identical
+    requests coalesce in flight, repeats hit the cache, and a simulated
+    kill ([kill]) is recoverable by restarting the daemon on the same
+    cache directory — the restarted server re-verifies the cache and
+    compacts the journal with the doctor's fsck passes before serving. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
+  workers : int;  (** concurrent builds in flight *)
+  queue_cap : int;  (** queued-jobs bound; over it, submits are rejected *)
+  default_deadline_ms : int option;  (** applied when a submit names none *)
+  cache_dir : string option;  (** persistent cache + journal; None = memory *)
+  cache_max_mb : int option;
+  kill : Soc_fault.Fault.crash_point option;
+      (** armed crash point, taken by exactly one build *)
+  kernels : (string * Soc_kernel.Ast.kernel) list;
+      (** the kernel library; filtered per spec like [socdsl farm] *)
+  max_frame : int;
+  clock : unit -> float;  (** injectable for deterministic tests *)
+}
+
+val default_config : config
+(** 127.0.0.1, ephemeral port, 2 workers, queue cap 64, no deadline, no
+    persistence, no kernels. *)
+
+type t
+
+val start : config -> t
+(** Bind, run the startup fsck (when [cache_dir] exists), open the cache
+    and journal ([~resume:true] — completed work in an interrupted
+    journal is honoured), spawn workers and the accept loop. Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+val startup_diags : t -> Soc_util.Diag.t list
+(** What the startup fsck found/repaired ([IO4xx] family). *)
+
+val cache_diags : t -> Soc_util.Diag.t list
+(** Integrity diagnostics the live cache accumulated while serving. *)
+
+val wait : t -> [ `Drained of int * int | `Killed of string * int ]
+(** Block until a [Drain] request completed ((completed, failed) requests)
+    or the armed kill point fired. *)
+
+val stop : t -> unit
+(** Force shutdown: abort live jobs, close the listener, join workers,
+    close the journal. Safe after {!wait}; used by tests. *)
+
+val pause : t -> unit
+(** Hold worker dispatch (queued jobs wait) — the deterministic-test hook,
+    also reachable over no protocol on purpose. *)
+
+val unpause : t -> unit
+
+val stats : t -> Protocol.server_stats
+
+(**/**)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** One request against the server state, no socket involved — the
+    session loop's body, exposed for direct unit tests. [Result] and
+    [Drain] block exactly as they do over the wire. *)

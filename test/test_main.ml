@@ -24,4 +24,5 @@ let () =
       ("perf", Test_perf.suite);
       ("farm", Test_farm.suite);
       ("journal", Test_journal.suite);
+      ("serve", Test_serve.suite);
     ]

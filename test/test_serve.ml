@@ -1,0 +1,684 @@
+(* The generation daemon: wire protocol (JSON + framing), admission
+   scheduler (coalescing, backpressure, deadlines), and the live server
+   end-to-end over real TCP — including the acceptance criteria: K
+   identical concurrent submissions run HLS exactly once and return K
+   bit-identical manifests; queue overflow is a structured rejection;
+   past-deadline requests expire without engine work; and a --kill-at
+   crash plus restart on the same cache dir recovers byte-identically
+   with zero repeated HLS. *)
+
+module Protocol = Soc_serve.Protocol
+module Scheduler = Soc_serve.Scheduler
+module Server = Soc_serve.Server
+module Client = Soc_serve.Client
+module Farm = Soc_farm.Farm
+module Jobgraph = Soc_farm.Jobgraph
+module Fault = Soc_fault.Fault
+module Diag = Soc_util.Diag
+module Graphs = Soc_apps.Graphs
+module Engine = Soc_hls.Engine
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let w = 16
+let h = 16
+
+let arch_source arch = Soc_core.Printer.to_source (Graphs.arch_spec arch)
+let kernel_library () = Soc_apps.Otsu.kernels ~width:w ~height:h
+
+(* Reference entry built exactly the way the server builds it: the spec is
+   PARSED from the submitted source (parsing attaches source spans, which
+   participate in the build digest), not taken from the EDSL directly. *)
+let parsed_entry arch =
+  { Jobgraph.spec = Soc_core.Parser.parse (arch_source arch);
+    kernels = Graphs.arch_kernels arch ~width:w ~height:h }
+
+let fresh_dir prefix =
+  let d = Filename.temp_file prefix ".cache" in
+  Sys.remove d;
+  d
+
+(* A started in-process server plus a connected client, torn down in
+   order no matter how the test ends. *)
+let with_server ?(workers = 2) ?(queue_cap = 64) ?cache_dir ?kill ?default_deadline_ms
+    f =
+  let cfg =
+    { Server.default_config with
+      workers; queue_cap; cache_dir; kill; default_deadline_ms;
+      kernels = kernel_library () }
+  in
+  let srv = Server.start cfg in
+  let client = Client.connect ~port:(Server.port srv) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close client;
+      Server.stop srv)
+    (fun () -> f srv client)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: JSON                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let cases =
+    [ Protocol.Null; Protocol.Bool true; Protocol.Bool false; Protocol.Num 0.0;
+      Protocol.Num 42.0; Protocol.Num (-17.0); Protocol.Num 0.5; Protocol.Num 1e15;
+      Protocol.Str ""; Protocol.Str "plain"; Protocol.Str "esc \" \\ \n \t \r quo";
+      Protocol.Str "unicode \xc3\xa9 \xe2\x82\xac"; Protocol.Arr [];
+      Protocol.Arr [ Protocol.Num 1.0; Protocol.Str "two"; Protocol.Null ];
+      Protocol.Obj [];
+      Protocol.Obj
+        [ ("a", Protocol.Num 1.0);
+          ("nested", Protocol.Obj [ ("b", Protocol.Arr [ Protocol.Bool false ]) ]) ] ]
+  in
+  List.iter
+    (fun v ->
+      let s = Protocol.to_string v in
+      check Alcotest.bool (Printf.sprintf "roundtrip %s" s) true
+        (Protocol.of_string s = v))
+    cases
+
+let test_json_escapes () =
+  check Alcotest.string "control chars escaped" {|"\u0001\n"|}
+    (Protocol.to_string (Protocol.Str "\x01\n"));
+  check Alcotest.bool "\\uXXXX decodes" true
+    (Protocol.of_string {|"\u00e9"|} = Protocol.Str "\xc3\xa9");
+  check Alcotest.bool "integral floats print as ints" true
+    (Protocol.to_string (Protocol.Num 7.0) = "7")
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool (Printf.sprintf "reject %S" s) true
+        (match Protocol.of_string s with
+        | exception Protocol.Parse_error _ -> true
+        | _ -> false))
+    [ ""; "{"; "tru"; "1 2"; "{\"a\":}"; "[1,]"; "\"\\ud800\""; "nul" ]
+
+let json_gen =
+  let open QCheck in
+  let leaf =
+    Gen.oneof
+      [ Gen.return Protocol.Null;
+        Gen.map (fun b -> Protocol.Bool b) Gen.bool;
+        (* Integral and dyadic values round-trip exactly through the
+           printer; that is all the protocol ever sends. *)
+        Gen.map (fun n -> Protocol.Num (float_of_int n)) (Gen.int_range (-1000000) 1000000);
+        Gen.map (fun n -> Protocol.Num (float_of_int n /. 16.0)) (Gen.int_range 0 10000);
+        Gen.map (fun s -> Protocol.Str s) Gen.string_printable ]
+  in
+  let tree =
+    Gen.sized (fun size ->
+        Gen.fix
+          (fun self n ->
+            if n = 0 then leaf
+            else
+              Gen.oneof
+                [ leaf;
+                  Gen.map (fun l -> Protocol.Arr l) (Gen.list_size (Gen.int_bound 4) (self (n / 2)));
+                  Gen.map
+                    (fun kvs -> Protocol.Obj kvs)
+                    (Gen.list_size (Gen.int_bound 4)
+                       (Gen.pair Gen.string_printable (self (n / 2)))) ])
+          (min size 6))
+  in
+  QCheck.make ~print:(fun v -> Protocol.to_string v) tree
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"protocol json print/parse roundtrip" ~count:300 json_gen
+    (fun v -> Protocol.of_string (Protocol.to_string v) = v)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: framing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_pipe f =
+  let r, wfd = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close wfd with Unix.Unix_error _ -> ())
+    (fun () -> f r wfd)
+
+let test_framing_roundtrip () =
+  with_pipe (fun r wfd ->
+      Protocol.write_frame wfd "hello";
+      Protocol.write_frame wfd "";
+      (* Stay well under the pipe's buffer: these writes happen before any
+         read drains it. *)
+      Protocol.write_frame wfd (String.make 30000 'x');
+      Unix.close wfd;
+      check Alcotest.(option string) "first" (Some "hello") (Protocol.read_frame r);
+      check Alcotest.(option string) "empty" (Some "") (Protocol.read_frame r);
+      check Alcotest.(option int) "large" (Some 30000)
+        (Option.map String.length (Protocol.read_frame r));
+      check Alcotest.(option string) "clean EOF" None (Protocol.read_frame r))
+
+let test_framing_torn_payload () =
+  with_pipe (fun r wfd ->
+      (* Header announces 10 bytes; only 3 arrive before EOF. *)
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 10l;
+      ignore (Unix.write wfd hdr 0 4);
+      ignore (Unix.write_substring wfd "abc" 0 3);
+      Unix.close wfd;
+      check Alcotest.bool "torn payload detected" true
+        (match Protocol.read_frame r with
+        | exception Protocol.Framing_error _ -> true
+        | _ -> false))
+
+let test_framing_oversize () =
+  with_pipe (fun r wfd ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 1000l;
+      ignore (Unix.write wfd hdr 0 4);
+      check Alcotest.bool "oversize frame rejected" true
+        (match Protocol.read_frame ~max_len:64 r with
+        | exception Protocol.Framing_error _ -> true
+        | _ -> false);
+      check Alcotest.bool "oversize write rejected" true
+        (match Protocol.write_frame ~max_len:8 wfd "123456789" with
+        | exception Protocol.Framing_error _ -> true
+        | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: request / response vocabulary                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_diags =
+  [ Diag.error ~span:{ Diag.line = 3; col = 7 } ~code:"SOC031" ~subject:"a.x->b.y"
+      "rates differ";
+    Diag.warning ~code:"RES211" ~subject:"budget" "close to the edge" ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      check Alcotest.bool "request roundtrip" true
+        (Protocol.decode_request (Protocol.of_string (Protocol.to_string (Protocol.encode_request req)))
+        = Ok req))
+    [ Protocol.Submit { source = "object x {}"; priority = 3; deadline_ms = Some 250 };
+      Protocol.Submit { source = ""; priority = 0; deadline_ms = None };
+      Protocol.Status 7; Protocol.Result 9; Protocol.Stats; Protocol.Drain;
+      Protocol.Ping ]
+
+let test_response_roundtrip () =
+  let stats =
+    { Protocol.uptime_ms = 1234.0; workers = 4; draining = false; submitted = 10;
+      coalesced = 3; completed = 6; failed = 1; expired = 1; rejected_queue = 2;
+      rejected_check = 1; queue_depth = 2; running = 1; cache_hits = 5;
+      cache_disk_hits = 2; cache_misses = 3; hit_rate = 0.7; engine_runs = 3;
+      lat_count = 6; lat_p50_ms = 8.0; lat_p95_ms = 16.0; lat_p99_ms = 16.0 }
+  in
+  List.iter
+    (fun resp ->
+      check Alcotest.bool "response roundtrip" true
+        (Protocol.decode_response
+           (Protocol.of_string (Protocol.to_string (Protocol.encode_response resp)))
+        = Ok resp))
+    [ Protocol.Accepted { id = 1; key = "abcd"; coalesced = true; diags = sample_diags };
+      Protocol.Rejected
+        { reason = Protocol.Queue_full; detail = "cap 2"; diags = [] };
+      Protocol.Rejected
+        { reason = Protocol.Check_failed; detail = "1 error"; diags = sample_diags };
+      Protocol.Status_r { id = 4; state = Protocol.Queued 2 };
+      Protocol.Status_r { id = 4; state = Protocol.Running };
+      Protocol.Status_r { id = 4; state = Protocol.Failed "boom" };
+      Protocol.Result_r
+        { id = 4; state = Protocol.Done; design = "otsu_arch1"; digest = "ff00";
+          manifest = "[]\n"; wall_ms = 12.5 };
+      Protocol.Stats_r stats; Protocol.Drained { completed = 6; failed = 1 };
+      Protocol.Error_r "unknown id"; Protocol.Pong ]
+
+let test_diag_json_roundtrip () =
+  List.iter
+    (fun d ->
+      check Alcotest.bool "diag roundtrip" true
+        (Protocol.diag_of_json (Protocol.json_of_diag d) = d))
+    sample_diags
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_sched_priority_fifo () =
+  let s = Scheduler.create ~queue_cap:10 () in
+  ignore (Scheduler.submit s ~key:"a" "a");
+  ignore (Scheduler.submit s ~key:"b" ~priority:5 "b");
+  ignore (Scheduler.submit s ~key:"c" "c");
+  let take () =
+    match Scheduler.next s with
+    | Some j ->
+      Scheduler.finish s j (Scheduler.Ok_r ());
+      Scheduler.job_key j
+    | None -> "none"
+  in
+  let first = take () in
+  let second = take () in
+  let third = take () in
+  check Alcotest.(list string) "priority first, then FIFO" [ "b"; "a"; "c" ]
+    [ first; second; third ]
+
+let test_sched_coalescing () =
+  let s = Scheduler.create ~queue_cap:10 () in
+  let id1 =
+    match Scheduler.submit s ~key:"k" "payload" with
+    | Scheduler.Enqueued id -> id
+    | _ -> Alcotest.fail "expected Enqueued"
+  in
+  let id2 =
+    match Scheduler.submit s ~key:"k" "payload" with
+    | Scheduler.Coalesced id -> id
+    | _ -> Alcotest.fail "expected Coalesced"
+  in
+  let job = Option.get (Scheduler.next s) in
+  check Alcotest.(list int) "both requests attached" [ id1; id2 ] (Scheduler.job_ids job);
+  (* Still coalesces while running. *)
+  (match Scheduler.submit s ~key:"k" "payload" with
+  | Scheduler.Coalesced _ -> ()
+  | _ -> Alcotest.fail "expected coalescing with the running job");
+  Scheduler.finish s job (Scheduler.Ok_r "done");
+  check Alcotest.bool "waiters see the one result" true
+    (Scheduler.wait s id1 = Some (Scheduler.Ok_r "done")
+    && Scheduler.wait s id2 = Some (Scheduler.Ok_r "done"));
+  (* After the job finished, the key is fresh again. *)
+  (match Scheduler.submit s ~key:"k" "payload" with
+  | Scheduler.Enqueued _ -> ()
+  | _ -> Alcotest.fail "finished keys must not coalesce");
+  let st = Scheduler.stats s in
+  check Alcotest.int "coalesced counted" 2 st.Scheduler.coalesced;
+  check Alcotest.int "completed counts every attached request" 3 st.Scheduler.completed
+
+let test_sched_backpressure () =
+  let s = Scheduler.create ~queue_cap:2 () in
+  ignore (Scheduler.submit s ~key:"a" "a");
+  ignore (Scheduler.submit s ~key:"b" "b");
+  check Alcotest.bool "over-cap submit rejected" true
+    (Scheduler.submit s ~key:"c" "c" = Scheduler.Rejected_full);
+  (* Coalescing does not create a job, so it is admitted past the cap. *)
+  (match Scheduler.submit s ~key:"a" "a" with
+  | Scheduler.Coalesced _ -> ()
+  | _ -> Alcotest.fail "coalescing must bypass the cap");
+  check Alcotest.int "rejection counted" 1 (Scheduler.stats s).Scheduler.rejected
+
+let test_sched_deadline_expiry () =
+  let now = ref 0.0 in
+  let lat = ref [] in
+  let s =
+    Scheduler.create ~clock:(fun () -> !now)
+      ~on_done:(fun ~latency -> lat := latency :: !lat)
+      ~queue_cap:10 ()
+  in
+  let id1 =
+    match Scheduler.submit s ~key:"a" ~deadline_ms:100 "a" with
+    | Scheduler.Enqueued id -> id
+    | _ -> Alcotest.fail "expected Enqueued"
+  in
+  ignore (Scheduler.submit s ~key:"b" "b");
+  now := 1.0;
+  (* Dispatch skips the dead job without running it and hands out the
+     live one. *)
+  let job = Option.get (Scheduler.next s) in
+  check Alcotest.string "expired job never dispatched" "b" (Scheduler.job_key job);
+  check Alcotest.bool "expired status" true
+    (Scheduler.status s id1 = Some (Scheduler.Finished Scheduler.Expired));
+  Scheduler.finish s job (Scheduler.Ok_r ());
+  check Alcotest.int "expired counted" 1 (Scheduler.stats s).Scheduler.expired;
+  check Alcotest.(list (float 0.001)) "latency recorded for both" [ 1000.0; 1000.0 ]
+    !lat
+
+let test_sched_abort_all () =
+  let s = Scheduler.create ~queue_cap:10 () in
+  let id1 =
+    match Scheduler.submit s ~key:"a" "a" with
+    | Scheduler.Enqueued id -> id
+    | _ -> Alcotest.fail "expected Enqueued"
+  in
+  let job = Option.get (Scheduler.next s) in
+  let id2 =
+    match Scheduler.submit s ~key:"b" "b" with
+    | Scheduler.Enqueued id -> id
+    | _ -> Alcotest.fail "expected Enqueued"
+  in
+  Scheduler.abort_all s ~reason:"killed";
+  check Alcotest.bool "running job failed" true
+    (Scheduler.wait s id1 = Some (Scheduler.Failed "killed"));
+  check Alcotest.bool "queued job failed" true
+    (Scheduler.wait s id2 = Some (Scheduler.Failed "killed"));
+  check Alcotest.bool "workers sent home" true (Scheduler.next s = None);
+  (* A late finish from the worker that held the job must not overwrite
+     the abort verdict or double-count. *)
+  Scheduler.finish s job (Scheduler.Ok_r "late");
+  check Alcotest.bool "abort verdict sticks" true
+    (Scheduler.wait s id1 = Some (Scheduler.Failed "killed"));
+  check Alcotest.int "no double count" 2 (Scheduler.stats s).Scheduler.failed
+
+let test_sched_drain () =
+  let s = Scheduler.create ~queue_cap:10 () in
+  ignore (Scheduler.submit s ~key:"a" "a");
+  Scheduler.drain s;
+  check Alcotest.bool "no admissions while draining" true
+    (Scheduler.submit s ~key:"b" "b" = Scheduler.Rejected_full);
+  let job = Option.get (Scheduler.next s) in
+  Scheduler.finish s job (Scheduler.Ok_r ());
+  Scheduler.quiesce s;
+  check Alcotest.bool "drained queue hands out None" true (Scheduler.next s = None)
+
+let test_sched_status_positions () =
+  let s = Scheduler.create ~queue_cap:10 () in
+  Scheduler.pause s;
+  let id1 =
+    match Scheduler.submit s ~key:"a" "a" with Scheduler.Enqueued id -> id | _ -> assert false
+  in
+  let id2 =
+    match Scheduler.submit s ~key:"b" "b" with Scheduler.Enqueued id -> id | _ -> assert false
+  in
+  check Alcotest.bool "head of queue" true
+    (Scheduler.status s id1 = Some (Scheduler.Queued 0));
+  check Alcotest.bool "one ahead" true (Scheduler.status s id2 = Some (Scheduler.Queued 1));
+  check Alcotest.bool "unknown id" true (Scheduler.status s 999 = None);
+  Scheduler.unpause s;
+  let j1 = Option.get (Scheduler.next s) in
+  check Alcotest.bool "running" true (Scheduler.status s id1 = Some Scheduler.Running);
+  Scheduler.finish s j1 (Scheduler.Ok_r ());
+  let j2 = Option.get (Scheduler.next s) in
+  Scheduler.finish s j2 (Scheduler.Ok_r ())
+
+(* ------------------------------------------------------------------ *)
+(* Server end-to-end (real TCP)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let submit_ok client ?priority ?deadline_ms source =
+  match Client.submit client ?priority ?deadline_ms source with
+  | Protocol.Accepted { id; coalesced; _ } -> (id, coalesced)
+  | r ->
+    Alcotest.failf "submit not accepted: %s" Protocol.(to_string (encode_response r))
+
+let result_done client id =
+  match Client.result client id with
+  | Protocol.Result_r { state = Protocol.Done; design; digest; manifest; _ } ->
+    (design, digest, manifest)
+  | r ->
+    Alcotest.failf "result not done: %s" Protocol.(to_string (encode_response r))
+
+let test_serve_single_build () =
+  with_server (fun _srv client ->
+      check Alcotest.bool "ping" true (Client.ping client);
+      let id, coalesced = submit_ok client (arch_source Graphs.Arch1) in
+      check Alcotest.bool "first submit is fresh" false coalesced;
+      let design, digest, manifest = result_done client id in
+      check Alcotest.string "design name" "otsu_arch1" design;
+      (* The served digest and manifest are exactly what a direct farm
+         build of the same source produces. *)
+      let direct = Farm.build_batch ~jobs:1 [ parsed_entry Graphs.Arch1 ] in
+      let direct_digest =
+        match direct.Farm.builds with
+        | [ (_, b) ] -> Farm.build_digest b
+        | _ -> Alcotest.fail "direct build failed"
+      in
+      check Alcotest.string "digest matches direct build" direct_digest digest;
+      check Alcotest.string "manifest matches direct build"
+        (Farm.manifest_json direct) manifest)
+
+let test_serve_coalescing_concurrent () =
+  with_server ~workers:2 (fun srv client ->
+      Server.pause srv;
+      let engine0 = Engine.invocation_count () in
+      let source = arch_source Graphs.Arch1 in
+      let ids =
+        List.init 8 (fun i ->
+            let id, coalesced = submit_ok client source in
+            check Alcotest.bool
+              (Printf.sprintf "submission %d coalesces iff not first" i)
+              (i > 0) coalesced;
+            id)
+      in
+      Server.unpause srv;
+      let results = List.map (fun id -> result_done client id) ids in
+      (match results with
+      | [] -> Alcotest.fail "no results"
+      | (_, digest0, manifest0) :: rest ->
+        List.iteri
+          (fun i (_, digest, manifest) ->
+            check Alcotest.string (Printf.sprintf "digest %d identical" (i + 1))
+              digest0 digest;
+            check Alcotest.string (Printf.sprintf "manifest %d identical" (i + 1))
+              manifest0 manifest)
+          rest);
+      (* 8 requests, 1 job, 1 distinct kernel: exactly one real HLS run. *)
+      check Alcotest.int "exactly one HLS engine run" 1
+        (Engine.invocation_count () - engine0);
+      let s = Client.stats client in
+      check Alcotest.int "submitted" 8 s.Protocol.submitted;
+      check Alcotest.int "coalesced" 7 s.Protocol.coalesced;
+      check Alcotest.int "completed" 8 s.Protocol.completed;
+      check Alcotest.int "engine runs in stats" 1 s.Protocol.engine_runs;
+      check Alcotest.int "latency observed per request" 8 s.Protocol.lat_count;
+      check Alcotest.bool "p50 <= p95 <= p99" true
+        (s.Protocol.lat_p50_ms <= s.Protocol.lat_p95_ms
+        && s.Protocol.lat_p95_ms <= s.Protocol.lat_p99_ms
+        && s.Protocol.lat_p50_ms > 0.0))
+
+let test_serve_mixed_batch_dedup () =
+  with_server ~workers:2 (fun srv client ->
+      Server.pause srv;
+      (* 4 distinct archs, then every one again: only true duplicates
+         coalesce. *)
+      let sources = List.map arch_source Graphs.all_archs in
+      let fresh = List.map (fun s -> submit_ok client s) sources in
+      let dups = List.map (fun s -> submit_ok client s) sources in
+      List.iter
+        (fun (_, coalesced) -> check Alcotest.bool "fresh arch enqueued" false coalesced)
+        fresh;
+      List.iter
+        (fun (_, coalesced) -> check Alcotest.bool "repeat arch coalesced" true coalesced)
+        dups;
+      Server.unpause srv;
+      List.iter2
+        (fun (id_f, _) (id_d, _) ->
+          let _, digest_f, manifest_f = result_done client id_f in
+          let _, digest_d, manifest_d = result_done client id_d in
+          check Alcotest.string "dup digest identical" digest_f digest_d;
+          check Alcotest.string "dup manifest identical" manifest_f manifest_d)
+        fresh dups;
+      let s = Client.stats client in
+      check Alcotest.int "4 of 8 coalesced" 4 s.Protocol.coalesced;
+      check Alcotest.int "all 8 completed" 8 s.Protocol.completed)
+
+let test_serve_queue_overflow () =
+  with_server ~workers:1 ~queue_cap:2 (fun srv client ->
+      Server.pause srv;
+      ignore (submit_ok client (arch_source Graphs.Arch1));
+      ignore (submit_ok client (arch_source Graphs.Arch2));
+      (* Third distinct design: structured rejection, not a hang. *)
+      (match Client.submit client (arch_source Graphs.Arch3) with
+      | Protocol.Rejected { reason = Protocol.Queue_full; detail; _ } ->
+        check Alcotest.bool "detail names the cap" true
+          (String.length detail > 0)
+      | r ->
+        Alcotest.failf "expected Queue_full, got %s"
+          Protocol.(to_string (encode_response r)));
+      (* A duplicate of a queued design still coalesces past the cap. *)
+      let _, coalesced = submit_ok client (arch_source Graphs.Arch1) in
+      check Alcotest.bool "coalescing bypasses the cap" true coalesced;
+      Server.unpause srv;
+      let s = Client.stats client in
+      check Alcotest.int "rejection counted" 1 s.Protocol.rejected_queue)
+
+let test_serve_deadline_expiry () =
+  with_server ~workers:1 (fun srv client ->
+      Server.pause srv;
+      let engine0 = Engine.invocation_count () in
+      let id, _ = submit_ok client ~deadline_ms:1 (arch_source Graphs.Arch1) in
+      Unix.sleepf 0.05;
+      Server.unpause srv;
+      (match Client.result client id with
+      | Protocol.Result_r { state = Protocol.Expired; _ } -> ()
+      | r ->
+        Alcotest.failf "expected Expired, got %s"
+          Protocol.(to_string (encode_response r)));
+      check Alcotest.int "no engine work for an expired request" 0
+        (Engine.invocation_count () - engine0);
+      check Alcotest.int "expired counted" 1 (Client.stats client).Protocol.expired)
+
+let test_serve_check_gate () =
+  with_server (fun _srv client ->
+      (match Client.submit client "this is not a design" with
+      | Protocol.Rejected { reason = Protocol.Parse_failed; diags; _ } ->
+        check Alcotest.bool "SOC000 diag travels" true
+          (List.exists (fun (d : Diag.t) -> d.Diag.code = "SOC000") diags)
+      | r ->
+        Alcotest.failf "expected Parse_failed, got %s"
+          Protocol.(to_string (encode_response r)));
+      (* Parses, but the analyzer finds a structural error (duplicate
+         node name, SOC001): rejected with the diagnostics attached. *)
+      let bad =
+        "object bad extends App {\n  tg nodes;\n    tg node \"A\" is \"p\" end;\n\
+        \    tg node \"A\" is \"q\" end;\n  tg end_nodes;\n  tg edges;\n\
+        \    tg link 'soc to (\"A\", \"p\") end;\n  tg end_edges;\n}"
+      in
+      (match Client.submit client bad with
+      | Protocol.Rejected { reason = Protocol.Check_failed; diags; _ } ->
+        check Alcotest.bool "SOC001 diag travels" true
+          (List.exists (fun (d : Diag.t) -> d.Diag.code = "SOC001") diags)
+      | r ->
+        Alcotest.failf "expected Check_failed, got %s"
+          Protocol.(to_string (encode_response r)));
+      let s = Client.stats client in
+      check Alcotest.int "check rejections counted" 2 s.Protocol.rejected_check;
+      check Alcotest.int "nothing admitted" 0 s.Protocol.submitted)
+
+let test_serve_status_and_errors () =
+  with_server (fun srv client ->
+      (match Client.status client 424242 with
+      | Protocol.Error_r _ -> ()
+      | r ->
+        Alcotest.failf "expected Error_r, got %s"
+          Protocol.(to_string (encode_response r)));
+      Server.pause srv;
+      let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+      (match Client.status client id with
+      | Protocol.Status_r { state = Protocol.Queued 0; _ } -> ()
+      | r ->
+        Alcotest.failf "expected Queued 0, got %s"
+          Protocol.(to_string (encode_response r)));
+      Server.unpause srv;
+      ignore (result_done client id);
+      match Client.status client id with
+      | Protocol.Status_r { state = Protocol.Done; _ } -> ()
+      | r ->
+        Alcotest.failf "expected Done, got %s" Protocol.(to_string (encode_response r)))
+
+let test_serve_drain () =
+  with_server (fun srv client ->
+      let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+      ignore (result_done client id);
+      let completed, failed = Client.drain client in
+      check Alcotest.int "drained completed" 1 completed;
+      check Alcotest.int "drained failed" 0 failed;
+      (* Post-drain submissions are refused, not queued. *)
+      (match Client.submit client (arch_source Graphs.Arch2) with
+      | Protocol.Rejected { reason = Protocol.Draining; _ } -> ()
+      | r ->
+        Alcotest.failf "expected Draining, got %s"
+          Protocol.(to_string (encode_response r)));
+      check Alcotest.bool "server observed the drain" true
+        (Server.wait srv = `Drained (1, 0)))
+
+let test_serve_kill_and_restart () =
+  let dir = fresh_dir "socserve" in
+  (* Phase 1: armed crash point fires inside the build, after HLS
+     committed (synth is downstream of every hls job). *)
+  let engine0 = Engine.invocation_count () in
+  with_server ~workers:1 ~cache_dir:dir ~kill:(Fault.Kill_at ("synth", 0))
+    (fun srv client ->
+      let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+      (match Client.result client id with
+      | Protocol.Result_r { state = Protocol.Failed reason; _ } ->
+        check Alcotest.bool "failure names the kill" true
+          (String.length reason > 0)
+      | r ->
+        Alcotest.failf "expected Failed, got %s"
+          Protocol.(to_string (encode_response r)));
+      check Alcotest.bool "server reports the crash point" true
+        (Server.wait srv = `Killed ("synth", 0));
+      (* A dead server admits nothing. *)
+      match Client.submit client (arch_source Graphs.Arch1) with
+      | Protocol.Rejected { reason = Protocol.Server_killed; _ } -> ()
+      | r ->
+        Alcotest.failf "expected Server_killed, got %s"
+          Protocol.(to_string (encode_response r)));
+  let hls_runs_before_kill = Engine.invocation_count () - engine0 in
+  check Alcotest.int "HLS committed before the crash" 1 hls_runs_before_kill;
+  (* Phase 2: a fresh daemon on the same cache dir — startup fsck, journal
+     resume, disk-cache reuse. The rebuilt design is byte-identical to an
+     uninterrupted build and repeats zero HLS work. *)
+  let reference = Farm.build_batch ~jobs:1 [ parsed_entry Graphs.Arch1 ] in
+  let reference_digest =
+    match reference.Farm.builds with
+    | [ (_, b) ] -> Farm.build_digest b
+    | _ -> Alcotest.fail "reference build failed"
+  in
+  let engine1 = Engine.invocation_count () in
+  with_server ~workers:1 ~cache_dir:dir (fun _srv client ->
+      let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+      let _, digest, manifest = result_done client id in
+      check Alcotest.string "recovered digest identical to uninterrupted build"
+        reference_digest digest;
+      check Alcotest.string "recovered manifest identical"
+        (Farm.manifest_json reference) manifest;
+      let s = Client.stats client in
+      check Alcotest.int "zero repeated HLS after restart" 0 s.Protocol.engine_runs;
+      check Alcotest.bool "artifact came from the disk cache" true
+        (s.Protocol.cache_disk_hits >= 1));
+  check Alcotest.int "no engine work in the restarted server" 0
+    (Engine.invocation_count () - engine1)
+
+let test_serve_warm_cache_hit_rate () =
+  with_server ~workers:1 (fun _srv client ->
+      let id1, _ = submit_ok client (arch_source Graphs.Arch1) in
+      ignore (result_done client id1);
+      (* Same design again after the first finished: no coalescing (the
+         job is gone), but the shared cache absorbs the HLS work. *)
+      let engine0 = Engine.invocation_count () in
+      let id2, coalesced = submit_ok client (arch_source Graphs.Arch1) in
+      check Alcotest.bool "sequential repeat is not coalesced" false coalesced;
+      let _, d1, _ = result_done client id1 in
+      let _, d2, _ = result_done client id2 in
+      check Alcotest.string "warm rebuild bit-identical" d1 d2;
+      check Alcotest.int "warm rebuild runs no engine" 0
+        (Engine.invocation_count () - engine0);
+      let s = Client.stats client in
+      check Alcotest.bool "hit rate reflects the warm build" true
+        (s.Protocol.hit_rate > 0.0 && s.Protocol.cache_hits >= 1))
+
+let suite =
+  [
+    ("protocol json roundtrip", `Quick, test_json_roundtrip);
+    ("protocol json escapes", `Quick, test_json_escapes);
+    ("protocol json parse errors", `Quick, test_json_parse_errors);
+    ("protocol framing roundtrip", `Quick, test_framing_roundtrip);
+    ("protocol framing torn payload", `Quick, test_framing_torn_payload);
+    ("protocol framing oversize", `Quick, test_framing_oversize);
+    ("protocol request roundtrip", `Quick, test_request_roundtrip);
+    ("protocol response roundtrip", `Quick, test_response_roundtrip);
+    ("protocol diag json roundtrip", `Quick, test_diag_json_roundtrip);
+    ("scheduler priority + FIFO", `Quick, test_sched_priority_fifo);
+    ("scheduler coalescing", `Quick, test_sched_coalescing);
+    ("scheduler backpressure", `Quick, test_sched_backpressure);
+    ("scheduler deadline expiry", `Quick, test_sched_deadline_expiry);
+    ("scheduler abort_all", `Quick, test_sched_abort_all);
+    ("scheduler drain", `Quick, test_sched_drain);
+    ("scheduler status positions", `Quick, test_sched_status_positions);
+    ("serve: single build over TCP", `Quick, test_serve_single_build);
+    ("serve: 8 identical submissions, 1 HLS run", `Quick, test_serve_coalescing_concurrent);
+    ("serve: mixed batch dedups only duplicates", `Quick, test_serve_mixed_batch_dedup);
+    ("serve: queue overflow is a structured rejection", `Quick, test_serve_queue_overflow);
+    ("serve: past-deadline request expires without work", `Quick, test_serve_deadline_expiry);
+    ("serve: parse/check gate rejects with diagnostics", `Quick, test_serve_check_gate);
+    ("serve: status transitions and unknown ids", `Quick, test_serve_status_and_errors);
+    ("serve: drain stops admission and reports", `Quick, test_serve_drain);
+    ("serve: kill + restart recovers byte-identically", `Quick, test_serve_kill_and_restart);
+    ("serve: warm cache absorbs repeat builds", `Quick, test_serve_warm_cache_hit_rate);
+    qtest prop_json_roundtrip;
+  ]

@@ -211,6 +211,63 @@ let test_counters () =
   check Alcotest.string "rendering" "detected=3 injected=2"
     (Format.asprintf "%a" Metrics.Counters.pp c)
 
+(* With base 1 and ratio 2 over 4 buckets, upper bounds are 1, 2, 4, 8
+   and anything past 8 lands in the overflow bucket (reported as 8). *)
+let small_hist () = Metrics.Histogram.create ~base:1.0 ~ratio:2.0 ~buckets:4 ()
+
+let test_histogram_quantiles () =
+  let hst = small_hist () in
+  List.iter (Metrics.Histogram.observe hst) [ 0.5; 1.5; 3.0; 6.0 ];
+  check Alcotest.int "count" 4 (Metrics.Histogram.count hst);
+  check (Alcotest.float 1e-9) "sum" 11.0 (Metrics.Histogram.sum hst);
+  check (Alcotest.float 1e-9) "mean" 2.75 (Metrics.Histogram.mean hst);
+  check (Alcotest.float 1e-9) "q0.25 = first bucket bound" 1.0
+    (Metrics.Histogram.quantile hst 0.25);
+  check (Alcotest.float 1e-9) "p50" 2.0 (Metrics.Histogram.p50 hst);
+  check (Alcotest.float 1e-9) "p95" 8.0 (Metrics.Histogram.p95 hst);
+  check (Alcotest.float 1e-9) "p99" 8.0 (Metrics.Histogram.p99 hst)
+
+let test_histogram_empty_and_overflow () =
+  let hst = small_hist () in
+  check (Alcotest.float 1e-9) "empty p50 is 0" 0.0 (Metrics.Histogram.p50 hst);
+  check Alcotest.int "empty count" 0 (Metrics.Histogram.count hst);
+  Metrics.Histogram.observe hst 1000.0;
+  (* The overflow bucket reports the last finite bound, never infinity. *)
+  check (Alcotest.float 1e-9) "overflow quantile" 8.0 (Metrics.Histogram.quantile hst 1.0)
+
+let test_histogram_to_list_deterministic () =
+  let hst = small_hist () in
+  List.iter (Metrics.Histogram.observe hst) [ 6.0; 0.5; 3.0; 1.5; 100.0 ];
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
+    "non-empty buckets ascending"
+    [ (1.0, 1); (2.0, 1); (4.0, 1); (8.0, 1); (8.0, 1) ]
+    (Metrics.Histogram.to_list hst);
+  check Alcotest.string "pp renders the quantiles" "n=5 mean=22.2 p50=4 p95=8 p99=8"
+    (Format.asprintf "%a" Metrics.Histogram.pp hst);
+  check Alcotest.bool "json carries count and buckets" true
+    (let j = Metrics.Histogram.to_json hst in
+     Tstr.contains j "\"count\":5" && Tstr.contains j "\"le\":1")
+
+let test_histogram_validation () =
+  List.iter
+    (fun f ->
+      check Alcotest.bool "invalid config rejected" true
+        (match f () with exception Invalid_argument _ -> true | _ -> false))
+    [ (fun () -> Metrics.Histogram.create ~base:0.0 ());
+      (fun () -> Metrics.Histogram.create ~ratio:1.0 ());
+      (fun () -> Metrics.Histogram.create ~buckets:0 ()) ]
+
+let prop_histogram_quantiles_monotone =
+  QCheck.Test.make ~name:"histogram quantiles are monotone in q" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (QCheck.float_range 0.0 1e6))
+    (fun xs ->
+      let hst = Metrics.Histogram.create () in
+      List.iter (Metrics.Histogram.observe hst) xs;
+      Metrics.Histogram.count hst = List.length xs
+      && Metrics.Histogram.p50 hst <= Metrics.Histogram.p95 hst
+      && Metrics.Histogram.p95 hst <= Metrics.Histogram.p99 hst)
+
 let suite =
   [
     ("mask widths", `Quick, test_mask);
@@ -226,6 +283,10 @@ let suite =
     ("metrics trailing newline", `Quick, test_metrics_no_trailing_newline);
     ("metrics ratio", `Quick, test_ratio);
     ("metrics counters", `Quick, test_counters);
+    ("histogram quantiles", `Quick, test_histogram_quantiles);
+    ("histogram empty and overflow", `Quick, test_histogram_empty_and_overflow);
+    ("histogram deterministic listing", `Quick, test_histogram_to_list_deterministic);
+    ("histogram validation", `Quick, test_histogram_validation);
     ("rng deterministic", `Quick, test_rng_deterministic);
     ("rng bounds", `Quick, test_rng_bounds);
     ("rng copy", `Quick, test_rng_copy_independent);
@@ -239,4 +300,5 @@ let suite =
     qtest prop_add_matches_int64;
     qtest prop_mul_matches_int64;
     qtest prop_signed_involution;
+    qtest prop_histogram_quantiles_monotone;
   ]

@@ -1034,6 +1034,179 @@ let serve_bench () =
   print_endline "wrote BENCH_serve.json"
 
 (* ------------------------------------------------------------------ *)
+(* Cosim backends: interpreter vs compiled tape                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Settle+tick throughput of the two netlist simulation backends on the
+   synthesized hardware kernels of each shipped design, plus a lockstep
+   differential check (the interpreter is the oracle). Writes
+   BENCH_cosim.json. *)
+let cosim_bench () =
+  hr "Cosim backends -- interpreter vs compiled instruction tape";
+  let module Fsmd = Soc_hls.Fsmd in
+  let module Sim = Soc_rtl.Sim in
+  let module Csim = Soc_rtl_compile.Csim in
+  let designs =
+    [ ("otsu_arch1", Graphs.arch_kernels Graphs.Arch1 ~width:case_w ~height:case_h);
+      ("otsu_arch2", Graphs.arch_kernels Graphs.Arch2 ~width:case_w ~height:case_h);
+      ("otsu_arch3", Graphs.arch_kernels Graphs.Arch3 ~width:case_w ~height:case_h);
+      ("otsu_arch4", Graphs.arch_kernels Graphs.Arch4 ~width:case_w ~height:case_h);
+      ("fig4", Graphs.fig4_kernels ~width:24 ~height:24) ]
+  in
+  let cycles = 20_000 in
+  let oracle_cycles = 2_000 in
+  (* One fixed stimulus per netlist so both backends see identical input:
+     start asserted, every input stream always valid with seeded data,
+     every output stream always ready. *)
+  let drive (fsmd : Fsmd.t) ~set ~cyc ~data =
+    set fsmd.Fsmd.ap_start 1;
+    List.iter
+      (fun (_, (s : Fsmd.stream_in_sigs)) ->
+        set s.Fsmd.in_tvalid 1;
+        set s.Fsmd.in_tdata data.(cyc))
+      fsmd.Fsmd.stream_in;
+    List.iter
+      (fun (_, (s : Fsmd.stream_out_sigs)) -> set s.Fsmd.out_tready 1)
+      fsmd.Fsmd.stream_out
+  in
+  (* For the timed loop the constant control signals (start, valid, ready)
+     are asserted once up front — as a real testbench would — so the
+     per-cycle work is one data set_input plus settle+tick, the quantity
+     under measurement. Both backends get the identical loop. *)
+  let assert_controls (fsmd : Fsmd.t) ~set =
+    set fsmd.Fsmd.ap_start 1;
+    List.iter
+      (fun (_, (s : Fsmd.stream_in_sigs)) -> set s.Fsmd.in_tvalid 1)
+      fsmd.Fsmd.stream_in;
+    List.iter
+      (fun (_, (s : Fsmd.stream_out_sigs)) -> set s.Fsmd.out_tready 1)
+      fsmd.Fsmd.stream_out
+  in
+  let data_sigs (fsmd : Fsmd.t) =
+    Array.of_list
+      (List.map (fun (_, (s : Fsmd.stream_in_sigs)) -> s.Fsmd.in_tdata) fsmd.Fsmd.stream_in)
+  in
+  let rows =
+    List.map
+      (fun (name, kernels) ->
+        let fsmds =
+          List.map
+            (fun (_, k) -> (Soc_hls.Engine.synthesize k).Soc_hls.Engine.fsmd)
+            kernels
+        in
+        let rng = Soc_util.Rng.create 17 in
+        let data = Array.init cycles (fun _ -> Soc_util.Rng.int rng 0x1000000) in
+        let time_backend create set settle tick =
+          let sims = List.map (fun (f : Fsmd.t) -> (f, create f.Fsmd.netlist)) fsmds in
+          let t0 = Sys.time () in
+          List.iter
+            (fun ((f : Fsmd.t), sim) ->
+              let set_sim = set sim in
+              assert_controls f ~set:set_sim;
+              let dsigs = data_sigs f in
+              let nd = Array.length dsigs in
+              for cyc = 0 to cycles - 1 do
+                let d = data.(cyc) in
+                for k = 0 to nd - 1 do
+                  set_sim dsigs.(k) d
+                done;
+                settle sim;
+                tick sim
+              done)
+            sims;
+          let dt = Sys.time () -. t0 in
+          float_of_int (cycles * List.length sims) /. dt
+        in
+        let interp_cps = time_backend Sim.create Sim.set_input Sim.settle Sim.tick in
+        let compiled_cps =
+          time_backend (fun net -> Csim.create net) Csim.set_input Csim.settle Csim.tick
+        in
+        (* Differential oracle: lockstep run comparing every output, every
+           register and every memory read port, cycle by cycle. *)
+        let oracle_ok =
+          List.for_all
+            (fun (f : Fsmd.t) ->
+              let net = f.Fsmd.netlist in
+              let sim = Sim.create net and c = Csim.create net in
+              let observed =
+                net.Soc_rtl.Netlist.outputs
+                @ List.map (fun (r : Soc_rtl.Netlist.reg) -> r.Soc_rtl.Netlist.q)
+                    net.Soc_rtl.Netlist.regs
+                @ List.map (fun (m : Soc_rtl.Netlist.mem) -> m.Soc_rtl.Netlist.rdata)
+                    net.Soc_rtl.Netlist.mems
+              in
+              let ok = ref true in
+              for cyc = 0 to oracle_cycles - 1 do
+                drive f ~set:(Sim.set_input sim) ~cyc ~data;
+                drive f ~set:(Csim.set_input c) ~cyc ~data;
+                Sim.settle sim;
+                Csim.settle c;
+                List.iter
+                  (fun s -> if Sim.value sim s <> Csim.value c s then ok := false)
+                  observed;
+                Sim.tick sim;
+                Csim.tick c
+              done;
+              !ok)
+            fsmds
+        in
+        let lowered, final =
+          List.fold_left
+            (fun (l, fi) (f : Fsmd.t) ->
+              let st = Csim.stats (Csim.create f.Fsmd.netlist) in
+              (l + st.Soc_rtl_compile.Tape.lowered, fi + st.Soc_rtl_compile.Tape.final))
+            (0, 0) fsmds
+        in
+        (name, List.length fsmds, interp_cps, compiled_cps, oracle_ok, lowered, final))
+      designs
+  in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "settle+tick throughput, %d cycles/netlist" cycles)
+      [ "design"; "netlists"; "interp cyc/s"; "compiled cyc/s"; "speedup"; "oracle";
+        "tape instrs (lowered->final)" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Center; Table.Right ]
+  in
+  List.iter
+    (fun (name, n, icps, ccps, ok, lowered, final) ->
+      Table.add_row t
+        [ name; string_of_int n; Printf.sprintf "%.0f" icps; Printf.sprintf "%.0f" ccps;
+          Printf.sprintf "%.1fx" (ccps /. icps);
+          (if ok then "green" else "DIVERGED");
+          Printf.sprintf "%d -> %d" lowered final ])
+    rows;
+  Table.print t;
+  let min_speedup =
+    List.fold_left
+      (fun acc (_, _, icps, ccps, _, _, _) -> min acc (ccps /. icps))
+      infinity rows
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"cosim\",\n  \"cycles_per_netlist\": %d,\n  \
+       \"designs\": [\n%s\n  ],\n  \"min_speedup\": %.2f\n}\n"
+      cycles
+      (String.concat ",\n"
+         (List.map
+            (fun (name, n, icps, ccps, ok, lowered, final) ->
+              Printf.sprintf
+                "    {\"design\": %S, \"netlists\": %d, \"interp_cycles_per_s\": \
+                 %.0f, \"compiled_cycles_per_s\": %.0f, \"speedup\": %.2f, \
+                 \"oracle\": %S, \"tape_instrs_lowered\": %d, \
+                 \"tape_instrs_final\": %d}"
+                name n icps ccps (ccps /. icps)
+                (if ok then "green" else "diverged")
+                lowered final)
+            rows))
+      min_speedup
+  in
+  Soc_util.Atomic_io.write_file "BENCH_cosim.json" json;
+  print_string json;
+  print_endline "wrote BENCH_cosim.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1127,6 +1300,7 @@ let experiments =
     ("hls_report", hls_report);
     ("farm", farm_bench);
     ("serve", serve_bench);
+    ("cosim", cosim_bench);
   ]
 
 let () =

@@ -302,6 +302,19 @@ let cache_max_mb_arg =
        ~doc:"Cap the disk cache at $(docv) megabytes; least-recently-used \
              entries are evicted (journal-live entries never are).")
 
+let sim_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("compiled", Soc_rtl_compile.Engine.Compiled);
+                ("interp", Soc_rtl_compile.Engine.Interp) ])
+           Soc_rtl_compile.Engine.Compiled
+       & info [ "sim" ] ~docv:"BACKEND"
+           ~doc:"Netlist co-simulation backend: $(b,compiled) (lowered, \
+                 optimized instruction tape; the default) or $(b,interp) \
+                 (the reference interpreter, kept as the differential \
+                 oracle). Both produce bit-identical results.")
+
 let require_cache_dir ~resume cache_dir =
   if resume && cache_dir = None then begin
     prerr_endline "socdsl: --resume requires --cache-dir (the journal lives there)";
@@ -343,8 +356,9 @@ let print_cache_diags cache =
 (* ---------------- build ---------------- *)
 
 let build_cmd =
-  let run file seed cache_dir max_mb resume kill =
+  let run file seed cache_dir max_mb resume kill sim =
     require_cache_dir ~resume cache_dir;
+    Soc_rtl_compile.Engine.set_default_backend sim;
     let spec = or_die (load file) in
     Printf.printf "effective seed: %d\n" seed;
     let missing =
@@ -368,6 +382,7 @@ let build_cmd =
       | None -> None
       | Some _ -> Some (Soc_farm.Cache.create ?disk_dir:cache_dir ?max_mb ())
     in
+    Option.iter Soc_farm.Cache.enable_tape_cache cache;
     let journal = open_journal ~resume cache_dir in
     report_replay journal;
     let jappend e = Option.iter (fun j -> Journal.append j e) journal in
@@ -443,13 +458,14 @@ let build_cmd =
           With --cache-dir the run is crash-safe: progress is journaled, artifacts \
           are committed atomically, and --resume continues an interrupted run.")
     Term.(const run $ file_arg $ seed_arg $ cache_dir_arg $ cache_max_mb_arg
-          $ resume_arg $ kill_arg)
+          $ resume_arg $ kill_arg $ sim_arg)
 
 (* ---------------- farm ---------------- *)
 
 let farm_cmd =
-  let run files jobs cache_dir max_mb resume kill manifest trace_out retries timeout seed =
+  let run files jobs cache_dir max_mb resume kill manifest trace_out retries timeout seed sim =
     require_cache_dir ~resume cache_dir;
+    Soc_rtl_compile.Engine.set_default_backend sim;
     Printf.printf "effective seed: %d\n" seed;
     let entries =
       List.map
@@ -467,6 +483,7 @@ let farm_cmd =
         files
     in
     let cache = Soc_farm.Cache.create ?disk_dir:cache_dir ?max_mb () in
+    Soc_farm.Cache.enable_tape_cache cache;
     let journal = open_journal ~resume cache_dir in
     report_replay journal;
     match Soc_farm.Farm.build_batch ?jobs ~cache ?retries ?timeout ?journal ?kill entries with
@@ -528,7 +545,7 @@ let farm_cmd =
           atomic checksummed artifacts, --resume after any interruption.")
     Term.(const run $ files_arg $ jobs_arg $ cache_dir_arg $ cache_max_mb_arg
           $ resume_arg $ kill_arg $ manifest_arg $ trace_arg $ retries_arg
-          $ timeout_arg $ seed_arg)
+          $ timeout_arg $ seed_arg $ sim_arg)
 
 (* ---------------- doctor ---------------- *)
 
@@ -610,8 +627,9 @@ let port_arg ~default =
        ~doc:"TCP port. For serve, 0 picks an ephemeral port (printed at startup).")
 
 let serve_cmd =
-  let run host port workers queue_cap deadline_ms cache_dir max_mb kill =
+  let run host port workers queue_cap deadline_ms cache_dir max_mb kill sim =
     require_cache_dir ~resume:false cache_dir;
+    Soc_rtl_compile.Engine.set_default_backend sim;
     let cfg =
       { Soc_serve.Server.default_config with
         host; port; workers; queue_cap; default_deadline_ms = deadline_ms;
@@ -671,7 +689,7 @@ let serve_cmd =
           the armed crash point fires inside one build (exit 137) and a restart \
           on the same --cache-dir recovers.")
     Term.(const run $ host_arg $ port_arg ~default:0 $ workers_arg $ queue_cap_arg
-          $ deadline_arg $ cache_dir_arg $ cache_max_mb_arg $ kill_arg)
+          $ deadline_arg $ cache_dir_arg $ cache_max_mb_arg $ kill_arg $ sim_arg)
 
 let client_cmd =
   let with_client host port f =
@@ -828,7 +846,8 @@ let client_cmd =
 (* ---------------- chaos ---------------- *)
 
 let chaos_cmd =
-  let run seed faults width height no_fallback permanent bit_flips arch =
+  let run seed faults width height no_fallback permanent bit_flips arch sim =
+    Soc_rtl_compile.Engine.set_default_backend sim;
     let archs =
       match arch with
       | None -> Soc_apps.Graphs.all_archs
@@ -931,7 +950,7 @@ let chaos_cmd =
           runtime (watchdog, soft reset + retry, software fallback), and verify \
           the output stays bit-identical to the golden model.")
     Term.(const run $ seed_arg $ faults_arg $ width_arg $ height_arg $ no_fallback_arg
-          $ permanent_arg $ bit_flips_arg $ arch_arg)
+          $ permanent_arg $ bit_flips_arg $ arch_arg $ sim_arg)
 
 (* ---------------- demo ---------------- *)
 

@@ -10,9 +10,12 @@ type stats = {
   evictions : int;
 }
 
+type tape_stats = { tape_hits : int; tape_disk_hits : int; tape_stores : int }
+
 type t = {
   lock : Mutex.t;
   mem : (string, Soc_hls.Engine.accel) Hashtbl.t;
+  tape_mem : (string, Soc_rtl_compile.Tape.t) Hashtbl.t;
   disk_dir : string option;
   max_bytes : int option;
   fsync : bool;
@@ -24,6 +27,9 @@ type t = {
   mutable stale : int;
   mutable quarantined : int;
   mutable evictions : int;
+  mutable tape_hits : int;
+  mutable tape_disk_hits : int;
+  mutable tape_stores : int;
   mutable stale_noted : bool;
   mutable diag_log : Diag.t list; (* reverse chronological *)
 }
@@ -32,6 +38,7 @@ let create ?disk_dir ?max_mb ?(fsync = false) () =
   {
     lock = Mutex.create ();
     mem = Hashtbl.create 32;
+    tape_mem = Hashtbl.create 32;
     disk_dir;
     max_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_mb;
     fsync;
@@ -43,6 +50,9 @@ let create ?disk_dir ?max_mb ?(fsync = false) () =
     stale = 0;
     quarantined = 0;
     evictions = 0;
+    tape_hits = 0;
+    tape_disk_hits = 0;
+    tape_stores = 0;
     stale_noted = false;
     diag_log = [];
   }
@@ -256,6 +266,108 @@ let disk_write t key accel =
     with _ -> () (* the disk layer is best-effort *))
 
 (* ------------------------------------------------------------------ *)
+(* Compiled-tape layer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiled simulator tapes are artifacts too: keyed by the netlist's
+   content hash ({!Soc_rtl_compile.Tape.netlist_key}), serialized through
+   the same verified header (digest-checked, quarantined on corruption,
+   version-gated) so a warm farm or serve round instantiates simulators
+   without lowering a single netlist. The payload is the tape's own
+   versioned text format — never Marshal. *)
+
+let tape_ext = ".tape"
+
+let tape_path dir key = Filename.concat dir (key ^ tape_ext)
+
+let is_tape name = Filename.check_suffix name tape_ext
+
+(* Lock held. Decode + parse a tape entry defensively, quarantining
+   anything the digest or the parser rejects. *)
+let tape_disk_read t key =
+  match t.disk_dir with
+  | None -> None
+  | Some dir -> (
+    let path = tape_path dir key in
+    if not (Sys.file_exists path) then None
+    else
+      let raw = try Some (In_channel.with_open_bin path In_channel.input_all) with _ -> None in
+      match Option.map decode_entry raw with
+      | None -> None
+      | Some (Good payload) -> (
+        match Soc_rtl_compile.Tape.deserialize payload with
+        | tape ->
+          (try Unix.utimes path 0.0 0.0 with _ -> ());
+          Some tape
+        | exception _ ->
+          (try ignore (quarantine_file ~dir path) with _ -> (try Sys.remove path with _ -> ()));
+          t.quarantined <- t.quarantined + 1;
+          log_diag t
+            (Diag.warning ~code:"IO400" ~subject:(Filename.basename path)
+               "corrupt compiled-tape artifact (does not parse); quarantined; will re-lower");
+          None)
+      | Some (Stale_version _) ->
+        t.stale <- t.stale + 1;
+        None
+      | Some (Corrupt reason) ->
+        let code =
+          if String.length reason >= 9 && String.sub reason 0 9 = "truncated" then "IO401"
+          else "IO400"
+        in
+        (try ignore (quarantine_file ~dir path) with _ -> (try Sys.remove path with _ -> ()));
+        t.quarantined <- t.quarantined + 1;
+        log_diag t
+          (Diag.warning ~code ~subject:(Filename.basename path)
+             (Printf.sprintf "corrupt compiled-tape artifact (%s); quarantined; will re-lower"
+                reason));
+        None)
+
+let find_tape t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tape_mem key with
+      | Some tape ->
+        t.tape_hits <- t.tape_hits + 1;
+        Some tape
+      | None -> (
+        match tape_disk_read t key with
+        | Some tape ->
+          t.tape_disk_hits <- t.tape_disk_hits + 1;
+          Hashtbl.replace t.tape_mem key tape;
+          Some tape
+        | None -> None))
+
+let store_tape t ~key tape =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.tape_mem key) then begin
+        Hashtbl.replace t.tape_mem key tape;
+        t.tape_stores <- t.tape_stores + 1;
+        match t.disk_dir with
+        | None -> ()
+        | Some dir -> (
+          try
+            ensure_dir dir;
+            let payload = Soc_rtl_compile.Tape.serialize tape in
+            Soc_util.Atomic_io.write_file ~fsync:t.fsync (tape_path dir key)
+              (encode_entry payload)
+          with _ -> ())
+      end)
+
+let tape_stats t =
+  locked t (fun () ->
+      { tape_hits = t.tape_hits; tape_disk_hits = t.tape_disk_hits; tape_stores = t.tape_stores })
+
+(* Route the compiled simulator backend's lookups through this cache:
+   every netlist compiled from now on lands here, and warm rounds skip
+   lowering entirely. *)
+let enable_tape_cache t =
+  Soc_rtl_compile.Engine.install_tape_cache
+    (Some
+       {
+         Soc_rtl_compile.Engine.tc_find = (fun ~key -> find_tape t ~key);
+         tc_store = (fun ~key tape -> store_tape t ~key tape);
+       })
+
+(* ------------------------------------------------------------------ *)
 (* Lookup / memoized synthesis                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -284,10 +396,20 @@ let store t key accel =
         disk_write t key accel
       end)
 
+(* When a tape cache is routed through us (see [enable_tape_cache]), pay
+   the netlist-lowering cost at synthesis time: by the time anything
+   instantiates this accelerator — this process or a later warm round —
+   the compiled tape is already an artifact and lowering is skipped. *)
+let precompile_tape (a : Soc_hls.Engine.accel) =
+  try Soc_rtl_compile.Engine.precompile a.Soc_hls.Engine.fsmd.Soc_hls.Fsmd.netlist
+  with _ -> ()
+
 let synthesize t ~config kernel =
   let key = Chash.kernel ~config kernel in
   match locked t (fun () -> find_locked t key) with
-  | Some a -> (`Hit, a)
+  | Some a ->
+    precompile_tape a;
+    (`Hit, a)
   | None ->
     (* Synthesize outside the lock: concurrent HLS of *different* kernels
        must proceed in parallel. Two racing misses on the same key both
@@ -296,6 +418,7 @@ let synthesize t ~config kernel =
     let accel = Soc_hls.Engine.synthesize ~config kernel in
     locked t (fun () -> t.misses <- t.misses + 1);
     store t key accel;
+    precompile_tape accel;
     (`Miss, accel)
 
 let hls_engine t : Soc_core.Flow.hls_engine =
@@ -315,6 +438,14 @@ let render_stats t =
     (if s.stale > 0 then Printf.sprintf ", %d stale" s.stale else "")
     (if s.quarantined > 0 then Printf.sprintf ", %d quarantined" s.quarantined else "")
     (if s.evictions > 0 then Printf.sprintf ", %d evicted" s.evictions else "")
+  ^
+  let ts = tape_stats t in
+  if ts.tape_hits + ts.tape_disk_hits + ts.tape_stores = 0 then ""
+  else
+    Printf.sprintf "; tapes: %d hit%s, %d disk hit%s, %d stored"
+      ts.tape_hits (if ts.tape_hits = 1 then "" else "s")
+      ts.tape_disk_hits (if ts.tape_disk_hits = 1 then "" else "s")
+      ts.tape_stores
 
 (* ------------------------------------------------------------------ *)
 (* Offline fsck                                                        *)
@@ -343,6 +474,41 @@ let fsck ~dir =
            note
              (Diag.info ~code:"IO404" ~subject:name
                 "orphaned temp file from an interrupted commit; removed")
+         end
+         else if is_tape name then begin
+           incr checked;
+           let raw = try Some (In_channel.with_open_bin path In_channel.input_all) with _ -> None in
+           match Option.map decode_entry raw with
+           | Some (Good payload) -> (
+             match Soc_rtl_compile.Tape.deserialize payload with
+             | _ -> incr ok
+             | exception _ ->
+               quarantined := name :: !quarantined;
+               (try ignore (quarantine_file ~dir path) with _ -> (try Sys.remove path with _ -> ()));
+               note
+                 (Diag.warning ~code:"IO400" ~subject:name
+                    "compiled tape does not parse; quarantined"))
+           | Some (Stale_version v) ->
+             stale := name :: !stale;
+             (try Sys.remove path with _ -> ());
+             note
+               (Diag.info ~code:"IO402" ~subject:name
+                  (Printf.sprintf "stale format %S (current %S); removed" v
+                     Chash.format_version))
+           | Some (Corrupt reason) ->
+             let code =
+               if String.length reason >= 9 && String.sub reason 0 9 = "truncated" then "IO401"
+               else "IO400"
+             in
+             quarantined := name :: !quarantined;
+             (try ignore (quarantine_file ~dir path) with _ -> (try Sys.remove path with _ -> ()));
+             note
+               (Diag.warning ~code ~subject:name
+                  (Printf.sprintf "corrupt compiled tape (%s); quarantined" reason))
+           | None ->
+             quarantined := name :: !quarantined;
+             (try ignore (quarantine_file ~dir path) with _ -> (try Sys.remove path with _ -> ()));
+             note (Diag.warning ~code:"IO400" ~subject:name "unreadable compiled tape; quarantined")
          end
          else if is_entry name then begin
            incr checked;

@@ -68,6 +68,30 @@ val hls_engine : t -> Soc_core.Flow.hls_engine
 (** Plug the cache into {!Soc_core.Flow.build}: hits are [`Reused] (free in
     the Fig. 9 estimate {e and} no engine work), misses [`Synthesized]. *)
 
+(** {2 Compiled simulator tapes}
+
+    Compiled netlist tapes ({!Soc_rtl_compile.Tape}) are cached artifacts
+    too: keyed by the netlist's content hash, stored as [.tape] entries
+    under the same verified header (digest-checked, quarantined when
+    corrupt, version-gated — the payload is the tape's own versioned text
+    format, never [Marshal]). *)
+
+type tape_stats = {
+  tape_hits : int;  (** in-memory tape hits *)
+  tape_disk_hits : int;  (** tape hits served from the verified disk layer *)
+  tape_stores : int;  (** tapes compiled and stored this run *)
+}
+
+val find_tape : t -> key:string -> Soc_rtl_compile.Tape.t option
+val store_tape : t -> key:string -> Soc_rtl_compile.Tape.t -> unit
+val tape_stats : t -> tape_stats
+
+val enable_tape_cache : t -> unit
+(** Route {!Soc_rtl_compile.Engine}'s compiled-backend lookups through this
+    cache. Combined with the precompile-at-synthesis hook in {!synthesize},
+    a warm round instantiates every simulator from cached tapes — zero
+    lowering (observable via {!Soc_rtl_compile.Engine.lowering_count}). *)
+
 val render_stats : t -> string
 (** One-line summary, e.g. for CLI output. *)
 

@@ -1,11 +1,12 @@
 (** Standalone accelerator testbench.
 
-    Runs a synthesized FSMD in the RTL simulator with ideal stream sources
+    Runs a synthesized FSMD in the RTL simulator (through the pluggable
+    {!Soc_rtl_compile.Engine} backend) with ideal stream sources
     (always valid while data remains, data held until the handshake) and
     sinks (always ready). Used for the differential tests interpreter-vs-RTL
     and to measure true accelerator latency in isolation. *)
 
-module Sim = Soc_rtl.Sim
+module Sim = Soc_rtl_compile.Engine
 
 type result = {
   cycles : int;

@@ -17,7 +17,7 @@
     checker. *)
 
 module Fsmd = Soc_hls.Fsmd
-module Sim = Soc_rtl.Sim
+module Sim = Soc_rtl_compile.Engine
 
 type rtl_engine = { fsmd : Fsmd.t; sim : Sim.t }
 
@@ -74,9 +74,9 @@ let make_common ~name ~engine ~regfile ~scalar_in_ports ~scalar_out_ports
     corrupt_mask = None;
   }
 
-let create ~name ~(fsmd : Fsmd.t) ~regfile =
+let create ?backend ~name ~(fsmd : Fsmd.t) ~regfile () =
   make_common ~name
-    ~engine:(Rtl { fsmd; sim = Sim.create fsmd.netlist })
+    ~engine:(Rtl { fsmd; sim = Sim.create ?backend fsmd.netlist })
     ~regfile
     ~scalar_in_ports:(List.map fst fsmd.scalar_in)
     ~scalar_out_ports:(List.map fst fsmd.scalar_out)

@@ -12,8 +12,16 @@
 
 type t
 
-val create : name:string -> fsmd:Soc_hls.Fsmd.t -> regfile:Soc_axi.Lite.regfile -> t
-(** RTL-level instance. *)
+val create :
+  ?backend:Soc_rtl_compile.Engine.backend ->
+  name:string ->
+  fsmd:Soc_hls.Fsmd.t ->
+  regfile:Soc_axi.Lite.regfile ->
+  unit ->
+  t
+(** RTL-level instance. [backend] picks the netlist simulator (compiled
+    tape executor by default; the interpreter via [Interp]) — see
+    {!Soc_rtl_compile.Engine}. *)
 
 val create_behavioral :
   ?max_ops_per_cycle:int ->

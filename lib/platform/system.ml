@@ -24,10 +24,10 @@ let create ?(config = Config.zedboard) ?(dram_words = 1 lsl 22) () =
     s2mm = [];
   }
 
-let add_accel t ~name (fsmd : Soc_hls.Fsmd.t) =
+let add_accel ?backend t ~name (fsmd : Soc_hls.Fsmd.t) =
   if List.mem_assoc name t.accels then invalid_arg ("System.add_accel: duplicate " ^ name);
   let regfile = Soc_axi.Lite.attach t.ic ~owner:name ~size:0x1_0000 in
-  let inst = Accel_inst.create ~name ~fsmd ~regfile in
+  let inst = Accel_inst.create ?backend ~name ~fsmd ~regfile () in
   t.accels <- t.accels @ [ (name, inst) ];
   inst
 

@@ -14,9 +14,16 @@ type t = {
 
 val create : ?config:Config.t -> ?dram_words:int -> unit -> t
 
-val add_accel : t -> name:string -> Soc_hls.Fsmd.t -> Accel_inst.t
+val add_accel :
+  ?backend:Soc_rtl_compile.Engine.backend ->
+  t ->
+  name:string ->
+  Soc_hls.Fsmd.t ->
+  Accel_inst.t
 (** Instantiate an accelerator and attach its register file to the bus.
-    Raises [Invalid_argument] on duplicate names. *)
+    [backend] picks the netlist simulator for the RTL instance (compiled
+    tape executor by default). Raises [Invalid_argument] on duplicate
+    names. *)
 
 val add_accel_behavioral : t -> name:string -> Soc_kernel.Ast.kernel -> Accel_inst.t
 (** Behavioural (interpreter-level) instance of the kernel itself — fast

@@ -1,0 +1,437 @@
+(** Threaded-code executor for compiled {!Tape} programs.
+
+    Presents the exact {!Soc_rtl.Sim} interface. The tape's two programs are
+    packed into flat stride-6 [int array]s at creation; the dispatch loop
+    inlines the 32-bit operator semantics of {!Soc_kernel.Semantics} (the
+    differential qcheck oracle in the test suite pins the two together).
+    All per-cycle state lives in preallocated arrays — a settle+tick cycle
+    allocates nothing.
+
+    The tick tape executes as prologue + gated segments: the prologue
+    (register enables, memory read addresses and write enables) always
+    runs, then each register's next-state segment runs only when its
+    enable settled high and each memory's write-port segment only when its
+    write enable is high. Segments write only temporaries, so skipping one
+    is unobservable — the register keeps its value, the write is dropped —
+    exactly as the interpreter's evaluate-and-discard.
+
+    The dispatch loop uses unsafe array accesses, so {!of_tape} validates
+    every slot index and segment range of a (possibly cache-loaded) tape
+    up front and raises {!Tape_mismatch} instead of corrupting memory. *)
+
+module Netlist = Soc_rtl.Netlist
+
+exception Tape_mismatch of string
+(** A cached tape does not fit the netlist it was looked up for. *)
+
+(* One specialized tick program (see {!Opt.specialize_tick}): same layout
+   as the generic tick arrays, already partial-evaluated against one value
+   of the dispatch register. *)
+type variant = {
+  v_code : int array; (* packed prologue + segments *)
+  v_prologue_end : int;
+  v_reg : int array; (* stride 6, en may be -2 = statically disabled *)
+  v_mem : int array; (* stride 8, wen may be -1 / -2 *)
+}
+
+type t = {
+  net : Netlist.t;
+  tape : Tape.t;
+  store : int array;
+  inputs : bool array; (* by sid: may this slot be driven via set_input? *)
+  settle_code : int array; (* packed: op, dst, a, b, c, msk *)
+  tick_code : int array;
+  prologue_end : int; (* packed length of the unconditional tick prefix *)
+  reg_code : int array; (* packed: q, next, en, reset, seg_off, seg_end *)
+  mem_code : int array; (* packed: raddr, wen, waddr, wdata, rdata, size, seg_off, seg_end *)
+  mem_data : int array array; (* per memory, in netlist order *)
+  mem_tbl : (string, int array) Hashtbl.t;
+  reg_scratch : int array;
+  mem_rd_scratch : int array;
+  mem_wr_scratch : int array; (* waddr (or -1), wdata; stride 2 *)
+  spec_slot : int; (* dispatch register's store slot, or -1 = no specialization *)
+  spec_mask : int;
+  spec : variant array; (* indexed by the dispatch register's value *)
+  spec_consts : (int * int) array; (* extra pool constants minted by specialization *)
+  mutable cycle : int;
+}
+
+let disabled = min_int
+let m32 = 0xFFFFFFFF
+
+let pack_code (code : Tape.instr array) =
+  let n = Array.length code in
+  let packed = Array.make (6 * n) 0 in
+  Array.iteri
+    (fun i (x : Tape.instr) ->
+      let base = 6 * i in
+      packed.(base) <- x.op;
+      packed.(base + 1) <- x.dst;
+      packed.(base + 2) <- x.a;
+      packed.(base + 3) <- x.b;
+      packed.(base + 4) <- x.c;
+      packed.(base + 5) <- x.msk)
+    code;
+  packed
+
+(* Sign view of a masked 32-bit value (Bits.to_signed ~width:32). *)
+let[@inline] sgn v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+(* The hot loop, over the packed range [lo, hi). Every arm reproduces
+   Soc_kernel.Semantics at width 32 on already-masked operands; the
+   trailing [land msk] applies the root's signal-width mask (-1 on
+   intermediates). [of_tape] validated every index, hence the unsafe
+   accesses. *)
+let run_range store code lo hi =
+  let i = ref lo in
+  while !i < hi do
+    let base = !i in
+    let op = Array.unsafe_get code base in
+    let x = Array.unsafe_get store (Array.unsafe_get code (base + 2)) in
+    let y = Array.unsafe_get store (Array.unsafe_get code (base + 3)) in
+    let v =
+      match op with
+      | 0 -> x
+      | 1 -> (x + y) land m32
+      | 2 -> (x - y) land m32
+      | 3 -> x * y land m32
+      | 4 ->
+        let sb = sgn y in
+        if sb = 0 then m32 else sgn x / sb land m32
+      | 5 ->
+        let sb = sgn y in
+        if sb = 0 then x else sgn x mod sb land m32
+      | 6 -> if y = 0 then m32 else x / y land m32
+      | 7 -> if y = 0 then x else x mod y land m32
+      | 8 -> x land y
+      | 9 -> x lor y
+      | 10 -> x lxor y
+      | 11 -> x lsl (y land 31) land m32
+      | 12 -> x lsr (y land 31)
+      | 13 -> sgn x asr (y land 31) land m32
+      | 14 -> if x = y then 1 else 0
+      | 15 -> if x <> y then 1 else 0
+      | 16 -> if sgn x < sgn y then 1 else 0
+      | 17 -> if sgn x <= sgn y then 1 else 0
+      | 18 -> if sgn x > sgn y then 1 else 0
+      | 19 -> if sgn x >= sgn y then 1 else 0
+      | 20 -> if x < y then 1 else 0
+      | 21 -> if x <= y then 1 else 0
+      | 22 -> if x > y then 1 else 0
+      | 23 -> if x >= y then 1 else 0
+      | 24 -> -x land m32
+      | 25 -> lnot x land m32
+      | 26 -> if x = 0 then 1 else 0
+      | _ ->
+        (* 27: mux *)
+        if Array.unsafe_get store (Array.unsafe_get code (base + 4)) <> 0 then x else y
+    in
+    Array.unsafe_set store
+      (Array.unsafe_get code (base + 1))
+      (v land Array.unsafe_get code (base + 5));
+    i := base + 6
+  done
+
+let run_code store code = run_range store code 0 (Array.length code)
+
+let apply_consts t =
+  Array.iter (fun (slot, v) -> t.store.(slot) <- v) t.tape.consts;
+  Array.iter (fun (slot, v) -> t.store.(slot) <- v) t.spec_consts
+
+(* ------------------------------------------------------------------ *)
+(* Tick specialization                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick the register to specialize the tick tape on: a small register
+   whose output is compared against constants — in an FSMD netlist, the
+   state register. The variant table has [2^width] entries, so only
+   narrow registers qualify. *)
+let spec_candidate (net : Netlist.t) =
+  let uses = Hashtbl.create 16 in
+  let bump (s : Netlist.signal) =
+    Hashtbl.replace uses s.sid (1 + Option.value ~default:0 (Hashtbl.find_opt uses s.sid))
+  in
+  let rec walk (e : Netlist.expr) =
+    match e with
+    | Netlist.Const _ | Netlist.Ref _ -> ()
+    | Bin (Soc_kernel.Ast.Eq, Ref s, Const _) | Bin (Soc_kernel.Ast.Eq, Const _, Ref s) ->
+      bump s
+    | Bin (_, a, b) -> walk a; walk b
+    | Un (_, a) -> walk a
+    | Mux (s, a, b) -> walk s; walk a; walk b
+  in
+  List.iter (fun ((_ : Netlist.signal), e) -> walk e) net.combs;
+  List.iter (fun (r : Netlist.reg) -> walk r.next; walk r.enable) net.regs;
+  List.iter
+    (fun (m : Netlist.mem) -> walk m.raddr; walk m.wen; walk m.waddr; walk m.wdata)
+    net.mems;
+  List.fold_left
+    (fun best (r : Netlist.reg) ->
+      if r.q.width > 8 then best
+      else
+        match Hashtbl.find_opt uses r.q.sid with
+        | Some n when n >= 2 -> (
+          match best with
+          | Some (_, _, bn) when bn >= n -> best
+          | _ -> Some (r.q.sid, r.q.width, n))
+        | _ -> best)
+    None net.regs
+
+(* Pack one specialized variant into executor arrays: prologue first, then
+   every surviving segment, with packed offsets recorded per commit. *)
+let pack_variant (mems_arr : Netlist.mem array) (sp : Opt.tick_spec) =
+  let pieces =
+    sp.Opt.ts_prologue
+    :: (Array.to_list (Array.map (fun r -> r.Opt.sr_code) sp.Opt.ts_regs)
+       @ Array.to_list (Array.map (fun m -> m.Opt.sm_code) sp.Opt.ts_mems))
+  in
+  let code = pack_code (Array.concat pieces) in
+  let off = ref (6 * Array.length sp.Opt.ts_prologue) in
+  let place seg =
+    let o = !off in
+    off := o + (6 * Array.length seg);
+    (o, !off)
+  in
+  let n_regs = Array.length sp.Opt.ts_regs in
+  let v_reg = Array.make (6 * n_regs) 0 in
+  Array.iteri
+    (fun i (r : Opt.spec_reg) ->
+      let o, e = place r.Opt.sr_code in
+      v_reg.(6 * i) <- r.Opt.sr_q;
+      v_reg.((6 * i) + 1) <- r.Opt.sr_next;
+      v_reg.((6 * i) + 2) <- r.Opt.sr_en;
+      v_reg.((6 * i) + 3) <- r.Opt.sr_reset;
+      v_reg.((6 * i) + 4) <- o;
+      v_reg.((6 * i) + 5) <- e)
+    sp.Opt.ts_regs;
+  let n_mems = Array.length sp.Opt.ts_mems in
+  let v_mem = Array.make (8 * n_mems) 0 in
+  Array.iteri
+    (fun i (m : Opt.spec_mem) ->
+      let o, e = place m.Opt.sm_code in
+      v_mem.(8 * i) <- m.Opt.sm_raddr;
+      v_mem.((8 * i) + 1) <- m.Opt.sm_wen;
+      v_mem.((8 * i) + 2) <- m.Opt.sm_waddr;
+      v_mem.((8 * i) + 3) <- m.Opt.sm_wdata;
+      v_mem.((8 * i) + 4) <- m.Opt.sm_rdata;
+      v_mem.((8 * i) + 5) <- mems_arr.(m.Opt.sm_size_hint).Netlist.size;
+      v_mem.((8 * i) + 6) <- o;
+      v_mem.((8 * i) + 7) <- e)
+    sp.Opt.ts_mems;
+  { v_code = code;
+    v_prologue_end = 6 * Array.length sp.Opt.ts_prologue;
+    v_reg;
+    v_mem }
+
+let init_state t =
+  apply_consts t;
+  let rc = t.reg_code in
+  for r = 0 to (Array.length rc / 6) - 1 do
+    t.store.(rc.(6 * r)) <- rc.((6 * r) + 3)
+  done;
+  List.iteri
+    (fun idx (m : Netlist.mem) ->
+      let data = t.mem_data.(idx) in
+      match m.init with
+      | Some init ->
+        for i = 0 to m.size - 1 do
+          data.(i) <-
+            (if i < Array.length init then init.(i) land Soc_util.Bits.mask m.mem_width else 0)
+        done
+      | None -> Array.fill data 0 (Array.length data) 0)
+    t.net.mems
+
+(* Instantiate a compiled tape against the netlist it was lowered from.
+   Memory geometry and backing arrays come from the netlist (the tape is
+   content-addressed by the netlist, so they can never disagree on a cache
+   hit — the checks below catch a corrupt or mis-keyed entry), and every
+   slot index and segment range is bounds-checked here because the
+   dispatch loop runs unchecked. *)
+let of_tape (tape : Tape.t) (net : Netlist.t) =
+  if tape.n_signals <> Netlist.signal_count net then
+    raise (Tape_mismatch "signal count");
+  if Array.length tape.mem_commits <> List.length net.mems then
+    raise (Tape_mismatch "memory count");
+  if Array.length tape.reg_commits <> List.length net.regs then
+    raise (Tape_mismatch "register count");
+  let n_slots = tape.n_slots in
+  let check what s = if s < 0 || s >= n_slots then raise (Tape_mismatch what) in
+  Array.iter (fun (s, _) -> check "const slot" s) tape.consts;
+  let check_code what (code : Tape.instr array) =
+    Array.iter
+      (fun (i : Tape.instr) ->
+        check what i.dst;
+        check what i.a;
+        check what i.b;
+        check what i.c)
+      code
+  in
+  check_code "settle slot" tape.settle;
+  check_code "tick slot" tape.tick;
+  let n_tick = Array.length tape.tick in
+  if tape.prologue < 0 || tape.prologue > n_tick then raise (Tape_mismatch "prologue");
+  let check_seg off len =
+    if len < 0 || off < tape.prologue || off + len > n_tick then
+      raise (Tape_mismatch "segment range")
+  in
+  let n_regs = Array.length tape.reg_commits in
+  let n_mems = Array.length tape.mem_commits in
+  let reg_code = Array.make (6 * n_regs) 0 in
+  Array.iteri
+    (fun i (r : Tape.reg_commit) ->
+      check "reg q" r.rc_q;
+      check "reg next" r.rc_next;
+      if r.rc_en >= 0 then check "reg enable" r.rc_en;
+      check_seg r.rc_off r.rc_len;
+      reg_code.(6 * i) <- r.rc_q;
+      reg_code.((6 * i) + 1) <- r.rc_next;
+      reg_code.((6 * i) + 2) <- r.rc_en;
+      reg_code.((6 * i) + 3) <- r.rc_reset;
+      reg_code.((6 * i) + 4) <- 6 * r.rc_off;
+      reg_code.((6 * i) + 5) <- 6 * (r.rc_off + r.rc_len))
+    tape.reg_commits;
+  let mem_code = Array.make (8 * n_mems) 0 in
+  let mems_arr = Array.of_list net.mems in
+  Array.iteri
+    (fun i (m : Tape.mem_commit) ->
+      (* The lowering emits commits in netlist memory order; [tick] and
+         [init_state] index the backing arrays by that position. *)
+      if m.mc_mem <> i then raise (Tape_mismatch "memory order");
+      check "mem raddr" m.mc_raddr;
+      check "mem wen" m.mc_wen;
+      check "mem waddr" m.mc_waddr;
+      check "mem wdata" m.mc_wdata;
+      check "mem rdata" m.mc_rdata;
+      check_seg m.mc_off m.mc_len;
+      mem_code.(8 * i) <- m.mc_raddr;
+      mem_code.((8 * i) + 1) <- m.mc_wen;
+      mem_code.((8 * i) + 2) <- m.mc_waddr;
+      mem_code.((8 * i) + 3) <- m.mc_wdata;
+      mem_code.((8 * i) + 4) <- m.mc_rdata;
+      mem_code.((8 * i) + 5) <- mems_arr.(m.mc_mem).size;
+      mem_code.((8 * i) + 6) <- 6 * m.mc_off;
+      mem_code.((8 * i) + 7) <- 6 * (m.mc_off + m.mc_len))
+    tape.mem_commits;
+  let mem_data = Array.map (fun (m : Netlist.mem) -> Array.make m.size 0) mems_arr in
+  let mem_tbl = Hashtbl.create 4 in
+  Array.iteri (fun i (m : Netlist.mem) -> Hashtbl.replace mem_tbl m.mem_name mem_data.(i)) mems_arr;
+  let inputs = Array.make (max 1 tape.n_signals) false in
+  List.iter (fun (s : Netlist.signal) -> inputs.(s.sid) <- true) net.inputs;
+  let spec_slot, spec_mask, spec, spec_consts, n_slots =
+    match spec_candidate net with
+    | None -> (-1, 0, [||], [||], tape.n_slots)
+    | Some (slot, width, _) ->
+      let variants, extra, n_slots = Opt.specialize_tick tape ~slot ~width in
+      (slot, (1 lsl width) - 1, Array.map (pack_variant mems_arr) variants, extra, n_slots)
+  in
+  let t =
+    {
+      net;
+      tape;
+      store = Array.make (max tape.n_slots n_slots) 0;
+      inputs;
+      settle_code = pack_code tape.settle;
+      tick_code = pack_code tape.tick;
+      prologue_end = 6 * tape.prologue;
+      reg_code;
+      mem_code;
+      mem_data;
+      mem_tbl;
+      reg_scratch = Array.make n_regs disabled;
+      mem_rd_scratch = Array.make n_mems 0;
+      mem_wr_scratch = Array.make (2 * n_mems) (-1);
+      spec_slot;
+      spec_mask;
+      spec;
+      spec_consts;
+      cycle = 0;
+    }
+  in
+  init_state t;
+  t
+
+let create ?observe net = of_tape (Opt.run (Tape.lower ?observe net)) net
+
+let tape t = t.tape
+let stats t = t.tape.stats
+
+let set_input t (s : Netlist.signal) v =
+  if s.sid < 0 || s.sid >= Array.length t.inputs || not t.inputs.(s.sid) then
+    invalid_arg ("Csim.set_input: " ^ s.sname ^ " is not an input");
+  t.store.(s.sid) <- v land Soc_util.Bits.mask s.width
+
+let settle t = run_code t.store t.settle_code
+
+let value t (s : Netlist.signal) = t.store.(s.sid)
+
+let mem_contents t name = Hashtbl.find_opt t.mem_tbl name
+
+(* Clock edge, mirroring Sim.tick phase for phase: run the prologue, run
+   each enabled segment and gather its register next / memory port into
+   scratch (reads see the pre-edge store and pre-write memory contents),
+   then commit. When a specialization is installed, the pre-edge value of
+   the dispatch register selects a partial-evaluated tick program; commit
+   still goes through the generic reg_code/mem_code q and rdata slots,
+   which the variants share. *)
+let tick_with t code prologue_end rc mc =
+  let store = t.store in
+  run_range store code 0 prologue_end;
+  let scratch = t.reg_scratch in
+  let n_regs = Array.length rc / 6 in
+  for r = 0 to n_regs - 1 do
+    let base = 6 * r in
+    let en = Array.unsafe_get rc (base + 2) in
+    if
+      if en >= 0 then Array.unsafe_get store en <> 0
+      else en = -1 (* -2: statically disabled in this variant *)
+    then begin
+      run_range store code (Array.unsafe_get rc (base + 4)) (Array.unsafe_get rc (base + 5));
+      Array.unsafe_set scratch r (Array.unsafe_get store (Array.unsafe_get rc (base + 1)))
+    end
+    else Array.unsafe_set scratch r disabled
+  done;
+  let n_mems = Array.length mc / 8 in
+  for m = 0 to n_mems - 1 do
+    let base = 8 * m in
+    let size = mc.(base + 5) in
+    let data = t.mem_data.(m) in
+    let raddr = store.(mc.(base)) in
+    t.mem_rd_scratch.(m) <- (if raddr >= 0 && raddr < size then data.(raddr) else 0);
+    let wen = mc.(base + 1) in
+    if if wen >= 0 then store.(wen) <> 0 else wen = -1 then begin
+      run_range store code mc.(base + 6) mc.(base + 7);
+      let waddr = store.(mc.(base + 2)) in
+      if waddr >= 0 && waddr < size then begin
+        t.mem_wr_scratch.(2 * m) <- waddr;
+        t.mem_wr_scratch.((2 * m) + 1) <- store.(mc.(base + 3))
+      end
+      else t.mem_wr_scratch.(2 * m) <- -1
+    end
+    else t.mem_wr_scratch.(2 * m) <- -1
+  done;
+  for r = 0 to n_regs - 1 do
+    let next = Array.unsafe_get scratch r in
+    if next <> disabled then
+      Array.unsafe_set store (Array.unsafe_get rc (6 * r)) next
+  done;
+  for m = 0 to n_mems - 1 do
+    let base = 8 * m in
+    store.(mc.(base + 4)) <- t.mem_rd_scratch.(m);
+    let waddr = t.mem_wr_scratch.(2 * m) in
+    if waddr >= 0 then t.mem_data.(m).(waddr) <- t.mem_wr_scratch.((2 * m) + 1)
+  done;
+  t.cycle <- t.cycle + 1
+
+let tick t =
+  if t.spec_slot >= 0 then begin
+    let v = t.spec.(t.store.(t.spec_slot) land t.spec_mask) in
+    tick_with t v.v_code v.v_prologue_end v.v_reg v.v_mem
+  end
+  else tick_with t t.tick_code t.prologue_end t.reg_code t.mem_code
+
+let cycle t = t.cycle
+
+let reset t =
+  Array.fill t.store 0 (Array.length t.store) 0;
+  init_state t;
+  t.cycle <- 0

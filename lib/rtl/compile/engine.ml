@@ -1,0 +1,108 @@
+(** Backend switch between the reference interpreter ({!Soc_rtl.Sim}) and
+    the compiled tape executor ({!Csim}), behind the same interface.
+
+    The compiled backend is the process-wide default — the interpreter
+    remains available as the differential oracle and via [--sim interp].
+
+    Farm integration is dependency-injected: the compile library knows
+    nothing about lib/farm; the farm installs a {!tape_cache} here and
+    compiled tapes become content-addressed artifacts keyed by
+    {!Tape.netlist_key}. With a cache installed, warm rounds skip lowering
+    entirely — [lowering_count] exposes the miss counter so callers can
+    assert exactly that. *)
+
+module Netlist = Soc_rtl.Netlist
+module Sim = Soc_rtl.Sim
+
+type backend = Interp | Compiled
+
+let backend_name = function Interp -> "interp" | Compiled -> "compiled"
+
+let backend_of_string = function
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+let default = ref Compiled
+let set_default_backend b = default := b
+let default_backend () = !default
+
+type tape_cache = {
+  tc_find : key:string -> Tape.t option;
+  tc_store : key:string -> Tape.t -> unit;
+}
+
+let cache : tape_cache option ref = ref None
+let install_tape_cache c = cache := c
+
+let lowerings = ref 0
+let lowering_count () = !lowerings
+
+type t = Interp_sim of Sim.t | Compiled_sim of Csim.t
+
+let backend_of = function Interp_sim _ -> Interp | Compiled_sim _ -> Compiled
+
+let compile net =
+  let fresh () =
+    incr lowerings;
+    Csim.create net
+  in
+  match !cache with
+  | None -> fresh ()
+  | Some c ->
+    let key = Tape.netlist_key net in
+    (match c.tc_find ~key with
+    | Some tape -> (
+      (* A mismatched entry (corrupt store, key collision) must never take
+         the simulation down — recompile and overwrite it. *)
+      try Csim.of_tape tape net
+      with Csim.Tape_mismatch _ | Tape.Parse_error _ ->
+        let csim = fresh () in
+        c.tc_store ~key (Csim.tape csim);
+        csim)
+    | None ->
+      let csim = fresh () in
+      c.tc_store ~key (Csim.tape csim);
+      csim)
+
+(* Precompile a netlist into the installed cache (no simulator needed):
+   lets the farm pay the lowering cost at synthesis time so later
+   instantiations — including in other processes — are pure cache hits. *)
+let precompile net =
+  match !cache with
+  | None -> ()
+  | Some c ->
+    let key = Tape.netlist_key net in
+    if c.tc_find ~key = None then begin
+      incr lowerings;
+      c.tc_store ~key (Opt.run (Tape.lower net))
+    end
+
+let create ?backend net =
+  match (match backend with Some b -> b | None -> !default) with
+  | Interp -> Interp_sim (Sim.create net)
+  | Compiled -> Compiled_sim (compile net)
+
+let set_input t s v =
+  match t with
+  | Interp_sim sim -> Sim.set_input sim s v
+  | Compiled_sim c -> Csim.set_input c s v
+
+let settle = function Interp_sim sim -> Sim.settle sim | Compiled_sim c -> Csim.settle c
+
+let value t s =
+  match t with Interp_sim sim -> Sim.value sim s | Compiled_sim c -> Csim.value c s
+
+let tick = function Interp_sim sim -> Sim.tick sim | Compiled_sim c -> Csim.tick c
+
+let cycle = function Interp_sim sim -> Sim.cycle sim | Compiled_sim c -> Csim.cycle c
+
+let reset = function Interp_sim sim -> Sim.reset sim | Compiled_sim c -> Csim.reset c
+
+let mem_contents t name =
+  match t with
+  | Interp_sim sim -> Sim.mem_contents sim name
+  | Compiled_sim c -> Csim.mem_contents c name
+
+(* Compiled-tape statistics, when that backend is live. *)
+let stats = function Interp_sim _ -> None | Compiled_sim c -> Some (Csim.stats c)

@@ -1,0 +1,464 @@
+(** Tape optimizer: constant folding, mux-to-select specialization,
+    common-subexpression elimination and dead-code sweep, with per-pass
+    statistics accumulated into {!Tape.stats}.
+
+    Scoping rules follow the executor's control flow. The settle and tick
+    tapes are optimized with separate value-numbering state: the two
+    programs run against different store snapshots — [set_input] may
+    intervene, and a tick without a settle must read the same stale values
+    the interpreter would — so nothing may be shared across them. Within
+    the tick tape, the prologue (which always runs) seeds the state for
+    every gated segment, but each segment gets its own {e copy}: a value
+    computed inside one segment must never satisfy a lookup in another —
+    either might be skipped on any given cycle. Within one straight-line
+    section every slot is written at most once and every read follows the
+    write (topological lowering order), which is what makes program-order
+    value numbering sound.
+
+    The dead-code sweep removes instructions whose destination is neither
+    in the tape's [keep] set (inputs, outputs, register outputs, memory
+    read-data, plus any [observe] signals given at lowering) nor read by a
+    live instruction or commit table. Eliminated internal wires read as 0
+    through [value] — the backend's documented observability contract. *)
+
+type pass_counts = {
+  mutable folded : int;
+  mutable mux_selected : int;
+  mutable cse_hits : int;
+  mutable dce_removed : int;
+}
+
+(* Mutable interning state shared by every section walk: new constants
+   minted by folding extend the pool past the lowering's slots. *)
+type pool = {
+  mutable next_slot : int;
+  by_value : (int, int) Hashtbl.t; (* value -> slot *)
+  mutable added : (int * int) list;
+}
+
+let pool_const p v =
+  match Hashtbl.find_opt p.by_value v with
+  | Some s -> s
+  | None ->
+    let s = p.next_slot in
+    p.next_slot <- s + 1;
+    Hashtbl.add p.by_value v s;
+    p.added <- (s, v) :: p.added;
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Forward walk: fold + mux specialization + CSE over one section      *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-section value-numbering state. A gated segment starts from a copy
+   of the prologue's end state, so prologue values are shared but segment
+   values stay local. *)
+type fstate = {
+  alias : (int, int) Hashtbl.t; (* removed temp destination -> surviving slot *)
+  known : (int, int) Hashtbl.t; (* slot -> constant value *)
+  boolish : (int, unit) Hashtbl.t; (* slot provably holds 0/1 on every run *)
+  seen : (int * int * int * int * int, int) Hashtbl.t; (* value numbering *)
+}
+
+let fresh_state pool =
+  let st =
+    {
+      alias = Hashtbl.create 64;
+      known = Hashtbl.create 64;
+      boolish = Hashtbl.create 64;
+      seen = Hashtbl.create 64;
+    }
+  in
+  Hashtbl.iter
+    (fun v s ->
+      Hashtbl.replace st.known s v;
+      if v = 0 || v = 1 then Hashtbl.replace st.boolish s ())
+    pool.by_value;
+  st
+
+let copy_state st =
+  {
+    alias = Hashtbl.copy st.alias;
+    known = Hashtbl.copy st.known;
+    boolish = Hashtbl.copy st.boolish;
+    seen = Hashtbl.copy st.seen;
+  }
+
+(* Rewrites one straight-line section in place of [st]; the caller must
+   push [st.alias] through anything else that references the section's
+   slots (the commit tables). *)
+let forward ~(tape : Tape.t) ~pool ~counts ~st (code : Tape.instr array) =
+  let n_signals = tape.n_signals in
+  let is_temp slot = slot >= n_signals in
+  let resolve s = match Hashtbl.find_opt st.alias s with Some s' -> s' | None -> s in
+  let known_of s = Hashtbl.find_opt st.known s in
+  let is_bool s = Hashtbl.mem st.boolish s in
+  let mark_bool s = Hashtbl.replace st.boolish s () in
+  let out = ref [] in
+  let keep_instr (i : Tape.instr) =
+    out := i :: !out;
+    if i.msk = 1 || (i.op >= 14 && i.op <= 23) || i.op = 26 then mark_bool i.dst;
+    match (i.op, known_of i.a) with
+    | 0, Some v -> Hashtbl.replace st.known i.dst (v land i.msk)
+    | 0, None -> if is_bool i.a then mark_bool i.dst
+    | _ -> ()
+  in
+  Array.iter
+    (fun (i : Tape.instr) ->
+      let a = resolve i.a and b = resolve i.b and c = resolve i.c in
+      let i = { i with a; b; c } in
+      let va = known_of a and vb = known_of b and vc = known_of c in
+      let all_known =
+        match i.op with
+        | 0 -> va <> None
+        | op when op >= 24 && op <= 26 -> va <> None
+        | 27 -> (
+          match vc with
+          | Some s -> if s <> 0 then va <> None else vb <> None
+          | None -> false)
+        | _ -> va <> None && vb <> None
+      in
+      if all_known then begin
+        let get = function Some v -> v | None -> 0 in
+        let v = Tape.eval_op ~op:i.op ~a:(get va) ~b:(get vb) ~c:(get vc) land i.msk in
+        counts.folded <- counts.folded + 1;
+        let cs = pool_const pool v in
+        Hashtbl.replace st.known cs v;
+        if v = 0 || v = 1 then mark_bool cs;
+        if is_temp i.dst then Hashtbl.replace st.alias i.dst cs
+        else
+          (* Roots must still be written every run: pre-settle reads see the
+             stale slot, exactly as in the interpreter. *)
+          keep_instr { op = Tape.op_copy; dst = i.dst; a = cs; b = 0; c = 0; msk = -1 }
+      end
+      else begin
+        let i =
+          if i.op <> 27 then i
+          else
+            match vc with
+            | Some s ->
+              counts.mux_selected <- counts.mux_selected + 1;
+              { i with op = Tape.op_copy; a = (if s <> 0 then a else b); b = 0; c = 0 }
+            | None ->
+              if a = b then begin
+                counts.mux_selected <- counts.mux_selected + 1;
+                { i with op = Tape.op_copy; b = 0; c = 0 }
+              end
+              else if is_bool c && va = Some 1 && vb = Some 0 then begin
+                counts.mux_selected <- counts.mux_selected + 1;
+                { i with op = Tape.op_copy; a = c; b = 0; c = 0 }
+              end
+              else if is_bool c && va = Some 0 && vb = Some 1 then begin
+                (* lnot of a 0/1 selector is exactly the other arm *)
+                counts.mux_selected <- counts.mux_selected + 1;
+                { i with op = 26; a = c; b = 0; c = 0 }
+              end
+              else i
+        in
+        if i.op = Tape.op_copy && i.msk = -1 && is_temp i.dst then
+          (* Mask-free temp copy: pure aliasing, no instruction needed. *)
+          Hashtbl.replace st.alias i.dst i.a
+        else if i.op = Tape.op_copy then keep_instr i
+        else begin
+          let key = (i.op, i.a, i.b, i.c, i.msk) in
+          match Hashtbl.find_opt st.seen key with
+          | Some prev ->
+            counts.cse_hits <- counts.cse_hits + 1;
+            if is_temp i.dst then Hashtbl.replace st.alias i.dst prev
+            else
+              keep_instr { op = Tape.op_copy; dst = i.dst; a = prev; b = 0; c = 0; msk = -1 }
+          | None ->
+            Hashtbl.add st.seen key i.dst;
+            keep_instr i
+        end
+      end)
+    code;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Backward liveness over settle + prologue + segments                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Backward liveness filter of one section against a shared live set;
+   reads of surviving instructions extend the set. *)
+let filter_live ~live ~counts code =
+  let mark s = Hashtbl.replace live s () in
+  let kept = ref [] in
+  for idx = Array.length code - 1 downto 0 do
+    let (i : Tape.instr) = code.(idx) in
+    if Hashtbl.mem live i.dst then begin
+      kept := i :: !kept;
+      mark i.a;
+      if i.op >= 1 && i.op <= 23 then mark i.b;
+      if i.op = 27 then begin
+        mark i.b;
+        mark i.c
+      end
+    end
+    else counts.dce_removed <- counts.dce_removed + 1
+  done;
+  Array.of_list !kept
+
+(* Liveness flows segments -> prologue -> settle (a section only reads
+   slots written by itself or an earlier-running section; segments never
+   read each other's temporaries, so filtering them in any order against
+   one global live set is sound and at worst conservative). *)
+let sweep ~keep ~reg_commits ~mem_commits ~counts ~settle ~prologue ~segments =
+  let live = Hashtbl.create 256 in
+  let mark s = Hashtbl.replace live s () in
+  Array.iter mark keep;
+  Array.iter
+    (fun (r : Tape.reg_commit) ->
+      mark r.rc_q;
+      mark r.rc_next;
+      if r.rc_en >= 0 then mark r.rc_en)
+    reg_commits;
+  Array.iter
+    (fun (m : Tape.mem_commit) ->
+      mark m.mc_raddr; mark m.mc_wen; mark m.mc_waddr; mark m.mc_wdata; mark m.mc_rdata)
+    mem_commits;
+  let segments' = List.map (filter_live ~live ~counts) segments in
+  let prologue' = filter_live ~live ~counts prologue in
+  let settle' = filter_live ~live ~counts settle in
+  (settle', prologue', segments')
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let section arr off len = Array.sub arr off len
+
+let run (tape : Tape.t) =
+  let counts = { folded = 0; mux_selected = 0; cse_hits = 0; dce_removed = 0 } in
+  let pool = { next_slot = tape.n_slots; by_value = Hashtbl.create 64; added = [] } in
+  (* Seed interning with the lowering's constant pool. *)
+  Array.iter
+    (fun (s, v) -> if not (Hashtbl.mem pool.by_value v) then Hashtbl.add pool.by_value v s)
+    tape.consts;
+  let settle_st = fresh_state pool in
+  let settle = forward ~tape ~pool ~counts ~st:settle_st tape.settle in
+  (* Tick: prologue first, then every gated segment from a copy of the
+     prologue's end state. *)
+  let pro_st = fresh_state pool in
+  let prologue = forward ~tape ~pool ~counts ~st:pro_st (section tape.tick 0 tape.prologue) in
+  let opt_segment off len =
+    let st = copy_state pro_st in
+    let code = forward ~tape ~pool ~counts ~st (section tape.tick off len) in
+    (code, st)
+  in
+  let reg_segs =
+    Array.map (fun (r : Tape.reg_commit) -> opt_segment r.rc_off r.rc_len) tape.reg_commits
+  in
+  let mem_segs =
+    Array.map (fun (m : Tape.mem_commit) -> opt_segment m.mc_off m.mc_len) tape.mem_commits
+  in
+  (* Commit tables may reference temps the walks aliased away; resolve each
+     field through the state that governs the section it was lowered in. *)
+  let resolve_with sts s =
+    let rec go = function
+      | [] -> s
+      | (st : fstate) :: tl -> (
+        match Hashtbl.find_opt st.alias s with Some s' -> s' | None -> go tl)
+    in
+    go sts
+  in
+  let reg_commits =
+    Array.mapi
+      (fun i (r : Tape.reg_commit) ->
+        let _, seg_st = reg_segs.(i) in
+        { r with
+          rc_next = resolve_with [ seg_st; settle_st ] r.rc_next;
+          rc_en = (if r.rc_en >= 0 then resolve_with [ pro_st; settle_st ] r.rc_en else r.rc_en)
+        })
+      tape.reg_commits
+  in
+  let mem_commits =
+    Array.mapi
+      (fun i (m : Tape.mem_commit) ->
+        let _, seg_st = mem_segs.(i) in
+        { m with
+          mc_raddr = resolve_with [ pro_st; settle_st ] m.mc_raddr;
+          mc_wen = resolve_with [ pro_st; settle_st ] m.mc_wen;
+          mc_waddr = resolve_with [ seg_st; settle_st ] m.mc_waddr;
+          mc_wdata = resolve_with [ seg_st; settle_st ] m.mc_wdata })
+      tape.mem_commits
+  in
+  let settle, prologue, segments =
+    sweep ~keep:tape.keep ~reg_commits ~mem_commits ~counts ~settle ~prologue
+      ~segments:
+        (Array.to_list (Array.map fst reg_segs) @ Array.to_list (Array.map fst mem_segs))
+  in
+  (* Reassemble the tick tape and recompute every segment offset. *)
+  let n_regs = Array.length tape.reg_commits in
+  let reg_segs', mem_segs' =
+    let arr = Array.of_list segments in
+    (Array.sub arr 0 n_regs, Array.sub arr n_regs (Array.length arr - n_regs))
+  in
+  let pieces = prologue :: Array.to_list reg_segs' @ Array.to_list mem_segs' in
+  let tick = Array.concat pieces in
+  let off = ref (Array.length prologue) in
+  let place seg =
+    let o = !off in
+    off := o + Array.length seg;
+    (o, Array.length seg)
+  in
+  let reg_commits =
+    Array.mapi
+      (fun i r ->
+        let rc_off, rc_len = place reg_segs'.(i) in
+        { r with Tape.rc_off; rc_len })
+      reg_commits
+  in
+  let mem_commits =
+    Array.mapi
+      (fun i m ->
+        let mc_off, mc_len = place mem_segs'.(i) in
+        { m with Tape.mc_off; mc_len })
+      mem_commits
+  in
+  let final = Array.length settle + Array.length tick in
+  {
+    tape with
+    n_slots = pool.next_slot;
+    consts = Array.append tape.consts (Array.of_list (List.rev pool.added));
+    settle;
+    tick;
+    prologue = Array.length prologue;
+    reg_commits;
+    mem_commits;
+    stats =
+      {
+        tape.stats with
+        folded = counts.folded;
+        mux_selected = counts.mux_selected;
+        cse_hits = counts.cse_hits;
+        dce_removed = counts.dce_removed;
+        final;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-value tick specialization                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Partial evaluation of the tick program against one known value of one
+   small control register (in an FSMD netlist, the state register): the
+   executor builds one variant per possible register value and dispatches
+   on the current value each tick. With the value known, [state == K]
+   enables fold to constants — a register touched in only a few states
+   drops its segment statically in every other variant — and the
+   state-select mux chains collapse to the selected arm. All variants
+   share one constant pool so the slots they mint can coexist in a single
+   store; the executor applies the extra constants at init time alongside
+   the tape's own. *)
+
+type spec_reg = {
+  sr_q : int;
+  sr_next : int;
+  sr_en : int; (* slot, or -1 statically enabled, or -2 statically disabled *)
+  sr_reset : int;
+  sr_code : Tape.instr array;
+}
+
+type spec_mem = {
+  sm_raddr : int;
+  sm_wen : int; (* slot, or -1 statically enabled, or -2 statically disabled *)
+  sm_waddr : int;
+  sm_wdata : int;
+  sm_rdata : int;
+  sm_size_hint : int; (* mc_mem index, for pairing with netlist geometry *)
+  sm_code : Tape.instr array;
+}
+
+type tick_spec = {
+  ts_prologue : Tape.instr array;
+  ts_regs : spec_reg array;
+  ts_mems : spec_mem array;
+}
+
+let specialize_variant (tape : Tape.t) ~pool ~counts ~slot ~value =
+  let st0 = fresh_state pool in
+  Hashtbl.replace st0.known slot value;
+  if value = 0 || value = 1 then Hashtbl.replace st0.boolish slot ();
+  let prologue = forward ~tape ~pool ~counts ~st:st0 (section tape.tick 0 tape.prologue) in
+  let opt_segment off len =
+    let st = copy_state st0 in
+    (forward ~tape ~pool ~counts ~st (section tape.tick off len), st)
+  in
+  let resolve st s = match Hashtbl.find_opt st.alias s with Some x -> x | None -> s in
+  (* Classify a gating slot: known-nonzero -> statically enabled,
+     known-zero -> statically disabled, otherwise the resolved slot. *)
+  let static st s =
+    let s = resolve st s in
+    match Hashtbl.find_opt st.known s with
+    | Some 0 -> -2
+    | Some _ -> -1
+    | None -> s
+  in
+  let regs =
+    Array.map
+      (fun (r : Tape.reg_commit) ->
+        let seg, seg_st = opt_segment r.rc_off r.rc_len in
+        let sr_en = if r.rc_en < 0 then -1 else static st0 r.rc_en in
+        { sr_q = r.rc_q;
+          sr_next = resolve seg_st r.rc_next;
+          sr_en;
+          sr_reset = r.rc_reset;
+          sr_code = (if sr_en = -2 then [||] else seg) })
+      tape.reg_commits
+  in
+  let mems =
+    Array.map
+      (fun (m : Tape.mem_commit) ->
+        let seg, seg_st = opt_segment m.mc_off m.mc_len in
+        let sm_wen = static st0 m.mc_wen in
+        { sm_raddr = resolve st0 m.mc_raddr;
+          sm_wen;
+          sm_waddr = resolve seg_st m.mc_waddr;
+          sm_wdata = resolve seg_st m.mc_wdata;
+          sm_rdata = m.mc_rdata;
+          sm_size_hint = m.mc_mem;
+          sm_code = (if sm_wen = -2 then [||] else seg) })
+      tape.mem_commits
+  in
+  (* Liveness: only what the surviving commits read survives. *)
+  let live = Hashtbl.create 128 in
+  let mark s = Hashtbl.replace live s () in
+  Array.iter
+    (fun r ->
+      if r.sr_en <> -2 then mark r.sr_next;
+      if r.sr_en >= 0 then mark r.sr_en)
+    regs;
+  Array.iter
+    (fun m ->
+      mark m.sm_raddr;
+      if m.sm_wen >= 0 then mark m.sm_wen;
+      if m.sm_wen <> -2 then begin
+        mark m.sm_waddr;
+        mark m.sm_wdata
+      end)
+    mems;
+  let regs =
+    Array.map (fun r -> { r with sr_code = filter_live ~live ~counts r.sr_code }) regs
+  in
+  let mems =
+    Array.map (fun m -> { m with sm_code = filter_live ~live ~counts m.sm_code }) mems
+  in
+  let prologue = filter_live ~live ~counts prologue in
+  { ts_prologue = prologue; ts_regs = regs; ts_mems = mems }
+
+(* Build all [2^width] variants over a shared constant pool. Returns the
+   variants, the extra constants minted past [tape.n_slots], and the new
+   store size. *)
+let specialize_tick (tape : Tape.t) ~slot ~width =
+  let counts = { folded = 0; mux_selected = 0; cse_hits = 0; dce_removed = 0 } in
+  let pool = { next_slot = tape.n_slots; by_value = Hashtbl.create 64; added = [] } in
+  Array.iter
+    (fun (s, v) -> if not (Hashtbl.mem pool.by_value v) then Hashtbl.add pool.by_value v s)
+    tape.consts;
+  let n = 1 lsl width in
+  let variants = Array.make n { ts_prologue = [||]; ts_regs = [||]; ts_mems = [||] } in
+  for v = 0 to n - 1 do
+    variants.(v) <- specialize_variant tape ~pool ~counts ~slot ~value:v
+  done;
+  (variants, Array.of_list (List.rev pool.added), pool.next_slot)

@@ -6,15 +6,34 @@
     + the testbench observes outputs ([value]);
     + [tick] commits register next-values and memory ports at the clock edge.
 
-    Combinational loops are rejected at elaboration. *)
+    Combinational loops are rejected at elaboration.
+
+    This is the reference interpreter — the differential oracle the compiled
+    backend ({!Soc_rtl_compile.Csim}) is checked against — so it stays a
+    direct transcription of the netlist semantics. *)
+
+(* Per-memory port, resolved once at [create] so [tick] touches no
+   association structure on the hot path. *)
+type mem_port = { mem : Netlist.mem; data : int array }
 
 type t = {
   net : Netlist.t;
   values : int array; (* current value per signal id *)
   order : (Netlist.signal * Netlist.expr) array; (* combs in topological order *)
   mem_data : (string, int array) Hashtbl.t;
+  (* Pre-resolved commit tables: rebuilt-per-tick lists would thrash the GC
+     over the millions of cycles a differential run takes. *)
+  regs : Netlist.reg array;
+  mem_ports : mem_port array;
+  reg_scratch : int array; (* next value per reg, or [disabled] *)
+  mem_rd_scratch : int array; (* latched read data per mem *)
+  mem_wr_scratch : int array; (* waddr (or -1 = no write), wdata; stride 2 *)
   mutable cycle : int;
 }
+
+(* Committed values are masked (hence non-negative), so any negative value
+   is a safe "clock-enable low" sentinel. *)
+let disabled = min_int
 
 exception Combinational_cycle of string list
 
@@ -30,37 +49,73 @@ let rec eval values (e : Netlist.expr) =
 
 (* Topologically sort combinational assignments by signal dependency. A comb
    target may depend on inputs, register outputs, memory read-data (all
-   "state") and on other comb targets (must come later in the order). *)
+   "state") and on other comb targets (must come later in the order).
+
+   The DFS is iterative: generated netlists chain tens of thousands of
+   combinational assignments (one per pipeline wire), far past what the
+   OCaml call stack survives. Shared with the compiled backend's lowering
+   pass, so both backends agree on evaluation order by construction. *)
 let topo_combs (net : Netlist.t) =
-  let combs = List.rev net.combs in
-  let target_of = Hashtbl.create 64 in
-  List.iteri (fun idx ((s : Netlist.signal), _) -> Hashtbl.replace target_of s.sid idx) combs;
-  let n = List.length combs in
-  let arr = Array.of_list combs in
+  let arr = Array.of_list (List.rev net.combs) in
+  let n = Array.length arr in
+  let target_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun idx ((s : Netlist.signal), _) -> Hashtbl.replace target_of s.sid idx) arr;
   let state = Array.make n 0 in
-  (* 0 unvisited, 1 visiting, 2 done *)
+  (* 0 unvisited, 1 visiting (on the explicit stack), 2 done *)
   let order = ref [] in
-  let rec visit idx path =
-    match state.(idx) with
-    | 2 -> ()
-    | 1 ->
-      let (s, _) = arr.(idx) in
-      raise (Combinational_cycle (List.rev (s.Netlist.sname :: path)))
-    | _ ->
-      state.(idx) <- 1;
-      let (s, e) = arr.(idx) in
-      let deps = Netlist.expr_refs [] e in
-      List.iter
-        (fun sid ->
-          match Hashtbl.find_opt target_of sid with
-          | Some didx -> visit didx (s.Netlist.sname :: path)
-          | None -> ())
-        deps;
-      state.(idx) <- 2;
-      order := arr.(idx) :: !order
+  let cycle_from idx stack =
+    (* Everything still marked "visiting" on the stack is the path into the
+       cycle; cut it down to the names from the first occurrence of [idx]. *)
+    let names =
+      List.rev_map (fun i -> (fst arr.(i)).Netlist.sname)
+        (idx :: List.filter (fun i -> state.(i) = 1) stack)
+    in
+    let rec drop = function
+      | [] -> names
+      | x :: _ as l when x = (fst arr.(idx)).Netlist.sname -> l
+      | _ :: tl -> drop tl
+    in
+    raise (Combinational_cycle (drop names))
+  in
+  (* Each frame is the comb index; [deps] are expanded lazily the first time
+     the frame is seen, then the frame is revisited to emit in post-order. *)
+  let visit root =
+    if state.(root) = 0 then begin
+      let stack = ref [ root ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | idx :: rest ->
+          if state.(idx) = 2 then stack := rest
+          else if state.(idx) = 1 then begin
+            (* Post-order: all dependencies emitted. *)
+            state.(idx) <- 2;
+            order := arr.(idx) :: !order;
+            stack := rest
+          end
+          else begin
+            state.(idx) <- 1;
+            let (_, e) = arr.(idx) in
+            let deps = Netlist.expr_refs [] e in
+            let pushed = ref rest in
+            (* Keep the frame under its dependencies for the post-order
+               revisit. *)
+            pushed := idx :: !pushed;
+            List.iter
+              (fun sid ->
+                match Hashtbl.find_opt target_of sid with
+                | Some didx ->
+                  if state.(didx) = 1 then cycle_from didx !stack
+                  else if state.(didx) = 0 then pushed := didx :: !pushed
+                | None -> ())
+              deps;
+            stack := !pushed
+          end
+      done
+    end
   in
   for i = 0 to n - 1 do
-    visit i []
+    visit i
   done;
   Array.of_list (List.rev !order)
 
@@ -79,7 +134,25 @@ let create (net : Netlist.t) =
       in
       Hashtbl.replace mem_data m.mem_name data)
     net.mems;
-  { net; values; order = topo_combs net; mem_data; cycle = 0 }
+  let regs = Array.of_list net.regs in
+  let mem_ports =
+    Array.of_list
+      (List.map
+         (fun (m : Netlist.mem) -> { mem = m; data = Hashtbl.find mem_data m.mem_name })
+         net.mems)
+  in
+  {
+    net;
+    values;
+    order = topo_combs net;
+    mem_data;
+    regs;
+    mem_ports;
+    reg_scratch = Array.make (Array.length regs) disabled;
+    mem_rd_scratch = Array.make (Array.length mem_ports) 0;
+    mem_wr_scratch = Array.make (2 * Array.length mem_ports) (-1);
+    cycle = 0;
+  }
 
 let set_input t (s : Netlist.signal) v =
   if not (Netlist.is_input t.net s) then
@@ -96,41 +169,40 @@ let value t (s : Netlist.signal) = t.values.(s.sid)
 let mem_contents t name = Hashtbl.find_opt t.mem_data name
 
 (* Clock edge: registers and memory ports update simultaneously from the
-   settled pre-edge values. *)
+   settled pre-edge values. Two phases over pre-sized scratch arrays — all
+   evaluation first, then all commits — so no per-tick allocation. *)
 let tick t =
-  let reg_updates =
-    List.filter_map
-      (fun (r : Netlist.reg) ->
-        if eval t.values r.enable <> 0 then
-          Some (r.q.sid, eval t.values r.next land mask_for r.q.width)
-        else None)
-      t.net.regs
-  in
-  let mem_updates =
-    List.map
-      (fun (m : Netlist.mem) ->
-        let data = Hashtbl.find t.mem_data m.mem_name in
-        let raddr = eval t.values m.raddr in
-        let rdata = if raddr >= 0 && raddr < m.size then data.(raddr) else 0 in
-        let write =
-          if eval t.values m.wen <> 0 then
-            let waddr = eval t.values m.waddr in
-            if waddr >= 0 && waddr < m.size then
-              Some (data, waddr, eval t.values m.wdata land mask_for m.mem_width)
-            else None
-          else None
-        in
-        (m.rdata.sid, rdata, write))
-      t.net.mems
-  in
-  List.iter (fun (sid, v) -> t.values.(sid) <- v) reg_updates;
-  List.iter
-    (fun (sid, rdata, write) ->
-      t.values.(sid) <- rdata;
-      match write with
-      | Some (data, waddr, wdata) -> data.(waddr) <- wdata
-      | None -> ())
-    mem_updates;
+  let values = t.values in
+  for i = 0 to Array.length t.regs - 1 do
+    let r = t.regs.(i) in
+    t.reg_scratch.(i) <-
+      (if eval values r.enable <> 0 then eval values r.next land mask_for r.q.width
+       else disabled)
+  done;
+  for i = 0 to Array.length t.mem_ports - 1 do
+    let { mem = m; data } = t.mem_ports.(i) in
+    let raddr = eval values m.raddr in
+    t.mem_rd_scratch.(i) <- (if raddr >= 0 && raddr < m.size then data.(raddr) else 0);
+    if eval values m.wen <> 0 then begin
+      let waddr = eval values m.waddr in
+      if waddr >= 0 && waddr < m.size then begin
+        t.mem_wr_scratch.(2 * i) <- waddr;
+        t.mem_wr_scratch.((2 * i) + 1) <- eval values m.wdata land mask_for m.mem_width
+      end
+      else t.mem_wr_scratch.(2 * i) <- -1
+    end
+    else t.mem_wr_scratch.(2 * i) <- -1
+  done;
+  for i = 0 to Array.length t.regs - 1 do
+    let next = t.reg_scratch.(i) in
+    if next <> disabled then values.(t.regs.(i).q.sid) <- next
+  done;
+  for i = 0 to Array.length t.mem_ports - 1 do
+    let { mem = m; data } = t.mem_ports.(i) in
+    values.(m.rdata.sid) <- t.mem_rd_scratch.(i);
+    let waddr = t.mem_wr_scratch.(2 * i) in
+    if waddr >= 0 then data.(waddr) <- t.mem_wr_scratch.((2 * i) + 1)
+  done;
   t.cycle <- t.cycle + 1
 
 let cycle t = t.cycle

@@ -10,6 +10,12 @@ type t
 exception Combinational_cycle of string list
 (** Raised by [create] with the names on the cycle. *)
 
+val topo_combs : Netlist.t -> (Netlist.signal * Netlist.expr) array
+(** Combinational assignments in dependency order (iterative DFS, safe on
+    arbitrarily deep chains). Raises {!Combinational_cycle} on a loop.
+    Shared with the compiled backend's lowering pass so both backends
+    evaluate in the same order. *)
+
 val create : Netlist.t -> t
 
 val set_input : t -> Netlist.signal -> int -> unit

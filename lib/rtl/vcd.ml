@@ -6,7 +6,7 @@
 type probe = { signal : Netlist.signal; id : string; mutable last : int option }
 
 type t = {
-  sim : Sim.t;
+  read : Netlist.signal -> int;
   module_name : string;
   probes : probe list;
   buf : Buffer.t;
@@ -24,7 +24,7 @@ let id_of_index idx =
   in
   go idx ""
 
-let create ?(signals = []) (net : Netlist.t) (sim : Sim.t) =
+let create_with ?(signals = []) (net : Netlist.t) ~read =
   let chosen =
     match signals with
     | [] ->
@@ -35,7 +35,7 @@ let create ?(signals = []) (net : Netlist.t) (sim : Sim.t) =
     | s -> s
   in
   {
-    sim;
+    read;
     module_name = net.Netlist.mod_name;
     probes =
       List.mapi (fun i s -> { signal = s; id = id_of_index i; last = None }) chosen;
@@ -62,13 +62,15 @@ let emit_header t =
   Buffer.add_string t.buf "$upscope $end\n$enddefinitions $end\n";
   t.header_done <- true
 
+let create ?signals net sim = create_with ?signals net ~read:(Sim.value sim)
+
 (* Record the current (settled) values; emits only changes. *)
 let sample t =
   if not t.header_done then emit_header t;
   let changes =
     List.filter
       (fun p ->
-        let v = Sim.value t.sim p.signal in
+        let v = t.read p.signal in
         match p.last with Some prev when prev = v -> false | _ -> true)
       t.probes
   in
@@ -76,7 +78,7 @@ let sample t =
     Buffer.add_string t.buf (Printf.sprintf "#%d\n" t.time);
     List.iter
       (fun p ->
-        let v = Sim.value t.sim p.signal in
+        let v = t.read p.signal in
         p.last <- Some v;
         if p.signal.Netlist.width = 1 then
           Buffer.add_string t.buf (Printf.sprintf "%d%s\n" (v land 1) p.id)

@@ -306,6 +306,7 @@ let start (cfg : config) =
   let cache =
     Soc_farm.Cache.create ?disk_dir:cfg.cache_dir ?max_mb:cfg.cache_max_mb ()
   in
+  Soc_farm.Cache.enable_tape_cache cache;
   let journal =
     Option.map
       (fun dir ->

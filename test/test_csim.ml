@@ -1,0 +1,405 @@
+(* Tests for the compiled co-simulation backend (lib/rtl/compile): the
+   interpreter stays the differential oracle, so most tests here run both
+   backends in lockstep and demand cycle-exact equality. *)
+
+module NL = Soc_rtl.Netlist
+module Sim = Soc_rtl.Sim
+module Tape = Soc_rtl_compile.Tape
+module Opt = Soc_rtl_compile.Opt
+module Csim = Soc_rtl_compile.Csim
+module Engine = Soc_rtl_compile.Engine
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Stack safety of the shared topological sort (satellite of the tape
+   backend: lowering reuses [Sim.topo_combs])                          *)
+(* ------------------------------------------------------------------ *)
+
+let deep_chain_netlist n =
+  let net = NL.create "deep" in
+  let x = NL.input net ~name:"x" ~width:32 in
+  let prev = ref (NL.Ref x) in
+  for i = 1 to n do
+    let s = NL.fresh net ~name:(Printf.sprintf "c%d" i) ~width:32 in
+    NL.assign net s (NL.Bin (Soc_kernel.Ast.Add, !prev, NL.Const (1, 32)));
+    prev := NL.Ref s
+  done;
+  let o = NL.output net ~name:"y" ~width:32 in
+  NL.assign net o !prev;
+  (net, x, o)
+
+let test_deep_chain_stack_safe () =
+  (* 50k chained combs: the old recursive DFS overflowed the stack long
+     before this. Both backends must survive and agree. *)
+  let n = 50_000 in
+  let net, x, o = deep_chain_netlist n in
+  let sim = Sim.create net in
+  Sim.set_input sim x 5;
+  Sim.settle sim;
+  check Alcotest.int "interp deep chain" (5 + n) (Sim.value sim o);
+  let c = Csim.create net in
+  Csim.set_input c x 5;
+  Csim.settle c;
+  check Alcotest.int "compiled deep chain" (5 + n) (Csim.value c o)
+
+let test_comb_cycle_still_detected () =
+  let net = NL.create "loop" in
+  let a = NL.fresh net ~name:"a" ~width:8 in
+  let b = NL.fresh net ~name:"b" ~width:8 in
+  NL.assign net a (NL.Ref b);
+  NL.assign net b (NL.Ref a);
+  (match Sim.create net with
+  | exception Sim.Combinational_cycle names ->
+    check Alcotest.bool "cycle names reported" true (List.length names >= 2)
+  | _ -> Alcotest.fail "expected Combinational_cycle")
+
+(* ------------------------------------------------------------------ *)
+(* Random-netlist differential oracle                                  *)
+(* ------------------------------------------------------------------ *)
+
+let binops =
+  Soc_kernel.Ast.
+    [| Add; Sub; Mul; Div; Rem; Udiv; Urem; Band; Bor; Bxor; Shl; Shr; Ashr;
+       Eq; Ne; Lt; Le; Gt; Ge; Ult; Ule; Ugt; Uge |]
+
+let unops = Soc_kernel.Ast.[| Neg; Bnot; Lnot |]
+
+(* Layered construction: every expression references only signals that
+   already exist, so the combinational part is a DAG by construction
+   (register outputs and memory read ports may feed anything). *)
+let random_netlist seed =
+  let rng = Soc_util.Rng.create seed in
+  let rand n = Soc_util.Rng.int rng n in
+  let net = NL.create "rand" in
+  let inputs =
+    List.init
+      (1 + rand 3)
+      (fun i -> NL.input net ~name:(Printf.sprintf "in%d" i) ~width:(1 + rand 32))
+  in
+  let pool = ref inputs in
+  let pick () = List.nth !pool (rand (List.length !pool)) in
+  let rec rexpr d =
+    if d = 0 || rand 4 = 0 then
+      if rand 3 = 0 then NL.Const (rand 0x10000, 1 + rand 32) else NL.Ref (pick ())
+    else
+      match rand 8 with
+      | 0 -> NL.Un (unops.(rand 3), rexpr (d - 1))
+      | 1 -> NL.Mux (rexpr (d - 1), rexpr (d - 1), rexpr (d - 1))
+      | _ -> NL.Bin (binops.(rand 23), rexpr (d - 1), rexpr (d - 1))
+  in
+  let comb_layer tag n =
+    for i = 0 to n - 1 do
+      let s =
+        NL.fresh net ~name:(Printf.sprintf "%s%d" tag i) ~width:(1 + rand 32)
+      in
+      NL.assign net s (rexpr (1 + rand 3));
+      pool := s :: !pool
+    done
+  in
+  comb_layer "w" (3 + rand 10);
+  for i = 0 to rand 4 - 1 do
+    let q =
+      NL.register net ~reset_value:(rand 0x100)
+        ~enable:(if rand 2 = 0 then NL.one else rexpr 2)
+        ~name:(Printf.sprintf "r%d" i) ~width:(1 + rand 32)
+        (fun q -> NL.Bin (Soc_kernel.Ast.Add, NL.Ref q, rexpr 2))
+    in
+    pool := q :: !pool
+  done;
+  if rand 2 = 0 then begin
+    let size = 4 + rand 12 in
+    let rdata =
+      NL.add_mem net ~name:"m0" ~size ~width:(1 + rand 32) ~raddr:(rexpr 2)
+        ~wen:(rexpr 1) ~waddr:(rexpr 2) ~wdata:(rexpr 2)
+        ?init:
+          (if rand 2 = 0 then Some (Array.init size (fun _ -> rand 0x10000))
+           else None)
+        ()
+    in
+    pool := rdata :: !pool
+  end;
+  comb_layer "z" (2 + rand 6);
+  List.iteri
+    (fun i s ->
+      let o = NL.output net ~name:(Printf.sprintf "out%d" i) ~width:s.NL.width in
+      NL.assign net o (NL.Ref s))
+    (List.filteri (fun i _ -> i < 1 + rand 3) !pool);
+  (net, inputs)
+
+(* Everything the DCE contract keeps observable must agree cycle by
+   cycle: outputs, register states, memory read ports; and the memory
+   arrays must match at the end. *)
+let diff_run seed =
+  let net, inputs = random_netlist seed in
+  let rng = Soc_util.Rng.create (seed lxor 0x5bd1e995) in
+  let sim = Sim.create net in
+  let c = Csim.create net in
+  let observed =
+    net.NL.outputs
+    @ List.map (fun (r : NL.reg) -> r.NL.q) net.NL.regs
+    @ List.map (fun (m : NL.mem) -> m.NL.rdata) net.NL.mems
+  in
+  for cyc = 1 to 15 do
+    List.iter
+      (fun i ->
+        let v = Soc_util.Rng.int rng 0x40000000 in
+        Sim.set_input sim i v;
+        Csim.set_input c i v)
+      inputs;
+    Sim.settle sim;
+    Csim.settle c;
+    List.iter
+      (fun s ->
+        if Sim.value sim s <> Csim.value c s then
+          Alcotest.failf "seed %d cycle %d: %s interp=%d compiled=%d" seed cyc
+            s.NL.sname (Sim.value sim s) (Csim.value c s))
+      observed;
+    Sim.tick sim;
+    Csim.tick c
+  done;
+  List.iter
+    (fun (m : NL.mem) ->
+      let a = Option.get (Sim.mem_contents sim m.NL.mem_name) in
+      let b = Option.get (Csim.mem_contents c m.NL.mem_name) in
+      if a <> b then Alcotest.failf "seed %d: memory %s diverged" seed m.NL.mem_name)
+    net.NL.mems;
+  true
+
+let test_differential_random =
+  QCheck.Test.make ~count:60 ~name:"compiled = interpreted on random netlists"
+    QCheck.(make Gen.(0 -- 100_000))
+    diff_run
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer: folds, specializes and sweeps without changing meaning   *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimizer_folds_and_dce () =
+  let net = NL.create "opt" in
+  let x = NL.input net ~name:"x" ~width:32 in
+  (* Constant subgraph: (3 + 4) * 2 folds to 14 at lowering time. *)
+  let k = NL.fresh net ~name:"k" ~width:32 in
+  NL.assign net k
+    (NL.Bin
+       ( Soc_kernel.Ast.Mul,
+         NL.Bin (Soc_kernel.Ast.Add, NL.Const (3, 32), NL.Const (4, 32)),
+         NL.Const (2, 32) ));
+  (* Two structurally identical subexpressions: CSE shares them. *)
+  let shared () = NL.Bin (Soc_kernel.Ast.Mul, NL.Ref x, NL.Ref x) in
+  let a = NL.fresh net ~name:"a" ~width:32 in
+  NL.assign net a (NL.Bin (Soc_kernel.Ast.Add, shared (), NL.Ref k));
+  let b = NL.fresh net ~name:"b" ~width:32 in
+  NL.assign net b (NL.Bin (Soc_kernel.Ast.Sub, shared (), NL.Ref k));
+  (* A mux with a constant selector specializes to one arm. *)
+  let m = NL.fresh net ~name:"m" ~width:32 in
+  NL.assign net m (NL.Mux (NL.Const (1, 1), NL.Ref a, NL.Ref b));
+  (* Dead logic: never reaches an output or state element. *)
+  let dead = NL.fresh net ~name:"dead" ~width:32 in
+  NL.assign net dead (NL.Bin (Soc_kernel.Ast.Mul, NL.Ref x, NL.Const (99, 32)));
+  let o = NL.output net ~name:"o" ~width:32 in
+  NL.assign net o (NL.Ref m);
+  let c = Csim.create net in
+  let st = Csim.stats c in
+  check Alcotest.bool "constants folded" true (st.Tape.folded > 0);
+  check Alcotest.bool "mux specialized" true (st.Tape.mux_selected > 0);
+  check Alcotest.bool "CSE fired" true (st.Tape.cse_hits > 0);
+  check Alcotest.bool "dead code removed" true (st.Tape.dce_removed > 0);
+  check Alcotest.bool "tape shrank" true (st.Tape.final < st.Tape.lowered);
+  (* And the optimized tape still agrees with the oracle. *)
+  let sim = Sim.create net in
+  List.iter
+    (fun v ->
+      Sim.set_input sim x v;
+      Csim.set_input c x v;
+      Sim.settle sim;
+      Csim.settle c;
+      check Alcotest.int (Printf.sprintf "o(x=%d)" v) (Sim.value sim o)
+        (Csim.value c o))
+    [ 0; 1; 7; 0xFFFFFFFF; 123456 ]
+
+(* ------------------------------------------------------------------ *)
+(* Tape serialization: versioned text, total deserializer              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tape_roundtrip () =
+  let net, _ = random_netlist 42 in
+  let tape = Opt.run (Tape.lower net) in
+  let s = Tape.serialize tape in
+  let tape' = Tape.deserialize s in
+  check Alcotest.string "roundtrip is byte-stable" s (Tape.serialize tape');
+  (* The deserialized tape must drive a working simulator. *)
+  ignore (Csim.of_tape tape' net)
+
+let test_tape_rejects_garbage () =
+  let reject s =
+    match Tape.deserialize s with
+    | exception Tape.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected Parse_error on %S" (String.sub s 0 (min 20 (String.length s)))
+  in
+  reject "";
+  reject "not-a-tape\n";
+  reject "soc-tape-v0\nmod x\n";
+  let net, _ = random_netlist 43 in
+  let good = Tape.serialize (Opt.run (Tape.lower net)) in
+  reject (String.sub good 0 (String.length good / 2))
+
+let test_tape_mismatch_detected () =
+  let net_a, _ = random_netlist 44 in
+  let net_b = NL.create "other" in
+  let x = NL.input net_b ~name:"x" ~width:8 in
+  let o = NL.output net_b ~name:"o" ~width:8 in
+  NL.assign net_b o (NL.Ref x);
+  let tape_a = Opt.run (Tape.lower net_a) in
+  match Csim.of_tape tape_a net_b with
+  | exception Csim.Tape_mismatch _ -> ()
+  | _ -> Alcotest.fail "expected Tape_mismatch on a foreign tape"
+
+(* ------------------------------------------------------------------ *)
+(* Engine dispatch and the farm tape cache                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_backend_dispatch () =
+  let net, inputs = random_netlist 7 in
+  let a = Engine.create ~backend:Engine.Interp net in
+  let b = Engine.create ~backend:Engine.Compiled net in
+  check Alcotest.bool "interp tag" true (Engine.backend_of a = Engine.Interp);
+  check Alcotest.bool "compiled tag" true (Engine.backend_of b = Engine.Compiled);
+  check Alcotest.bool "stats only on compiled" true
+    (Engine.stats a = None && Engine.stats b <> None);
+  List.iter
+    (fun i ->
+      Engine.set_input a i 3;
+      Engine.set_input b i 3)
+    inputs;
+  Engine.settle a;
+  Engine.settle b;
+  List.iter
+    (fun o -> check Alcotest.int o.NL.sname (Engine.value a o) (Engine.value b o))
+    net.NL.outputs
+
+let test_tape_cache_warm_and_disk () =
+  let dir = Filename.temp_file "soctape" ".cache" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> Engine.install_tape_cache None)
+    (fun () ->
+      let net, _ = random_netlist 11 in
+      let cache = Soc_farm.Cache.create ~disk_dir:dir () in
+      Soc_farm.Cache.enable_tape_cache cache;
+      let l0 = Engine.lowering_count () in
+      ignore (Engine.create net);
+      check Alcotest.int "cold round lowers once" (l0 + 1) (Engine.lowering_count ());
+      ignore (Engine.create net);
+      check Alcotest.int "warm round lowers nothing" (l0 + 1) (Engine.lowering_count ());
+      let ts = Soc_farm.Cache.tape_stats cache in
+      check Alcotest.int "stored once" 1 ts.Soc_farm.Cache.tape_stores;
+      check Alcotest.bool "memory hit" true (ts.Soc_farm.Cache.tape_hits >= 1);
+      (* A fresh cache over the same disk directory: the tape comes back
+         from the verified disk layer, still with zero lowering. *)
+      let cache2 = Soc_farm.Cache.create ~disk_dir:dir () in
+      Soc_farm.Cache.enable_tape_cache cache2;
+      ignore (Engine.create net);
+      check Alcotest.int "disk round lowers nothing" (l0 + 1) (Engine.lowering_count ());
+      let ts2 = Soc_farm.Cache.tape_stats cache2 in
+      check Alcotest.int "disk hit" 1 ts2.Soc_farm.Cache.tape_disk_hits)
+
+let test_tape_cache_corruption_quarantined () =
+  let dir = Filename.temp_file "soctape" ".cache" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> Engine.install_tape_cache None)
+    (fun () ->
+      let net, _ = random_netlist 12 in
+      let cache = Soc_farm.Cache.create ~disk_dir:dir () in
+      Soc_farm.Cache.enable_tape_cache cache;
+      ignore (Engine.create net);
+      (* Flip a byte in every stored tape entry. *)
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".tape" then begin
+            let path = Filename.concat dir f in
+            let ic = open_in_bin path in
+            let len = in_channel_length ic in
+            let buf = really_input_string ic len in
+            close_in ic;
+            let b = Bytes.of_string buf in
+            Bytes.set b (len / 2) '\xff';
+            let oc = open_out_bin path in
+            output_bytes oc b;
+            close_out oc
+          end)
+        (Sys.readdir dir);
+      (* A fresh cache must quarantine the corrupt entry and fall back to
+         compiling — never crash, never deserialize garbage. *)
+      let cache2 = Soc_farm.Cache.create ~disk_dir:dir () in
+      Soc_farm.Cache.enable_tape_cache cache2;
+      let l0 = Engine.lowering_count () in
+      ignore (Engine.create net);
+      check Alcotest.int "corrupt entry recompiled" (l0 + 1) (Engine.lowering_count ());
+      check Alcotest.bool "diagnostic emitted" true
+        (Soc_farm.Cache.diags cache2 <> []))
+
+(* ------------------------------------------------------------------ *)
+(* VCD byte-identity on a real HLS netlist (Otsu grayScale)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_vcd_byte_identical_on_otsu () =
+  let width = 8 and height = 8 in
+  (* Arch1's one hardware node: computeHistogram (BRAM + streams). *)
+  let kernels = Soc_apps.Graphs.arch_kernels Soc_apps.Graphs.Arch1 ~width ~height in
+  let _, k = List.hd kernels in
+  let accel = Soc_hls.Engine.synthesize k in
+  let fsmd = accel.Soc_hls.Engine.fsmd in
+  let net = fsmd.Soc_hls.Fsmd.netlist in
+  let sim = Sim.create net in
+  let c = Csim.create net in
+  let vcd_i = Soc_rtl.Vcd.create net sim in
+  let vcd_c = Soc_rtl.Vcd.create_with net ~read:(Csim.value c) in
+  let rng = Soc_util.Rng.create 99 in
+  let _, xs = List.hd fsmd.Soc_hls.Fsmd.stream_in in
+  let drive s v =
+    Sim.set_input sim s v;
+    Csim.set_input c s v
+  in
+  drive fsmd.Soc_hls.Fsmd.ap_start 1;
+  for _ = 1 to 400 do
+    drive xs.Soc_hls.Fsmd.in_tvalid 1;
+    drive xs.Soc_hls.Fsmd.in_tdata (Soc_util.Rng.int rng 0x1000000);
+    List.iter
+      (fun (_, ys) -> drive ys.Soc_hls.Fsmd.out_tready 1)
+      fsmd.Soc_hls.Fsmd.stream_out;
+    Sim.settle sim;
+    Csim.settle c;
+    Soc_rtl.Vcd.sample vcd_i;
+    Soc_rtl.Vcd.sample vcd_c;
+    Sim.tick sim;
+    Csim.tick c
+  done;
+  check Alcotest.bool "VCD byte-identical" true
+    (Soc_rtl.Vcd.to_string vcd_i = Soc_rtl.Vcd.to_string vcd_c)
+
+let suite =
+  [
+    Alcotest.test_case "topo: 50k-deep comb chain, both backends" `Quick
+      test_deep_chain_stack_safe;
+    Alcotest.test_case "topo: combinational cycle still detected" `Quick
+      test_comb_cycle_still_detected;
+    qtest test_differential_random;
+    Alcotest.test_case "optimizer folds, specializes, sweeps; meaning kept" `Quick
+      test_optimizer_folds_and_dce;
+    Alcotest.test_case "tape text roundtrip is byte-stable" `Quick test_tape_roundtrip;
+    Alcotest.test_case "tape deserializer rejects garbage" `Quick
+      test_tape_rejects_garbage;
+    Alcotest.test_case "foreign tape rejected by executor" `Quick
+      test_tape_mismatch_detected;
+    Alcotest.test_case "engine dispatches both backends" `Quick
+      test_engine_backend_dispatch;
+    Alcotest.test_case "farm tape cache: warm rounds never re-lower" `Quick
+      test_tape_cache_warm_and_disk;
+    Alcotest.test_case "farm tape cache: corruption quarantined" `Quick
+      test_tape_cache_corruption_quarantined;
+    Alcotest.test_case "VCD byte-identical across backends (Otsu)" `Quick
+      test_vcd_byte_identical_on_otsu;
+  ]

@@ -20,6 +20,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("workloads", Test_workloads.suite);
       ("cosim", Test_cosim.suite);
+      ("csim", Test_csim.suite);
       ("fault", Test_fault.suite);
       ("perf", Test_perf.suite);
       ("farm", Test_farm.suite);

@@ -627,14 +627,19 @@ let port_arg ~default =
        ~doc:"TCP port. For serve, 0 picks an ephemeral port (printed at startup).")
 
 let serve_cmd =
-  let run host port workers queue_cap deadline_ms cache_dir max_mb kill sim =
+  let run host port workers queue_cap deadline_ms cache_dir max_mb kill sim
+      breaker_threshold breaker_cooldown_ms build_timeout_ms max_worker_restarts
+      idle_timeout_ms max_sessions =
     require_cache_dir ~resume:false cache_dir;
     Soc_rtl_compile.Engine.set_default_backend sim;
     let cfg =
       { Soc_serve.Server.default_config with
         host; port; workers; queue_cap; default_deadline_ms = deadline_ms;
         cache_dir; cache_max_mb = max_mb; kill;
-        kernels = builtin_kernels () }
+        kernels = builtin_kernels ();
+        breaker_threshold; breaker_cooldown_ms;
+        build_timeout_ms; max_worker_restarts;
+        idle_session_timeout_ms = idle_timeout_ms; max_sessions }
     in
     let srv =
       try Soc_serve.Server.start cfg
@@ -678,6 +683,38 @@ let serve_cmd =
                the daemon fscks both at startup and resumes committed work, so \
                a killed server restarted on the same $(docv) loses nothing.")
   in
+  let breaker_threshold_arg =
+    Arg.(value & opt int 3 & info [ "breaker-threshold" ] ~docv:"K"
+         ~doc:"Open a spec's circuit breaker after $(docv) consecutive build \
+               failures of the same coalescing key; while open, submits of that \
+               spec are rejected as poisoned without running. 0 disables.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(value & opt int 30000 & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+         ~doc:"How long an open breaker rejects before letting one probe \
+               build through (success closes it, failure re-opens).")
+  in
+  let build_timeout_arg =
+    Arg.(value & opt (some int) None & info [ "build-timeout-ms" ] ~docv:"MS"
+         ~doc:"Wall cap per running build, enforced by the watchdog even when \
+               the request named no deadline: a build past it is expired, its \
+               waiters unblock, and the wedged worker is replaced.")
+  in
+  let max_restarts_arg =
+    Arg.(value & opt int 8 & info [ "max-worker-restarts" ] ~docv:"N"
+         ~doc:"Worker replacements allowed inside a 60 s window before the pool \
+               is declared degraded instead of restart-thrashing.")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt (some int) None & info [ "idle-timeout-ms" ] ~docv:"MS"
+         ~doc:"Drop client sessions idle longer than $(docv), so slow or dead \
+               clients cannot pin connection slots forever.")
+  in
+  let max_sessions_arg =
+    Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N"
+         ~doc:"Concurrent client connection cap; connections beyond it are \
+               answered with an error and closed.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -689,7 +726,9 @@ let serve_cmd =
           the armed crash point fires inside one build (exit 137) and a restart \
           on the same --cache-dir recovers.")
     Term.(const run $ host_arg $ port_arg ~default:0 $ workers_arg $ queue_cap_arg
-          $ deadline_arg $ cache_dir_arg $ cache_max_mb_arg $ kill_arg $ sim_arg)
+          $ deadline_arg $ cache_dir_arg $ cache_max_mb_arg $ kill_arg $ sim_arg
+          $ breaker_threshold_arg $ breaker_cooldown_arg $ build_timeout_arg
+          $ max_restarts_arg $ idle_timeout_arg $ max_sessions_arg)
 
 let client_cmd =
   let with_client host port f =
@@ -800,13 +839,18 @@ let client_cmd =
               Soc_serve.Protocol.(to_string (encode_response (Stats_r s)))
           | `Text ->
             let open Soc_serve.Protocol in
-            Printf.printf "uptime: %.0f ms, %d worker(s)%s\n" s.uptime_ms s.workers
+            Printf.printf "uptime: %.0f ms, %d/%d worker(s) live%s%s\n" s.uptime_ms
+              s.live_workers s.workers
+              (if s.degraded then ", DEGRADED" else "")
               (if s.draining then ", draining" else "");
             Printf.printf
               "requests: %d submitted (%d coalesced), %d completed, %d failed, %d expired\n"
               s.submitted s.coalesced s.completed s.failed s.expired;
-            Printf.printf "rejected: %d backpressure, %d check/parse\n"
-              s.rejected_queue s.rejected_check;
+            Printf.printf "rejected: %d backpressure, %d check/parse, %d poisoned\n"
+              s.rejected_queue s.rejected_check s.rejected_poisoned;
+            Printf.printf
+              "supervision: %d worker restart(s), %d watchdog fire(s), %d breaker key(s) open, %d sim fallback(s)\n"
+              s.worker_restarts s.watchdog_fires s.breaker_open_keys s.sim_fallbacks;
             Printf.printf "queue: %d deep, %d running\n" s.queue_depth s.running;
             Printf.printf
               "cache: %d hits, %d disk hits, %d misses (hit rate %.2f), %d engine run(s)\n"
@@ -846,8 +890,39 @@ let client_cmd =
 (* ---------------- chaos ---------------- *)
 
 let chaos_cmd =
-  let run seed faults width height no_fallback permanent bit_flips arch sim =
+  let serve_campaign workers cache_dir manifest_out =
+    (* Serve-mode chaos: an in-process daemon under injected engine
+       crashes, hangs, poison specs, wire abuse and slow clients. Good
+       specs are the four Otsu architectures; the poison pill is the
+       XTEA loopback (its encrypt kernel armed to raise) and the hung
+       build is the FIR pipeline (its smoothing kernel armed to hang). *)
+    let cfg =
+      { Soc_serve.Chaos.workers;
+        kernels = builtin_kernels ();
+        good_sources =
+          List.map
+            (fun a -> Soc_core.Printer.to_source (Soc_apps.Graphs.arch_spec a))
+            Soc_apps.Graphs.all_archs;
+        poison_source = Soc_core.Printer.to_source Soc_apps.Xtea.loopback_spec;
+        poison_kernel = "xteaEnc";
+        hang_source = Soc_core.Printer.to_source Soc_apps.Fir.pipeline_spec;
+        hang_kernel = "smooth";
+        cache_dir }
+    in
+    let r = Soc_serve.Chaos.run cfg in
+    print_string (Soc_serve.Chaos.render r);
+    (match manifest_out with
+    | Some path when r.Soc_serve.Chaos.manifest <> "" ->
+      Soc_util.Atomic_io.write_file path r.Soc_serve.Chaos.manifest;
+      Printf.printf "manifest written to %s\n" path
+    | _ -> ());
+    if not r.Soc_serve.Chaos.healthy then exit 1
+  in
+  let run seed faults width height no_fallback permanent bit_flips arch sim serve
+      serve_workers cache_dir manifest_out =
     Soc_rtl_compile.Engine.set_default_backend sim;
+    if serve then serve_campaign serve_workers cache_dir manifest_out
+    else
     let archs =
       match arch with
       | None -> Soc_apps.Graphs.all_archs
@@ -941,6 +1016,27 @@ let chaos_cmd =
              ("3", Soc_apps.Graphs.Arch3); ("4", Soc_apps.Graphs.Arch4) ])) None
          & info [ "arch" ] ~docv:"N" ~doc:"Run a single architecture (1-4; default all).")
   in
+  let serve_arg =
+    Arg.(value & flag & info [ "serve" ]
+         ~doc:"Run the serve-mode campaign instead: a live in-process daemon \
+               under injected engine crashes and hangs, worker deaths, a poison \
+               spec, wire-level abuse and slow clients. Exits 1 unless the \
+               daemon self-heals through all of it.")
+  in
+  let serve_workers_arg =
+    Arg.(value & opt int 2 & info [ "serve-workers" ] ~docv:"N"
+         ~doc:"Worker pool size of the serve-mode campaign daemon.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persistent cache directory for the serve-mode campaign's \
+               restart phase (fresh directories recommended).")
+  in
+  let manifest_out_arg =
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE"
+         ~doc:"Write the serve-mode campaign's post-restart manifest to \
+               $(docv) — comparable with 'socdsl farm --manifest'.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -948,9 +1044,13 @@ let chaos_cmd =
           seeded fault-injection campaign (accelerator hangs, spurious dones, DMA \
           stalls and errors, stuck FIFOs, bus SLVERRs) with the fault-tolerant \
           runtime (watchdog, soft reset + retry, software fallback), and verify \
-          the output stays bit-identical to the golden model.")
+          the output stays bit-identical to the golden model. With --serve, \
+          chaos-test the generation daemon itself instead: injected HLS/simulator \
+          faults, worker deaths, poison specs, wedged builds and hostile clients \
+          must all be contained by its supervision layer.")
     Term.(const run $ seed_arg $ faults_arg $ width_arg $ height_arg $ no_fallback_arg
-          $ permanent_arg $ bit_flips_arg $ arch_arg $ sim_arg)
+          $ permanent_arg $ bit_flips_arg $ arch_arg $ sim_arg $ serve_arg
+          $ serve_workers_arg $ cache_dir_arg $ manifest_out_arg)
 
 (* ---------------- demo ---------------- *)
 

@@ -168,6 +168,13 @@ let build_batch ?jobs ?hls_config ?fifo_depth ?cache ?retries ?backoff ?timeout 
     ?trace ?journal ?kill (entries : Jobgraph.entry list) : report =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   let trace = match trace with Some t -> t | None -> Trace.create () in
+  (* Service-fault injection point: models a planner/batch crash that a
+     supervised caller (the serve daemon) must contain. *)
+  Fault.Service.step Fault.Service.Batch
+    ~label:
+      (String.concat ","
+         (List.map (fun (e : Jobgraph.entry) -> e.Jobgraph.spec.Soc_core.Spec.design_name) entries))
+    ();
   let graph = Jobgraph.plan ?hls_config ?fifo_depth entries in
   (* Journal replay: prefetch (and thereby digest-verify) the artifact of
      every job the journal says completed — a verified artifact is the

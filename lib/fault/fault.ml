@@ -281,6 +281,120 @@ let pick_kill_point ~seed points =
     Some (Kill_at (stage, k))
 
 (* ------------------------------------------------------------------ *)
+(* Service faults: exception / hang injection in the tool's own paths  *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash points above kill the whole process; service faults model the
+   *survivable* failures a generation service must contain: an engine
+   that raises on one kernel (a poison request), an engine that wedges
+   (a hung build), a worker thread that dies between jobs. Each named
+   point is stepped by the corresponding layer; arming is global and
+   thread-safe so a daemon under test can be poisoned from the outside
+   without plumbing injector handles through every layer. *)
+
+module Service = struct
+  type point = Hls | Csim | Batch | Worker
+
+  let point_name = function
+    | Hls -> "hls"
+    | Csim -> "csim"
+    | Batch -> "batch"
+    | Worker -> "worker"
+
+  type behaviour =
+    | Raise of string
+    | Hang of float
+
+  exception Injected of string
+
+  let () =
+    Printexc.register_printer (function
+      | Injected msg -> Some (Printf.sprintf "Soc_fault.Fault.Service.Injected(%s)" msg)
+      | _ -> None)
+
+  type slot = {
+    mutable armed : (behaviour * string option * int) option;
+        (* behaviour, only-this-label filter, shots remaining *)
+    mutable hits : int;
+  }
+
+  let lock = Mutex.create ()
+  let released = ref false
+  let fresh_slot () = { armed = None; hits = 0 }
+
+  let slots =
+    [ (Hls, fresh_slot ()); (Csim, fresh_slot ()); (Batch, fresh_slot ());
+      (Worker, fresh_slot ()) ]
+
+  let slot p = List.assq p slots
+
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let arm point ?only ?(times = max_int) behaviour =
+    locked (fun () ->
+        released := false;
+        (slot point).armed <- (if times <= 0 then None else Some (behaviour, only, times)))
+
+  let disarm point = locked (fun () -> (slot point).armed <- None)
+
+  let release_hangs () = locked (fun () -> released := true)
+
+  let reset () =
+    locked (fun () ->
+        released := true;
+        List.iter
+          (fun (_, s) ->
+            s.armed <- None;
+            s.hits <- 0)
+          slots)
+
+  let hits point = locked (fun () -> (slot point).hits)
+
+  (* A releasable sleep: wakes every few milliseconds so [release_hangs]
+     (or [reset]) frees a wedged thread promptly — tests and campaigns
+     can abandon a hung worker and still tear the process down. *)
+  let hang_for dur =
+    let t0 = Unix.gettimeofday () in
+    let rec go () =
+      let done_ = locked (fun () -> !released) in
+      if (not done_) && Unix.gettimeofday () -. t0 < dur then begin
+        Unix.sleepf 0.005;
+        go ()
+      end
+    in
+    go ()
+
+  let step point ?label () =
+    let fire =
+      locked (fun () ->
+          let s = slot point in
+          match s.armed with
+          | None -> None
+          | Some (b, only, times) ->
+            let matches =
+              match only with None -> true | Some want -> Some want = label
+            in
+            if not matches then None
+            else begin
+              s.hits <- s.hits + 1;
+              s.armed <- (if times <= 1 then None else Some (b, only, times - 1));
+              Some b
+            end)
+    in
+    match fire with
+    | None -> ()
+    | Some (Raise msg) ->
+      raise
+        (Injected
+           (Printf.sprintf "%s%s: %s" (point_name point)
+              (match label with Some l -> "(" ^ l ^ ")" | None -> "")
+              msg))
+    | Some (Hang dur) -> hang_for dur
+end
+
+(* ------------------------------------------------------------------ *)
 (* Bit-flip machinery over byte strings                                *)
 (* ------------------------------------------------------------------ *)
 

@@ -148,6 +148,53 @@ val pick_kill_point : seed:int -> (string * int) list -> crash_point option
 (** Seeded uniform choice among enumerated kill points; [None] on an
     empty list. *)
 
+(** {2 Service faults (survivable tool-level failures)} *)
+
+(** Deterministic exception / hang injection in the tool's own code
+    paths. Where {!crash_point} kills the whole process, a service fault
+    models what a *supervised* generation daemon must contain and
+    recover from: an HLS engine that raises on one kernel (a poison
+    request), a compiled-simulator lowering that fails (degrade to the
+    interpreter), a batch planner crash, a worker thread that dies.
+    Arming is global and thread-safe; every injection point is a no-op
+    unless explicitly armed, so production paths pay one mutex-free
+    [None] check. *)
+module Service : sig
+  type point =
+    | Hls  (** stepped at each real HLS engine invocation, label = kernel name *)
+    | Csim  (** stepped at each compiled-tape lowering *)
+    | Batch  (** stepped at each [Farm.build_batch] entry, label = design names *)
+    | Worker  (** stepped by each serve worker between jobs *)
+
+  val point_name : point -> string
+
+  type behaviour =
+    | Raise of string  (** raise {!Injected} with this message *)
+    | Hang of float  (** sleep up to this many seconds (releasable) *)
+
+  exception Injected of string
+
+  val arm : point -> ?only:string -> ?times:int -> behaviour -> unit
+  (** Arm [point]: the next [times] (default: unlimited) steps whose
+      label matches [only] (default: any) perform [behaviour]. Re-arming
+      replaces the previous setting. *)
+
+  val disarm : point -> unit
+
+  val step : point -> ?label:string -> unit -> unit
+  (** Consult the armed behaviour; called by the instrumented layers. *)
+
+  val hits : point -> int
+  (** How many times [point] actually fired since the last {!reset}. *)
+
+  val release_hangs : unit -> unit
+  (** Wake every thread currently sleeping in an injected [Hang] (and
+      make future hangs return immediately until the next {!arm}). *)
+
+  val reset : unit -> unit
+  (** Disarm every point, zero the hit counters, release hangs. *)
+end
+
 (** {2 Bit-flip machinery over byte strings} *)
 
 val flip_bit_in_blob : string -> byte:int -> bit:int -> string

@@ -48,6 +48,11 @@ let invocations = Atomic.make 0
 let invocation_count () = Atomic.get invocations
 
 let synthesize ?(config = default_config) (k : Soc_kernel.Ast.kernel) : accel =
+  (* Service-fault injection point: an armed behaviour for this kernel
+     name raises or hangs here, exactly like a real synthesis bug bound
+     to one input. Stepped before the invocation counter so poisoned
+     requests never count as engine work. *)
+  Soc_fault.Fault.Service.step Soc_fault.Fault.Service.Hls ~label:k.kname ();
   Atomic.incr invocations;
   let cfg = Soc_kernel.Cfg.of_kernel k in
   if config.optimize then ignore (Soc_kernel.Opt.run cfg);

@@ -38,12 +38,52 @@ let install_tape_cache c = cache := c
 let lowerings = ref 0
 let lowering_count () = !lowerings
 
+(* Degradation ladder: a netlist the compiled backend cannot lower (or
+   load) falls back to the reference interpreter instead of failing the
+   build — the service-level mirror of the executive's hw -> sw ladder.
+   Keys that failed once are remembered so repeated instantiations skip
+   straight to the interpreter; every fallback is counted for the
+   daemon's supervision stats. *)
+let fallbacks = Atomic.make 0
+let fallback_count () = Atomic.get fallbacks
+
+let degraded_lock = Mutex.create ()
+let degraded_tbl : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let degraded_key key =
+  Mutex.lock degraded_lock;
+  let r = Hashtbl.mem degraded_tbl key in
+  Mutex.unlock degraded_lock;
+  r
+
+let mark_degraded key =
+  Mutex.lock degraded_lock;
+  Hashtbl.replace degraded_tbl key ();
+  Mutex.unlock degraded_lock
+
+let degraded_key_count () =
+  Mutex.lock degraded_lock;
+  let n = Hashtbl.length degraded_tbl in
+  Mutex.unlock degraded_lock;
+  n
+
+(* Forget every degraded key (the fallback counter is left alone) —
+   lets tests that deliberately poison a lowering restore isolation. *)
+let clear_degraded () =
+  Mutex.lock degraded_lock;
+  Hashtbl.reset degraded_tbl;
+  Mutex.unlock degraded_lock
+
+exception Degraded of string
+(* Internal: this key already failed to compile; [create] catches it. *)
+
 type t = Interp_sim of Sim.t | Compiled_sim of Csim.t
 
 let backend_of = function Interp_sim _ -> Interp | Compiled_sim _ -> Compiled
 
 let compile net =
   let fresh () =
+    Soc_fault.Fault.Service.step Soc_fault.Fault.Service.Csim ();
     incr lowerings;
     Csim.create net
   in
@@ -51,6 +91,7 @@ let compile net =
   | None -> fresh ()
   | Some c ->
     let key = Tape.netlist_key net in
+    if degraded_key key then raise (Degraded key);
     (match c.tc_find ~key with
     | Some tape -> (
       (* A mismatched entry (corrupt store, key collision) must never take
@@ -67,21 +108,41 @@ let compile net =
 
 (* Precompile a netlist into the installed cache (no simulator needed):
    lets the farm pay the lowering cost at synthesis time so later
-   instantiations — including in other processes — are pure cache hits. *)
+   instantiations — including in other processes — are pure cache hits.
+   A lowering failure here is absorbed into the ladder: the key is
+   marked degraded, the fallback counted, and the build carries on with
+   the interpreter at instantiation time. *)
 let precompile net =
   match !cache with
   | None -> ()
   | Some c ->
     let key = Tape.netlist_key net in
-    if c.tc_find ~key = None then begin
-      incr lowerings;
-      c.tc_store ~key (Opt.run (Tape.lower net))
+    if (not (degraded_key key)) && c.tc_find ~key = None then begin
+      match
+        Soc_fault.Fault.Service.step Soc_fault.Fault.Service.Csim ();
+        incr lowerings;
+        Opt.run (Tape.lower net)
+      with
+      | tape -> c.tc_store ~key tape
+      | exception (Soc_fault.Fault.Killed _ as e) -> raise e
+      | exception _ ->
+        mark_degraded key;
+        Atomic.incr fallbacks
     end
 
 let create ?backend net =
   match (match backend with Some b -> b | None -> !default) with
   | Interp -> Interp_sim (Sim.create net)
-  | Compiled -> Compiled_sim (compile net)
+  | Compiled -> (
+    try Compiled_sim (compile net) with
+    | Soc_fault.Fault.Killed _ as e -> raise e
+    | e ->
+      (* The compiled backend is an optimization, never a single point of
+         failure: remember the bad key, count the fallback, and serve the
+         same netlist from the interpreter. *)
+      (match e with Degraded _ -> () | _ -> mark_degraded (Tape.netlist_key net));
+      Atomic.incr fallbacks;
+      Interp_sim (Sim.create net))
 
 let set_input t s v =
   match t with

@@ -1,0 +1,85 @@
+(* Keyed circuit breakers for poison-pill containment.
+
+   One breaker per coalescing key (content hash of the canonical spec +
+   config). A spec that keeps failing — a poison request that crashes the
+   HLS engine every time — trips its breaker after [threshold]
+   consecutive failures; while open, admission rejects the key
+   immediately instead of burning a worker on a build that is known to
+   die. After [cooldown_ms] the breaker goes half-open and lets exactly
+   one probe through: success closes it, failure reopens it with a fresh
+   cooldown.
+
+   Success on any key resets its consecutive-failure count, so flaky
+   (intermittent) specs never trip; only persistent poison does.
+   Thread-safe; clock injectable for deterministic tests. *)
+
+type state =
+  | Closed of int  (* consecutive failures so far *)
+  | Open of float  (* opened_at, by [clock] *)
+  | Half_open  (* single probe in flight *)
+
+type t = {
+  clock : unit -> float;
+  threshold : int;  (* <= 0 disables the breaker entirely *)
+  cooldown : float;  (* seconds *)
+  lock : Mutex.t;
+  tbl : (string, state) Hashtbl.t;
+  mutable n_trips : int;
+}
+
+type verdict =
+  | Admit
+  | Probe  (* half-open: this caller carries the single probe *)
+  | Reject of float  (* seconds of cooldown remaining *)
+
+let create ?(clock = Unix.gettimeofday) ~threshold ~cooldown_ms () =
+  { clock; threshold; cooldown = float_of_int cooldown_ms /. 1000.0;
+    lock = Mutex.create (); tbl = Hashtbl.create 16; n_trips = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let check t key =
+  if t.threshold <= 0 then Admit
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None | Some (Closed _) -> Admit
+        | Some Half_open -> Reject 0.0 (* a probe is already in flight *)
+        | Some (Open opened_at) ->
+          let elapsed = t.clock () -. opened_at in
+          if elapsed >= t.cooldown then begin
+            Hashtbl.replace t.tbl key Half_open;
+            Probe
+          end
+          else Reject (t.cooldown -. elapsed))
+
+let record t key ~ok =
+  if t.threshold > 0 then
+    locked t (fun () ->
+        if ok then Hashtbl.remove t.tbl key (* close; forget history *)
+        else
+          match Hashtbl.find_opt t.tbl key with
+          | Some (Open _) -> () (* already open; keep the original cooldown *)
+          | Some Half_open ->
+            (* failed probe: reopen with a fresh cooldown *)
+            t.n_trips <- t.n_trips + 1;
+            Hashtbl.replace t.tbl key (Open (t.clock ()))
+          | None | Some (Closed _) ->
+            let n =
+              (match Hashtbl.find_opt t.tbl key with Some (Closed n) -> n | _ -> 0) + 1
+            in
+            if n >= t.threshold then begin
+              t.n_trips <- t.n_trips + 1;
+              Hashtbl.replace t.tbl key (Open (t.clock ()))
+            end
+            else Hashtbl.replace t.tbl key (Closed n))
+
+let open_keys t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ st acc -> match st with Open _ | Half_open -> acc + 1 | Closed _ -> acc)
+        t.tbl 0)
+
+let trips t = locked t (fun () -> t.n_trips)

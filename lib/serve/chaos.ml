@@ -1,0 +1,299 @@
+(* Serve-mode chaos campaign: one scripted adversarial client run against
+   a live in-process daemon, exercising every self-healing layer in
+   sequence — sim-backend degradation, worker crashes, poison-pill
+   breakers, wedged-build watchdogs, wire-level abuse, slow clients —
+   and then proving the daemon is still whole: pool intact, not
+   degraded, still serving, drains cleanly, and a restart on the same
+   cache directory reproduces a byte-identical manifest.
+
+   Each phase is a named check with a pass/fail and a detail string; the
+   campaign is [healthy] iff every check passed. Used by
+   [socdsl chaos --serve] (exit 1 unless healthy) and CI. *)
+
+module Protocol = Protocol
+module Fault = Soc_fault.Fault
+module Farm = Soc_farm.Farm
+
+type config = {
+  workers : int;
+  kernels : (string * Soc_kernel.Ast.kernel) list;
+  good_sources : string list;  (** specs that must build; at least one *)
+  poison_source : string;  (** spec whose kernel the HLS engine will die on *)
+  poison_kernel : string;  (** kernel name armed with a Raise *)
+  hang_source : string;  (** spec whose kernel the HLS engine will hang on *)
+  hang_kernel : string;  (** kernel name armed with a Hang *)
+  cache_dir : string option;  (** persistent dir for the restart check *)
+}
+
+type check = { cname : string; pass : bool; detail : string }
+
+type report = { checks : check list; healthy : bool; manifest : string }
+
+let render r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "serve-chaos campaign\n";
+  Buffer.add_string buf "--------------------\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] %-24s %s\n" (if c.pass then "ok" else "FAIL") c.cname
+           c.detail))
+    r.checks;
+  Buffer.add_string buf
+    (Printf.sprintf "verdict: %s\n" (if r.healthy then "healthy" else "UNHEALTHY"));
+  Buffer.contents buf
+
+(* ---------------- helpers ---------------- *)
+
+let with_client port f =
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* Submit one source and block for its terminal state. *)
+let outcome_of port ?deadline_ms source =
+  with_client port (fun c ->
+      match Client.submit_and_wait c ?deadline_ms source with
+      | Protocol.Rejected { reason; _ }, _ ->
+        `Rejected (Protocol.reject_reason_label reason)
+      | Protocol.Accepted _, Some (Protocol.Result_r { state; _ }) -> (
+        match state with
+        | Protocol.Done -> `Done
+        | Protocol.Failed m -> `Failed m
+        | Protocol.Expired -> `Expired
+        | _ -> `Odd)
+      | _ -> `Odd)
+
+let outcome_label = function
+  | `Done -> "done"
+  | `Failed m -> "failed: " ^ m
+  | `Expired -> "expired"
+  | `Rejected r -> "rejected: " ^ r
+  | `Odd -> "unexpected reply"
+
+(* Poll [p] every 10 ms for up to [for_s] seconds. *)
+let eventually ?(for_s = 5.0) p =
+  let deadline = Unix.gettimeofday () +. for_s in
+  let rec go () =
+    if p () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* A raw (non-Client) TCP connection for wire abuse. *)
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let raw_send fd bytes =
+  let b = Bytes.of_string bytes in
+  ignore (Unix.write fd b 0 (Bytes.length b))
+
+let raw_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let frame_of payload =
+  let n = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set_uint8 hdr 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 hdr 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 hdr 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 hdr 3 (n land 0xff);
+  Bytes.to_string hdr ^ payload
+
+(* ---------------- the campaign ---------------- *)
+
+let run (cfg : config) : report =
+  if cfg.good_sources = [] then invalid_arg "Chaos.run: no good sources";
+  let checks = ref [] in
+  let note cname pass detail = checks := { cname; pass; detail } :: !checks in
+  let idle_ms = 2000 in
+  let scfg =
+    { Server.default_config with
+      workers = cfg.workers; kernels = cfg.kernels; cache_dir = cfg.cache_dir;
+      breaker_threshold = 2; breaker_cooldown_ms = 60_000;
+      build_timeout_ms = Some 5000; watchdog_grace_ms = 100;
+      max_sessions = 32; idle_session_timeout_ms = Some idle_ms }
+  in
+  Fault.Service.reset ();
+  let srv = ref (Server.start scfg) in
+  let manifest = ref "" in
+  Fun.protect
+    ~finally:(fun () -> Fault.Service.reset ())
+    (fun () ->
+      let port () = Server.port !srv in
+
+      (* 1. Sim-backend degradation: the first compiled-tape lowering
+         dies; the build must still succeed on the interpreter. *)
+      Fault.Service.arm Fault.Service.Csim ~times:1 (Fault.Service.Raise "chaos: csim");
+      let oks = List.map (fun src -> outcome_of (port ()) src) cfg.good_sources in
+      let all_done = List.for_all (fun o -> o = `Done) oks in
+      let fb = (Server.stats !srv).Protocol.sim_fallbacks in
+      note "sim-fallback round" (all_done && fb >= 1)
+        (Printf.sprintf "%d/%d done, sim_fallbacks=%d"
+           (List.length (List.filter (fun o -> o = `Done) oks))
+           (List.length oks) fb);
+      Fault.Service.disarm Fault.Service.Csim;
+
+      (* 2. Worker crashes: the next two dispatches kill their worker
+         threads; both requests must fail (not hang), the supervisor
+         must restore the pool, and resubmits must succeed. *)
+      let g0 = List.nth cfg.good_sources 0 in
+      let g1 = List.nth cfg.good_sources (min 1 (List.length cfg.good_sources - 1)) in
+      Fault.Service.arm Fault.Service.Worker ~times:2 (Fault.Service.Raise "chaos: worker");
+      let o0 = outcome_of (port ()) g0 in
+      let o1 = outcome_of (port ()) g1 in
+      let crashed =
+        match (o0, o1) with `Failed _, `Failed _ -> true | _ -> false
+      in
+      let restored =
+        eventually (fun () ->
+            let s = Server.stats !srv in
+            s.Protocol.worker_restarts >= 2
+            && s.Protocol.live_workers >= cfg.workers)
+      in
+      let o0' = outcome_of (port ()) g0 in
+      note "worker supervision"
+        (crashed && restored && o0' = `Done)
+        (Printf.sprintf "crash outcomes [%s; %s], pool restored=%b, resubmit %s"
+           (outcome_label o0) (outcome_label o1) restored (outcome_label o0'));
+      Fault.Service.disarm Fault.Service.Worker;
+
+      (* 3. Poison pill: a spec whose kernel always crashes the engine
+         fails twice, then trips the breaker — the third submit is
+         rejected as poisoned without burning a worker. *)
+      Fault.Service.arm Fault.Service.Hls ~only:cfg.poison_kernel
+        (Fault.Service.Raise "chaos: poison kernel");
+      let p1 = outcome_of (port ()) cfg.poison_source in
+      let p2 = outcome_of (port ()) cfg.poison_source in
+      let p3 = outcome_of (port ()) cfg.poison_source in
+      let s3 = Server.stats !srv in
+      let breaker_ok =
+        (match (p1, p2) with `Failed _, `Failed _ -> true | _ -> false)
+        && p3 = `Rejected "poisoned"
+        && s3.Protocol.breaker_open_keys >= 1
+        && s3.Protocol.rejected_poisoned >= 1
+      in
+      note "poison-pill breaker" breaker_ok
+        (Printf.sprintf "[%s; %s; %s], open_keys=%d" (outcome_label p1)
+           (outcome_label p2) (outcome_label p3) s3.Protocol.breaker_open_keys);
+      Fault.Service.disarm Fault.Service.Hls;
+
+      (* 4. Wedged build: the engine hangs far past the request deadline;
+         the watchdog must expire the request (the waiter unblocks) and
+         replace the abandoned worker. *)
+      Fault.Service.arm Fault.Service.Hls ~only:cfg.hang_kernel ~times:1
+        (Fault.Service.Hang 30.0);
+      let h = outcome_of (port ()) ~deadline_ms:400 cfg.hang_source in
+      let s4 = Server.stats !srv in
+      Fault.Service.release_hangs ();
+      let pool_back =
+        eventually (fun () -> (Server.stats !srv).Protocol.live_workers >= cfg.workers)
+      in
+      note "watchdog expiry"
+        (h = `Expired && s4.Protocol.watchdog_fires >= 1 && pool_back)
+        (Printf.sprintf "outcome %s, watchdog_fires=%d, pool restored=%b"
+           (outcome_label h) s4.Protocol.watchdog_fires pool_back);
+
+      (* 5. Wire abuse: garbage bytes, oversized and truncated frames,
+         instant disconnects, valid frames of invalid JSON — every one
+         answered with a clean error or a dropped session, and the
+         daemon still answers pings. *)
+      let abuse =
+        [ ("garbage", "\xde\xad\xbe\xef\xde\xad\xbe\xef");
+          ("oversized header", "\x7f\xff\xff\xff");
+          ("truncated frame", String.sub (frame_of (String.make 100 'x')) 0 14);
+          ("empty disconnect", "");
+          ("bad json", frame_of "{not json") ]
+      in
+      let wire_ok =
+        List.for_all
+          (fun (_, bytes) ->
+            (try
+               let fd = raw_connect (port ()) in
+               if bytes <> "" then raw_send fd bytes;
+               Thread.delay 0.02;
+               raw_close fd
+             with Unix.Unix_error _ -> ());
+            with_client (port ()) Client.ping)
+          abuse
+      in
+      note "wire abuse" wire_ok
+        (Printf.sprintf "%d attack shapes, daemon answered ping after each"
+           (List.length abuse));
+
+      (* 6. Slow loris: a client that sends half a header and goes
+         silent is dropped by the idle-session timeout instead of
+         pinning a session slot forever. *)
+      let fd = raw_connect (port ()) in
+      raw_send fd "\x00\x00";
+      let dropped =
+        eventually
+          ~for_s:((float_of_int idle_ms /. 1000.0) +. 3.0)
+          (fun () -> Server.session_count !srv = 0)
+      in
+      raw_close fd;
+      note "idle session drop" dropped
+        (Printf.sprintf "half-frame client evicted=%b" dropped);
+
+      (* 7. After all of it: a full good round on an intact pool. *)
+      let oks = List.map (fun src -> outcome_of (port ()) src) cfg.good_sources in
+      let s7 = Server.stats !srv in
+      let intact =
+        List.for_all (fun o -> o = `Done) oks
+        && s7.Protocol.live_workers >= cfg.workers
+        && (not s7.Protocol.degraded)
+        && not s7.Protocol.draining
+      in
+      note "final good round" intact
+        (Printf.sprintf "%d/%d done, live_workers=%d/%d, degraded=%b"
+           (List.length (List.filter (fun o -> o = `Done) oks))
+           (List.length oks) s7.Protocol.live_workers cfg.workers
+           s7.Protocol.degraded);
+
+      (* 8. Clean drain. *)
+      let completed, failed = with_client (port ()) Client.drain in
+      let drained =
+        match Server.wait !srv with `Drained _ -> true | `Killed _ -> false
+      in
+      note "drain" drained (Printf.sprintf "completed=%d failed=%d" completed failed);
+      Server.stop !srv;
+
+      (* 9. Restart on the same cache directory: the rebuilt manifest of
+         a good spec must byte-match a direct farm build. *)
+      Fault.Service.reset ();
+      srv := Server.start scfg;
+      let direct =
+        match Soc_core.Parser.parse ~validate:false g0 with
+        | exception _ -> ""
+        | spec ->
+          let kernels =
+            List.filter
+              (fun (name, _) ->
+                List.exists
+                  (fun (n : Soc_core.Spec.node_spec) -> n.Soc_core.Spec.node_name = name)
+                  spec.Soc_core.Spec.nodes)
+              cfg.kernels
+          in
+          Farm.manifest_json
+            (Farm.build_batch ~jobs:1 [ { Soc_farm.Jobgraph.spec; kernels } ])
+      in
+      let served =
+        with_client (port ()) (fun c ->
+            match Client.submit_and_wait c g0 with
+            | Protocol.Accepted _, Some (Protocol.Result_r { state = Protocol.Done; manifest; _ })
+              -> manifest
+            | _ -> "<not served>")
+      in
+      manifest := served;
+      note "restart manifest" (served <> "" && served = direct)
+        (if served = direct then
+           Printf.sprintf "byte-identical (%d bytes)" (String.length served)
+         else "MISMATCH vs direct farm build");
+      Server.stop !srv;
+
+      let checks = List.rev !checks in
+      { checks; healthy = List.for_all (fun c -> c.pass) checks; manifest = !manifest })

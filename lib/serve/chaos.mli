@@ -1,0 +1,38 @@
+(** Serve-mode chaos campaign.
+
+    Starts an in-process daemon and runs one scripted adversarial client
+    session against it — an injected compiled-sim failure (must degrade
+    to the interpreter), worker-thread deaths (supervisor must restore
+    the pool), a poison spec (breaker must open), a wedged build
+    (watchdog must expire it), wire-level abuse and a slow-loris client
+    — then verifies the daemon is still whole: pool intact, not
+    degraded, a clean drain, and a restart on the same cache directory
+    serving a manifest byte-identical to a direct farm build.
+
+    Driven by [socdsl chaos --serve]; the process exits non-zero unless
+    the report is healthy. *)
+
+type config = {
+  workers : int;
+  kernels : (string * Soc_kernel.Ast.kernel) list;
+  good_sources : string list;  (** specs that must build; at least one *)
+  poison_source : string;
+  poison_kernel : string;  (** kernel of [poison_source] armed to raise *)
+  hang_source : string;
+  hang_kernel : string;  (** kernel of [hang_source] armed to hang *)
+  cache_dir : string option;  (** persistent dir for the restart check *)
+}
+
+type check = { cname : string; pass : bool; detail : string }
+
+type report = {
+  checks : check list;
+  healthy : bool;  (** every check passed *)
+  manifest : string;  (** the post-restart served manifest *)
+}
+
+val run : config -> report
+(** Raises [Invalid_argument] on an empty [good_sources]. All service
+    faults are reset on exit. *)
+
+val render : report -> string

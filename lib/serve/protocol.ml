@@ -365,7 +365,14 @@ let diag_of_json j =
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type reject_reason = Queue_full | Draining | Parse_failed | Check_failed | Server_killed
+type reject_reason =
+  | Queue_full
+  | Draining
+  | Parse_failed
+  | Check_failed
+  | Server_killed
+  | Poisoned  (** circuit breaker open for this spec's key *)
+  | Degraded  (** worker pool dead beyond its restart budget *)
 
 let reject_reason_label = function
   | Queue_full -> "queue_full"
@@ -373,6 +380,8 @@ let reject_reason_label = function
   | Parse_failed -> "parse_failed"
   | Check_failed -> "check_failed"
   | Server_killed -> "server_killed"
+  | Poisoned -> "poisoned"
+  | Degraded -> "degraded"
 
 let reject_reason_of_label = function
   | "queue_full" -> Queue_full
@@ -380,6 +389,8 @@ let reject_reason_of_label = function
   | "parse_failed" -> Parse_failed
   | "check_failed" -> Check_failed
   | "server_killed" -> Server_killed
+  | "poisoned" -> Poisoned
+  | "degraded" -> Degraded
   | s -> raise (Parse_error ("unknown reject reason " ^ s))
 
 type request_state = Queued of int | Running | Done | Failed of string | Expired
@@ -393,7 +404,9 @@ let state_label = function
 
 type server_stats = {
   uptime_ms : float;
-  workers : int;
+  workers : int;  (** configured pool size *)
+  live_workers : int;  (** threads currently alive and not abandoned *)
+  degraded : bool;  (** restart budget exhausted; pool no longer replaced *)
   draining : bool;
   submitted : int;  (** admitted requests (got an id) *)
   coalesced : int;  (** admitted requests that attached to a live job *)
@@ -409,6 +422,11 @@ type server_stats = {
   cache_misses : int;
   hit_rate : float;  (** (hits + disk hits) / lookups, 0 when none *)
   engine_runs : int;  (** real HLS engine invocations since startup *)
+  worker_restarts : int;  (** dead/wedged workers replaced by the supervisor *)
+  watchdog_fires : int;  (** in-flight builds expired past their deadline *)
+  breaker_open_keys : int;  (** coalescing keys with an open/half-open breaker *)
+  rejected_poisoned : int;  (** admissions refused by an open breaker *)
+  sim_fallbacks : int;  (** compiled-sim failures degraded to the interpreter *)
   lat_count : int;
   lat_p50_ms : float;
   lat_p95_ms : float;
@@ -472,6 +490,8 @@ let encode_response = function
       [ ("reply", Str "stats");
         ("uptime_ms", Num s.uptime_ms);
         ("workers", Num (float_of_int s.workers));
+        ("live_workers", Num (float_of_int s.live_workers));
+        ("degraded", Bool s.degraded);
         ("draining", Bool s.draining);
         ("submitted", Num (float_of_int s.submitted));
         ("coalesced", Num (float_of_int s.coalesced));
@@ -487,6 +507,11 @@ let encode_response = function
         ("cache_misses", Num (float_of_int s.cache_misses));
         ("hit_rate", Num s.hit_rate);
         ("engine_runs", Num (float_of_int s.engine_runs));
+        ("worker_restarts", Num (float_of_int s.worker_restarts));
+        ("watchdog_fires", Num (float_of_int s.watchdog_fires));
+        ("breaker_open_keys", Num (float_of_int s.breaker_open_keys));
+        ("rejected_poisoned", Num (float_of_int s.rejected_poisoned));
+        ("sim_fallbacks", Num (float_of_int s.sim_fallbacks));
         ("lat_count", Num (float_of_int s.lat_count));
         ("lat_p50_ms", Num s.lat_p50_ms);
         ("lat_p95_ms", Num s.lat_p95_ms);
@@ -529,6 +554,8 @@ let decode_response j =
       (Stats_r
          { uptime_ms = float_field ~default:0.0 "uptime_ms" j;
            workers = int_field ~default:0 "workers" j;
+           live_workers = int_field ~default:0 "live_workers" j;
+           degraded = bool_field ~default:false "degraded" j;
            draining = bool_field ~default:false "draining" j;
            submitted = int_field ~default:0 "submitted" j;
            coalesced = int_field ~default:0 "coalesced" j;
@@ -544,6 +571,11 @@ let decode_response j =
            cache_misses = int_field ~default:0 "cache_misses" j;
            hit_rate = float_field ~default:0.0 "hit_rate" j;
            engine_runs = int_field ~default:0 "engine_runs" j;
+           worker_restarts = int_field ~default:0 "worker_restarts" j;
+           watchdog_fires = int_field ~default:0 "watchdog_fires" j;
+           breaker_open_keys = int_field ~default:0 "breaker_open_keys" j;
+           rejected_poisoned = int_field ~default:0 "rejected_poisoned" j;
+           sim_fallbacks = int_field ~default:0 "sim_fallbacks" j;
            lat_count = int_field ~default:0 "lat_count" j;
            lat_p50_ms = float_field ~default:0.0 "lat_p50_ms" j;
            lat_p95_ms = float_field ~default:0.0 "lat_p95_ms" j;

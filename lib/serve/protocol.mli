@@ -57,7 +57,14 @@ val decode_request : json -> (request, string) result
 
 (** {2 Responses} *)
 
-type reject_reason = Queue_full | Draining | Parse_failed | Check_failed | Server_killed
+type reject_reason =
+  | Queue_full
+  | Draining
+  | Parse_failed
+  | Check_failed
+  | Server_killed
+  | Poisoned  (** circuit breaker open for this spec's key *)
+  | Degraded  (** worker pool dead beyond its restart budget *)
 
 val reject_reason_label : reject_reason -> string
 
@@ -72,7 +79,9 @@ val state_label : request_state -> string
 
 type server_stats = {
   uptime_ms : float;
-  workers : int;
+  workers : int;  (** configured pool size *)
+  live_workers : int;  (** threads currently alive and not abandoned *)
+  degraded : bool;  (** restart budget exhausted; pool no longer replaced *)
   draining : bool;
   submitted : int;  (** admitted requests (got an id) *)
   coalesced : int;  (** admitted requests that attached to a live job *)
@@ -88,6 +97,11 @@ type server_stats = {
   cache_misses : int;
   hit_rate : float;  (** (hits + disk hits) / lookups, 0 when none *)
   engine_runs : int;  (** real HLS engine invocations since startup *)
+  worker_restarts : int;  (** dead/wedged workers replaced by the supervisor *)
+  watchdog_fires : int;  (** in-flight builds expired past their deadline *)
+  breaker_open_keys : int;  (** coalescing keys with an open/half-open breaker *)
+  rejected_poisoned : int;  (** admissions refused by an open breaker *)
+  sim_fallbacks : int;  (** compiled-sim failures degraded to the interpreter *)
   lat_count : int;
   lat_p50_ms : float;
   lat_p95_ms : float;

@@ -186,17 +186,39 @@ let next t =
       in
       wait ())
 
-let finish t job outcome =
+(* Finish a job from any state, reporting whether this call was the one
+   that landed the verdict. Used by the watchdog to expire an in-flight
+   job out from under a wedged worker: a later [finish] from the worker
+   (or a concurrent watchdog pass) then no-ops, so exactly one outcome
+   wins and [running] is decremented exactly once. *)
+let try_finish t job outcome =
   locked t (fun () ->
       match job.jstate with
-      | `Finished _ -> ()  (* already failed by [abort_all]; keep that verdict *)
-      | _ ->
-        t.running <- max 0 (t.running - 1);
-        finish_locked t job outcome)
+      | `Finished _ -> false  (* verdict already landed; keep it *)
+      | st ->
+        (match st with
+        | `Running -> t.running <- max 0 (t.running - 1)
+        | `Queued -> t.queue <- List.filter (fun j -> not (j == job)) t.queue
+        | `Finished _ -> ());
+        finish_locked t job outcome;
+        true)
+
+let finish t job outcome = ignore (try_finish t job outcome)
+
+(* Fail every job still queued (running jobs untouched) — the path for a
+   degraded scheduler whose worker pool died entirely: nothing will ever
+   dispatch these, so fail their waiters now instead of hanging them. *)
+let flush_queued t ~reason =
+  locked t (fun () ->
+      let n = List.length t.queue in
+      List.iter (fun job -> finish_locked t job (Failed reason)) t.queue;
+      t.queue <- [];
+      n)
 
 let job_key (j : ('a, 'r) job) = j.key
 let job_payload (j : ('a, 'r) job) = j.payload
 let job_ids (j : ('a, 'r) job) = List.rev j.ids
+let job_deadline (j : ('a, 'r) job) = j.deadline
 
 (* Abandon everything still queued or running, marking every attached
    request failed — the simulated-process-death path. Workers blocked in

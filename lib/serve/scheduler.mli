@@ -43,12 +43,29 @@ val next : ('a, 'r) t -> ('a, 'r) job option
 
 val finish : ('a, 'r) t -> ('a, 'r) job -> 'r outcome -> unit
 (** Terminal-state a dequeued job; wakes [wait]ers and fires [on_done]
-    for every attached request. *)
+    for every attached request. No-op if the job is already finished. *)
+
+val try_finish : ('a, 'r) t -> ('a, 'r) job -> 'r outcome -> bool
+(** Like {!finish} but reports whether this call landed the verdict —
+    [false] means the job was already terminal and nothing changed. Lets
+    a watchdog expire an in-flight job while the wedged worker's own
+    late [finish] harmlessly no-ops. Also valid on still-queued jobs
+    (they are removed from the queue). *)
+
+val flush_queued : ('a, 'r) t -> reason:string -> int
+(** Fail every queued (not running) job with [Failed reason], returning
+    how many were flushed. For a scheduler whose entire worker pool has
+    died: nothing would ever dispatch the queue, so fail the waiters
+    instead of hanging them. *)
 
 val job_key : ('a, 'r) job -> string
 val job_payload : ('a, 'r) job -> 'a
 val job_ids : ('a, 'r) job -> int list
 (** Attached request ids in admission order. *)
+
+val job_deadline : ('a, 'r) job -> float option
+(** Absolute deadline (by the scheduler's clock), if the request set
+    one. *)
 
 type 'r status =
   | Queued of int  (** jobs ahead in dispatch order *)

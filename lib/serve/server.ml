@@ -1,22 +1,36 @@
 (* The generation daemon: the whole flow — parse, static-analysis gate,
    crash-safe farm build — behind a TCP socket.
 
-   Threading model: one accept thread, one systhread per connection, and a
-   fixed pool of worker threads pulling from the {!Scheduler}. Each worker
-   runs [Farm.build_batch ~jobs:1], which spawns its domain underneath, so
+   Threading model: one accept thread, one systhread per connection, a
+   fixed pool of worker threads pulling from the {!Scheduler}, and one
+   supervisor thread watching all of it. Each worker runs
+   [Farm.build_batch ~jobs:1], which spawns its domain underneath, so
    total parallelism is [workers] builds in flight. Workers share one
    content-addressed cache and one write-ahead journal (both are
    internally locked; the journal's replay machinery ignores interleaved
    batch markers), so coalesced or repeated requests reuse HLS work across
    the daemon's whole lifetime and a kill at any instant is recoverable
-   by restarting the daemon on the same cache directory. *)
+   by restarting the daemon on the same cache directory.
+
+   Self-healing: exceptions inside a build are contained (the request
+   fails, the worker survives); an exception that nevertheless kills a
+   worker thread leaves a death note for the supervisor, which replaces
+   the thread under exponential backoff and a restart-intensity budget —
+   past the budget the pool is declared degraded rather than thrashing.
+   A watchdog expires in-flight builds stuck past their deadline (or the
+   configured build timeout), unblocks their waiters, abandons the
+   wedged worker and spawns a replacement. A per-key circuit breaker
+   turns persistently failing specs (poison pills) into immediate
+   [Poisoned] rejections until a cooldown probe proves them healthy. *)
 
 module Protocol = Protocol
 module Scheduler = Scheduler
+module Breaker = Breaker
 module Diag = Soc_util.Diag
 module Fault = Soc_fault.Fault
 module Farm = Soc_farm.Farm
 module Histogram = Soc_util.Metrics.Histogram
+module Cengine = Soc_rtl_compile.Engine
 
 type config = {
   host : string;
@@ -30,13 +44,27 @@ type config = {
   kernels : (string * Soc_kernel.Ast.kernel) list;
   max_frame : int;
   clock : unit -> float;
+  (* supervision *)
+  breaker_threshold : int;  (** consecutive failures to open a key; <= 0 disables *)
+  breaker_cooldown_ms : int;
+  build_timeout_ms : int option;  (** per-build wall cap, independent of deadlines *)
+  watchdog_grace_ms : int;  (** slack past deadline before the watchdog fires *)
+  max_worker_restarts : int;  (** restart budget within [restart_window_ms] *)
+  restart_window_ms : int;
+  restart_backoff_ms : int;  (** base of the exponential restart backoff *)
+  max_sessions : int;  (** concurrent connection cap *)
+  idle_session_timeout_ms : int option;  (** drop sessions idle this long *)
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 0; workers = 2; queue_cap = 64;
     default_deadline_ms = None; cache_dir = None; cache_max_mb = None;
     kill = None; kernels = []; max_frame = Protocol.max_frame_default;
-    clock = Unix.gettimeofday }
+    clock = Unix.gettimeofday;
+    breaker_threshold = 3; breaker_cooldown_ms = 30_000;
+    build_timeout_ms = None; watchdog_grace_ms = 100;
+    max_worker_restarts = 8; restart_window_ms = 60_000; restart_backoff_ms = 10;
+    max_sessions = 64; idle_session_timeout_ms = None }
 
 (* What a job carries and what it yields. *)
 type payload = { entry : Soc_farm.Jobgraph.entry }
@@ -44,6 +72,30 @@ type payload = { entry : Soc_farm.Jobgraph.entry }
 type built = { design : string; digest : string; manifest : string; wall_ms : float }
 
 type phase = Serving | Drained of int * int | Killed of string * int
+
+(* Worker pool records, owned by [t.lock]. [W_building] carries the job
+   and its dispatch time (by [cfg.clock]) for the watchdog. An
+   [abandoned] worker had its job expired out from under it: it may
+   still be wedged in the build, so it is never joined and retires
+   itself if the build ever returns. *)
+type wstate =
+  | W_idle
+  | W_building of (payload, built) Scheduler.job * float
+  | W_dead  (* thread crashed; death note filed *)
+  | W_retired  (* thread exited cleanly *)
+
+type worker = {
+  wid : int;
+  mutable wthread : Thread.t option;
+  mutable wstate : wstate;
+  mutable abandoned : bool;
+}
+
+type session_rec = {
+  sid : int;
+  sfd : Unix.file_descr;
+  mutable sthread : Thread.t option;
+}
 
 type t = {
   cfg : config;
@@ -54,15 +106,27 @@ type t = {
   journal : Soc_farm.Journal.t option;
   kill_slot : Fault.crash_point option Atomic.t;
   hist : Histogram.t;
+  breaker : Breaker.t;
   started_at : float;
   engine_base : int;
+  sim_base : int;
   rejected_check : int Atomic.t;
+  rejected_poisoned : int Atomic.t;
+  worker_restarts : int Atomic.t;
+  watchdog_fires : int Atomic.t;
   startup_diags : Diag.t list;
   lock : Mutex.t;
   cond : Condition.t;
   mutable phase : phase;
   mutable stopping : bool;
-  mutable worker_threads : Thread.t list;
+  mutable workers : worker list;
+  mutable next_wid : int;
+  mutable death_notes : (worker * exn) list;
+  mutable restart_times : float list;  (* sliding restart-intensity window *)
+  mutable degraded : bool;
+  mutable sessions : session_rec list;
+  mutable next_sid : int;
+  mutable monitor_thread : Thread.t option;
   mutable accept_thread : Thread.t option;
 }
 
@@ -82,6 +146,32 @@ let killed t =
   let k = match t.phase with Killed (s, k) -> Some (s, k) | _ -> None in
   Mutex.unlock t.lock;
   k
+
+let live_workers_locked t =
+  List.fold_left
+    (fun n w ->
+      match w.wstate with
+      | (W_idle | W_building _) when not w.abandoned -> n + 1
+      | _ -> n)
+    0 t.workers
+
+let live_workers t =
+  Mutex.lock t.lock;
+  let n = live_workers_locked t in
+  Mutex.unlock t.lock;
+  n
+
+let is_degraded t =
+  Mutex.lock t.lock;
+  let d = t.degraded in
+  Mutex.unlock t.lock;
+  d
+
+let session_count t =
+  Mutex.lock t.lock;
+  let n = List.length t.sessions in
+  Mutex.unlock t.lock;
+  n
 
 (* ---------------- admission ---------------- *)
 
@@ -112,7 +202,10 @@ let admit t ~source ~priority ~deadline_ms : Protocol.response =
       (Printf.sprintf "server killed at %s:%d; restart it on the same cache dir" s k)
       []
   | None ->
-    if Scheduler.draining t.sched then reject Protocol.Draining "server is draining" []
+    if is_degraded t && live_workers t = 0 then
+      reject Protocol.Degraded
+        "worker pool exhausted its restart budget; restart the server" []
+    else if Scheduler.draining t.sched then reject Protocol.Draining "server is draining" []
     else (
       match Soc_core.Parser.parse ~validate:false source with
       | exception Soc_core.Parser.Parse_error (msg, line, col)
@@ -131,27 +224,45 @@ let admit t ~source ~priority ~deadline_ms : Protocol.response =
         end
         else
           let key = coalescing_key spec in
-          let payload = { entry = { Soc_farm.Jobgraph.spec; kernels } } in
-          let deadline_ms =
-            match deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
-          in
-          match Scheduler.submit t.sched ~key ~priority ?deadline_ms payload with
-          | Scheduler.Enqueued id -> Protocol.Accepted { id; key; coalesced = false; diags }
-          | Scheduler.Coalesced id -> Protocol.Accepted { id; key; coalesced = true; diags }
-          | Scheduler.Rejected_full ->
-            if Scheduler.draining t.sched then reject Protocol.Draining "server is draining" []
-            else
-              reject Protocol.Queue_full
-                (Printf.sprintf "queue is at its cap of %d" t.cfg.queue_cap)
-                [])
+          match Breaker.check t.breaker key with
+          | Breaker.Reject remaining ->
+            Atomic.incr t.rejected_poisoned;
+            reject Protocol.Poisoned
+              (Printf.sprintf
+                 "circuit breaker open for this spec (%d consecutive failures); retry in %.1fs"
+                 t.cfg.breaker_threshold remaining)
+              []
+          | Breaker.Admit | Breaker.Probe -> (
+            let payload = { entry = { Soc_farm.Jobgraph.spec; kernels } } in
+            let deadline_ms =
+              match deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
+            in
+            match Scheduler.submit t.sched ~key ~priority ?deadline_ms payload with
+            | Scheduler.Enqueued id -> Protocol.Accepted { id; key; coalesced = false; diags }
+            | Scheduler.Coalesced id -> Protocol.Accepted { id; key; coalesced = true; diags }
+            | Scheduler.Rejected_full ->
+              if Scheduler.draining t.sched then
+                reject Protocol.Draining "server is draining" []
+              else
+                reject Protocol.Queue_full
+                  (Printf.sprintf "queue is at its cap of %d" t.cfg.queue_cap)
+                  []))
 
 (* ---------------- workers ---------------- *)
 
+(* Run one build with full containment: only {!Fault.Killed} (the
+   injected whole-process crash) escapes the normal flow, and even that
+   is turned into an orderly phase change. Any other exception — engine
+   bug, poisoned spec, planner crash — fails this request and leaves the
+   worker healthy. The breaker is told the outcome only when this call
+   is the one that landed the verdict (a watchdog may have expired the
+   job first). *)
 let build_one t job =
   (* The armed kill point is taken by exactly one build: the daemon dies
      once, like a process does. *)
   let kill = Atomic.exchange t.kill_slot None in
   let payload = Scheduler.job_payload job in
+  let key = Scheduler.job_key job in
   match
     Farm.build_batch ~jobs:1 ~cache:t.cache ?journal:t.journal ?kill [ payload.entry ]
   with
@@ -162,6 +273,12 @@ let build_one t job =
     Scheduler.abort_all t.sched
       ~reason:(Printf.sprintf "server killed at %s:%d" s k);
     `Killed
+  | exception e ->
+    if
+      Scheduler.try_finish t.sched job
+        (Scheduler.Failed ("internal error: " ^ Printexc.to_string e))
+    then Breaker.record t.breaker key ~ok:false;
+    `Ok
   | report -> (
     match report.Farm.builds with
     | [ (_, b) ] ->
@@ -171,7 +288,8 @@ let build_one t job =
           manifest = Farm.manifest_json report;
           wall_ms = 1000.0 *. report.Farm.stats.Farm.wall_seconds }
       in
-      Scheduler.finish t.sched job (Scheduler.Ok_r built);
+      if Scheduler.try_finish t.sched job (Scheduler.Ok_r built) then
+        Breaker.record t.breaker key ~ok:true;
       `Ok
     | _ ->
       let reason =
@@ -179,14 +297,152 @@ let build_one t job =
         | f :: _ -> Format.asprintf "%a" Soc_farm.Pool.pp_failure f
         | [] -> "build produced no artifact"
       in
-      Scheduler.finish t.sched job (Scheduler.Failed reason);
+      if Scheduler.try_finish t.sched job (Scheduler.Failed reason) then
+        Breaker.record t.breaker key ~ok:false;
       `Ok)
 
-let rec worker_loop t =
+let rec worker_loop t w =
   match Scheduler.next t.sched with
   | None -> ()
-  | Some job -> (
-    match build_one t job with `Killed -> () | `Ok -> worker_loop t)
+  | Some job ->
+    Mutex.lock t.lock;
+    w.wstate <- W_building (job, t.cfg.clock ());
+    Mutex.unlock t.lock;
+    (* Injected worker death fires here, outside containment: the
+       exception escapes to [worker_main], which files a death note. *)
+    Fault.Service.step Fault.Service.Worker ();
+    let res = build_one t job in
+    Mutex.lock t.lock;
+    let abandoned = w.abandoned in
+    w.wstate <- (if abandoned then W_retired else W_idle);
+    Mutex.unlock t.lock;
+    (* An abandoned worker's job was already expired by the watchdog and
+       a replacement is on duty — retire instead of double-serving. *)
+    if abandoned then () else match res with `Killed -> () | `Ok -> worker_loop t w
+
+(* Thread body: anything that escapes [worker_loop] is a dead worker.
+   Fail the job it held (waiters must never hang on a corpse) and leave
+   a death note for the supervisor. *)
+let worker_main t w =
+  match worker_loop t w with
+  | () ->
+    Mutex.lock t.lock;
+    w.wstate <- W_retired;
+    Mutex.unlock t.lock
+  | exception e ->
+    Mutex.lock t.lock;
+    let held = match w.wstate with W_building (job, _) -> Some job | _ -> None in
+    w.wstate <- W_dead;
+    t.death_notes <- (w, e) :: t.death_notes;
+    Mutex.unlock t.lock;
+    (match held with
+    | None -> ()
+    | Some job ->
+      if
+        Scheduler.try_finish t.sched job
+          (Scheduler.Failed
+             (Printf.sprintf "worker %d crashed: %s" w.wid (Printexc.to_string e)))
+      then Breaker.record t.breaker (Scheduler.job_key job) ~ok:false)
+
+let spawn_worker t w = w.wthread <- Some (Thread.create (fun () -> worker_main t w) ())
+
+(* Restart accounting over a sliding window. Over budget the pool is
+   declared degraded — no more replacements, and if nothing is left
+   alive the queue is flushed so no waiter hangs on an empty pool. *)
+let plan_restart t =
+  Mutex.lock t.lock;
+  let now = t.cfg.clock () in
+  let window = float_of_int t.cfg.restart_window_ms /. 1000.0 in
+  t.restart_times <- List.filter (fun ts -> now -. ts <= window) t.restart_times;
+  let r =
+    if t.degraded || List.length t.restart_times >= t.cfg.max_worker_restarts then begin
+      t.degraded <- true;
+      `Degraded (live_workers_locked t)
+    end
+    else begin
+      let k = List.length t.restart_times in
+      t.restart_times <- now :: t.restart_times;
+      `Replace (t.cfg.restart_backoff_ms * (1 lsl min 6 k))
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let replace_worker t =
+  match plan_restart t with
+  | `Degraded live ->
+    if live = 0 then
+      ignore
+        (Scheduler.flush_queued t.sched
+           ~reason:"worker pool exhausted its restart budget; server degraded")
+  | `Replace backoff_ms ->
+    if backoff_ms > 0 then Thread.delay (float_of_int backoff_ms /. 1000.0);
+    Mutex.lock t.lock;
+    let wid = t.next_wid in
+    t.next_wid <- wid + 1;
+    let w = { wid; wthread = None; wstate = W_idle; abandoned = false } in
+    t.workers <- w :: t.workers;
+    Mutex.unlock t.lock;
+    Atomic.incr t.worker_restarts;
+    spawn_worker t w
+
+(* Expire in-flight builds past their limit: the sooner of the request
+   deadline and the per-build timeout, plus a grace. The waiters get
+   [Expired] now; the wedged worker is abandoned and replaced. Time is
+   read from [cfg.clock] so the whole path is fake-clock testable. *)
+let watchdog_scan t =
+  let now = t.cfg.clock () in
+  let grace = float_of_int t.cfg.watchdog_grace_ms /. 1000.0 in
+  Mutex.lock t.lock;
+  let wedged =
+    List.filter_map
+      (fun w ->
+        match w.wstate with
+        | W_building (job, started) when not w.abandoned ->
+          let timeout_limit =
+            Option.map
+              (fun ms -> started +. (float_of_int ms /. 1000.0))
+              t.cfg.build_timeout_ms
+          in
+          let limit =
+            match (Scheduler.job_deadline job, timeout_limit) with
+            | Some d, Some l -> Some (Float.min d l)
+            | (Some _ as x), None | None, (Some _ as x) -> x
+            | None, None -> None
+          in
+          (match limit with
+          | Some l when now > l +. grace ->
+            w.abandoned <- true;
+            Some (w, job)
+          | _ -> None)
+        | _ -> None)
+      t.workers
+  in
+  Mutex.unlock t.lock;
+  List.iter
+    (fun (_w, job) ->
+      if Scheduler.try_finish t.sched job Scheduler.Expired then begin
+        Atomic.incr t.watchdog_fires;
+        Breaker.record t.breaker (Scheduler.job_key job) ~ok:false
+      end;
+      replace_worker t)
+    wedged
+
+(* The supervisor: drains death notes (replacing crashed workers) and
+   runs the watchdog, a few hundred times a second. Cheap when idle —
+   one lock round-trip per pass. *)
+let rec supervise_loop t =
+  if t.stopping then ()
+  else begin
+    Mutex.lock t.lock;
+    let notes = t.death_notes in
+    t.death_notes <- [];
+    Mutex.unlock t.lock;
+    List.iter (fun (_w, _e) -> replace_worker t) notes;
+    watchdog_scan t;
+    Thread.delay 0.002;
+    supervise_loop t
+  end
 
 (* ---------------- stats ---------------- *)
 
@@ -197,6 +453,8 @@ let stats t : Protocol.server_stats =
   let served = c.Soc_farm.Cache.hits + c.Soc_farm.Cache.disk_hits in
   { uptime_ms = 1000.0 *. (t.cfg.clock () -. t.started_at);
     workers = t.cfg.workers;
+    live_workers = live_workers t;
+    degraded = is_degraded t;
     draining = s.Scheduler.draining;
     submitted = s.Scheduler.submitted;
     coalesced = s.Scheduler.coalesced;
@@ -212,6 +470,11 @@ let stats t : Protocol.server_stats =
     cache_misses = c.Soc_farm.Cache.misses;
     hit_rate = (if lookups = 0 then 0.0 else float_of_int served /. float_of_int lookups);
     engine_runs = Soc_hls.Engine.invocation_count () - t.engine_base;
+    worker_restarts = Atomic.get t.worker_restarts;
+    watchdog_fires = Atomic.get t.watchdog_fires;
+    breaker_open_keys = Breaker.open_keys t.breaker;
+    rejected_poisoned = Atomic.get t.rejected_poisoned;
+    sim_fallbacks = Cengine.fallback_count () - t.sim_base;
     lat_count = Histogram.count t.hist;
     lat_p50_ms = Histogram.p50 t.hist;
     lat_p95_ms = Histogram.p95 t.hist;
@@ -255,7 +518,15 @@ let handle t (req : Protocol.request) : Protocol.response =
     set_phase t (Drained (s.Scheduler.completed, s.Scheduler.failed));
     Protocol.Drained { completed = s.Scheduler.completed; failed = s.Scheduler.failed }
 
-let session t fd =
+let session t sr =
+  let fd = sr.sfd in
+  (* Idle-session timeout via a receive timeout: a stalled read raises
+     EAGAIN, which lands in the catch-all below and drops the session. *)
+  (match t.cfg.idle_session_timeout_ms with
+  | None -> ()
+  | Some ms -> (
+    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO (float_of_int ms /. 1000.0)
+    with Unix.Unix_error _ | Invalid_argument _ -> ()));
   let max_len = t.cfg.max_frame in
   let reply v = Protocol.send fd (Protocol.encode_response v) in
   let rec loop () =
@@ -270,6 +541,17 @@ let session t fd =
   (try loop () with
   | Protocol.Framing_error _ | Protocol.Parse_error _ | Unix.Unix_error _ | Sys_error _
     -> ());
+  Mutex.lock t.lock;
+  t.sessions <- List.filter (fun s -> s.sid <> sr.sid) t.sessions;
+  Mutex.unlock t.lock;
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Over-cap connections get a best-effort explanation, then the door. *)
+let reject_session fd =
+  (try Protocol.send fd (Protocol.encode_response (Protocol.Error_r "too many concurrent sessions"))
+   with Protocol.Framing_error _ | Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop t =
@@ -280,7 +562,25 @@ let accept_loop t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
     | fd, _ ->
       if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
-      else ignore (Thread.create (fun () -> session t fd) ());
+      else begin
+        (* Register under the lock before spawning, so the cap check and
+           the insert are atomic and [stop] can join every session. *)
+        Mutex.lock t.lock;
+        let sr =
+          if List.length t.sessions >= t.cfg.max_sessions then None
+          else begin
+            let sid = t.next_sid in
+            t.next_sid <- sid + 1;
+            let sr = { sid; sfd = fd; sthread = None } in
+            t.sessions <- sr :: t.sessions;
+            Some sr
+          end
+        in
+        Mutex.unlock t.lock;
+        match sr with
+        | None -> reject_session fd
+        | Some sr -> sr.sthread <- Some (Thread.create (fun () -> session t sr) ())
+      end;
       if not t.stopping then loop ()
   in
   loop ()
@@ -288,6 +588,10 @@ let accept_loop t =
 (* ---------------- lifecycle ---------------- *)
 
 let start (cfg : config) =
+  (* A peer that resets its socket mid-write must cost us an EPIPE on
+     that one session, never the process: writes then surface as
+     [Unix.Unix_error (EPIPE, _, _)] inside the session's containment. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (* Startup hygiene, the doctor's passes: verify every cache artifact and
      compact the journal before trusting either. *)
   let startup_diags =
@@ -335,14 +639,27 @@ let start (cfg : config) =
   in
   let t =
     { cfg; listener; bound_port; sched; cache; journal;
-      kill_slot = Atomic.make cfg.kill; hist; started_at = cfg.clock ();
+      kill_slot = Atomic.make cfg.kill; hist;
+      breaker =
+        Breaker.create ~clock:cfg.clock ~threshold:cfg.breaker_threshold
+          ~cooldown_ms:cfg.breaker_cooldown_ms ();
+      started_at = cfg.clock ();
       engine_base = Soc_hls.Engine.invocation_count ();
-      rejected_check = Atomic.make 0; startup_diags; lock = Mutex.create ();
+      sim_base = Cengine.fallback_count ();
+      rejected_check = Atomic.make 0; rejected_poisoned = Atomic.make 0;
+      worker_restarts = Atomic.make 0; watchdog_fires = Atomic.make 0;
+      startup_diags; lock = Mutex.create ();
       cond = Condition.create (); phase = Serving; stopping = false;
-      worker_threads = []; accept_thread = None }
+      workers = []; next_wid = 0; death_notes = []; restart_times = [];
+      degraded = false; sessions = []; next_sid = 0;
+      monitor_thread = None; accept_thread = None }
   in
-  t.worker_threads <-
-    List.init (max 1 cfg.workers) (fun _ -> Thread.create (fun () -> worker_loop t) ());
+  t.workers <-
+    List.init (max 1 cfg.workers) (fun i ->
+        { wid = i; wthread = None; wstate = W_idle; abandoned = false });
+  t.next_wid <- List.length t.workers;
+  List.iter (fun w -> spawn_worker t w) t.workers;
+  t.monitor_thread <- Some (Thread.create (fun () -> supervise_loop t) ());
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 
@@ -377,8 +694,23 @@ let stop t =
   set_phase t (Drained (0, 0));
   poke_accept t;
   (try Unix.close t.listener with Unix.Unix_error _ -> ());
-  List.iter Thread.join t.worker_threads;
+  Mutex.lock t.lock;
+  let workers = t.workers in
+  Mutex.unlock t.lock;
+  (* Abandoned workers may be wedged in a build forever — never joined. *)
+  List.iter
+    (fun w -> if not w.abandoned then Option.iter Thread.join w.wthread)
+    workers;
+  (match t.monitor_thread with Some th -> Thread.join th | None -> ());
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (* Shut sessions down (waking any blocked reads), then join them. *)
+  Mutex.lock t.lock;
+  let sessions = t.sessions in
+  Mutex.unlock t.lock;
+  List.iter
+    (fun sr -> try Unix.shutdown sr.sfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    sessions;
+  List.iter (fun sr -> Option.iter Thread.join sr.sthread) sessions;
   Option.iter Soc_farm.Journal.close t.journal
 
 let cache_diags t = Soc_farm.Cache.diags t.cache

@@ -8,7 +8,16 @@
     requests coalesce in flight, repeats hit the cache, and a simulated
     kill ([kill]) is recoverable by restarting the daemon on the same
     cache directory — the restarted server re-verifies the cache and
-    compacts the journal with the doctor's fsck passes before serving. *)
+    compacts the journal with the doctor's fsck passes before serving.
+
+    The pool is supervised: an exception inside a build fails that
+    request and leaves its worker healthy; a worker thread that dies
+    anyway is replaced under exponential backoff within a
+    restart-intensity budget (past it the pool is declared degraded). A
+    watchdog expires in-flight builds stuck past their deadline or the
+    [build_timeout_ms] cap, unblocking waiters and replacing the wedged
+    worker. A per-key circuit breaker ({!Breaker}) rejects persistently
+    failing specs with [Poisoned] until a cooldown probe passes. *)
 
 type config = {
   host : string;
@@ -24,11 +33,29 @@ type config = {
       (** the kernel library; filtered per spec like [socdsl farm] *)
   max_frame : int;
   clock : unit -> float;  (** injectable for deterministic tests *)
+  breaker_threshold : int;
+      (** consecutive failures of one key to open its breaker; <= 0
+          disables the breaker *)
+  breaker_cooldown_ms : int;
+  build_timeout_ms : int option;
+      (** per-build wall cap enforced by the watchdog, independent of
+          request deadlines; [None] = no cap *)
+  watchdog_grace_ms : int;  (** slack past the limit before the watchdog fires *)
+  max_worker_restarts : int;
+      (** worker replacements allowed within [restart_window_ms] before
+          the pool is declared degraded *)
+  restart_window_ms : int;
+  restart_backoff_ms : int;  (** base of the exponential restart backoff *)
+  max_sessions : int;  (** concurrent connection cap *)
+  idle_session_timeout_ms : int option;
+      (** drop a session whose socket is idle this long; [None] = never *)
 }
 
 val default_config : config
 (** 127.0.0.1, ephemeral port, 2 workers, queue cap 64, no deadline, no
-    persistence, no kernels. *)
+    persistence, no kernels; breaker threshold 3 with 30 s cooldown, no
+    build timeout, 100 ms watchdog grace, 8 restarts / 60 s window,
+    64 sessions, no idle timeout. *)
 
 type t
 
@@ -60,6 +87,15 @@ val pause : t -> unit
 val unpause : t -> unit
 
 val stats : t -> Protocol.server_stats
+
+val live_workers : t -> int
+(** Worker threads currently alive and not abandoned by the watchdog. *)
+
+val is_degraded : t -> bool
+(** The pool exhausted its restart budget and is no longer replaced. *)
+
+val session_count : t -> int
+(** Currently open client sessions. *)
 
 (**/**)
 

@@ -341,6 +341,57 @@ let test_tape_cache_corruption_quarantined () =
       check Alcotest.bool "diagnostic emitted" true
         (Soc_farm.Cache.diags cache2 <> []))
 
+(* A lowering failure must never fail the caller: the engine falls back
+   to the interpreter, counts it, and remembers the bad key so repeat
+   instantiations skip straight past the broken compile. *)
+let test_engine_degradation_ladder () =
+  let module F = Soc_fault.Fault.Service in
+  F.reset ();
+  Engine.clear_degraded ();
+  Engine.install_tape_cache None;
+  Fun.protect
+    ~finally:(fun () ->
+      F.reset ();
+      Engine.clear_degraded ();
+      Engine.install_tape_cache None)
+    (fun () ->
+      let net, inputs = random_netlist 21 in
+      let fb0 = Engine.fallback_count () in
+      F.arm F.Csim ~times:1 (F.Raise "lowering dies");
+      let e = Engine.create ~backend:Engine.Compiled net in
+      check Alcotest.bool "fell back to the interpreter" true
+        (Engine.backend_of e = Engine.Interp);
+      check Alcotest.int "fallback counted" (fb0 + 1) (Engine.fallback_count ());
+      check Alcotest.int "bad key remembered" 1 (Engine.degraded_key_count ());
+      (* The degraded engine still simulates. *)
+      List.iter (fun i -> Engine.set_input e i 1) inputs;
+      Engine.settle e;
+      (* With a cache installed the sticky key goes straight to the
+         interpreter — the lowering is never re-attempted. *)
+      let dir = Filename.temp_file "socdeg" ".cache" in
+      Sys.remove dir;
+      let cache = Soc_farm.Cache.create ~disk_dir:dir () in
+      Soc_farm.Cache.enable_tape_cache cache;
+      let l0 = Engine.lowering_count () in
+      let e2 = Engine.create ~backend:Engine.Compiled net in
+      check Alcotest.bool "sticky: interpreter without a retry" true
+        (Engine.backend_of e2 = Engine.Interp);
+      check Alcotest.int "no lowering re-attempted" l0 (Engine.lowering_count ());
+      check Alcotest.int "sticky fallback counted too" (fb0 + 2) (Engine.fallback_count ());
+      (* precompile absorbs an injected failure the same way: mark, count,
+         carry on — no artifact stored, no exception. *)
+      Engine.clear_degraded ();
+      F.arm F.Csim ~times:1 (F.Raise "precompile dies");
+      Engine.precompile net;
+      check Alcotest.int "precompile marks the key" 1 (Engine.degraded_key_count ());
+      check Alcotest.int "precompile fallback counted" (fb0 + 3) (Engine.fallback_count ());
+      (* Degradation is a memory, not a death sentence: cleared, the same
+         netlist compiles again. *)
+      Engine.clear_degraded ();
+      let e3 = Engine.create ~backend:Engine.Compiled net in
+      check Alcotest.bool "recovered to the compiled backend" true
+        (Engine.backend_of e3 = Engine.Compiled))
+
 (* ------------------------------------------------------------------ *)
 (* VCD byte-identity on a real HLS netlist (Otsu grayScale)            *)
 (* ------------------------------------------------------------------ *)
@@ -400,6 +451,8 @@ let suite =
       test_tape_cache_warm_and_disk;
     Alcotest.test_case "farm tape cache: corruption quarantined" `Quick
       test_tape_cache_corruption_quarantined;
+    Alcotest.test_case "engine degradation ladder: compiled -> interp" `Quick
+      test_engine_degradation_ladder;
     Alcotest.test_case "VCD byte-identical across backends (Otsu)" `Quick
       test_vcd_byte_identical_on_otsu;
   ]

@@ -17,6 +17,8 @@ module Fault = Soc_fault.Fault
 module Diag = Soc_util.Diag
 module Graphs = Soc_apps.Graphs
 module Engine = Soc_hls.Engine
+module Breaker = Soc_serve.Breaker
+module Cengine = Soc_rtl_compile.Engine
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -42,11 +44,25 @@ let fresh_dir prefix =
 (* A started in-process server plus a connected client, torn down in
    order no matter how the test ends. *)
 let with_server ?(workers = 2) ?(queue_cap = 64) ?cache_dir ?kill ?default_deadline_ms
-    f =
+    ?breaker_threshold ?breaker_cooldown_ms ?build_timeout_ms ?max_worker_restarts
+    ?max_sessions ?idle_session_timeout_ms ?clock f =
+  let d = Server.default_config in
+  let opt v dflt = Option.value v ~default:dflt in
   let cfg =
-    { Server.default_config with
+    { d with
       workers; queue_cap; cache_dir; kill; default_deadline_ms;
-      kernels = kernel_library () }
+      kernels = kernel_library ();
+      breaker_threshold = opt breaker_threshold d.Server.breaker_threshold;
+      breaker_cooldown_ms = opt breaker_cooldown_ms d.Server.breaker_cooldown_ms;
+      build_timeout_ms =
+        (match build_timeout_ms with Some _ as v -> v | None -> d.Server.build_timeout_ms);
+      max_worker_restarts = opt max_worker_restarts d.Server.max_worker_restarts;
+      max_sessions = opt max_sessions d.Server.max_sessions;
+      idle_session_timeout_ms =
+        (match idle_session_timeout_ms with
+        | Some _ as v -> v
+        | None -> d.Server.idle_session_timeout_ms);
+      clock = opt clock d.Server.clock }
   in
   let srv = Server.start cfg in
   let client = Client.connect ~port:(Server.port srv) () in
@@ -55,6 +71,49 @@ let with_server ?(workers = 2) ?(queue_cap = 64) ?cache_dir ?kill ?default_deadl
       Client.close client;
       Server.stop srv)
     (fun () -> f srv client)
+
+(* Deterministic service-fault hygiene: every injected behaviour (and the
+   global degraded-netlist memory it may leave behind) is cleared no
+   matter how the test ends. *)
+let with_faults f =
+  Fault.Service.reset ();
+  Cengine.clear_degraded ();
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.Service.reset ();
+      Cengine.clear_degraded ())
+    f
+
+(* Poll [p] every 10 ms for up to [for_s] seconds of real time. *)
+let eventually ?(for_s = 5.0) p =
+  let deadline = Unix.gettimeofday () +. for_s in
+  let rec go () =
+    if p () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* Raw TCP for wire-abuse tests, bypassing the Client framing. *)
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let raw_send fd s =
+  let b = Bytes.of_string s in
+  (try ignore (Unix.write fd b 0 (Bytes.length b)) with Unix.Unix_error _ -> ())
+
+let raw_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let frame_of payload =
+  let n = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int n);
+  Bytes.to_string hdr ^ payload
 
 (* ------------------------------------------------------------------ *)
 (* Protocol: JSON                                                      *)
@@ -204,10 +263,13 @@ let test_request_roundtrip () =
 
 let test_response_roundtrip () =
   let stats =
-    { Protocol.uptime_ms = 1234.0; workers = 4; draining = false; submitted = 10;
+    { Protocol.uptime_ms = 1234.0; workers = 4; live_workers = 3; degraded = true;
+      draining = false; submitted = 10;
       coalesced = 3; completed = 6; failed = 1; expired = 1; rejected_queue = 2;
       rejected_check = 1; queue_depth = 2; running = 1; cache_hits = 5;
       cache_disk_hits = 2; cache_misses = 3; hit_rate = 0.7; engine_runs = 3;
+      worker_restarts = 2; watchdog_fires = 1; breaker_open_keys = 1;
+      rejected_poisoned = 4; sim_fallbacks = 1;
       lat_count = 6; lat_p50_ms = 8.0; lat_p95_ms = 16.0; lat_p99_ms = 16.0 }
   in
   List.iter
@@ -652,6 +714,304 @@ let test_serve_warm_cache_hit_rate () =
       check Alcotest.bool "hit rate reflects the warm build" true
         (s.Protocol.hit_rate > 0.0 && s.Protocol.cache_hits >= 1))
 
+(* ------------------------------------------------------------------ *)
+(* Self-healing: breaker, supervision, watchdog, degradation           *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_breaker_unit () =
+  let now = ref 0.0 in
+  let b = Breaker.create ~clock:(fun () -> !now) ~threshold:2 ~cooldown_ms:1000 () in
+  check Alcotest.bool "closed admits" true (Breaker.check b "k" = Breaker.Admit);
+  Breaker.record b "k" ~ok:false;
+  check Alcotest.bool "one failure still admits" true (Breaker.check b "k" = Breaker.Admit);
+  Breaker.record b "k" ~ok:false;
+  (match Breaker.check b "k" with
+  | Breaker.Reject remaining ->
+    check Alcotest.bool "cooldown remaining reported" true (remaining > 0.0)
+  | _ -> Alcotest.fail "expected Reject at the threshold");
+  check Alcotest.int "one open key" 1 (Breaker.open_keys b);
+  check Alcotest.int "one trip" 1 (Breaker.trips b);
+  check Alcotest.bool "other keys unaffected" true (Breaker.check b "other" = Breaker.Admit);
+  now := 1.5;
+  check Alcotest.bool "past cooldown: half-open probe" true
+    (Breaker.check b "k" = Breaker.Probe);
+  check Alcotest.bool "probe in flight: reject" true
+    (Breaker.check b "k" = Breaker.Reject 0.0);
+  Breaker.record b "k" ~ok:false;
+  (match Breaker.check b "k" with
+  | Breaker.Reject _ -> ()
+  | _ -> Alcotest.fail "failed probe must reopen");
+  check Alcotest.int "reopen counted as a trip" 2 (Breaker.trips b);
+  now := 3.0;
+  check Alcotest.bool "second probe offered" true (Breaker.check b "k" = Breaker.Probe);
+  Breaker.record b "k" ~ok:true;
+  check Alcotest.bool "successful probe closes" true (Breaker.check b "k" = Breaker.Admit);
+  check Alcotest.int "no open keys after recovery" 0 (Breaker.open_keys b);
+  (* Intermittent flakiness never trips: success resets the count. *)
+  Breaker.record b "f" ~ok:false;
+  Breaker.record b "f" ~ok:true;
+  Breaker.record b "f" ~ok:false;
+  check Alcotest.bool "alternating outcomes stay closed" true
+    (Breaker.check b "f" = Breaker.Admit);
+  (* threshold <= 0 disables the breaker entirely. *)
+  let off = Breaker.create ~threshold:0 ~cooldown_ms:10 () in
+  Breaker.record off "x" ~ok:false;
+  Breaker.record off "x" ~ok:false;
+  check Alcotest.bool "disabled breaker always admits" true
+    (Breaker.check off "x" = Breaker.Admit)
+
+let test_sched_flush_queued () =
+  let s = Scheduler.create ~queue_cap:10 () in
+  let id1 =
+    match Scheduler.submit s ~key:"a" "a" with Scheduler.Enqueued id -> id | _ -> assert false
+  in
+  let job = Option.get (Scheduler.next s) in
+  let id2 =
+    match Scheduler.submit s ~key:"b" "b" with Scheduler.Enqueued id -> id | _ -> assert false
+  in
+  let id3 =
+    match Scheduler.submit s ~key:"c" "c" with Scheduler.Enqueued id -> id | _ -> assert false
+  in
+  check Alcotest.int "both queued jobs flushed" 2
+    (Scheduler.flush_queued s ~reason:"pool dead");
+  check Alcotest.bool "queued waiters failed, running job untouched" true
+    (Scheduler.wait s id2 = Some (Scheduler.Failed "pool dead")
+    && Scheduler.wait s id3 = Some (Scheduler.Failed "pool dead")
+    && Scheduler.status s id1 = Some Scheduler.Running);
+  (* try_finish: the first verdict lands, a late second one no-ops. *)
+  check Alcotest.bool "watchdog verdict lands" true
+    (Scheduler.try_finish s job Scheduler.Expired);
+  check Alcotest.bool "late worker finish no-ops" false
+    (Scheduler.try_finish s job (Scheduler.Ok_r "late"));
+  check Alcotest.bool "expiry verdict sticks" true
+    (Scheduler.wait s id1 = Some Scheduler.Expired)
+
+let test_serve_batch_fault_contained () =
+  with_faults (fun () ->
+      with_server ~workers:2 (fun srv client ->
+          (* An exception escaping Farm.build_batch fails the request,
+             never the worker thread that ran it. *)
+          Fault.Service.arm Fault.Service.Batch ~times:1
+            (Fault.Service.Raise "boom in build_batch");
+          let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+          (match Client.result client id with
+          | Protocol.Result_r { state = Protocol.Failed reason; _ } ->
+            check Alcotest.bool "failure names the injection" true
+              (contains reason "internal error" && contains reason "boom in build_batch")
+          | r ->
+            Alcotest.failf "expected Failed, got %s"
+              Protocol.(to_string (encode_response r)));
+          check Alcotest.int "no worker died" 2 (Server.live_workers srv);
+          check Alcotest.int "no restart burned" 0
+            (Client.stats client).Protocol.worker_restarts;
+          let id2, _ = submit_ok client (arch_source Graphs.Arch2) in
+          ignore (result_done client id2)))
+
+let test_serve_worker_crash_supervised () =
+  with_faults (fun () ->
+      with_server ~workers:2 (fun srv client ->
+          (* A worker thread that dies outside the containment boundary:
+             the held request fails, the supervisor spawns a replacement. *)
+          Fault.Service.arm Fault.Service.Worker ~times:1
+            (Fault.Service.Raise "thread down");
+          let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+          (match Client.result client id with
+          | Protocol.Result_r { state = Protocol.Failed reason; _ } ->
+            check Alcotest.bool "failure names the crashed worker" true
+              (contains reason "crashed")
+          | r ->
+            Alcotest.failf "expected Failed, got %s"
+              Protocol.(to_string (encode_response r)));
+          check Alcotest.bool "supervisor restores the pool" true
+            (eventually (fun () ->
+                 Server.live_workers srv = 2
+                 && (Server.stats srv).Protocol.worker_restarts >= 1));
+          check Alcotest.bool "pool not degraded" false (Server.is_degraded srv);
+          let id2, _ = submit_ok client (arch_source Graphs.Arch1) in
+          ignore (result_done client id2)))
+
+let test_serve_degraded_pool () =
+  with_faults (fun () ->
+      with_server ~workers:1 ~max_worker_restarts:0 (fun srv client ->
+          Fault.Service.arm Fault.Service.Worker ~times:1
+            (Fault.Service.Raise "thread down");
+          let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+          (match Client.result client id with
+          | Protocol.Result_r { state = Protocol.Failed _; _ } -> ()
+          | r ->
+            Alcotest.failf "expected Failed, got %s"
+              Protocol.(to_string (encode_response r)));
+          (* Zero restart budget: the dead worker is not replaced and the
+             pool is declared degraded. *)
+          check Alcotest.bool "pool declared degraded" true
+            (eventually (fun () -> Server.is_degraded srv));
+          check Alcotest.int "no live workers left" 0 (Server.live_workers srv);
+          check Alcotest.bool "stats carry the flag" true
+            (Server.stats srv).Protocol.degraded;
+          (* Admission refuses outright rather than queueing into the void. *)
+          match Client.submit client (arch_source Graphs.Arch2) with
+          | Protocol.Rejected { reason = Protocol.Degraded; _ } -> ()
+          | r ->
+            Alcotest.failf "expected Degraded, got %s"
+              Protocol.(to_string (encode_response r))))
+
+let test_serve_watchdog_expires_wedged_build () =
+  with_faults (fun () ->
+      let now = ref 0.0 in
+      with_server ~workers:1 ~clock:(fun () -> !now) (fun srv client ->
+          (* The build wedges inside HLS; its 100 ms deadline passes on
+             the fake clock; the watchdog must expire it and replace the
+             wedged worker without waiting out the hang. *)
+          Fault.Service.arm Fault.Service.Hls ~times:1 (Fault.Service.Hang 30.0);
+          let id, _ = submit_ok client ~deadline_ms:100 (arch_source Graphs.Arch1) in
+          check Alcotest.bool "build wedged in flight" true
+            (eventually (fun () -> (Server.stats srv).Protocol.running = 1));
+          now := 1.0;
+          (match Client.result client id with
+          | Protocol.Result_r { state = Protocol.Expired; _ } -> ()
+          | r ->
+            Alcotest.failf "expected Expired, got %s"
+              Protocol.(to_string (encode_response r)));
+          check Alcotest.int "watchdog fire counted" 1
+            (Server.stats srv).Protocol.watchdog_fires;
+          Fault.Service.release_hangs ();
+          check Alcotest.bool "replacement restores the pool" true
+            (eventually (fun () ->
+                 Server.live_workers srv = 1
+                 && (Server.stats srv).Protocol.worker_restarts >= 1));
+          let id2, _ = submit_ok client (arch_source Graphs.Arch2) in
+          ignore (result_done client id2)))
+
+let test_serve_poison_breaker () =
+  with_faults (fun () ->
+      let now = ref 0.0 in
+      with_server ~workers:1 ~breaker_threshold:2 ~breaker_cooldown_ms:1000
+        ~clock:(fun () -> !now) (fun _srv client ->
+          Fault.Service.arm Fault.Service.Hls (Fault.Service.Raise "poison");
+          let fail_once () =
+            let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+            match Client.result client id with
+            | Protocol.Result_r { state = Protocol.Failed _; _ } -> ()
+            | r ->
+              Alcotest.failf "expected Failed, got %s"
+                Protocol.(to_string (encode_response r))
+          in
+          fail_once ();
+          fail_once ();
+          (* Threshold reached: the key is rejected without burning a
+             worker on a build known to die. *)
+          (match Client.submit client (arch_source Graphs.Arch1) with
+          | Protocol.Rejected { reason = Protocol.Poisoned; detail; _ } ->
+            check Alcotest.bool "detail explains the breaker" true
+              (String.length detail > 0)
+          | r ->
+            Alcotest.failf "expected Poisoned, got %s"
+              Protocol.(to_string (encode_response r)));
+          let s = Client.stats client in
+          check Alcotest.int "poisoned rejection counted" 1 s.Protocol.rejected_poisoned;
+          check Alcotest.int "breaker open in stats" 1 s.Protocol.breaker_open_keys;
+          (* Cooldown elapses (fake clock) and the poison is cured: the
+             half-open probe succeeds and closes the breaker. *)
+          Fault.Service.disarm Fault.Service.Hls;
+          now := 2.0;
+          let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+          ignore (result_done client id);
+          check Alcotest.int "probe success closes the breaker" 0
+            (Client.stats client).Protocol.breaker_open_keys))
+
+let test_serve_sim_fallback () =
+  with_faults (fun () ->
+      with_server ~workers:1 (fun _srv client ->
+          (* A compiled-tape lowering failure mid-build degrades that
+             netlist to the interpreter; the build still completes. *)
+          Fault.Service.arm Fault.Service.Csim ~times:1
+            (Fault.Service.Raise "lowering dies");
+          let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+          let design, _, _ = result_done client id in
+          check Alcotest.string "build completes despite the dead backend"
+            "otsu_arch1" design;
+          check Alcotest.bool "fallback surfaces in stats" true
+            ((Client.stats client).Protocol.sim_fallbacks >= 1)))
+
+let test_serve_session_cap () =
+  with_server ~max_sessions:1 (fun srv client ->
+      check Alcotest.bool "the one admitted session works" true (Client.ping client);
+      let refused =
+        match Client.connect ~port:(Server.port srv) () with
+        | exception Client.Error _ -> true
+        | c2 ->
+          let r =
+            match Client.rpc c2 Protocol.Ping with
+            | Protocol.Error_r _ -> true
+            | exception Client.Error _ -> true
+            | _ -> false
+          in
+          Client.close c2;
+          r
+      in
+      check Alcotest.bool "over-cap connection refused" true refused;
+      check Alcotest.bool "original session unharmed" true (Client.ping client);
+      check Alcotest.int "cap never exceeded" 1 (Server.session_count srv))
+
+let test_serve_idle_session_timeout () =
+  with_server ~idle_session_timeout_ms:100 (fun srv client ->
+      check Alcotest.bool "fresh session answers" true (Client.ping client);
+      Unix.sleepf 0.5;
+      let dropped =
+        match Client.ping client with exception Client.Error _ -> true | ok -> not ok
+      in
+      check Alcotest.bool "idle session dropped" true dropped;
+      check Alcotest.bool "session slot reclaimed" true
+        (eventually (fun () -> Server.session_count srv = 0));
+      let c2 = Client.connect ~port:(Server.port srv) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c2)
+        (fun () -> check Alcotest.bool "fresh connection serves" true (Client.ping c2)))
+
+let test_serve_wire_fuzz () =
+  with_server ~workers:1 (fun srv client ->
+      let rng = Random.State.make [| 0xC0FFEE |] in
+      let attack i =
+        let fd = raw_connect (Server.port srv) in
+        (match i mod 5 with
+        | 0 ->
+          (* random garbage bytes *)
+          let n = 1 + Random.State.int rng 64 in
+          raw_send fd (String.init n (fun _ -> Char.chr (Random.State.int rng 256)))
+        | 1 ->
+          (* absurd length prefix *)
+          raw_send fd "\x7f\xff\xff\xffjunk"
+        | 2 ->
+          (* truncated frame: header promises bytes that never come *)
+          let hdr = Bytes.create 4 in
+          Bytes.set_int32_be hdr 0 (Int32.of_int (64 + Random.State.int rng 1000));
+          raw_send fd (Bytes.to_string hdr ^ "abc")
+        | 3 -> () (* connect-and-vanish *)
+        | _ ->
+          (* well-framed payload that is not JSON *)
+          raw_send fd
+            (frame_of
+               (String.init (Random.State.int rng 32) (fun _ ->
+                    Char.chr (32 + Random.State.int rng 95)))));
+        raw_close fd
+      in
+      for i = 0 to 59 do
+        attack i;
+        if i mod 10 = 9 then
+          check Alcotest.bool (Printf.sprintf "daemon answers after attack %d" i) true
+            (Client.ping client)
+      done;
+      check Alcotest.bool "abusive sessions all reaped" true
+        (eventually (fun () -> Server.session_count srv = 1));
+      (* Still a fully functional daemon, not merely a responsive one. *)
+      let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+      ignore (result_done client id))
+
 let suite =
   [
     ("protocol json roundtrip", `Quick, test_json_roundtrip);
@@ -680,5 +1040,16 @@ let suite =
     ("serve: drain stops admission and reports", `Quick, test_serve_drain);
     ("serve: kill + restart recovers byte-identically", `Quick, test_serve_kill_and_restart);
     ("serve: warm cache absorbs repeat builds", `Quick, test_serve_warm_cache_hit_rate);
+    ("breaker: trip, probe, close, disable", `Quick, test_breaker_unit);
+    ("scheduler flush_queued + try_finish", `Quick, test_sched_flush_queued);
+    ("serve: build fault contained, worker survives", `Quick, test_serve_batch_fault_contained);
+    ("serve: dead worker replaced by supervisor", `Quick, test_serve_worker_crash_supervised);
+    ("serve: exhausted restart budget degrades the pool", `Quick, test_serve_degraded_pool);
+    ("serve: watchdog expires a wedged build", `Quick, test_serve_watchdog_expires_wedged_build);
+    ("serve: poison pill opens the breaker, probe closes it", `Quick, test_serve_poison_breaker);
+    ("serve: compiled-sim failure degrades to interpreter", `Quick, test_serve_sim_fallback);
+    ("serve: session cap refuses politely", `Quick, test_serve_session_cap);
+    ("serve: idle sessions reaped", `Quick, test_serve_idle_session_timeout);
+    ("serve: wire abuse never takes the daemon down", `Quick, test_serve_wire_fuzz);
     qtest prop_json_roundtrip;
   ]

@@ -98,7 +98,70 @@ let check_cmd =
         let kernels = if graph_only then [] else builtin_kernels () in
         Soc_analysis.Analyze.run ~kernels spec)
   in
-  let run files format werror ignored graph_only codes =
+  (* RTL static verification of one netlist: lint, then — only when the
+     lint found no errors (a multi-driven or cyclic netlist cannot be
+     lowered meaningfully) — lower to an instruction tape and run the
+     translation validator after lowering and after every optimizer
+     pass. *)
+  let rtl_diags_of_net ~subject net =
+    let lint = Soc_rtl.Lint.check net in
+    if Diag.has_errors lint then lint
+    else
+      lint
+      @
+      match Soc_rtl_compile.Csim.compile_tape net with
+      | (_ : Soc_rtl_compile.Tape.t) -> []
+      | exception Soc_rtl_compile.Verify.Tape_invalid err ->
+        [ Soc_rtl_compile.Verify.to_diag ~subject err ]
+  in
+  (* [--rtl] dispatch: a [.ntl] file is a netlist to verify directly; a
+     DSL source is front-end checked, then every node's kernel is
+     synthesized and its generated netlist verified. *)
+  let rtl_diags_of_file ~graph_only file =
+    if Filename.check_suffix file ".ntl" then
+      match Soc_rtl.Netlist_reader.parse_file file with
+      | exception Sys_error msg ->
+        prerr_endline ("socdsl: " ^ msg);
+        exit 2
+      | exception Soc_rtl.Netlist_reader.Parse_error msg ->
+        [ Diag.error ~code:"SOC000" ~subject:file msg ]
+      | net -> rtl_diags_of_net ~subject:file net
+    else
+      let front = diags_of_file ~graph_only file in
+      if Diag.has_errors front then front
+      else
+        match read_source file with
+        | exception Sys_error msg ->
+          prerr_endline ("socdsl: " ^ msg);
+          exit 2
+        | source -> (
+          match Soc_core.Parser.parse ~validate:false source with
+          | exception _ -> front (* already reported above *)
+          | spec ->
+            let kernels = builtin_kernels () in
+            front
+            @ List.concat_map
+                (fun (node : Soc_core.Spec.node_spec) ->
+                  match List.assoc_opt node.Soc_core.Spec.node_name kernels with
+                  | None -> [] (* unresolved kernels are SOC020, in [front] *)
+                  | Some k ->
+                    let accel = Soc_hls.Engine.synthesize k in
+                    rtl_diags_of_net
+                      ~subject:(file ^ ":" ^ node.Soc_core.Spec.node_name)
+                      accel.Soc_hls.Engine.fsmd.netlist)
+                spec.Soc_core.Spec.nodes)
+  in
+  let run files format werror ignored graph_only codes explain rtl =
+    (match explain with
+    | None -> ()
+    | Some code -> (
+      match Soc_analysis.Analyze.explain code with
+      | Some text ->
+        print_endline text;
+        exit 0
+      | None ->
+        Printf.eprintf "socdsl: unknown diagnostic code %S (see --codes)\n" code;
+        exit 2));
     if codes then begin
       List.iter
         (fun (code, doc) -> Printf.printf "%s  %s\n" code doc)
@@ -113,7 +176,8 @@ let check_cmd =
       List.map
         (fun file ->
           let ds =
-            diags_of_file ~graph_only file
+            (if rtl then rtl_diags_of_file ~graph_only file
+             else diags_of_file ~graph_only file)
             |> Diag.suppress ~codes:ignored
             |> fun ds -> if werror then Diag.promote_warnings ds else ds
           in
@@ -167,15 +231,29 @@ let check_cmd =
     Arg.(value & flag & info [ "codes" ]
          ~doc:"List every stable diagnostic code with its meaning and exit.")
   in
+  let explain_arg =
+    Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"CODE"
+         ~doc:"Print a one-paragraph description of a diagnostic code and exit.")
+  in
+  let rtl_arg =
+    Arg.(value & flag & info [ "rtl" ]
+         ~doc:"RTL static verification: netlist lint (RTL50x) plus \
+               instruction-tape translation validation after lowering and \
+               after every optimizer pass (RTL51x). $(b,.ntl) files are \
+               verified directly; DSL sources are front-end checked, then \
+               every node's kernel is synthesized and its generated netlist \
+               verified.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Statically analyze DSL sources: graph well-formedness, kernel \
           interface and type checks, SDF-style stream rate/deadlock analysis, \
-          address-map and resource-budget checks. Exits 1 if any error is \
+          address-map and resource-budget checks; with $(b,--rtl), netlist \
+          lint and tape translation validation. Exits 1 if any error is \
           found, 0 otherwise.")
     Term.(const run $ files_arg $ format_arg $ werror_arg $ ignore_arg
-          $ graph_only_arg $ codes_arg)
+          $ graph_only_arg $ codes_arg $ explain_arg $ rtl_arg)
 
 (* ---------------- print ---------------- *)
 
@@ -851,6 +929,8 @@ let client_cmd =
             Printf.printf
               "supervision: %d worker restart(s), %d watchdog fire(s), %d breaker key(s) open, %d sim fallback(s)\n"
               s.worker_restarts s.watchdog_fires s.breaker_open_keys s.sim_fallbacks;
+            Printf.printf "verifier: %d tape reject(s), %d cache re-verification(s)\n"
+              s.rtl_verify_rejects s.tape_reverifies;
             Printf.printf "queue: %d deep, %d running\n" s.queue_depth s.running;
             Printf.printf
               "cache: %d hits, %d disk hits, %d misses (hit rate %.2f), %d engine run(s)\n"

@@ -434,4 +434,113 @@ let code_table =
     ("RUN310", "hardware task degraded to its software fallback");
     ("RUN311", "campaign output diverged from the golden model");
     ("RUN312", "hardware recovery needed retries");
+    ("IO400", "corrupt cache artifact quarantined");
+    ("IO401", "truncated cache artifact quarantined");
+    ("IO402", "cache artifact from a stale format version (treated as a miss)");
+    ("IO403", "journal has an invalid suffix (torn write dropped on replay)");
+    ("IO404", "orphan temporary file removed by fsck");
+    ("IO405", "journal compacted by fsck");
+    ("IO410", "cache size cap spared a journal-protected entry");
+    ("RTL500", "netlist signal driven more than once");
+    ("RTL501", "constant truncated by its width or assignment target");
+    ("RTL502", "register enable is constant-false with live next-state logic");
+    ("RTL503", "FSM state compared against but unreachable");
+    ("RTL504", "memory read but never written and not initialised");
+    ("RTL505", "combinational loop (cycle path named)");
+    ("RTL510", "tape reads a slot before any write (def-before-use)");
+    ("RTL511", "tape references a store slot out of bounds");
+    ("RTL512", "tape instruction malformed (opcode or result mask)");
+    ("RTL513", "tape segment writes a netlist-visible or constant slot");
+    ("RTL514", "tape reuses a value across gated segments");
+    ("RTL515", "tape keep set no longer covers the observable signals");
+    ("RTL516", "tape commit tables or segment geometry malformed");
+    ("RTL517", "tape writes the same slot twice");
   ]
+
+(* One paragraph per code family, composed with the per-code line by
+   [explain] — background a one-liner cannot carry. *)
+let family_notes =
+  [
+    ( "SOC00",
+      "Task-graph structure checks: the DSL source parsed, but the graph it \
+       describes is malformed — duplicate names, dangling references, ports \
+       wired against their declared kind. These run first and gate every \
+       deeper analysis, because rate or interface checks over a broken graph \
+       would only produce noise." );
+    ( "SOC02",
+      "Interface consistency checks between a node's DSL-declared ports and \
+       the kernel bound to it: every declared port must exist on the kernel \
+       with the same kind and a compatible direction, so integration cannot \
+       silently drop or cross-wire a connection." );
+    ( "SOC03",
+      "Static SDF-style stream-rate analysis: per-kernel push/pop bounds are \
+       extracted from the kernel IR and balanced across each link. Mismatched \
+       rates mean overflow or starvation; a consumer that provably pops more \
+       than its producer pushes is a deadlock at runtime, caught here in \
+       milliseconds instead of after a co-simulation." );
+    ( "SOC04",
+      "Concurrency checks over the hierarchical task graph: nodes with no \
+       precedence path either way may be scheduled concurrently, so their \
+       planned DRAM regions must not intersect." );
+    ( "SOC05",
+      "System-integration checks run by System.validate after layout: every \
+       stream port bound exactly once, DMA channels unique, FIFOs attached — \
+       the wiring invariants the generated platform code assumes." );
+    ( "KRN1",
+      "Kernel IR type errors, lifted into the unified diagnostic stream: \
+       unknown names, direction violations (reading an output stream, \
+       assigning an input scalar), and statically-out-of-bounds array \
+       accesses inside one kernel's code." );
+    ( "RES2",
+      "Resource and address-map checks against the target device profile: \
+       AXI-Lite segments must not overlap, and the design's estimated (or \
+       post-synthesis) LUT/FF/BRAM/DSP usage must fit the configured budget, \
+       with a warning band above 90%." );
+    ( "RUN3",
+      "Runtime findings from monitors and campaigns rendered in the same \
+       currency as static checks: stream-protocol violations observed in \
+       co-simulation, hardware tasks that degraded to software fallbacks, and \
+       chaos-campaign divergences." );
+    ( "IO4",
+      "Durability findings from the content-addressed cache and write-ahead \
+       journal: corrupt, truncated or stale-version artifacts are quarantined \
+       and rebuilt rather than trusted; fsck repairs journals and removes \
+       orphan temporaries. These are health reports — the store heals itself." );
+    ( "RTL50",
+      "Netlist lint: structural checks on the post-HLS RTL (multi-driven \
+       signals, truncating constants, dead enables, unreachable FSM states, \
+       write-less memories, combinational loops). Generated netlists are \
+       expected to lint clean; a finding here points at a generator bug \
+       caught before synthesis or simulation, not after." );
+    ( "RTL51",
+      "Tape translation validation: the compiled co-simulation backend \
+       lowers each netlist to a flat instruction tape and re-checks the \
+       tape's structural invariants after lowering, after every optimizer \
+       pass and on every cache load — def-before-use, slot bounds, segment \
+       isolation, keep-set preservation, commit-table geometry. A failure \
+       names the pass that miscompiled and degrades the build to the \
+       reference interpreter instead of simulating wrong." );
+  ]
+
+let explain code =
+  let code = String.uppercase_ascii code in
+  match List.assoc_opt code code_table with
+  | None -> None
+  | Some line ->
+    let family =
+      List.fold_left
+        (fun best (prefix, note) ->
+          (* Longest matching prefix wins (RTL50 vs RTL51). *)
+          if String.length code >= String.length prefix
+             && String.sub code 0 (String.length prefix) = prefix
+          then
+            match best with
+            | Some (bp, _) when String.length bp >= String.length prefix -> best
+            | _ -> Some (prefix, note)
+          else best)
+        None family_notes
+    in
+    Some
+      (match family with
+      | Some (_, note) -> Printf.sprintf "%s: %s\n\n%s" code line note
+      | None -> Printf.sprintf "%s: %s" code line)

@@ -63,3 +63,9 @@ val typecheck_code : Soc_kernel.Typecheck.error -> string
 val code_table : (string * string) list
 (** Every stable diagnostic code with a one-line description, for
     [socdsl check --codes] and the README table. *)
+
+val explain : string -> string option
+(** [explain code] is a one-paragraph description of a stable diagnostic
+    code — its one-line summary plus the background of its family — for
+    [socdsl check --explain CODE]. [None] for unknown codes. Matching is
+    case-insensitive. *)

@@ -168,6 +168,29 @@ let synthesize_impls ?(hls = direct_hls) ~hls_config pairs :
       ({ node; kernel; accel }, origin))
     pairs
 
+(* Stage 2b: RTL lint over every generated netlist. The FSMD generator
+   is expected to produce lint-clean RTL, so an error-severity finding
+   (multi-driven signal, combinational loop) is a generator bug surfaced
+   as a named RTL5xx diagnostic here instead of as silent simulation
+   weirdness downstream. Warnings are left to [socdsl check --rtl]. *)
+let lint_impl_netlist ~(name : string) (net : Soc_rtl.Netlist.t) =
+  let diags = Soc_rtl.Lint.check net in
+  if Soc_util.Diag.has_errors diags then
+    fail "RTL lint rejected %s:\n%s" name
+      (String.concat "\n"
+         (List.filter_map
+            (fun (d : Soc_util.Diag.t) ->
+              if d.Soc_util.Diag.severity = Soc_util.Diag.Error then
+                Some (Soc_util.Diag.to_string d)
+              else None)
+            diags))
+
+let lint_impls (impls : node_impl list) =
+  List.iter
+    (fun (impl : node_impl) ->
+      lint_impl_netlist ~name:impl.node.Spec.node_name impl.accel.fsmd.netlist)
+    impls
+
 (* Stage 3: system integration (Tcl for both backends, address map, DMA). *)
 type integration = {
   int_tcl_2014 : string;
@@ -260,6 +283,8 @@ let build ?(hls_config = Soc_hls.Engine.default_config)
   let pairs = pair_kernels spec ~kernels in
   let impls_o = synthesize_impls ~hls ~hls_config pairs in
   let impls = List.map fst impls_o in
+  note "lint";
+  lint_impls impls;
   note "integrate";
   let integ = integrate spec in
   note "synth";

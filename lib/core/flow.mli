@@ -92,6 +92,15 @@ val synthesize_impls :
   (node_impl * [ `Reused | `Synthesized ]) list
 (** Stage 2: HLS per node through the pluggable engine. *)
 
+val lint_impl_netlist : name:string -> Soc_rtl.Netlist.t -> unit
+(** Stage 2b helper: RTL lint one generated netlist; raises [Build_error]
+    on an error-severity [RTL5xx] finding (multi-driven signal,
+    combinational loop). Generated netlists are expected to lint clean —
+    a failure here is an HLS-generator bug caught before integration. *)
+
+val lint_impls : node_impl list -> unit
+(** Stage 2b: {!lint_impl_netlist} over every implementation. *)
+
 type integration = {
   int_tcl_2014 : string;
   int_tcl_2015 : string;

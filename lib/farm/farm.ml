@@ -98,7 +98,16 @@ let jobs_of_graph ?journal ?inj ~abort (g : Jobgraph.t) (cache : Cache.t) :
                real engine run entirely. *)
             (match Cache.find cache key with
             | Some a -> V_accel a
-            | None -> V_accel (snd (Cache.synthesize cache ~config:g.Jobgraph.hls_config kernel)))
+            | None ->
+              let a = snd (Cache.synthesize cache ~config:g.Jobgraph.hls_config kernel) in
+              (* Same RTL gate as Flow.build: a fresh synthesis whose
+                 netlist fails lint is a generator bug — refuse the job
+                 with a named RTL5xx diagnostic rather than cache and
+                 simulate a malformed design. Cache hits were gated when
+                 first synthesized. *)
+              Flow.lint_impl_netlist ~name:kernel.Soc_kernel.Ast.kname
+                a.Soc_hls.Engine.fsmd.netlist;
+              V_accel a)
         | Jobgraph.Integrate i ->
           fun _ _ ->
             let e = g.Jobgraph.entries.(i) in

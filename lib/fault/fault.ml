@@ -341,9 +341,34 @@ module Service = struct
 
   let release_hangs () = locked (fun () -> released := true)
 
+  (* Tape-corruption point: unlike the Raise/Hang behaviours above, this
+     one does not throw — it hands the compiled-simulation pipeline a
+     seed with which to mutate one lowered instruction, so the campaign
+     can prove a miscompile is *rejected by the verifier* rather than
+     silently simulated. State lives under the same lock and is cleared
+     by [reset]. *)
+  let corrupt_armed : (int * int) option ref = ref None (* seed, shots left *)
+  let corrupt_hit_count = ref 0
+
+  let arm_corrupt_tape ?(times = 1) ~seed () =
+    locked (fun () -> corrupt_armed := (if times <= 0 then None else Some (seed, times)))
+
+  let corrupt_tape () =
+    locked (fun () ->
+        match !corrupt_armed with
+        | None -> None
+        | Some (seed, times) ->
+          corrupt_hit_count := !corrupt_hit_count + 1;
+          corrupt_armed := (if times <= 1 then None else Some (seed, times - 1));
+          Some seed)
+
+  let corrupt_hits () = locked (fun () -> !corrupt_hit_count)
+
   let reset () =
     locked (fun () ->
         released := true;
+        corrupt_armed := None;
+        corrupt_hit_count := 0;
         List.iter
           (fun (_, s) ->
             s.armed <- None;

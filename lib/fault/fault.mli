@@ -191,8 +191,23 @@ module Service : sig
   (** Wake every thread currently sleeping in an injected [Hang] (and
       make future hangs return immediately until the next {!arm}). *)
 
+  val arm_corrupt_tape : ?times:int -> seed:int -> unit -> unit
+  (** Arm the tape-corruption point: the next [times] (default 1)
+      compiled-simulation lowerings mutate one instruction of the lowered
+      tape with this seed, exercising the translation validator's
+      rejection path instead of raising. *)
+
+  val corrupt_tape : unit -> int option
+  (** Consult the corruption point (called by the tape pipeline); [Some
+      seed] means this lowering must corrupt itself. Decrements the
+      armed shot count. *)
+
+  val corrupt_hits : unit -> int
+  (** How many lowerings were corrupted since the last {!reset}. *)
+
   val reset : unit -> unit
-  (** Disarm every point, zero the hit counters, release hangs. *)
+  (** Disarm every point (including the tape-corruption point), zero the
+      hit counters, release hangs. *)
 end
 
 (** {2 Bit-flip machinery over byte strings} *)

@@ -350,7 +350,25 @@ let of_tape (tape : Tape.t) (net : Netlist.t) =
   init_state t;
   t
 
-let create ?observe net = of_tape (Opt.run (Tape.lower ?observe net)) net
+(* The verified compilation pipeline: lower, validate the lowering, then
+   run the optimizer with the translation validator checkpointed after
+   every pass — a miscompile surfaces as {!Verify.Tape_invalid} naming
+   the pass that introduced it, never as wrong simulation output. The
+   {!Soc_fault.Fault.Service.corrupt_tape} point (chaos campaigns, serve
+   fault tests) mutates one lowered instruction here, upstream of the
+   validator, to prove exactly that. *)
+let compile_tape ?observe net =
+  let tape = Tape.lower ?observe net in
+  let tape =
+    match Soc_fault.Fault.Service.corrupt_tape () with
+    | None -> tape
+    | Some seed -> fst (Verify.mutate ~seed tape)
+  in
+  let ctx = Verify.context net in
+  Verify.check ~stage:"lower" ~ctx tape;
+  Opt.run ~checkpoint:(fun stage t -> Verify.check ~stage ~ctx t) tape
+
+let create ?observe net = of_tape (compile_tape ?observe net) net
 
 let tape t = t.tape
 let stats t = t.tape.stats

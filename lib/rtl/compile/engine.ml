@@ -47,6 +47,35 @@ let lowering_count () = !lowerings
 let fallbacks = Atomic.make 0
 let fallback_count () = Atomic.get fallbacks
 
+(* Translation-validator bookkeeping: every tape rejected by {!Verify}
+   (fresh lowering or cache load) is counted and its diagnostic kept in a
+   small newest-first ring so the daemon's stats and the CLI can report
+   *which pass* miscompiled, not just that something fell back. *)
+let verify_rejects = Atomic.make 0
+let verify_reject_count () = Atomic.get verify_rejects
+
+let reverifies = Atomic.make 0
+let reverify_count () = Atomic.get reverifies
+
+let verify_log_lock = Mutex.create ()
+let verify_log : Soc_util.Diag.t list ref = ref []
+let verify_log_cap = 16
+
+let note_verify_failure (err : Verify.error) =
+  Atomic.incr verify_rejects;
+  Mutex.lock verify_log_lock;
+  verify_log :=
+    Verify.to_diag err :: (if List.length !verify_log >= verify_log_cap then
+                             List.filteri (fun i _ -> i < verify_log_cap - 1) !verify_log
+                           else !verify_log);
+  Mutex.unlock verify_log_lock
+
+let verify_diags () =
+  Mutex.lock verify_log_lock;
+  let l = !verify_log in
+  Mutex.unlock verify_log_lock;
+  l
+
 let degraded_lock = Mutex.create ()
 let degraded_tbl : (string, unit) Hashtbl.t = Hashtbl.create 8
 
@@ -94,10 +123,21 @@ let compile net =
     if degraded_key key then raise (Degraded key);
     (match c.tc_find ~key with
     | Some tape -> (
-      (* A mismatched entry (corrupt store, key collision) must never take
-         the simulation down — recompile and overwrite it. *)
-      try Csim.of_tape tape net
-      with Csim.Tape_mismatch _ | Tape.Parse_error _ ->
+      (* A deserialized tape is untrusted until re-verified — the unsafe
+         dispatch loop must never run a tape that only *looks* like the
+         one that was stored. A mismatched or invalid entry (corrupt
+         store, key collision) must never take the simulation down —
+         note it and recompile over it. *)
+      Atomic.incr reverifies;
+      match Verify.check ~stage:"cache-load" ~net tape with
+      | () -> (
+        try Csim.of_tape tape net
+        with Csim.Tape_mismatch _ | Tape.Parse_error _ ->
+          let csim = fresh () in
+          c.tc_store ~key (Csim.tape csim);
+          csim)
+      | exception Verify.Tape_invalid err ->
+        note_verify_failure err;
         let csim = fresh () in
         c.tc_store ~key (Csim.tape csim);
         csim)
@@ -121,11 +161,12 @@ let precompile net =
       match
         Soc_fault.Fault.Service.step Soc_fault.Fault.Service.Csim ();
         incr lowerings;
-        Opt.run (Tape.lower net)
+        Csim.compile_tape net
       with
       | tape -> c.tc_store ~key tape
       | exception (Soc_fault.Fault.Killed _ as e) -> raise e
-      | exception _ ->
+      | exception e ->
+        (match e with Verify.Tape_invalid err -> note_verify_failure err | _ -> ());
         mark_degraded key;
         Atomic.incr fallbacks
     end
@@ -139,7 +180,9 @@ let create ?backend net =
     | e ->
       (* The compiled backend is an optimization, never a single point of
          failure: remember the bad key, count the fallback, and serve the
-         same netlist from the interpreter. *)
+         same netlist from the interpreter. A verifier rejection rides
+         the same ladder, with its pass-attributed diagnostic kept. *)
+      (match e with Verify.Tape_invalid err -> note_verify_failure err | _ -> ());
       (match e with Degraded _ -> () | _ -> mark_degraded (Tape.netlist_key net));
       Atomic.incr fallbacks;
       Interp_sim (Sim.create net))

@@ -86,8 +86,13 @@ let copy_state st =
 
 (* Rewrites one straight-line section in place of [st]; the caller must
    push [st.alias] through anything else that references the section's
-   slots (the commit tables). *)
-let forward ~(tape : Tape.t) ~pool ~counts ~st (code : Tape.instr array) =
+   slots (the commit tables). The [fold]/[mux]/[cse] switches gate the
+   three rewrite families so {!run} can apply them as separate,
+   individually-verified passes; copy-aliasing and value tracking stay on
+   in every walk — they are bookkeeping, not rewrites. The tick
+   specializer runs with everything enabled. *)
+let forward ?(fold = true) ?(mux = true) ?(cse = true) ~(tape : Tape.t) ~pool ~counts ~st
+    (code : Tape.instr array) =
   let n_signals = tape.n_signals in
   let is_temp slot = slot >= n_signals in
   let resolve s = match Hashtbl.find_opt st.alias s with Some s' -> s' | None -> s in
@@ -118,7 +123,7 @@ let forward ~(tape : Tape.t) ~pool ~counts ~st (code : Tape.instr array) =
           | None -> false)
         | _ -> va <> None && vb <> None
       in
-      if all_known then begin
+      if fold && all_known then begin
         let get = function Some v -> v | None -> 0 in
         let v = Tape.eval_op ~op:i.op ~a:(get va) ~b:(get vb) ~c:(get vc) land i.msk in
         counts.folded <- counts.folded + 1;
@@ -133,7 +138,7 @@ let forward ~(tape : Tape.t) ~pool ~counts ~st (code : Tape.instr array) =
       end
       else begin
         let i =
-          if i.op <> 27 then i
+          if (not mux) || i.op <> 27 then i
           else
             match vc with
             | Some s ->
@@ -159,6 +164,7 @@ let forward ~(tape : Tape.t) ~pool ~counts ~st (code : Tape.instr array) =
           (* Mask-free temp copy: pure aliasing, no instruction needed. *)
           Hashtbl.replace st.alias i.dst i.a
         else if i.op = Tape.op_copy then keep_instr i
+        else if not cse then keep_instr i
         else begin
           let key = (i.op, i.a, i.b, i.c, i.msk) in
           match Hashtbl.find_opt st.seen key with
@@ -228,13 +234,65 @@ let sweep ~keep ~reg_commits ~mem_commits ~counts ~settle ~prologue ~segments =
 
 let section arr off len = Array.sub arr off len
 
-let run (tape : Tape.t) =
+(* Reassemble a tape from rewritten sections: concatenate prologue +
+   segments back into one tick tape, recompute every segment offset, and
+   fold this stage's counters into the cumulative stats. *)
+let reassemble (tape : Tape.t) ~counts ~n_slots ~consts ~settle ~prologue ~reg_segs ~mem_segs
+    ~reg_commits ~mem_commits =
+  let pieces = prologue :: Array.to_list reg_segs @ Array.to_list mem_segs in
+  let tick = Array.concat pieces in
+  let off = ref (Array.length prologue) in
+  let place seg =
+    let o = !off in
+    off := o + Array.length seg;
+    (o, Array.length seg)
+  in
+  let reg_commits =
+    Array.mapi
+      (fun i r ->
+        let rc_off, rc_len = place reg_segs.(i) in
+        { r with Tape.rc_off; rc_len })
+      reg_commits
+  in
+  let mem_commits =
+    Array.mapi
+      (fun i m ->
+        let mc_off, mc_len = place mem_segs.(i) in
+        { m with Tape.mc_off; mc_len })
+      mem_commits
+  in
+  let final = Array.length settle + Array.length tick in
+  {
+    tape with
+    n_slots;
+    consts;
+    settle;
+    tick;
+    prologue = Array.length prologue;
+    reg_commits;
+    mem_commits;
+    stats =
+      {
+        tape.stats with
+        folded = tape.stats.folded + counts.folded;
+        mux_selected = tape.stats.mux_selected + counts.mux_selected;
+        cse_hits = tape.stats.cse_hits + counts.cse_hits;
+        dce_removed = tape.stats.dce_removed + counts.dce_removed;
+        final;
+      };
+  }
+
+(* One forward-rewrite pass (fold, mux specialization or CSE, selected by
+   the switches) over every section, with commit-table aliases resolved
+   through the state of the section each field was lowered in. *)
+let apply_walk ~fold ~mux ~cse (tape : Tape.t) =
   let counts = { folded = 0; mux_selected = 0; cse_hits = 0; dce_removed = 0 } in
   let pool = { next_slot = tape.n_slots; by_value = Hashtbl.create 64; added = [] } in
-  (* Seed interning with the lowering's constant pool. *)
+  (* Seed interning with the tape's constant pool. *)
   Array.iter
     (fun (s, v) -> if not (Hashtbl.mem pool.by_value v) then Hashtbl.add pool.by_value v s)
     tape.consts;
+  let forward = forward ~fold ~mux ~cse in
   let settle_st = fresh_state pool in
   let settle = forward ~tape ~pool ~counts ~st:settle_st tape.settle in
   (* Tick: prologue first, then every gated segment from a copy of the
@@ -283,59 +341,55 @@ let run (tape : Tape.t) =
           mc_wdata = resolve_with [ seg_st; settle_st ] m.mc_wdata })
       tape.mem_commits
   in
+  reassemble tape ~counts ~n_slots:pool.next_slot
+    ~consts:(Array.append tape.consts (Array.of_list (List.rev pool.added)))
+    ~settle ~prologue ~reg_segs:(Array.map fst reg_segs) ~mem_segs:(Array.map fst mem_segs)
+    ~reg_commits ~mem_commits
+
+(* The dead-code pass: pure backward liveness, no value state. *)
+let apply_dce (tape : Tape.t) =
+  let counts = { folded = 0; mux_selected = 0; cse_hits = 0; dce_removed = 0 } in
+  let prologue = section tape.tick 0 tape.prologue in
+  let segments =
+    Array.to_list
+      (Array.map (fun (r : Tape.reg_commit) -> section tape.tick r.rc_off r.rc_len)
+         tape.reg_commits)
+    @ Array.to_list
+        (Array.map (fun (m : Tape.mem_commit) -> section tape.tick m.mc_off m.mc_len)
+           tape.mem_commits)
+  in
   let settle, prologue, segments =
-    sweep ~keep:tape.keep ~reg_commits ~mem_commits ~counts ~settle ~prologue
-      ~segments:
-        (Array.to_list (Array.map fst reg_segs) @ Array.to_list (Array.map fst mem_segs))
+    sweep ~keep:tape.keep ~reg_commits:tape.reg_commits ~mem_commits:tape.mem_commits ~counts
+      ~settle:tape.settle ~prologue ~segments
   in
-  (* Reassemble the tick tape and recompute every segment offset. *)
   let n_regs = Array.length tape.reg_commits in
-  let reg_segs', mem_segs' =
-    let arr = Array.of_list segments in
-    (Array.sub arr 0 n_regs, Array.sub arr n_regs (Array.length arr - n_regs))
-  in
-  let pieces = prologue :: Array.to_list reg_segs' @ Array.to_list mem_segs' in
-  let tick = Array.concat pieces in
-  let off = ref (Array.length prologue) in
-  let place seg =
-    let o = !off in
-    off := o + Array.length seg;
-    (o, Array.length seg)
-  in
-  let reg_commits =
-    Array.mapi
-      (fun i r ->
-        let rc_off, rc_len = place reg_segs'.(i) in
-        { r with Tape.rc_off; rc_len })
-      reg_commits
-  in
-  let mem_commits =
-    Array.mapi
-      (fun i m ->
-        let mc_off, mc_len = place mem_segs'.(i) in
-        { m with Tape.mc_off; mc_len })
-      mem_commits
-  in
-  let final = Array.length settle + Array.length tick in
-  {
-    tape with
-    n_slots = pool.next_slot;
-    consts = Array.append tape.consts (Array.of_list (List.rev pool.added));
-    settle;
-    tick;
-    prologue = Array.length prologue;
-    reg_commits;
-    mem_commits;
-    stats =
-      {
-        tape.stats with
-        folded = counts.folded;
-        mux_selected = counts.mux_selected;
-        cse_hits = counts.cse_hits;
-        dce_removed = counts.dce_removed;
-        final;
-      };
-  }
+  let arr = Array.of_list segments in
+  reassemble tape ~counts ~n_slots:tape.n_slots ~consts:tape.consts ~settle ~prologue
+    ~reg_segs:(Array.sub arr 0 n_regs)
+    ~mem_segs:(Array.sub arr n_regs (Array.length arr - n_regs))
+    ~reg_commits:tape.reg_commits ~mem_commits:tape.mem_commits
+
+(* The optimizer as a sequence of named passes. [run ?checkpoint] invokes
+   [checkpoint] with the pass name and its output tape after each pass —
+   the hook {!Csim.compile_tape} uses to run the translation validator,
+   so a miscompile is attributed to the pass that introduced it. *)
+let passes =
+  [
+    ("const-fold", apply_walk ~fold:true ~mux:false ~cse:false);
+    ("mux-specialize", apply_walk ~fold:false ~mux:true ~cse:false);
+    ("cse", apply_walk ~fold:false ~mux:false ~cse:true);
+    ("dce", apply_dce);
+  ]
+
+let pass_names = List.map fst passes
+
+let run ?checkpoint (tape : Tape.t) =
+  List.fold_left
+    (fun tape (name, pass) ->
+      let tape' = pass tape in
+      (match checkpoint with Some ck -> ck name tape' | None -> ());
+      tape')
+    tape passes
 
 (* ------------------------------------------------------------------ *)
 (* Per-value tick specialization                                       *)

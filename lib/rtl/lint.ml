@@ -1,0 +1,237 @@
+(** Whole-netlist RTL lint: structural checks on the post-HLS netlist,
+    reported as stable [RTL50x] diagnostics in the same {!Soc_util.Diag}
+    currency as the task-graph analyzer — so [socdsl check --rtl], the
+    flow's post-synthesis gate and the farm's HLS jobs can all refuse a
+    malformed design before it reaches simulation or synthesis.
+
+    Checks (family [RTL50x]):
+    - RTL500 (error) — multi-driven signal: more than one of {input port,
+      continuous assignment, register output, memory read port} drives
+      the same signal.
+    - RTL501 (warning) — constant truncation: a constant whose value does
+      not fit its declared width, or is statically narrowed by the signal
+      it is assigned to (register reset values and memory init words
+      included).
+    - RTL502 (warning) — a register whose enable is constant-false yet
+      whose next-state logic is not the hold idiom [Ref q]: its
+      next-state network is dead on every cycle.
+    - RTL503 (warning) — unreachable FSM state: a state constant the
+      design compares the state register against, but that is neither the
+      reset state nor a leaf of the next-state expression.
+    - RTL504 (warning) — read-of-never-written memory: write enable is
+      constant-false and there is no init image, so every read returns 0.
+    - RTL505 (error) — combinational loop, with the cycle path named.
+
+    The generated FSMD netlists are expected to lint clean; these checks
+    exist for the same reason type checkers run on generated code — when
+    a generator bug does slip through, the failure should be a named
+    diagnostic, not silent simulation weirdness. *)
+
+module Netlist = Netlist
+module Diag = Soc_util.Diag
+
+let mask = Soc_util.Bits.mask
+
+(* Evaluate an expression that depends on no signal; [None] otherwise. *)
+let rec const_eval (e : Netlist.expr) =
+  match e with
+  | Netlist.Const (v, w) -> Some (v land mask w)
+  | Ref _ -> None
+  | Bin (op, a, b) -> (
+    match (const_eval a, const_eval b) with
+    | Some x, Some y -> Some (Soc_kernel.Semantics.eval_binop op x y)
+    | _ -> None)
+  | Un (op, a) -> Option.map (Soc_kernel.Semantics.eval_unop op) (const_eval a)
+  | Mux (s, a, b) -> (
+    match const_eval s with
+    | Some 0 -> const_eval b
+    | Some _ -> const_eval a
+    | None -> None)
+
+let rec iter_exprs f (e : Netlist.expr) =
+  f e;
+  match e with
+  | Netlist.Const _ | Ref _ -> ()
+  | Bin (_, a, b) -> iter_exprs f a; iter_exprs f b
+  | Un (_, a) -> iter_exprs f a
+  | Mux (s, a, b) -> iter_exprs f s; iter_exprs f a; iter_exprs f b
+
+let check (net : Netlist.t) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let subj (s : Netlist.signal) = net.mod_name ^ "." ^ s.sname in
+  (* --- RTL500: multi-driven signals ------------------------------- *)
+  let drivers : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+  let drive (s : Netlist.signal) what =
+    Hashtbl.replace drivers s.sid
+      (what :: Option.value ~default:[] (Hashtbl.find_opt drivers s.sid))
+  in
+  List.iter (fun s -> drive s "input port") net.inputs;
+  List.iter (fun ((s : Netlist.signal), _) -> drive s "continuous assignment") net.combs;
+  List.iter (fun (r : Netlist.reg) -> drive r.q "register output") net.regs;
+  List.iter (fun (m : Netlist.mem) -> drive m.rdata "memory read port") net.mems;
+  List.iter
+    (fun (s : Netlist.signal) ->
+      match Hashtbl.find_opt drivers s.sid with
+      | Some (_ :: _ :: _ as ds) ->
+        emit
+          (Diag.error ~code:"RTL500" ~subject:(subj s)
+             (Printf.sprintf "signal %s is driven %d times (%s)" s.sname (List.length ds)
+                (String.concat ", " (List.rev ds))))
+      | _ -> ())
+    (List.rev net.signals);
+  (* --- RTL501: constant truncation -------------------------------- *)
+  let const_fits ~where (e : Netlist.expr) =
+    iter_exprs
+      (function
+        | Netlist.Const (v, w) when v land mask w <> v ->
+          emit
+            (Diag.warning ~code:"RTL501" ~subject:where
+               (Printf.sprintf "constant %d does not fit its declared %d-bit width" v w))
+        | _ -> ())
+      e
+  in
+  let narrows ~where ~target_width (e : Netlist.expr) =
+    match e with
+    | Netlist.Const (v, w) ->
+      let v = v land mask w in
+      if v land mask target_width <> v then
+        emit
+          (Diag.warning ~code:"RTL501" ~subject:where
+             (Printf.sprintf
+                "constant %d is truncated by the %d-bit signal it is assigned to" v
+                target_width))
+    | _ -> ()
+  in
+  List.iter
+    (fun ((s : Netlist.signal), e) ->
+      const_fits ~where:(subj s) e;
+      narrows ~where:(subj s) ~target_width:s.width e)
+    net.combs;
+  List.iter
+    (fun (r : Netlist.reg) ->
+      const_fits ~where:(subj r.q) r.next;
+      const_fits ~where:(subj r.q) r.enable;
+      narrows ~where:(subj r.q) ~target_width:r.q.width r.next;
+      if r.reset_value land mask r.q.width <> r.reset_value then
+        emit
+          (Diag.warning ~code:"RTL501" ~subject:(subj r.q)
+             (Printf.sprintf "reset value %d does not fit the %d-bit register" r.reset_value
+                r.q.width)))
+    net.regs;
+  List.iter
+    (fun (m : Netlist.mem) ->
+      let where = net.mod_name ^ "." ^ m.mem_name in
+      const_fits ~where m.raddr;
+      const_fits ~where m.wen;
+      const_fits ~where m.waddr;
+      const_fits ~where m.wdata;
+      match m.init with
+      | None -> ()
+      | Some init ->
+        Array.iteri
+          (fun i v ->
+            if v land mask m.mem_width <> v then
+              emit
+                (Diag.warning ~code:"RTL501" ~subject:where
+                   (Printf.sprintf "init word %d (value %d) does not fit the %d-bit memory"
+                      i v m.mem_width)))
+          init)
+    net.mems;
+  (* --- RTL502: constant-false register enables --------------------- *)
+  List.iter
+    (fun (r : Netlist.reg) ->
+      match const_eval r.enable with
+      | Some 0 -> (
+        (* [enable = 0, next = Ref q] is the hold idiom for a register
+           that is intentionally constant after reset — not a defect. *)
+        match r.next with
+        | Netlist.Ref s when s.sid = r.q.sid -> ()
+        | _ ->
+          emit
+            (Diag.warning ~code:"RTL502" ~subject:(subj r.q)
+               (Printf.sprintf
+                  "register %s has a constant-false enable: its next-state logic never \
+                   latches"
+                  r.q.sname)))
+      | _ -> ())
+    net.regs;
+  (* --- RTL503: unreachable FSM states ------------------------------ *)
+  (* A register is treated as a state register when the design compares
+     it against constants with Eq — the same shape the tick specializer
+     keys on. Its reachable values are the constant leaves of its
+     next-state expression (plus reset); a compared value outside that
+     set can never match. Only fires when the next-state expression is
+     fully enumerable (mux tree over constants and self-holds), so the
+     check cannot false-positive on arithmetic state updates. *)
+  let eq_consts : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let note_eq (s : Netlist.signal) v =
+    Hashtbl.replace eq_consts s.sid
+      (v :: Option.value ~default:[] (Hashtbl.find_opt eq_consts s.sid))
+  in
+  let scan_eq =
+    iter_exprs (function
+      | Netlist.Bin (Soc_kernel.Ast.Eq, Ref s, Const (v, w))
+      | Netlist.Bin (Soc_kernel.Ast.Eq, Const (v, w), Ref s) ->
+        note_eq s (v land mask w)
+      | _ -> ())
+  in
+  List.iter (fun ((_ : Netlist.signal), e) -> scan_eq e) net.combs;
+  List.iter (fun (r : Netlist.reg) -> scan_eq r.next; scan_eq r.enable) net.regs;
+  List.iter
+    (fun (m : Netlist.mem) -> scan_eq m.raddr; scan_eq m.wen; scan_eq m.waddr; scan_eq m.wdata)
+    net.mems;
+  let enum_leaves (r : Netlist.reg) =
+    let leaves = ref [] in
+    let rec go (e : Netlist.expr) =
+      match e with
+      | Netlist.Const (v, w) -> leaves := (v land mask w) :: !leaves; true
+      | Ref s when s.sid = r.q.sid -> true (* hold: adds no new state *)
+      | Mux (_, a, b) -> go a && go b
+      | _ -> false
+    in
+    if go r.next then Some !leaves else None
+  in
+  List.iter
+    (fun (r : Netlist.reg) ->
+      match Hashtbl.find_opt eq_consts r.q.sid with
+      | None -> ()
+      | Some compared -> (
+        match enum_leaves r with
+        | None -> ()
+        | Some leaves ->
+          let reachable = (r.reset_value land mask r.q.width) :: leaves in
+          List.iter
+            (fun v ->
+              if not (List.mem v reachable) then
+                emit
+                  (Diag.warning ~code:"RTL503" ~subject:(subj r.q)
+                     (Printf.sprintf
+                        "state %d of register %s is compared against but unreachable \
+                         (reset %d, next-state leaves: %s)"
+                        v r.q.sname r.reset_value
+                        (String.concat ", "
+                           (List.map string_of_int (List.sort_uniq compare leaves))))))
+            (List.sort_uniq compare compared)))
+    net.regs;
+  (* --- RTL504: read-of-never-written memories ---------------------- *)
+  List.iter
+    (fun (m : Netlist.mem) ->
+      match (const_eval m.wen, m.init) with
+      | Some 0, None ->
+        emit
+          (Diag.warning ~code:"RTL504" ~subject:(net.mod_name ^ "." ^ m.mem_name)
+             (Printf.sprintf
+                "memory %s has a constant-false write enable and no init image: every \
+                 read returns 0"
+                m.mem_name))
+      | _ -> ())
+    net.mems;
+  (* --- RTL505: combinational loops --------------------------------- *)
+  (match Sim.topo_combs net with
+  | (_ : (Netlist.signal * Netlist.expr) array) -> ()
+  | exception Sim.Combinational_cycle path ->
+    emit
+      (Diag.error ~code:"RTL505" ~subject:net.mod_name
+         (Printf.sprintf "combinational loop: %s" (String.concat " -> " path))));
+  Diag.sort !diags

@@ -1,0 +1,18 @@
+(** Whole-netlist RTL lint ([RTL50x] diagnostics).
+
+    Post-HLS structural checks on a {!Netlist.t}, reported as stable
+    {!Soc_util.Diag} codes:
+
+    - [RTL500] (error) — multi-driven signal
+    - [RTL501] (warning) — constant truncation (declared width,
+      assignment target, register reset value, memory init word)
+    - [RTL502] (warning) — register enable constant-false with live
+      next-state logic
+    - [RTL503] (warning) — unreachable FSM state (compared against but
+      not reachable from reset through the next-state mux tree)
+    - [RTL504] (warning) — read-of-never-written memory
+    - [RTL505] (error) — combinational loop, cycle path named *)
+
+val check : Netlist.t -> Soc_util.Diag.t list
+(** All findings for one netlist, in {!Soc_util.Diag.sort} order. The
+    generated FSMD netlists are expected to return [[]]. *)

@@ -1,0 +1,16 @@
+(** Reader for the textual [.ntl] netlist format ([socdsl check --rtl]
+    and the [examples/broken/*.ntl] lint corpus).
+
+    One declaration per statement, expressions as prefix s-expressions;
+    see the implementation header for the grammar. Signals may be
+    referenced before their declaration (two-pass), except a memory's
+    read-data name, which exists from the [mem] statement onward. *)
+
+exception Parse_error of string
+(** Malformed source, with a line number in the message. *)
+
+val parse : string -> Netlist.t
+(** Parse [.ntl] source text. Raises {!Parse_error}. *)
+
+val parse_file : string -> Netlist.t
+(** {!parse} on a file's contents. Raises {!Parse_error} or [Sys_error]. *)

@@ -427,6 +427,8 @@ type server_stats = {
   breaker_open_keys : int;  (** coalescing keys with an open/half-open breaker *)
   rejected_poisoned : int;  (** admissions refused by an open breaker *)
   sim_fallbacks : int;  (** compiled-sim failures degraded to the interpreter *)
+  rtl_verify_rejects : int;  (** tapes rejected by the translation validator *)
+  tape_reverifies : int;  (** cache-loaded tapes re-verified before dispatch *)
   lat_count : int;
   lat_p50_ms : float;
   lat_p95_ms : float;
@@ -512,6 +514,8 @@ let encode_response = function
         ("breaker_open_keys", Num (float_of_int s.breaker_open_keys));
         ("rejected_poisoned", Num (float_of_int s.rejected_poisoned));
         ("sim_fallbacks", Num (float_of_int s.sim_fallbacks));
+        ("rtl_verify_rejects", Num (float_of_int s.rtl_verify_rejects));
+        ("tape_reverifies", Num (float_of_int s.tape_reverifies));
         ("lat_count", Num (float_of_int s.lat_count));
         ("lat_p50_ms", Num s.lat_p50_ms);
         ("lat_p95_ms", Num s.lat_p95_ms);
@@ -576,6 +580,8 @@ let decode_response j =
            breaker_open_keys = int_field ~default:0 "breaker_open_keys" j;
            rejected_poisoned = int_field ~default:0 "rejected_poisoned" j;
            sim_fallbacks = int_field ~default:0 "sim_fallbacks" j;
+           rtl_verify_rejects = int_field ~default:0 "rtl_verify_rejects" j;
+           tape_reverifies = int_field ~default:0 "tape_reverifies" j;
            lat_count = int_field ~default:0 "lat_count" j;
            lat_p50_ms = float_field ~default:0.0 "lat_p50_ms" j;
            lat_p95_ms = float_field ~default:0.0 "lat_p95_ms" j;

@@ -102,6 +102,8 @@ type server_stats = {
   breaker_open_keys : int;  (** coalescing keys with an open/half-open breaker *)
   rejected_poisoned : int;  (** admissions refused by an open breaker *)
   sim_fallbacks : int;  (** compiled-sim failures degraded to the interpreter *)
+  rtl_verify_rejects : int;  (** tapes rejected by the translation validator *)
+  tape_reverifies : int;  (** cache-loaded tapes re-verified before dispatch *)
   lat_count : int;
   lat_p50_ms : float;
   lat_p95_ms : float;

@@ -110,6 +110,8 @@ type t = {
   started_at : float;
   engine_base : int;
   sim_base : int;
+  verify_base : int;
+  reverify_base : int;
   rejected_check : int Atomic.t;
   rejected_poisoned : int Atomic.t;
   worker_restarts : int Atomic.t;
@@ -475,6 +477,8 @@ let stats t : Protocol.server_stats =
     breaker_open_keys = Breaker.open_keys t.breaker;
     rejected_poisoned = Atomic.get t.rejected_poisoned;
     sim_fallbacks = Cengine.fallback_count () - t.sim_base;
+    rtl_verify_rejects = Cengine.verify_reject_count () - t.verify_base;
+    tape_reverifies = Cengine.reverify_count () - t.reverify_base;
     lat_count = Histogram.count t.hist;
     lat_p50_ms = Histogram.p50 t.hist;
     lat_p95_ms = Histogram.p95 t.hist;
@@ -646,6 +650,8 @@ let start (cfg : config) =
       started_at = cfg.clock ();
       engine_base = Soc_hls.Engine.invocation_count ();
       sim_base = Cengine.fallback_count ();
+      verify_base = Cengine.verify_reject_count ();
+      reverify_base = Cengine.reverify_count ();
       rejected_check = Atomic.make 0; rejected_poisoned = Atomic.make 0;
       worker_restarts = Atomic.make 0; watchdog_fires = Atomic.make 0;
       startup_diags; lock = Mutex.create ();

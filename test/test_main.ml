@@ -26,4 +26,5 @@ let () =
       ("farm", Test_farm.suite);
       ("journal", Test_journal.suite);
       ("serve", Test_serve.suite);
+      ("verify", Test_verify.suite);
     ]

@@ -269,7 +269,8 @@ let test_response_roundtrip () =
       rejected_check = 1; queue_depth = 2; running = 1; cache_hits = 5;
       cache_disk_hits = 2; cache_misses = 3; hit_rate = 0.7; engine_runs = 3;
       worker_restarts = 2; watchdog_fires = 1; breaker_open_keys = 1;
-      rejected_poisoned = 4; sim_fallbacks = 1;
+      rejected_poisoned = 4; sim_fallbacks = 1; rtl_verify_rejects = 2;
+      tape_reverifies = 5;
       lat_count = 6; lat_p50_ms = 8.0; lat_p95_ms = 16.0; lat_p99_ms = 16.0 }
   in
   List.iter
@@ -938,6 +939,34 @@ let test_serve_sim_fallback () =
           check Alcotest.bool "fallback surfaces in stats" true
             ((Client.stats client).Protocol.sim_fallbacks >= 1)))
 
+let test_serve_corrupt_tape_rejected () =
+  (* A miscompiled tape (injected corruption after lowering) is rejected
+     by the translation validator, the engine degrades that netlist to
+     the interpreter, and the build still completes — byte-identical to
+     an uncorrupted build, because the backend choice never leaks into
+     the artifacts. *)
+  let clean_manifest = ref "" in
+  with_faults (fun () ->
+      with_server ~workers:1 (fun _srv client ->
+          let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+          let _, _, manifest = result_done client id in
+          clean_manifest := manifest));
+  with_faults (fun () ->
+      with_server ~workers:1 (fun _srv client ->
+          Fault.Service.arm_corrupt_tape ~times:1 ~seed:11 ();
+          let id, _ = submit_ok client (arch_source Graphs.Arch1) in
+          let design, _, manifest = result_done client id in
+          check Alcotest.string "build completes despite the miscompile"
+            "otsu_arch1" design;
+          check Alcotest.int "fault point consumed" 1 (Fault.Service.corrupt_hits ());
+          let s = Client.stats client in
+          check Alcotest.bool "verifier rejection surfaces in stats" true
+            (s.Protocol.rtl_verify_rejects >= 1);
+          check Alcotest.bool "interpreter fallback surfaces in stats" true
+            (s.Protocol.sim_fallbacks >= 1);
+          check Alcotest.string "manifest byte-identical to the clean build"
+            !clean_manifest manifest))
+
 let test_serve_session_cap () =
   with_server ~max_sessions:1 (fun srv client ->
       check Alcotest.bool "the one admitted session works" true (Client.ping client);
@@ -1048,6 +1077,8 @@ let suite =
     ("serve: watchdog expires a wedged build", `Quick, test_serve_watchdog_expires_wedged_build);
     ("serve: poison pill opens the breaker, probe closes it", `Quick, test_serve_poison_breaker);
     ("serve: compiled-sim failure degrades to interpreter", `Quick, test_serve_sim_fallback);
+    ("serve: corrupt tape rejected by the verifier, build identical", `Quick,
+     test_serve_corrupt_tape_rejected);
     ("serve: session cap refuses politely", `Quick, test_serve_session_cap);
     ("serve: idle sessions reaped", `Quick, test_serve_idle_session_timeout);
     ("serve: wire abuse never takes the daemon down", `Quick, test_serve_wire_fuzz);

@@ -1022,12 +1022,117 @@ let serve_bench () =
       (s.P.engine_runs - m.P.engine_runs)
       s.P.hit_rate
   in
+  (* ---- distributed serve: 1 coordinator x {1,2,4} remote workers ---- *)
+  hr "Extension -- distributed serve: coordinator + remote worker fleet";
+  print_endline "(builds are dispatched to 'serve --worker' daemons over the wire;";
+  print_endline " workers share one content-addressed cache, so the warm round and";
+  print_endline " every retry is served without repeating HLS)";
+  let module Remote = Soc_serve.Remote in
+  let fresh_dir () =
+    let d = Filename.temp_file "socdsl-bench-fleet" ".cache" in
+    Sys.remove d;
+    d
+  in
+  (* One fleet round: [fleet_size] workers on a fresh shared cache behind
+     one coordinating server; returns cold/warm walls and final stats. *)
+  let fleet_round ?(arm_drop = false) ?(rpc_timeout_ms = 10_000) fleet_size =
+    let dir = fresh_dir () in
+    let workers =
+      List.init fleet_size (fun i ->
+          Remote.start
+            { Remote.default_config with
+              cache_dir = Some dir; kernels;
+              worker_id = Printf.sprintf "w%d" i })
+    in
+    let server =
+      Server.start
+        { Server.default_config with
+          workers = n; kernels; cache_dir = Some dir;
+          fleet = List.map (fun w -> ("127.0.0.1", Remote.port w)) workers;
+          fleet_rpc_timeout_ms = rpc_timeout_ms }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Soc_fault.Fault.Net.reset ();
+        (try Server.stop server with _ -> ());
+        List.iter (fun w -> try Remote.stop w with _ -> ()) workers)
+      (fun () ->
+        let port = Server.port server in
+        let cold = round port in
+        if arm_drop then Soc_fault.Fault.Net.arm ~seed:42 ~drop:0.2 ();
+        let warm = round port in
+        let dropped =
+          if arm_drop then Soc_fault.Fault.Net.fault_count "drop" else 0
+        in
+        (cold, warm, Server.stats server, dropped))
+  in
+  let ft =
+    Table.create ~title:"fleet: four-arch Otsu batch over TCP"
+      [ "fleet"; "cold (ms)"; "warm (ms)"; "cold req/s"; "warm req/s";
+        "p50 (ms)"; "p95 (ms)"; "p99 (ms)"; "dispatches"; "fallbacks" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+  in
+  let fleet_rows =
+    List.map
+      (fun fleet_size ->
+        let cold, warm, (s : P.server_stats), _ = fleet_round fleet_size in
+        Table.add_row ft
+          [ Printf.sprintf "%d worker(s)" fleet_size;
+            Printf.sprintf "%.2f" (1000.0 *. cold);
+            Printf.sprintf "%.2f" (1000.0 *. warm);
+            Printf.sprintf "%.1f" (float_of_int n /. cold);
+            Printf.sprintf "%.1f" (float_of_int n /. warm);
+            Printf.sprintf "%.2f" s.P.lat_p50_ms;
+            Printf.sprintf "%.2f" s.P.lat_p95_ms;
+            Printf.sprintf "%.2f" s.P.lat_p99_ms;
+            string_of_int s.P.remote_dispatches;
+            string_of_int s.P.remote_fallbacks ];
+        (fleet_size, cold, warm, s))
+      [ 1; 2; 4 ]
+  in
+  Table.print ft;
+  (* A dropped reply frame costs a whole attempt timeout, so the drop
+     round runs with a tight per-attempt budget. *)
+  let dcold, ddrop, (ds : P.server_stats), dropped =
+    fleet_round ~arm_drop:true ~rpc_timeout_ms:2_000 2
+  in
+  Printf.printf
+    "2-worker fleet under 20%% frame drop: %.1f req/s clean, %.1f req/s \
+     dropping (%d frames dropped, %d retries, %d fallbacks)\n"
+    (float_of_int n /. dcold)
+    (float_of_int n /. ddrop)
+    dropped ds.P.remote_retries ds.P.remote_fallbacks;
+  let fleet_row_json (fleet_size, cold, warm, (s : P.server_stats)) =
+    Printf.sprintf
+      "    {\"fleet_size\": %d, \"requests\": %d,\n\
+      \     \"cold_s\": %.6f, \"warm_s\": %.6f,\n\
+      \     \"cold_req_per_s\": %.2f, \"warm_req_per_s\": %.2f,\n\
+      \     \"lat_p50_ms\": %.3f, \"lat_p95_ms\": %.3f, \"lat_p99_ms\": %.3f,\n\
+      \     \"remote_dispatches\": %d, \"remote_retries\": %d,\n\
+      \     \"remote_hedges\": %d, \"remote_fallbacks\": %d}"
+      fleet_size (2 * n) cold warm
+      (float_of_int n /. cold)
+      (float_of_int n /. warm)
+      s.P.lat_p50_ms s.P.lat_p95_ms s.P.lat_p99_ms s.P.remote_dispatches
+      s.P.remote_retries s.P.remote_hedges s.P.remote_fallbacks
+  in
   let json =
     Printf.sprintf
       "{\n  \"bench\": \"serve\",\n  \"batch\": \"otsu_arch1_to_4\",\n  \
-       \"image\": \"%dx%d\",\n  \"rounds\": [\n%s\n  ]\n}\n"
+       \"image\": \"%dx%d\",\n  \"rounds\": [\n%s\n  ],\n  \
+       \"fleet_rounds\": [\n%s\n  ],\n  \
+       \"fleet_drop_round\": {\"fleet_size\": 2, \"drop\": 0.2, \
+       \"clean_req_per_s\": %.2f, \"drop_req_per_s\": %.2f, \
+       \"frames_dropped\": %d, \"remote_retries\": %d, \
+       \"remote_fallbacks\": %d}\n}\n"
       case_w case_h
       (String.concat ",\n" (List.map row_json rows))
+      (String.concat ",\n" (List.map fleet_row_json fleet_rows))
+      (float_of_int n /. dcold)
+      (float_of_int n /. ddrop)
+      dropped ds.P.remote_retries ds.P.remote_fallbacks
   in
   Soc_util.Atomic_io.write_file "BENCH_serve.json" json;
   print_string json;

@@ -704,12 +704,62 @@ let port_arg ~default =
   Arg.(value & opt int default & info [ "port" ] ~docv:"PORT"
        ~doc:"TCP port. For serve, 0 picks an ephemeral port (printed at startup).")
 
+let parse_fleet s =
+  List.map
+    (fun tok ->
+      let bad () =
+        prerr_endline
+          (Printf.sprintf
+             "socdsl: --fleet endpoint %S is not host:port (expected e.g. \
+              127.0.0.1:7271,127.0.0.1:7272)"
+             tok);
+        exit 2
+      in
+      match String.rindex_opt tok ':' with
+      | None -> bad ()
+      | Some i -> (
+        let h = String.sub tok 0 i in
+        let p = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match int_of_string_opt p with
+        | Some p when h <> "" && p > 0 -> (h, p)
+        | _ -> bad ()))
+    (String.split_on_char ',' s)
+
 let serve_cmd =
   let run host port workers queue_cap deadline_ms cache_dir max_mb kill sim
       breaker_threshold breaker_cooldown_ms build_timeout_ms max_worker_restarts
-      idle_timeout_ms max_sessions =
+      idle_timeout_ms max_sessions worker worker_id fleet =
     require_cache_dir ~resume:false cache_dir;
     Soc_rtl_compile.Engine.set_default_backend sim;
+    if worker then begin
+      (* Worker mode: the dumb end of a fleet. No queue, no journal, no
+         drain protocol — it serves builds until killed, which is the
+         failure model the coordinator is built around. *)
+      let wcfg =
+        { Soc_serve.Remote.default_config with
+          host; port; cache_dir; cache_max_mb = max_mb;
+          kernels = builtin_kernels (); worker_id }
+      in
+      let w =
+        try Soc_serve.Remote.start wcfg
+        with Unix.Unix_error (err, _, _) ->
+          prerr_endline
+            (Printf.sprintf "socdsl: cannot bind %s:%d: %s" host port
+               (Unix.error_message err));
+          exit 2
+      in
+      Printf.printf "socdsl serve --worker: %s listening on %s:%d%s\n%!"
+        worker_id host (Soc_serve.Remote.port w)
+        (match cache_dir with
+        | Some d -> ", cache " ^ d
+        | None -> ", in-memory cache");
+      let rec forever () =
+        Thread.delay 3600.0;
+        forever ()
+      in
+      forever ()
+    end;
+    let fleet_endpoints = match fleet with None -> [] | Some s -> parse_fleet s in
     let cfg =
       { Soc_serve.Server.default_config with
         host; port; workers; queue_cap; default_deadline_ms = deadline_ms;
@@ -717,7 +767,8 @@ let serve_cmd =
         kernels = builtin_kernels ();
         breaker_threshold; breaker_cooldown_ms;
         build_timeout_ms; max_worker_restarts;
-        idle_session_timeout_ms = idle_timeout_ms; max_sessions }
+        idle_session_timeout_ms = idle_timeout_ms; max_sessions;
+        fleet = fleet_endpoints }
     in
     let srv =
       try Soc_serve.Server.start cfg
@@ -730,9 +781,12 @@ let serve_cmd =
     List.iter
       (fun d -> print_endline (Soc_util.Diag.to_string d))
       (Soc_serve.Server.startup_diags srv);
-    Printf.printf "socdsl serve: listening on %s:%d (%d worker(s), queue cap %d%s)\n%!"
+    Printf.printf "socdsl serve: listening on %s:%d (%d worker(s), queue cap %d%s%s)\n%!"
       host (Soc_serve.Server.port srv) workers queue_cap
-      (match cache_dir with Some d -> ", cache " ^ d | None -> ", in-memory cache");
+      (match cache_dir with Some d -> ", cache " ^ d | None -> ", in-memory cache")
+      (match fleet_endpoints with
+      | [] -> ""
+      | eps -> Printf.sprintf ", coordinating %d remote worker(s)" (List.length eps));
     match Soc_serve.Server.wait srv with
     | `Drained (ok, failed) ->
       Soc_serve.Server.stop srv;
@@ -793,6 +847,27 @@ let serve_cmd =
          ~doc:"Concurrent client connection cap; connections beyond it are \
                answered with an error and closed.")
   in
+  let worker_arg =
+    Arg.(value & flag & info [ "worker" ]
+         ~doc:"Run a fleet worker daemon instead of the full server: no queue, \
+               no journal, no drain — it answers hello/heartbeat/build/cancel \
+               frames from a coordinator ('socdsl serve --fleet ...') against a \
+               (usually shared) --cache-dir, and is safe to kill -9 at any \
+               time: the coordinator re-dispatches its in-flight work.")
+  in
+  let worker_id_arg =
+    Arg.(value & opt string "worker" & info [ "worker-id" ] ~docv:"ID"
+         ~doc:"The worker's name in hello replies and its 'wk:ID' net-fault \
+               link label (chaos campaigns partition workers by this label).")
+  in
+  let fleet_arg =
+    Arg.(value & opt (some string) None & info [ "fleet" ] ~docv:"H:P,H:P,..."
+         ~doc:"Comma-separated 'socdsl serve --worker' endpoints. Non-empty \
+               turns this daemon into a coordinator: accepted builds are \
+               dispatched to the fleet with retries, hedging and heartbeat \
+               failover, and run locally only when the whole fleet is \
+               exhausted.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -802,11 +877,14 @@ let serve_cmd =
           requests coalesce into one build; the queue is bounded (backpressure); \
           'socdsl client drain' stops admission and exits cleanly. With --kill-at \
           the armed crash point fires inside one build (exit 137) and a restart \
-          on the same --cache-dir recovers.")
+          on the same --cache-dir recovers. With --fleet, builds are dispatched \
+          to remote --worker daemons with retries, hedging and partition-safe \
+          failover.")
     Term.(const run $ host_arg $ port_arg ~default:0 $ workers_arg $ queue_cap_arg
           $ deadline_arg $ cache_dir_arg $ cache_max_mb_arg $ kill_arg $ sim_arg
           $ breaker_threshold_arg $ breaker_cooldown_arg $ build_timeout_arg
-          $ max_restarts_arg $ idle_timeout_arg $ max_sessions_arg)
+          $ max_restarts_arg $ idle_timeout_arg $ max_sessions_arg
+          $ worker_arg $ worker_id_arg $ fleet_arg)
 
 let client_cmd =
   let with_client host port f =
@@ -998,10 +1076,42 @@ let chaos_cmd =
     | _ -> ());
     if not r.Soc_serve.Chaos.healthy then exit 1
   in
+  let fleet_campaign seed fleet_size cache_dir manifest_out =
+    (* Fleet chaos: an in-process coordinator + worker fleet under seeded
+       kills, one-way partitions, 20% frame drops and total fleet loss.
+       Good specs are the four Otsu architectures; the shared cache
+       proves manifests stay byte-identical with zero repeated HLS. *)
+    let dir =
+      match cache_dir with
+      | Some d -> d
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "socdsl-fleet-chaos-%d" (Unix.getpid ()))
+    in
+    let cfg =
+      { Soc_serve.Chaos.fleet_size;
+        fkernels = builtin_kernels ();
+        fgood_sources =
+          List.map
+            (fun a -> Soc_core.Printer.to_source (Soc_apps.Graphs.arch_spec a))
+            Soc_apps.Graphs.all_archs;
+        fcache_dir = dir;
+        fseed = seed }
+    in
+    let r = Soc_serve.Chaos.run_fleet cfg in
+    print_string (Soc_serve.Chaos.render ~title:"fleet-chaos campaign" r);
+    (match manifest_out with
+    | Some path when r.Soc_serve.Chaos.manifest <> "" ->
+      Soc_util.Atomic_io.write_file path r.Soc_serve.Chaos.manifest;
+      Printf.printf "manifest written to %s\n" path
+    | _ -> ());
+    if not r.Soc_serve.Chaos.healthy then exit 1
+  in
   let run seed faults width height no_fallback permanent bit_flips arch sim serve
-      serve_workers cache_dir manifest_out =
+      fleet fleet_size serve_workers cache_dir manifest_out =
     Soc_rtl_compile.Engine.set_default_backend sim;
-    if serve then serve_campaign serve_workers cache_dir manifest_out
+    if fleet then fleet_campaign seed fleet_size cache_dir manifest_out
+    else if serve then serve_campaign serve_workers cache_dir manifest_out
     else
     let archs =
       match arch with
@@ -1103,6 +1213,19 @@ let chaos_cmd =
                spec, wire-level abuse and slow clients. Exits 1 unless the \
                daemon self-heals through all of it.")
   in
+  let fleet_arg =
+    Arg.(value & flag & info [ "fleet" ]
+         ~doc:"Run the distributed campaign instead: an in-process coordinator \
+               dispatching to a fleet of worker daemons under seeded worker \
+               kills, one-way network partitions, 20% frame drops and total \
+               fleet loss. Exits 1 unless every accepted request completes \
+               with manifests byte-identical to a clean farm run and zero \
+               repeated HLS.")
+  in
+  let fleet_size_arg =
+    Arg.(value & opt int 3 & info [ "fleet-size" ] ~docv:"N"
+         ~doc:"Worker daemons in the fleet campaign (at least 2).")
+  in
   let serve_workers_arg =
     Arg.(value & opt int 2 & info [ "serve-workers" ] ~docv:"N"
          ~doc:"Worker pool size of the serve-mode campaign daemon.")
@@ -1127,10 +1250,13 @@ let chaos_cmd =
           the output stays bit-identical to the golden model. With --serve, \
           chaos-test the generation daemon itself instead: injected HLS/simulator \
           faults, worker deaths, poison specs, wedged builds and hostile clients \
-          must all be contained by its supervision layer.")
+          must all be contained by its supervision layer. With --fleet, \
+          chaos-test the distributed serve path: a coordinator and its worker \
+          fleet under seeded kills, partitions and frame drops.")
     Term.(const run $ seed_arg $ faults_arg $ width_arg $ height_arg $ no_fallback_arg
           $ permanent_arg $ bit_flips_arg $ arch_arg $ sim_arg $ serve_arg
-          $ serve_workers_arg $ cache_dir_arg $ manifest_out_arg)
+          $ fleet_arg $ fleet_size_arg $ serve_workers_arg $ cache_dir_arg
+          $ manifest_out_arg)
 
 (* ---------------- demo ---------------- *)
 

@@ -306,10 +306,12 @@ module Service = struct
     | Hang of float
 
   exception Injected of string
+  exception Cancelled
 
   let () =
     Printexc.register_printer (function
       | Injected msg -> Some (Printf.sprintf "Soc_fault.Fault.Service.Injected(%s)" msg)
+      | Cancelled -> Some "Soc_fault.Fault.Service.Cancelled"
       | _ -> None)
 
   type slot = {
@@ -377,12 +379,34 @@ module Service = struct
 
   let hits point = locked (fun () -> (slot point).hits)
 
+  (* Cancellation probes: a thread that may wedge inside an injected
+     [Hang] registers a probe for its own thread id; the hang polls it
+     and aborts with [Cancelled] the moment it answers true. Where
+     [release_hangs] wakes *every* sleeper and lets the build continue,
+     a cancel probe aborts *one* build — the semantics a coordinator
+     needs to reclaim a hedged loser without leaking a wedged thread. *)
+  let probes : (int, unit -> bool) Hashtbl.t = Hashtbl.create 8
+
+  let with_cancel probe f =
+    let tid = Thread.id (Thread.self ()) in
+    locked (fun () -> Hashtbl.replace probes tid probe);
+    Fun.protect ~finally:(fun () -> locked (fun () -> Hashtbl.remove probes tid)) f
+
+  let cancel_requested () =
+    let tid = Thread.id (Thread.self ()) in
+    match locked (fun () -> Hashtbl.find_opt probes tid) with
+    | None -> false
+    | Some probe -> ( try probe () with _ -> false)
+
   (* A releasable sleep: wakes every few milliseconds so [release_hangs]
      (or [reset]) frees a wedged thread promptly — tests and campaigns
-     can abandon a hung worker and still tear the process down. *)
+     can abandon a hung worker and still tear the process down. A
+     registered cancel probe aborts the sleep (and the enclosing build)
+     with [Cancelled] instead of returning. *)
   let hang_for dur =
     let t0 = Unix.gettimeofday () in
     let rec go () =
+      if cancel_requested () then raise Cancelled;
       let done_ = locked (fun () -> !released) in
       if (not done_) && Unix.gettimeofday () -. t0 < dur then begin
         Unix.sleepf 0.005;
@@ -417,6 +441,134 @@ module Service = struct
               (match label with Some l -> "(" ^ l ^ ")" | None -> "")
               msg))
     | Some (Hang dur) -> hang_for dur
+end
+
+(* ------------------------------------------------------------------ *)
+(* Net faults: frame-level perturbation of the serve wire protocol     *)
+(* ------------------------------------------------------------------ *)
+
+(* Service faults attack the tool's own code paths; net faults attack
+   the wire between a coordinator and its remote workers. The module is
+   pure decision-making: the [Protocol] layer asks [decide ~link] before
+   each frame write and implements the verdict itself (skip the write,
+   sleep first, write twice, tear the frame, drip it byte-wise). Links
+   are free-form labels — by convention ["co:w1"] for coordinator→worker
+   traffic and ["wk:w1"] for the worker's replies, so a one-way
+   partition is just [partition ~link:"wk:w1"]. Probabilistic verdicts
+   are a pure hash of (seed, link, per-link frame ordinal): the same
+   plan over the same traffic yields the same faults regardless of
+   thread scheduling. Writes without a link label are never touched. *)
+
+module Net = struct
+  type action =
+    | Deliver
+    | Drop
+    | Delay of float
+    | Duplicate
+    | Truncate of float
+    | Drip of float
+
+  let action_name = function
+    | Deliver -> "deliver"
+    | Drop -> "drop"
+    | Delay _ -> "delay"
+    | Duplicate -> "duplicate"
+    | Truncate _ -> "truncate"
+    | Drip _ -> "drip"
+
+  type plan_ = {
+    nseed : int;
+    drop : float;
+    delay : float;
+    delay_s : float;
+    duplicate : float;
+    truncate : float;
+    drip : float;
+    drip_s : float;
+  }
+
+  let lock = Mutex.create ()
+  let armed : plan_ option ref = ref None
+  let partitions : (string, unit) Hashtbl.t = Hashtbl.create 8
+  let frame_ord : (string, int) Hashtbl.t = Hashtbl.create 8
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 8
+
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let bump name =
+    Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))
+
+  let arm ?(seed = 0) ?(drop = 0.) ?(delay = 0.) ?(delay_s = 0.05) ?(duplicate = 0.)
+      ?(truncate = 0.) ?(drip = 0.) ?(drip_s = 0.002) () =
+    locked (fun () ->
+        armed :=
+          Some { nseed = seed; drop; delay; delay_s; duplicate; truncate; drip; drip_s })
+
+  let disarm () = locked (fun () -> armed := None)
+
+  let partition ~link = locked (fun () -> Hashtbl.replace partitions link ())
+  let heal ~link = locked (fun () -> Hashtbl.remove partitions link)
+  let heal_all () = locked (fun () -> Hashtbl.reset partitions)
+  let partitioned ~link = locked (fun () -> Hashtbl.mem partitions link)
+
+  let reset () =
+    locked (fun () ->
+        armed := None;
+        Hashtbl.reset partitions;
+        Hashtbl.reset frame_ord;
+        Hashtbl.reset counts)
+
+  let faults () =
+    locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+
+  let fault_count name =
+    locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt counts name))
+
+  (* splitmix64 finalizer — the verdict for frame [n] on [link] under
+     [seed] is a pure function of those three values. *)
+  let mix64 x =
+    let open Int64 in
+    let x = add x 0x9E3779B97F4A7C15L in
+    let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+    let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+    logxor x (shift_right_logical x 31)
+
+  let unit_float ~seed ~link ~n =
+    let h = ref (mix64 (Int64.of_int seed)) in
+    String.iter
+      (fun c -> h := mix64 (Int64.logxor !h (Int64.of_int (Char.code c))))
+      link;
+    h := mix64 (Int64.logxor !h (Int64.of_int n));
+    let bits = Int64.to_int (Int64.shift_right_logical !h 34) land ((1 lsl 30) - 1) in
+    float_of_int bits /. float_of_int (1 lsl 30)
+
+  let decide ~link =
+    let verdict =
+      locked (fun () ->
+          let n = Option.value ~default:0 (Hashtbl.find_opt frame_ord link) in
+          Hashtbl.replace frame_ord link (n + 1);
+          if Hashtbl.mem partitions link then Drop
+          else
+            match !armed with
+            | None -> Deliver
+            | Some p ->
+              let u = unit_float ~seed:p.nseed ~link ~n in
+              if u < p.drop then Drop
+              else if u < p.drop +. p.delay then Delay p.delay_s
+              else if u < p.drop +. p.delay +. p.duplicate then Duplicate
+              else if u < p.drop +. p.delay +. p.duplicate +. p.truncate then
+                (* deterministic tear fraction in [0.1, 0.9) *)
+                Truncate (0.1 +. (0.8 *. unit_float ~seed:(p.nseed + 1) ~link ~n))
+              else if u < p.drop +. p.delay +. p.duplicate +. p.truncate +. p.drip
+              then Drip p.drip_s
+              else Deliver)
+    in
+    (match verdict with
+    | Deliver -> ()
+    | a -> locked (fun () -> bump (action_name a)));
+    verdict
 end
 
 (* ------------------------------------------------------------------ *)

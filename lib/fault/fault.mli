@@ -174,6 +174,11 @@ module Service : sig
 
   exception Injected of string
 
+  exception Cancelled
+  (** Raised out of an injected [Hang] when the current thread's cancel
+      probe (see {!with_cancel}) answers true — the build is being
+      abandoned, not resumed. *)
+
   val arm : point -> ?only:string -> ?times:int -> behaviour -> unit
   (** Arm [point]: the next [times] (default: unlimited) steps whose
       label matches [only] (default: any) perform [behaviour]. Re-arming
@@ -190,6 +195,15 @@ module Service : sig
   val release_hangs : unit -> unit
   (** Wake every thread currently sleeping in an injected [Hang] (and
       make future hangs return immediately until the next {!arm}). *)
+
+  val with_cancel : (unit -> bool) -> (unit -> 'a) -> 'a
+  (** [with_cancel probe f] registers [probe] as the calling thread's
+      cancellation check for the duration of [f]. An injected [Hang]
+      reached inside [f] polls the probe and raises {!Cancelled} as soon
+      as it answers true, so a cancelled build aborts instead of
+      sleeping out its hang (where {!release_hangs} would let it finish
+      normally). The probe is polled outside the injector lock and must
+      be cheap and exception-free. *)
 
   val arm_corrupt_tape : ?times:int -> seed:int -> unit -> unit
   (** Arm the tape-corruption point: the next [times] (default 1)
@@ -208,6 +222,74 @@ module Service : sig
   val reset : unit -> unit
   (** Disarm every point (including the tape-corruption point), zero the
       hit counters, release hangs. *)
+end
+
+(** {2 Net faults (serve wire-protocol perturbation)} *)
+
+(** Deterministic frame-level faults on the coordinator↔worker wire.
+    This module only *decides*; the [Protocol] layer consults
+    [decide ~link] before each labelled frame write and implements the
+    verdict (drop the write, sleep first, send twice, tear the frame
+    with a half-close, drip it in byte chunks). Links are free-form
+    labels — by convention ["co:<worker>"] for coordinator→worker
+    frames and ["wk:<worker>"] for the worker's replies, so
+    [partition ~link:"wk:w1"] is a one-way partition: the worker hears
+    requests but its answers vanish. Probabilistic verdicts are a pure
+    hash of (seed, link, per-link frame ordinal) — reproducible from
+    the plan regardless of thread interleaving. Frame writes without a
+    link label (ordinary client↔server traffic) are never perturbed. *)
+module Net : sig
+  type action =
+    | Deliver  (** write the frame normally *)
+    | Drop  (** pretend success; write nothing *)
+    | Delay of float  (** sleep this many seconds, then write *)
+    | Duplicate  (** write the frame twice *)
+    | Truncate of float
+        (** write only this fraction of the frame, then half-close the
+            socket so the peer sees a torn frame *)
+    | Drip of float  (** write byte-by-byte chunks with this delay between *)
+
+  val action_name : action -> string
+
+  val arm :
+    ?seed:int ->
+    ?drop:float ->
+    ?delay:float ->
+    ?delay_s:float ->
+    ?duplicate:float ->
+    ?truncate:float ->
+    ?drip:float ->
+    ?drip_s:float ->
+    unit ->
+    unit
+  (** Arm a probabilistic plan: each labelled frame independently draws
+      one verdict with the given probabilities (cumulative; the
+      remainder delivers). [delay_s] and [drip_s] tune the injected
+      latencies. Re-arming replaces the previous plan. *)
+
+  val disarm : unit -> unit
+  (** Drop the probabilistic plan; partitions stay up. *)
+
+  val partition : link:string -> unit
+  (** Every frame written on [link] is dropped until {!heal}. *)
+
+  val heal : link:string -> unit
+  val heal_all : unit -> unit
+  val partitioned : link:string -> bool
+
+  val decide : link:string -> action
+  (** The verdict for the next frame on [link]; counts the frame and
+      any non-[Deliver] verdict. *)
+
+  val faults : unit -> (string * int) list
+  (** Non-[Deliver] verdicts handed out since the last {!reset}, by
+      action name. *)
+
+  val fault_count : string -> int
+  (** One counter from {!faults} (0 when absent). *)
+
+  val reset : unit -> unit
+  (** Disarm, heal all partitions, zero counters and frame ordinals. *)
 end
 
 (** {2 Bit-flip machinery over byte strings} *)

@@ -29,10 +29,10 @@ type check = { cname : string; pass : bool; detail : string }
 
 type report = { checks : check list; healthy : bool; manifest : string }
 
-let render r =
+let render ?(title = "serve-chaos campaign") r =
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "serve-chaos campaign\n";
-  Buffer.add_string buf "--------------------\n";
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '-' ^ "\n");
   List.iter
     (fun c ->
       Buffer.add_string buf
@@ -294,6 +294,233 @@ let run (cfg : config) : report =
            Printf.sprintf "byte-identical (%d bytes)" (String.length served)
          else "MISMATCH vs direct farm build");
       Server.stop !srv;
+
+      let checks = List.rev !checks in
+      { checks; healthy = List.for_all (fun c -> c.pass) checks; manifest = !manifest })
+
+(* ---------------- the fleet campaign ---------------- *)
+
+type fleet_config = {
+  fleet_size : int;  (** worker daemons; at least 2 *)
+  fkernels : (string * Soc_kernel.Ast.kernel) list;
+  fgood_sources : string list;  (** specs that must build; at least one *)
+  fcache_dir : string;  (** shared content-addressed cache directory *)
+  fseed : int;  (** victim selection + net-fault determinism *)
+}
+
+(* Submit every source concurrently (one client each) and collect
+   (outcome, manifest) in source order. *)
+let submit_all port sources =
+  let results = Array.make (List.length sources) (`Odd, "") in
+  let threads =
+    List.mapi
+      (fun i src ->
+        Thread.create
+          (fun () ->
+            let r =
+              try
+                with_client port (fun c ->
+                    match Client.submit_and_wait c src with
+                    | Protocol.Rejected { reason; _ }, _ ->
+                      (`Rejected (Protocol.reject_reason_label reason), "")
+                    | ( Protocol.Accepted _,
+                        Some (Protocol.Result_r { state; manifest; _ }) ) -> (
+                      match state with
+                      | Protocol.Done -> (`Done, manifest)
+                      | Protocol.Failed m -> (`Failed m, "")
+                      | Protocol.Expired -> (`Expired, "")
+                      | _ -> (`Odd, ""))
+                    | _ -> (`Odd, ""))
+              with _ -> (`Odd, "")
+            in
+            results.(i) <- r)
+          ())
+      sources
+  in
+  List.iter Thread.join threads;
+  Array.to_list results
+
+let all_done rs = List.for_all (fun (o, _) -> o = `Done) rs
+
+let outcomes_label rs =
+  String.concat "; " (List.map (fun (o, _) -> outcome_label o) rs)
+
+(* Every manifest present and byte-equal to its reference. *)
+let manifests_match rs refs =
+  List.length rs = List.length refs
+  && List.for_all2 (fun (_, m) m0 -> m <> "" && m = m0) rs refs
+
+let run_fleet (cfg : fleet_config) : report =
+  if cfg.fgood_sources = [] then invalid_arg "Chaos.run_fleet: no good sources";
+  let n = max 2 cfg.fleet_size in
+  let checks = ref [] in
+  let note cname pass detail = checks := { cname; pass; detail } :: !checks in
+  Fault.Service.reset ();
+  Fault.Net.reset ();
+  let wcfg i port =
+    { Remote.default_config with
+      port;
+      cache_dir = Some cfg.fcache_dir;
+      kernels = cfg.fkernels;
+      worker_id = Printf.sprintf "w%d" i }
+  in
+  let workers = Array.init n (fun i -> ref (Remote.start (wcfg i 0))) in
+  let ports = Array.map (fun w -> Remote.port !w) workers in
+  let endpoints = Array.to_list (Array.map (fun p -> ("127.0.0.1", p)) ports) in
+  let srv =
+    Server.start
+      { Server.default_config with
+        workers = 2;
+        kernels = cfg.fkernels;
+        cache_dir = Some cfg.fcache_dir;
+        fleet = endpoints;
+        fleet_rpc_timeout_ms = 2_500 }
+  in
+  let port = Server.port srv in
+  let manifest = ref "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.Service.reset ();
+      Fault.Net.reset ();
+      (try Server.stop srv with _ -> ());
+      Array.iter (fun w -> try Remote.stop !w with _ -> ()) workers)
+    (fun () ->
+      let srcs = cfg.fgood_sources in
+      let g0 = List.hd srcs in
+
+      (* 1. Cold round through the fleet: every build is dispatched to a
+         remote worker, runs real HLS exactly once, and the served
+         manifests become the reference for every later phase. *)
+      let r1 = submit_all port srcs in
+      let refs = List.map snd r1 in
+      manifest := List.hd refs;
+      let hls0 = Soc_hls.Engine.invocation_count () in
+      let s1 = Server.stats srv in
+      note "cold fleet round"
+        (all_done r1
+        && List.for_all (fun m -> m <> "") refs
+        && s1.Protocol.remote_dispatches >= List.length srcs
+        && s1.Protocol.fleet_live = n)
+        (Printf.sprintf "[%s], dispatches=%d, live=%d/%d" (outcomes_label r1)
+           s1.Protocol.remote_dispatches s1.Protocol.fleet_live n);
+
+      (* 2. Seeded kill -9 mid-batch: injected batch-entry hangs hold the
+         in-flight builds open while one worker (picked from the seed)
+         dies; the coordinator must fail over, every request must still
+         finish with the reference manifest, and a restart on the same
+         port must rejoin the fleet. *)
+      let victim = abs cfg.fseed mod n in
+      Fault.Service.arm Fault.Service.Batch
+        ~times:(4 * List.length srcs)
+        (Fault.Service.Hang 0.25);
+      let killer =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.1;
+            Remote.kill !(workers.(victim)))
+          ()
+      in
+      let r2 = submit_all port srcs in
+      Thread.join killer;
+      Fault.Service.release_hangs ();
+      Fault.Service.disarm Fault.Service.Batch;
+      workers.(victim) := Remote.start (wcfg victim ports.(victim));
+      let rejoined =
+        eventually ~for_s:8.0 (fun () -> (Server.stats srv).Protocol.fleet_live = n)
+      in
+      note "seeded kill failover"
+        (all_done r2 && manifests_match r2 refs && rejoined)
+        (Printf.sprintf "killed w%d mid-batch: [%s], manifests ok=%b, rejoined=%b"
+           victim (outcomes_label r2) (manifests_match r2 refs) rejoined);
+
+      (* 3. One-way partition: a worker's replies vanish (it still hears
+         us). Heartbeats must mark it down, dispatch must route around
+         it, and healing the link must bring it back. *)
+      let pvictim = (victim + 1) mod n in
+      let plink = "wk:" ^ Remote.worker_id !(workers.(pvictim)) in
+      Fault.Net.partition ~link:plink;
+      let down =
+        eventually ~for_s:8.0 (fun () ->
+            (Server.stats srv).Protocol.fleet_live <= n - 1)
+      in
+      let r3 = submit_all port srcs in
+      Fault.Net.heal ~link:plink;
+      let healed =
+        eventually ~for_s:8.0 (fun () -> (Server.stats srv).Protocol.fleet_live = n)
+      in
+      note "one-way partition"
+        (down && all_done r3 && manifests_match r3 refs && healed)
+        (Printf.sprintf "w%d suspected=%b, [%s], manifests ok=%b, healed=%b"
+           pvictim down (outcomes_label r3) (manifests_match r3 refs) healed);
+
+      (* 4. 20 % frame drop on every fleet link, two full rounds: retries,
+         re-routing and (at worst) local fallback must complete every
+         request with the reference manifest. *)
+      Fault.Net.arm ~seed:cfg.fseed ~drop:0.2 ();
+      let r4a = submit_all port srcs in
+      let r4b = submit_all port srcs in
+      Fault.Net.disarm ();
+      Fault.Net.heal_all ();
+      let dropped = Fault.Net.fault_count "drop" in
+      note "20% frame drop"
+        (all_done r4a && all_done r4b
+        && manifests_match r4a refs
+        && manifests_match r4b refs
+        && dropped > 0)
+        (Printf.sprintf "2 rounds [%s] [%s], frames dropped=%d"
+           (outcomes_label r4a) (outcomes_label r4b) dropped);
+
+      (* 5. Total fleet loss: every worker killed; the accepted request
+         must degrade to a local build and still serve the reference
+         manifest. *)
+      let fb0 = (Server.stats srv).Protocol.remote_fallbacks in
+      Array.iter (fun w -> Remote.kill !w) workers;
+      let r5 = submit_all port [ g0 ] in
+      let s5 = Server.stats srv in
+      note "total fleet loss"
+        (all_done r5
+        && manifests_match r5 [ List.hd refs ]
+        && s5.Protocol.remote_fallbacks > fb0)
+        (Printf.sprintf "[%s], remote_fallbacks=%d (+%d)" (outcomes_label r5)
+           s5.Protocol.remote_fallbacks
+           (s5.Protocol.remote_fallbacks - fb0));
+
+      (* 6. Direct farm parity: a clean single-process build on the same
+         cache must reproduce the served manifests byte for byte. *)
+      let cache = Soc_farm.Cache.create ~disk_dir:cfg.fcache_dir () in
+      let direct =
+        List.map
+          (fun src ->
+            match Soc_core.Parser.parse ~validate:false src with
+            | exception _ -> ""
+            | spec ->
+              let kernels =
+                List.filter
+                  (fun (name, _) ->
+                    List.exists
+                      (fun (nd : Soc_core.Spec.node_spec) ->
+                        nd.Soc_core.Spec.node_name = name)
+                      spec.Soc_core.Spec.nodes)
+                  cfg.fkernels
+              in
+              Farm.manifest_json
+                (Farm.build_batch ~jobs:1 ~cache [ { Soc_farm.Jobgraph.spec; kernels } ]))
+          srcs
+      in
+      let parity = List.for_all2 (fun d m -> d <> "" && d = m) direct refs in
+      note "direct farm parity" parity
+        (if parity then
+           Printf.sprintf "%d manifests byte-identical" (List.length refs)
+         else "MISMATCH vs direct farm build");
+
+      (* 7. The whole campaign — kills, partitions, drops, fallback and
+         the direct replay — must not have repeated a single HLS run
+         past the cold round: dispatch is idempotent and the cache is
+         content-addressed. *)
+      let hls_end = Soc_hls.Engine.invocation_count () in
+      note "zero repeated HLS" (hls_end = hls0)
+        (Printf.sprintf "%d invocations cold, +%d across all chaos" hls0
+           (hls_end - hls0));
 
       let checks = List.rev !checks in
       { checks; healthy = List.for_all (fun c -> c.pass) checks; manifest = !manifest })

@@ -35,4 +35,34 @@ val run : config -> report
 (** Raises [Invalid_argument] on an empty [good_sources]. All service
     faults are reset on exit. *)
 
-val render : report -> string
+type fleet_config = {
+  fleet_size : int;  (** worker daemons to start; clamped to at least 2 *)
+  fkernels : (string * Soc_kernel.Ast.kernel) list;
+  fgood_sources : string list;  (** specs that must build; at least one *)
+  fcache_dir : string;
+      (** cache directory shared by the workers, the coordinating server
+          and the final direct-farm parity check *)
+  fseed : int;  (** victim selection + net-fault determinism *)
+}
+
+val run_fleet : fleet_config -> report
+(** The distributed campaign: an in-process fleet of {!Remote} workers
+    behind a coordinating {!Server}, then in sequence — a cold build
+    round through the fleet (the reference manifests), a seeded
+    [kill -9] of one worker mid-batch (injected batch hangs hold builds
+    open) with a same-port restart, a one-way partition of one worker's
+    reply link (heartbeats must suspect it, dispatch must route around
+    it, healing must restore it), two full rounds under a 20 % frame
+    drop on every fleet link, and total fleet loss (local-build
+    fallback). Every accepted request must complete with a manifest
+    byte-identical to the cold round, a clean single-process farm run on
+    the same cache must reproduce those bytes, and no phase may repeat
+    an HLS invocation past the cold round.
+
+    Driven by [socdsl chaos --fleet]. Raises [Invalid_argument] on an
+    empty [fgood_sources]. All service and net faults are reset on
+    exit; the report's [manifest] is the first source's served
+    manifest. *)
+
+val render : ?title:string -> report -> string
+(** [title] defaults to ["serve-chaos campaign"]. *)

@@ -239,6 +239,17 @@ let opt_int_field key j =
 exception Framing_error of string
 
 let max_frame_default = 16 * 1024 * 1024
+let protocol_version = 2
+let min_protocol_version = 2
+
+type read_error =
+  | Oversized of { announced : int; limit : int }
+  | Torn of string
+
+let read_error_to_string = function
+  | Oversized { announced; limit } ->
+    Printf.sprintf "frame of %d bytes exceeds limit %d" announced limit
+  | Torn msg -> Printf.sprintf "torn frame (%s)" msg
 
 let rec write_all fd s off len =
   if len > 0 then begin
@@ -246,43 +257,88 @@ let rec write_all fd s off len =
     write_all fd s (off + n) (len - n)
   end
 
-(* [None] on clean EOF at a frame boundary; [Framing_error] on a torn
-   header/payload or an oversized announcement (a defense against both
-   corruption and hostile clients). *)
+(* [Ok None] on clean EOF at a frame boundary; typed errors on a torn
+   header/payload or an oversized announcement. The length check runs on
+   the 4-byte header alone, *before* any payload allocation — a hostile
+   announcement costs the peer a structured rejection, never a buffer. *)
 let read_exact fd len =
   let b = Bytes.create len in
   let rec go off =
-    if off >= len then Some (Bytes.unsafe_to_string b)
+    if off >= len then Ok (Some (Bytes.unsafe_to_string b))
     else
       match Unix.read fd b off (len - off) with
-      | 0 -> if off = 0 then None else raise (Framing_error "torn frame (EOF mid-payload)")
+      | 0 -> if off = 0 then Ok None else Error (Torn "EOF mid-payload")
       | n -> go (off + n)
   in
   go 0
 
-let read_frame ?(max_len = max_frame_default) fd =
+let read_frame_checked ?(max_len = max_frame_default) fd =
   match read_exact fd 4 with
-  | None -> None
-  | Some hdr ->
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some hdr) ->
     let len =
       (Char.code hdr.[0] lsl 24) lor (Char.code hdr.[1] lsl 16)
       lor (Char.code hdr.[2] lsl 8) lor Char.code hdr.[3]
     in
-    if len > max_len then
-      raise (Framing_error (Printf.sprintf "frame of %d bytes exceeds limit %d" len max_len));
-    (match read_exact fd len with
-    | Some payload -> Some payload
-    | None -> raise (Framing_error "torn frame (EOF after header)"))
+    if len > max_len then Error (Oversized { announced = len; limit = max_len })
+    else (
+      match read_exact fd len with
+      | Ok (Some _) as ok -> ok
+      | Ok None -> Error (Torn "EOF after header")
+      | Error _ as e -> e)
 
-let write_frame ?(max_len = max_frame_default) fd payload =
+let read_frame ?max_len fd =
+  match read_frame_checked ?max_len fd with
+  | Ok r -> r
+  | Error e -> raise (Framing_error (read_error_to_string e))
+
+(* Labelled writes pass through the net-fault injector; unlabelled
+   writes (ordinary client↔server traffic) never do. All verdicts are
+   implemented here so the injector itself stays pure bookkeeping. *)
+let write_frame ?link ?(max_len = max_frame_default) fd payload =
   let len = String.length payload in
   if len > max_len then
     raise (Framing_error (Printf.sprintf "refusing to send %d-byte frame (limit %d)" len max_len));
   let hdr =
     String.init 4 (fun i -> Char.chr ((len lsr ((3 - i) * 8)) land 0xFF))
   in
-  write_all fd hdr 0 4;
-  write_all fd payload 0 len
+  let emit () =
+    write_all fd hdr 0 4;
+    write_all fd payload 0 len
+  in
+  match link with
+  | None -> emit ()
+  | Some link -> (
+    match Soc_fault.Fault.Net.decide ~link with
+    | Soc_fault.Fault.Net.Deliver -> emit ()
+    | Drop -> ()
+    | Delay d ->
+      Unix.sleepf d;
+      emit ()
+    | Duplicate ->
+      emit ();
+      emit ()
+    | Truncate frac ->
+      (* A torn frame: part of the bytes, then a half-close so the peer
+         reads a hard EOF mid-frame instead of waiting forever. *)
+      let all = hdr ^ payload in
+      let total = 4 + len in
+      let keep = max 1 (min (total - 1) (int_of_float (frac *. float_of_int total))) in
+      write_all fd all 0 keep;
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+    | Drip d ->
+      (* The slow-drip socket: the full frame, seven bytes at a time. *)
+      let all = hdr ^ payload in
+      let total = 4 + len in
+      let rec go off =
+        if off < total then begin
+          write_all fd all off (min 7 (total - off));
+          Unix.sleepf d;
+          go (off + 7)
+        end
+      in
+      go 0)
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -295,6 +351,10 @@ type request =
   | Stats
   | Drain
   | Ping
+  | Hello of { version : int; peer : string }
+  | Heartbeat
+  | Build of { source : string; key : string; deadline_ms : int option }
+  | Cancel of { key : string }
 
 let encode_request = function
   | Submit { source; priority; deadline_ms } ->
@@ -308,6 +368,16 @@ let encode_request = function
   | Stats -> Obj [ ("op", Str "stats") ]
   | Drain -> Obj [ ("op", Str "drain") ]
   | Ping -> Obj [ ("op", Str "ping") ]
+  | Hello { version; peer } ->
+    Obj [ ("op", Str "hello"); ("version", Num (float_of_int version)); ("peer", Str peer) ]
+  | Heartbeat -> Obj [ ("op", Str "heartbeat") ]
+  | Build { source; key; deadline_ms } ->
+    Obj
+      ([ ("op", Str "build"); ("source", Str source); ("key", Str key) ]
+      @ match deadline_ms with
+        | Some d -> [ ("deadline_ms", Num (float_of_int d)) ]
+        | None -> [])
+  | Cancel { key } -> Obj [ ("op", Str "cancel"); ("key", Str key) ]
 
 let decode_request j =
   match str_field "op" j with
@@ -322,6 +392,18 @@ let decode_request j =
   | "stats" -> Ok Stats
   | "drain" -> Ok Drain
   | "ping" -> Ok Ping
+  | "hello" ->
+    Ok
+      (Hello
+         { version = int_field ~default:1 "version" j;
+           peer = str_field ~default:"" "peer" j })
+  | "heartbeat" -> Ok Heartbeat
+  | "build" ->
+    Ok
+      (Build
+         { source = str_field "source" j; key = str_field "key" j;
+           deadline_ms = opt_int_field "deadline_ms" j })
+  | "cancel" -> Ok (Cancel { key = str_field "key" j })
   | op -> Error (Printf.sprintf "unknown op %S" op)
   | exception Parse_error msg -> Error msg
 
@@ -373,6 +455,8 @@ type reject_reason =
   | Server_killed
   | Poisoned  (** circuit breaker open for this spec's key *)
   | Degraded  (** worker pool dead beyond its restart budget *)
+  | Frame_too_large  (** announced frame length beyond the peer's limit *)
+  | Version_skew  (** hello offered a protocol version below the minimum *)
 
 let reject_reason_label = function
   | Queue_full -> "queue_full"
@@ -382,6 +466,8 @@ let reject_reason_label = function
   | Server_killed -> "server_killed"
   | Poisoned -> "poisoned"
   | Degraded -> "degraded"
+  | Frame_too_large -> "frame_too_large"
+  | Version_skew -> "version_skew"
 
 let reject_reason_of_label = function
   | "queue_full" -> Queue_full
@@ -391,6 +477,8 @@ let reject_reason_of_label = function
   | "server_killed" -> Server_killed
   | "poisoned" -> Poisoned
   | "degraded" -> Degraded
+  | "frame_too_large" -> Frame_too_large
+  | "version_skew" -> Version_skew
   | s -> raise (Parse_error ("unknown reject reason " ^ s))
 
 type request_state = Queued of int | Running | Done | Failed of string | Expired
@@ -429,6 +517,13 @@ type server_stats = {
   sim_fallbacks : int;  (** compiled-sim failures degraded to the interpreter *)
   rtl_verify_rejects : int;  (** tapes rejected by the translation validator *)
   tape_reverifies : int;  (** cache-loaded tapes re-verified before dispatch *)
+  fleet_workers : int;  (** configured remote worker endpoints *)
+  fleet_live : int;  (** endpoints currently answering heartbeats *)
+  remote_dispatches : int;  (** build attempts sent to remote workers *)
+  remote_retries : int;  (** dispatches re-sent after an infra failure *)
+  remote_hedges : int;  (** straggler builds raced on a second worker *)
+  remote_cancels : int;  (** cancel frames sent to hedge/failover losers *)
+  remote_fallbacks : int;  (** builds run locally after fleet exhaustion *)
   lat_count : int;
   lat_p50_ms : float;
   lat_p95_ms : float;
@@ -451,6 +546,17 @@ type response =
   | Drained of { completed : int; failed : int }
   | Error_r of string
   | Pong
+  | Hello_r of { version : int; worker_id : string }
+  | Heartbeat_r of { in_flight : int; builds_done : int }
+  | Built_r of {
+      key : string;  (** echoed so the coordinator can match hedged replies *)
+      state : request_state;  (** [Done] or [Failed _] *)
+      design : string;
+      digest : string;
+      manifest : string;
+      wall_ms : float;
+    }
+  | Cancelled_r of { key : string; was_running : bool }
 
 let diags_json diags = Arr (List.map json_of_diag diags)
 
@@ -516,6 +622,13 @@ let encode_response = function
         ("sim_fallbacks", Num (float_of_int s.sim_fallbacks));
         ("rtl_verify_rejects", Num (float_of_int s.rtl_verify_rejects));
         ("tape_reverifies", Num (float_of_int s.tape_reverifies));
+        ("fleet_workers", Num (float_of_int s.fleet_workers));
+        ("fleet_live", Num (float_of_int s.fleet_live));
+        ("remote_dispatches", Num (float_of_int s.remote_dispatches));
+        ("remote_retries", Num (float_of_int s.remote_retries));
+        ("remote_hedges", Num (float_of_int s.remote_hedges));
+        ("remote_cancels", Num (float_of_int s.remote_cancels));
+        ("remote_fallbacks", Num (float_of_int s.remote_fallbacks));
         ("lat_count", Num (float_of_int s.lat_count));
         ("lat_p50_ms", Num s.lat_p50_ms);
         ("lat_p95_ms", Num s.lat_p95_ms);
@@ -526,6 +639,23 @@ let encode_response = function
         ("failed", Num (float_of_int failed)) ]
   | Error_r msg -> Obj [ ("reply", Str "error"); ("message", Str msg) ]
   | Pong -> Obj [ ("reply", Str "pong") ]
+  | Hello_r { version; worker_id } ->
+    Obj
+      [ ("reply", Str "hello"); ("version", Num (float_of_int version));
+        ("worker_id", Str worker_id) ]
+  | Heartbeat_r { in_flight; builds_done } ->
+    Obj
+      [ ("reply", Str "heartbeat"); ("in_flight", Num (float_of_int in_flight));
+        ("builds_done", Num (float_of_int builds_done)) ]
+  | Built_r { key; state; design; digest; manifest; wall_ms } ->
+    Obj
+      ([ ("reply", Str "built"); ("key", Str key) ]
+      @ encode_state state
+      @ [ ("design", Str design); ("digest", Str digest); ("manifest", Str manifest);
+          ("wall_ms", Num wall_ms) ])
+  | Cancelled_r { key; was_running } ->
+    Obj
+      [ ("reply", Str "cancelled"); ("key", Str key); ("was_running", Bool was_running) ]
 
 let decode_diags j =
   match mem "diags" j with
@@ -582,6 +712,13 @@ let decode_response j =
            sim_fallbacks = int_field ~default:0 "sim_fallbacks" j;
            rtl_verify_rejects = int_field ~default:0 "rtl_verify_rejects" j;
            tape_reverifies = int_field ~default:0 "tape_reverifies" j;
+           fleet_workers = int_field ~default:0 "fleet_workers" j;
+           fleet_live = int_field ~default:0 "fleet_live" j;
+           remote_dispatches = int_field ~default:0 "remote_dispatches" j;
+           remote_retries = int_field ~default:0 "remote_retries" j;
+           remote_hedges = int_field ~default:0 "remote_hedges" j;
+           remote_cancels = int_field ~default:0 "remote_cancels" j;
+           remote_fallbacks = int_field ~default:0 "remote_fallbacks" j;
            lat_count = int_field ~default:0 "lat_count" j;
            lat_p50_ms = float_field ~default:0.0 "lat_p50_ms" j;
            lat_p95_ms = float_field ~default:0.0 "lat_p95_ms" j;
@@ -593,13 +730,45 @@ let decode_response j =
            failed = int_field ~default:0 "failed" j })
   | "error" -> Ok (Error_r (str_field ~default:"" "message" j))
   | "pong" -> Ok Pong
+  | "hello" ->
+    Ok
+      (Hello_r
+         { version = int_field ~default:1 "version" j;
+           worker_id = str_field ~default:"" "worker_id" j })
+  | "heartbeat" ->
+    Ok
+      (Heartbeat_r
+         { in_flight = int_field ~default:0 "in_flight" j;
+           builds_done = int_field ~default:0 "builds_done" j })
+  | "built" ->
+    Ok
+      (Built_r
+         { key = str_field ~default:"" "key" j; state = decode_state j;
+           design = str_field ~default:"" "design" j;
+           digest = str_field ~default:"" "digest" j;
+           manifest = str_field ~default:"" "manifest" j;
+           wall_ms = float_field ~default:0.0 "wall_ms" j })
+  | "cancelled" ->
+    Ok
+      (Cancelled_r
+         { key = str_field ~default:"" "key" j;
+           was_running = bool_field ~default:false "was_running" j })
   | r -> Error (Printf.sprintf "unknown reply %S" r)
   | exception Parse_error msg -> Error msg
 
 (* Frame-level convenience used by both ends. *)
-let send ?max_len fd v = write_frame ?max_len fd (to_string v)
+let send ?link ?max_len fd v = write_frame ?link ?max_len fd (to_string v)
 
 let recv ?max_len fd =
   match read_frame ?max_len fd with
   | None -> None
   | Some payload -> Some (of_string payload)
+
+let recv_checked ?max_len fd =
+  match read_frame_checked ?max_len fd with
+  | Ok None -> Ok None
+  | Ok (Some payload) -> (
+    match of_string payload with
+    | j -> Ok (Some j)
+    | exception Parse_error msg -> Error (Torn ("unparseable payload: " ^ msg)))
+  | Error _ as e -> e

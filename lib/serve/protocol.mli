@@ -35,11 +35,34 @@ exception Framing_error of string
 val max_frame_default : int
 (** 16 MiB — the per-frame size limit both directions. *)
 
-val read_frame : ?max_len:int -> Unix.file_descr -> string option
-(** [None] on clean EOF at a frame boundary; {!Framing_error} on a torn
-    header/payload or an announced length beyond [max_len]. *)
+val protocol_version : int
+(** The version this build speaks (2: hello/heartbeat/build/cancel). *)
 
-val write_frame : ?max_len:int -> Unix.file_descr -> string -> unit
+val min_protocol_version : int
+(** The oldest peer version a worker accepts in [Hello]; anything below
+    is rejected with [Version_skew]. *)
+
+type read_error =
+  | Oversized of { announced : int; limit : int }
+      (** the 4-byte header announced more than [max_len]; nothing was
+          allocated and the payload was not read *)
+  | Torn of string  (** EOF mid-header/payload, or unparseable JSON *)
+
+val read_error_to_string : read_error -> string
+
+val read_frame_checked :
+  ?max_len:int -> Unix.file_descr -> (string option, read_error) result
+(** [Ok None] on clean EOF at a frame boundary; typed errors otherwise.
+    The length limit is enforced on the header alone, {e before} any
+    payload allocation. *)
+
+val read_frame : ?max_len:int -> Unix.file_descr -> string option
+(** {!read_frame_checked} with errors raised as {!Framing_error}. *)
+
+val write_frame : ?link:string -> ?max_len:int -> Unix.file_descr -> string -> unit
+(** [link] routes the write through {!Soc_fault.Fault.Net} — the frame
+    may be dropped, delayed, duplicated, torn or dripped according to
+    the armed plan. Unlabelled writes are never perturbed. *)
 
 (** {2 Requests} *)
 
@@ -51,6 +74,14 @@ type request =
   | Stats
   | Drain
   | Ping
+  | Hello of { version : int; peer : string }
+      (** version negotiation; [peer] identifies the caller for logs *)
+  | Heartbeat  (** liveness probe on a worker control connection *)
+  | Build of { source : string; key : string; deadline_ms : int option }
+      (** coordinator→worker dispatch; [key] is the coalescing key
+          (canonical-spec Chash) making the request idempotent *)
+  | Cancel of { key : string }
+      (** abandon the build for [key] — hedge loser or re-routed work *)
 
 val encode_request : request -> json
 val decode_request : json -> (request, string) result
@@ -65,6 +96,8 @@ type reject_reason =
   | Server_killed
   | Poisoned  (** circuit breaker open for this spec's key *)
   | Degraded  (** worker pool dead beyond its restart budget *)
+  | Frame_too_large  (** announced frame length beyond the peer's limit *)
+  | Version_skew  (** hello offered a protocol version below the minimum *)
 
 val reject_reason_label : reject_reason -> string
 
@@ -104,6 +137,13 @@ type server_stats = {
   sim_fallbacks : int;  (** compiled-sim failures degraded to the interpreter *)
   rtl_verify_rejects : int;  (** tapes rejected by the translation validator *)
   tape_reverifies : int;  (** cache-loaded tapes re-verified before dispatch *)
+  fleet_workers : int;  (** configured remote worker endpoints *)
+  fleet_live : int;  (** endpoints currently answering heartbeats *)
+  remote_dispatches : int;  (** build attempts sent to remote workers *)
+  remote_retries : int;  (** dispatches re-sent after an infra failure *)
+  remote_hedges : int;  (** straggler builds raced on a second worker *)
+  remote_cancels : int;  (** cancel frames sent to hedge/failover losers *)
+  remote_fallbacks : int;  (** builds run locally after fleet exhaustion *)
   lat_count : int;
   lat_p50_ms : float;
   lat_p95_ms : float;
@@ -127,6 +167,18 @@ type response =
   | Drained of { completed : int; failed : int }
   | Error_r of string  (** protocol-level: malformed frame, unknown id… *)
   | Pong
+  | Hello_r of { version : int; worker_id : string }
+      (** negotiated version = min(peer's, ours) *)
+  | Heartbeat_r of { in_flight : int; builds_done : int }
+  | Built_r of {
+      key : string;  (** echoed so the coordinator can match hedged replies *)
+      state : request_state;  (** [Done] or [Failed _] *)
+      design : string;
+      digest : string;
+      manifest : string;
+      wall_ms : float;
+    }
+  | Cancelled_r of { key : string; was_running : bool }
 
 val json_of_diag : Soc_util.Diag.t -> json
 val diag_of_json : json -> Soc_util.Diag.t
@@ -134,5 +186,9 @@ val diag_of_json : json -> Soc_util.Diag.t
 val encode_response : response -> json
 val decode_response : json -> (response, string) result
 
-val send : ?max_len:int -> Unix.file_descr -> json -> unit
+val send : ?link:string -> ?max_len:int -> Unix.file_descr -> json -> unit
 val recv : ?max_len:int -> Unix.file_descr -> json option
+
+val recv_checked : ?max_len:int -> Unix.file_descr -> (json option, read_error) result
+(** Typed variant of {!recv}: framing problems and unparseable payloads
+    come back as {!read_error} instead of exceptions. *)

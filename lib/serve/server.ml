@@ -54,6 +54,13 @@ type config = {
   restart_backoff_ms : int;  (** base of the exponential restart backoff *)
   max_sessions : int;  (** concurrent connection cap *)
   idle_session_timeout_ms : int option;  (** drop sessions idle this long *)
+  (* fleet *)
+  fleet : (string * int) list;
+      (** remote worker endpoints; non-empty turns this server into a
+          coordinator that dispatches builds to the fleet and only
+          builds locally as a fallback *)
+  fleet_rpc_timeout_ms : int;  (** per-dispatch-attempt budget *)
+  fleet_hedge_ms : int option;  (** straggler threshold; None = p95-derived *)
 }
 
 let default_config =
@@ -64,10 +71,14 @@ let default_config =
     breaker_threshold = 3; breaker_cooldown_ms = 30_000;
     build_timeout_ms = None; watchdog_grace_ms = 100;
     max_worker_restarts = 8; restart_window_ms = 60_000; restart_backoff_ms = 10;
-    max_sessions = 64; idle_session_timeout_ms = None }
+    max_sessions = 64; idle_session_timeout_ms = None;
+    fleet = []; fleet_rpc_timeout_ms = 60_000; fleet_hedge_ms = None }
 
-(* What a job carries and what it yields. *)
-type payload = { entry : Soc_farm.Jobgraph.entry }
+(* What a job carries and what it yields. [source] is the submitted DSL
+   text verbatim: a remote worker must parse the *same bytes* the
+   coordinator admitted, because parsing attaches source spans that
+   participate in the build digest. *)
+type payload = { entry : Soc_farm.Jobgraph.entry; source : string }
 
 type built = { design : string; digest : string; manifest : string; wall_ms : float }
 
@@ -116,6 +127,8 @@ type t = {
   rejected_poisoned : int Atomic.t;
   worker_restarts : int Atomic.t;
   watchdog_fires : int Atomic.t;
+  coord : Coordinator.t option;
+  remote_fallbacks : int Atomic.t;
   startup_diags : Diag.t list;
   lock : Mutex.t;
   cond : Condition.t;
@@ -235,7 +248,7 @@ let admit t ~source ~priority ~deadline_ms : Protocol.response =
                  t.cfg.breaker_threshold remaining)
               []
           | Breaker.Admit | Breaker.Probe -> (
-            let payload = { entry = { Soc_farm.Jobgraph.spec; kernels } } in
+            let payload = { entry = { Soc_farm.Jobgraph.spec; kernels }; source } in
             let deadline_ms =
               match deadline_ms with Some _ as d -> d | None -> t.cfg.default_deadline_ms
             in
@@ -259,7 +272,7 @@ let admit t ~source ~priority ~deadline_ms : Protocol.response =
    worker healthy. The breaker is told the outcome only when this call
    is the one that landed the verdict (a watchdog may have expired the
    job first). *)
-let build_one t job =
+let build_local t job =
   (* The armed kill point is taken by exactly one build: the daemon dies
      once, like a process does. *)
   let kill = Atomic.exchange t.kill_slot None in
@@ -302,6 +315,36 @@ let build_one t job =
       if Scheduler.try_finish t.sched job (Scheduler.Failed reason) then
         Breaker.record t.breaker key ~ok:false;
       `Ok)
+
+(* With a fleet configured, builds go to the coordinator first. A
+   worker's [Build_failed] is authoritative — it still feeds the
+   breaker, so a spec that kills remote workers is quarantined here
+   rather than cascading through the fleet. Only fleet *exhaustion*
+   (all endpoints down, every attempt failed on infrastructure) falls
+   back to the local in-process build — requests survive total fleet
+   loss at the cost of this box's own CPU. *)
+let build_one t job =
+  match t.coord with
+  | None -> build_local t job
+  | Some coord -> (
+    let payload = Scheduler.job_payload job in
+    let key = Scheduler.job_key job in
+    match Coordinator.build coord ~source:payload.source ~key () with
+    | Ok (Coordinator.Built rb) ->
+      let built =
+        { design = rb.Coordinator.design; digest = rb.Coordinator.digest;
+          manifest = rb.Coordinator.manifest; wall_ms = rb.Coordinator.wall_ms }
+      in
+      if Scheduler.try_finish t.sched job (Scheduler.Ok_r built) then
+        Breaker.record t.breaker key ~ok:true;
+      `Ok
+    | Ok (Coordinator.Build_failed reason) ->
+      if Scheduler.try_finish t.sched job (Scheduler.Failed reason) then
+        Breaker.record t.breaker key ~ok:false;
+      `Ok
+    | Error _fleet_exhausted ->
+      Atomic.incr t.remote_fallbacks;
+      build_local t job)
 
 let rec worker_loop t w =
   match Scheduler.next t.sched with
@@ -453,6 +496,8 @@ let stats t : Protocol.server_stats =
   let c = Soc_farm.Cache.stats t.cache in
   let lookups = c.Soc_farm.Cache.hits + c.Soc_farm.Cache.disk_hits + c.Soc_farm.Cache.misses in
   let served = c.Soc_farm.Cache.hits + c.Soc_farm.Cache.disk_hits in
+  let cs = Option.map Coordinator.stats t.coord in
+  let fleet f = match cs with Some s -> f s | None -> 0 in
   { uptime_ms = 1000.0 *. (t.cfg.clock () -. t.started_at);
     workers = t.cfg.workers;
     live_workers = live_workers t;
@@ -479,6 +524,13 @@ let stats t : Protocol.server_stats =
     sim_fallbacks = Cengine.fallback_count () - t.sim_base;
     rtl_verify_rejects = Cengine.verify_reject_count () - t.verify_base;
     tape_reverifies = Cengine.reverify_count () - t.reverify_base;
+    fleet_workers = fleet (fun s -> s.Coordinator.fleet_workers);
+    fleet_live = fleet (fun s -> s.Coordinator.fleet_live);
+    remote_dispatches = fleet (fun s -> s.Coordinator.dispatches);
+    remote_retries = fleet (fun s -> s.Coordinator.retries);
+    remote_hedges = fleet (fun s -> s.Coordinator.hedges);
+    remote_cancels = fleet (fun s -> s.Coordinator.cancels);
+    remote_fallbacks = Atomic.get t.remote_fallbacks;
     lat_count = Histogram.count t.hist;
     lat_p50_ms = Histogram.p50 t.hist;
     lat_p95_ms = Histogram.p95 t.hist;
@@ -514,6 +566,23 @@ let handle t (req : Protocol.request) : Protocol.response =
       Protocol.Result_r
         { id; state = state_of_outcome o; design = ""; digest = ""; manifest = "";
           wall_ms = 0.0 })
+  | Protocol.Hello { version; peer = _ } ->
+    if version < Protocol.min_protocol_version then
+      Protocol.Rejected
+        { reason = Protocol.Version_skew;
+          detail =
+            Printf.sprintf "peer speaks protocol %d; this server requires >= %d"
+              version Protocol.min_protocol_version;
+          diags = [] }
+    else
+      Protocol.Hello_r
+        { version = min version Protocol.protocol_version; worker_id = "server" }
+  | Protocol.Heartbeat ->
+    let s = Scheduler.stats t.sched in
+    Protocol.Heartbeat_r
+      { in_flight = s.Scheduler.running; builds_done = s.Scheduler.completed }
+  | Protocol.Build _ | Protocol.Cancel _ ->
+    Protocol.Error_r "not a worker: this daemon takes builds via the submit op"
   | Protocol.Stats -> Protocol.Stats_r (stats t)
   | Protocol.Drain ->
     Scheduler.drain t.sched;
@@ -534,13 +603,22 @@ let session t sr =
   let max_len = t.cfg.max_frame in
   let reply v = Protocol.send fd (Protocol.encode_response v) in
   let rec loop () =
-    match Protocol.recv ~max_len fd with
-    | None -> ()
-    | Some j ->
+    match Protocol.recv_checked ~max_len fd with
+    | Ok None -> ()
+    | Ok (Some j) ->
       (match Protocol.decode_request j with
       | Error msg -> reply (Protocol.Error_r msg)
       | Ok req -> reply (handle t req));
       loop ()
+    | Error (Protocol.Oversized { announced; limit }) ->
+      (* The announced payload was never read (and never allocated), so
+         the stream cannot be resynced: explain, then hang up. *)
+      reply
+        (Protocol.Rejected
+           { reason = Protocol.Frame_too_large;
+             detail = Printf.sprintf "announced %d bytes; limit is %d" announced limit;
+             diags = [] })
+    | Error (Protocol.Torn _) -> ()
   in
   (try loop () with
   | Protocol.Framing_error _ | Protocol.Parse_error _ | Unix.Unix_error _ | Sys_error _
@@ -654,6 +732,16 @@ let start (cfg : config) =
       reverify_base = Cengine.reverify_count ();
       rejected_check = Atomic.make 0; rejected_poisoned = Atomic.make 0;
       worker_restarts = Atomic.make 0; watchdog_fires = Atomic.make 0;
+      coord =
+        (if cfg.fleet = [] then None
+         else
+           Some
+             (Coordinator.create
+                { Coordinator.default_config with
+                  endpoints = cfg.fleet; clock = cfg.clock; max_frame = cfg.max_frame;
+                  rpc_timeout_ms = cfg.fleet_rpc_timeout_ms;
+                  hedge_after_ms = Option.map float_of_int cfg.fleet_hedge_ms }));
+      remote_fallbacks = Atomic.make 0;
       startup_diags; lock = Mutex.create ();
       cond = Condition.create (); phase = Serving; stopping = false;
       workers = []; next_wid = 0; death_notes = []; restart_times = [];
@@ -697,6 +785,9 @@ let poke_accept t =
 let stop t =
   t.stopping <- true;
   Scheduler.abort_all t.sched ~reason:"server stopped";
+  (* Stop the coordinator first: workers blocked in a fleet dispatch
+     abandon their attempts instead of riding out the rpc timeout. *)
+  Option.iter Coordinator.stop t.coord;
   set_phase t (Drained (0, 0));
   poke_accept t;
   (try Unix.close t.listener with Unix.Unix_error _ -> ());

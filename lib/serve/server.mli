@@ -49,13 +49,23 @@ type config = {
   max_sessions : int;  (** concurrent connection cap *)
   idle_session_timeout_ms : int option;
       (** drop a session whose socket is idle this long; [None] = never *)
+  fleet : (string * int) list;
+      (** remote worker endpoints ({!Remote} daemons). Non-empty turns
+          this server into a coordinator: builds are dispatched to the
+          fleet through {!Coordinator} (retries, hedging, failover) and
+          run locally only when the fleet is exhausted — counted in
+          [server_stats.remote_fallbacks]. *)
+  fleet_rpc_timeout_ms : int;  (** per-dispatch-attempt budget *)
+  fleet_hedge_ms : int option;
+      (** straggler threshold for hedged dispatch; [None] derives it
+          from the p95 of past wins *)
 }
 
 val default_config : config
 (** 127.0.0.1, ephemeral port, 2 workers, queue cap 64, no deadline, no
     persistence, no kernels; breaker threshold 3 with 30 s cooldown, no
     build timeout, 100 ms watchdog grace, 8 restarts / 60 s window,
-    64 sessions, no idle timeout. *)
+    64 sessions, no idle timeout; no fleet. *)
 
 type t
 

@@ -26,5 +26,6 @@ let () =
       ("farm", Test_farm.suite);
       ("journal", Test_journal.suite);
       ("serve", Test_serve.suite);
+      ("remote", Test_remote.suite);
       ("verify", Test_verify.suite);
     ]

@@ -271,6 +271,8 @@ let test_response_roundtrip () =
       worker_restarts = 2; watchdog_fires = 1; breaker_open_keys = 1;
       rejected_poisoned = 4; sim_fallbacks = 1; rtl_verify_rejects = 2;
       tape_reverifies = 5;
+      fleet_workers = 2; fleet_live = 1; remote_dispatches = 9; remote_retries = 2;
+      remote_hedges = 1; remote_cancels = 1; remote_fallbacks = 3;
       lat_count = 6; lat_p50_ms = 8.0; lat_p95_ms = 16.0; lat_p99_ms = 16.0 }
   in
   List.iter

@@ -463,7 +463,75 @@ let dse () =
        (List.map
           (fun (p : Soc_dse.Runner.point) -> Soc_dse.Partition.signature p.Soc_dse.Runner.partition)
           g.Soc_dse.Explore.points))
-    g.Soc_dse.Explore.evaluations r.Soc_dse.Explore.evaluations
+    g.Soc_dse.Explore.evaluations r.Soc_dse.Explore.evaluations;
+
+  (* Population-scale autotuning through the farm: an evolutionary sweep
+     over partition x FIFO x schedule x FU allocation, cold then warm
+     against one disk cache — the warm re-sweep must repeat zero
+     synthesis and reproduce the frontier byte-identically. *)
+  hr "Extension -- autotuner: evolutionary sweep, cold vs warm farm cache";
+  let dir = Filename.temp_file "bench_tune" ".cache" in
+  Sys.remove dir;
+  let opts = Soc_dse.Tuner.default_options in
+  let sweep () =
+    let cache = Soc_farm.Cache.create ~disk_dir:dir () in
+    let t0 = Unix.gettimeofday () in
+    let o = Soc_dse.Tuner.run ~cache opts in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  let cold, cold_s = sweep () in
+  let warm, warm_s = sweep () in
+  let rate (o : Soc_dse.Tuner.outcome) dt =
+    float_of_int o.Soc_dse.Tuner.search.Soc_tune.Search.evaluated /. dt
+  in
+  let dedup (o : Soc_dse.Tuner.outcome) =
+    if o.Soc_dse.Tuner.hls_requests = 0 then 0.0
+    else
+      1.0
+      -. (float_of_int o.Soc_dse.Tuner.engine_invocations
+         /. float_of_int o.Soc_dse.Tuner.hls_requests)
+  in
+  let t =
+    Table.create ~title:"evolve sweep (population 8, 4 generations, 16x16)"
+      [ "cache"; "wall (s)"; "points/s"; "engine runs"; "HLS requests"; "dedup" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+  in
+  let row label (o : Soc_dse.Tuner.outcome) dt =
+    Table.add_row t
+      [ label; Printf.sprintf "%.2f" dt; Printf.sprintf "%.1f" (rate o dt);
+        string_of_int o.Soc_dse.Tuner.engine_invocations;
+        string_of_int o.Soc_dse.Tuner.hls_requests;
+        Printf.sprintf "%.0f%%" (100.0 *. dedup o) ]
+  in
+  row "cold" cold cold_s;
+  row "warm" warm warm_s;
+  Table.print t;
+  let cold_json = Soc_tune.Render.frontier_json cold.Soc_dse.Tuner.search in
+  let warm_json = Soc_tune.Render.frontier_json warm.Soc_dse.Tuner.search in
+  Printf.printf "frontier: %d point(s); warm byte-identical: %b; warm engine runs: %d\n"
+    (List.length cold.Soc_dse.Tuner.search.Soc_tune.Search.frontier)
+    (cold_json = warm_json) warm.Soc_dse.Tuner.engine_invocations;
+  let json =
+    Printf.sprintf
+      "{\n  \"bench\": \"dse\",\n  \"strategy\": \"evolve\",\n  \
+       \"seed\": %d,\n  \"image\": \"16x16\",\n  \
+       \"evaluated\": %d,\n  \"frontier_size\": %d,\n  \
+       \"cold_s\": %.6f,\n  \"warm_s\": %.6f,\n  \
+       \"cold_points_per_s\": %.3f,\n  \"warm_points_per_s\": %.3f,\n  \
+       \"cold_engine_runs\": %d,\n  \"warm_engine_runs\": %d,\n  \
+       \"hls_requests\": %d,\n  \"cold_dedup_ratio\": %.3f,\n  \
+       \"warm_dedup_ratio\": %.3f,\n  \"warm_frontier_identical\": %b\n}\n"
+      opts.Soc_dse.Tuner.seed
+      cold.Soc_dse.Tuner.search.Soc_tune.Search.evaluated
+      (List.length cold.Soc_dse.Tuner.search.Soc_tune.Search.frontier)
+      cold_s warm_s (rate cold cold_s) (rate warm warm_s)
+      cold.Soc_dse.Tuner.engine_invocations warm.Soc_dse.Tuner.engine_invocations
+      cold.Soc_dse.Tuner.hls_requests (dedup cold) (dedup warm)
+      (cold_json = warm_json)
+  in
+  Soc_util.Atomic_io.write_file "BENCH_dse.json" json;
+  print_string json;
+  print_endline "wrote BENCH_dse.json"
 
 (* ------------------------------------------------------------------ *)
 (* Extension: HW/SW crossover across image sizes                       *)

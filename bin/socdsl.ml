@@ -625,6 +625,141 @@ let farm_cmd =
           $ resume_arg $ kill_arg $ manifest_arg $ trace_arg $ retries_arg
           $ timeout_arg $ seed_arg $ sim_arg)
 
+(* ---------------- explore ---------------- *)
+
+(* Shared by `socdsl explore` and `socdsl client explore`. *)
+let strategy_arg =
+  Arg.(value & opt string "evolve" & info [ "strategy" ] ~docv:"NAME"
+       ~doc:"Search strategy: $(b,exhaustive), $(b,random), $(b,greedy) or \
+             $(b,evolve).")
+
+let samples_arg =
+  Arg.(value & opt int 32 & info [ "samples" ] ~docv:"N"
+       ~doc:"Candidates drawn by the $(b,random) strategy.")
+
+let population_arg =
+  Arg.(value & opt int 8 & info [ "population" ] ~docv:"N"
+       ~doc:"Population size per generation of the $(b,evolve) strategy.")
+
+let generations_arg =
+  Arg.(value & opt int 4 & info [ "generations" ] ~docv:"N"
+       ~doc:"Generations of the $(b,evolve) strategy.")
+
+let budget_arg =
+  Arg.(value & opt int 100 & info [ "budget" ] ~docv:"PCT"
+       ~doc:"Resource budget as a percentage of the Zynq-7020; candidates \
+             whose estimated or synthesized usage exceeds it are infeasible.")
+
+let explore_format_arg =
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output: $(b,text) (table + winner DSL) or $(b,json) (the \
+                 deterministic frontier JSON on stdout).")
+
+let explore_width_arg =
+  Arg.(value & opt int 16 & info [ "width" ] ~docv:"W" ~doc:"Image width.")
+
+let explore_height_arg =
+  Arg.(value & opt int 16 & info [ "height" ] ~docv:"H" ~doc:"Image height.")
+
+let print_explore_failures failures =
+  List.iter
+    (fun (k, msg) -> prerr_endline (Printf.sprintf "socdsl: FAILED %s: %s" k msg))
+    failures
+
+let explore_cmd =
+  let run strategy samples population generations seed budget width height mode
+      cache_dir max_mb jobs format output =
+    let strategy =
+      or_die
+        (Soc_tune.Search.strategy_of_string ~samples ~population ~generations strategy)
+    in
+    let cache = Soc_farm.Cache.create ?disk_dir:cache_dir ?max_mb () in
+    if format = `Text then Printf.printf "effective seed: %d\n%!" seed;
+    let on_round (p : Soc_tune.Search.progress) =
+      if format = `Text then
+        Printf.printf "round %d: %d evaluated, %d infeasible, frontier %d\n%!"
+          p.Soc_tune.Search.round p.Soc_tune.Search.evaluated
+          p.Soc_tune.Search.infeasible
+          (List.length p.Soc_tune.Search.frontier)
+    in
+    let opts =
+      { Soc_dse.Tuner.default_options with
+        Soc_dse.Tuner.strategy; seed; width; height; budget_pct = budget; mode;
+        jobs = Option.value jobs ~default:1 }
+    in
+    let o = Soc_dse.Tuner.run ~cache ~on_round opts in
+    let r = o.Soc_dse.Tuner.search in
+    let frontier_json = Soc_tune.Render.frontier_json r in
+    (match output with
+    | Some path ->
+      Soc_util.Atomic_io.write_file path frontier_json;
+      if format = `Text then Printf.printf "frontier written to %s\n" path
+    | None -> ());
+    let c = o.Soc_dse.Tuner.cache in
+    let stats_line =
+      Printf.sprintf
+        "farm: %d batch(es), %d HLS request(s), %d engine run(s), %d cache hit(s) (%d disk), %d pruned pre-HLS"
+        o.Soc_dse.Tuner.batches o.Soc_dse.Tuner.hls_requests
+        o.Soc_dse.Tuner.engine_invocations
+        (c.Soc_farm.Cache.hits + c.Soc_farm.Cache.disk_hits)
+        c.Soc_farm.Cache.disk_hits o.Soc_dse.Tuner.pruned
+    in
+    (match format with
+    | `Json ->
+      print_string frontier_json;
+      prerr_endline stats_line
+    | `Text ->
+      Soc_util.Table.print (Soc_tune.Render.table r);
+      print_endline (Soc_tune.Render.summary r);
+      print_endline stats_line;
+      (match Soc_tune.Render.winner r with
+      | None -> print_endline "no feasible point"
+      | Some w ->
+        Printf.printf "winner: %s  %.1f us  %d LUT %d FF %d BRAM18 %d DSP\n"
+          w.Soc_tune.Search.key w.Soc_tune.Search.objectives.(0)
+          w.Soc_tune.Search.usage.Soc_hls.Report.lut
+          w.Soc_tune.Search.usage.Soc_hls.Report.ff
+          w.Soc_tune.Search.usage.Soc_hls.Report.bram18
+          w.Soc_tune.Search.usage.Soc_hls.Report.dsp;
+        if w.Soc_tune.Search.dsl <> "" then begin
+          print_endline "winning spec (DSL):";
+          print_string w.Soc_tune.Search.dsl
+        end));
+    print_explore_failures r.Soc_tune.Search.failures;
+    if r.Soc_tune.Search.failures <> [] then exit 1
+  in
+  let mode_arg =
+    Arg.(value
+         & opt (enum [ ("rtl", `Rtl); ("behavioral", `Behavioral) ]) `Rtl
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Accelerator execution during measurement: $(b,rtl) (generated \
+                   netlists on the co-simulator) or $(b,behavioral) (interpreter \
+                   with ideal-pipeline timing; much faster sweeps).")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Farm worker domains per batch; results are bit-identical for any value.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persist the HLS cache to $(docv); a warm re-run of the same sweep \
+               repeats zero synthesis work and its frontier JSON is byte-identical.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Autotune the Otsu pipeline over HW/SW partition, FIFO depth, schedule \
+          strategy and functional-unit allocation: populations are priced through \
+          the build farm (content-hash dedup, shared cache), infeasible candidates \
+          are pruned by the analyzer before any synthesis, every measured point is \
+          checked bit-exactly against the golden model, and the result is the \
+          Pareto frontier over (latency, LUT, FF, BRAM, DSP).")
+    Term.(const run $ strategy_arg $ samples_arg $ population_arg $ generations_arg
+          $ seed_arg $ budget_arg $ explore_width_arg $ explore_height_arg
+          $ mode_arg $ cache_dir_arg $ cache_max_mb_arg $ jobs_arg
+          $ explore_format_arg $ output_arg)
+
 (* ---------------- doctor ---------------- *)
 
 let doctor_cmd =
@@ -1040,10 +1175,63 @@ let client_cmd =
             finish, and make the daemon exit cleanly.")
       Term.(const run $ host_arg $ port_arg ~default:7171)
   in
+  let explore =
+    let run host port strategy samples population generations seed budget width
+        height output =
+      with_client host port (fun c ->
+          let req =
+            Soc_serve.Protocol.Explore
+              { strategy; seed; budget_pct = budget; population; generations;
+                samples; width; height }
+          in
+          let on_update = function
+            | Soc_serve.Protocol.Explore_update
+                { round; evaluated; infeasible; frontier_size; best_us } ->
+              Printf.printf "round %d: %d evaluated, %d infeasible, frontier %d, best %.1f us\n%!"
+                round evaluated infeasible frontier_size best_us
+            | _ -> ()
+          in
+          match Soc_serve.Client.explore c ~on_update req with
+          | Soc_serve.Protocol.Explore_r
+              { frontier; evaluated; infeasible; rounds; engine_runs; cache_hits; wall_ms }
+            ->
+            Printf.printf
+              "done: %d evaluated, %d infeasible, %d round(s), %d engine run(s), %d cache hit(s), %.1f ms\n"
+              evaluated infeasible rounds engine_runs cache_hits wall_ms;
+            (match output with
+            | Some path ->
+              Soc_util.Atomic_io.write_file path frontier;
+              Printf.printf "frontier written to %s\n" path
+            | None -> print_string frontier)
+          | Soc_serve.Protocol.Rejected { reason; detail; diags } ->
+            print_diags diags;
+            prerr_endline
+              (Printf.sprintf "socdsl: rejected (%s): %s"
+                 (Soc_serve.Protocol.reject_reason_label reason) detail);
+            exit 1
+          | Soc_serve.Protocol.Error_r msg ->
+            prerr_endline ("socdsl: server error: " ^ msg);
+            exit 2
+          | r ->
+            prerr_endline
+              ("socdsl: unexpected reply: "
+              ^ Soc_serve.Protocol.(to_string (encode_response r)));
+            exit 2)
+    in
+    Cmd.v
+      (Cmd.info "explore"
+         ~doc:
+           "Run an autotuning sweep on a running daemon (sharing its HLS cache \
+            with served builds) and stream incremental Pareto-frontier updates; \
+            the final deterministic frontier JSON goes to stdout or --output.")
+      Term.(const run $ host_arg $ port_arg ~default:7171 $ strategy_arg
+            $ samples_arg $ population_arg $ generations_arg $ seed_arg
+            $ budget_arg $ explore_width_arg $ explore_height_arg $ output_arg)
+  in
   Cmd.group
     (Cmd.info "client"
-       ~doc:"Talk to a running 'socdsl serve' daemon (submit, stats, drain).")
-    [ submit; stats; drain ]
+       ~doc:"Talk to a running 'socdsl serve' daemon (submit, explore, stats, drain).")
+    [ submit; explore; stats; drain ]
 
 (* ---------------- chaos ---------------- *)
 
@@ -1301,5 +1489,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ check_cmd; print_cmd; tcl_cmd; qsys_cmd; devicetree_cmd; api_cmd; diagram_cmd;
-            metrics_cmd; build_cmd; farm_cmd; serve_cmd; client_cmd; doctor_cmd;
-            chaos_cmd; demo_cmd ]))
+            metrics_cmd; build_cmd; farm_cmd; explore_cmd; serve_cmd; client_cmd;
+            doctor_cmd; chaos_cmd; demo_cmd ]))

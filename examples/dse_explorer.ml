@@ -1,55 +1,51 @@
-(* Design-space exploration over all 16 HW/SW partitions of the Otsu
-   pipeline — the extension the paper leaves as future work (Section II-C).
-   Every evaluated point is functionally verified against the golden model;
-   the Pareto front on (latency, LUT) and a greedy hill-climbing trajectory
-   are reported.
+(* Population-scale autotuning over the Otsu design space — HW/SW
+   partition x FIFO depth x HLS schedule x functional-unit allocation —
+   through the Soc_tune subsystem: candidates are gated by the static
+   analyzer, priced in farm batches with content-hash dedup, verified
+   bit-exactly against the golden model, and ranked on a 5-objective
+   Pareto frontier (latency, LUT, FF, BRAM, DSP).
 
    Run with: dune exec examples/dse_explorer.exe *)
 
+module Tuner = Soc_dse.Tuner
+module Search = Soc_tune.Search
+
+let run_strategy ~cache name strategy =
+  Printf.printf "== %s ==\n%!" name;
+  let opts = { Tuner.default_options with Tuner.strategy } in
+  let o =
+    Tuner.run ~cache
+      ~on_round:(fun (p : Search.progress) ->
+        Printf.printf "  round %d: %d evaluated, frontier %d\n%!" p.Search.round
+          p.Search.evaluated
+          (List.length p.Search.frontier))
+      opts
+  in
+  let r = o.Tuner.search in
+  Soc_util.Table.print (Soc_tune.Render.table r);
+  Printf.printf "%s\n" (Soc_tune.Render.summary r);
+  List.iter
+    (fun (k, msg) -> Printf.printf "  FAILED %s: %s\n" k msg)
+    r.Search.failures;
+  Printf.printf "  farm: %d batches, %d HLS requests, %d real engine runs\n\n%!"
+    o.Tuner.batches o.Tuner.hls_requests o.Tuner.engine_invocations;
+  o
+
 let () =
-  let width = 32 and height = 32 in
-  Printf.printf "Exhaustive DSE over 2^4 partitions (image %dx%d)\n\n" width height;
-  let r = Soc_dse.Explore.exhaustive ~width ~height () in
-  let front = Soc_dse.Explore.pareto r.Soc_dse.Explore.points in
-  let on_front p =
-    List.exists
-      (fun (q : Soc_dse.Runner.point) -> q.Soc_dse.Runner.partition = p)
-      front
+  (* One shared cache across strategies: later sweeps re-price candidates
+     the earlier ones already synthesized without new engine runs. *)
+  let cache = Soc_farm.Cache.create () in
+  let _ = run_strategy ~cache "greedy hill-climb" Search.Greedy in
+  let ev =
+    run_strategy ~cache "evolutionary (population 8, 4 generations)"
+      (Search.Evolve { population = 8; generations = 4 })
   in
-  let table =
-    Soc_util.Table.create ~title:"Partition sweep (G=grayScale H=histogram O=otsuMethod B=binarization)"
-      ~aligns:
-        [ Soc_util.Table.Left; Soc_util.Table.Right; Soc_util.Table.Right;
-          Soc_util.Table.Right; Soc_util.Table.Right; Soc_util.Table.Center ]
-      [ "GHOB"; "cycles"; "us"; "LUT"; "gen time (s)"; "Pareto" ]
-  in
-  List.iter
-    (fun (p : Soc_dse.Runner.point) ->
-      Soc_util.Table.add_row table
-        [
-          Soc_dse.Partition.signature p.Soc_dse.Runner.partition;
-          string_of_int p.Soc_dse.Runner.cycles;
-          Printf.sprintf "%.1f" p.Soc_dse.Runner.microseconds;
-          string_of_int p.Soc_dse.Runner.resources.Soc_hls.Report.lut;
-          Printf.sprintf "%.0f" p.Soc_dse.Runner.tool_seconds;
-          (if on_front p.Soc_dse.Runner.partition then "*" else "");
-        ])
-    r.Soc_dse.Explore.points;
-  Soc_util.Table.print table;
-
-  Printf.printf "\nGreedy exploration (speedup-per-LUT hill climbing):\n";
-  let g = Soc_dse.Explore.greedy ~width ~height () in
-  List.iter
-    (fun (p : Soc_dse.Runner.point) ->
-      Printf.printf "  %s  %7d cycles  %6d LUT\n"
-        (Soc_dse.Partition.signature p.Soc_dse.Runner.partition)
-        p.Soc_dse.Runner.cycles p.Soc_dse.Runner.resources.Soc_hls.Report.lut)
-    g.Soc_dse.Explore.points;
-  Printf.printf "greedy evaluated %d points vs %d exhaustive\n"
-    g.Soc_dse.Explore.evaluations r.Soc_dse.Explore.evaluations;
-
-  (* The greedy endpoint must lie on the exhaustive Pareto front. *)
-  let final = List.nth g.Soc_dse.Explore.points (List.length g.Soc_dse.Explore.points - 1) in
-  Printf.printf "greedy endpoint %s on exhaustive Pareto front: %b\n"
-    (Soc_dse.Partition.signature final.Soc_dse.Runner.partition)
-    (on_front final.Soc_dse.Runner.partition)
+  match Soc_tune.Render.winner ev.Tuner.search with
+  | None -> print_endline "no feasible point found"
+  | Some w ->
+    Printf.printf "winner: %s  %.1f us  %d LUT\n" w.Search.key w.Search.objectives.(0)
+      w.Search.usage.Soc_hls.Report.lut;
+    if w.Search.dsl <> "" then begin
+      print_endline "winning spec (DSL):";
+      print_string w.Search.dsl
+    end

@@ -1,5 +1,11 @@
 (** Design-space exploration strategies over the partition space, and
-    Pareto-front extraction on (execution time, LUT area). *)
+    Pareto-front extraction on (execution time, LUT area).
+
+    Kept as the small legacy surface over {!Runner}; population-scale
+    sweeps with multi-objective frontiers live in {!Tuner} /
+    [Soc_tune]. Both strategies share real HLS results through a
+    content-addressed {!Soc_farm.Cache} (the deprecated estimate-only
+    [?hls_cache] path is gone). *)
 
 type result = {
   points : Runner.point list; (* all evaluated points, evaluation order *)
@@ -8,10 +14,11 @@ type result = {
 
 (* Exhaustive sweep of all 2^4 partitions. *)
 let exhaustive ?width ?height ?seed ?hls_config () : result =
-  let cache = Hashtbl.create 8 in
+  let cache = Soc_farm.Cache.create () in
+  let hls = Soc_farm.Cache.hls_engine cache in
   let points =
     List.map
-      (fun p -> Runner.evaluate ?width ?height ?seed ?hls_config ~hls_cache:cache p)
+      (fun p -> Runner.evaluate ?width ?height ?seed ?hls_config ~hls p)
       (Partition.enumerate ())
   in
   { points; evaluations = List.length points }
@@ -19,8 +26,9 @@ let exhaustive ?width ?height ?seed ?hls_config () : result =
 (* Greedy: start all-software; repeatedly move to hardware the stage with
    the best speedup-per-LUT gain; stop when no move improves latency. *)
 let greedy ?width ?height ?seed ?hls_config () : result =
-  let cache = Hashtbl.create 8 in
-  let eval p = Runner.evaluate ?width ?height ?seed ?hls_config ~hls_cache:cache p in
+  let cache = Soc_farm.Cache.create () in
+  let hls = Soc_farm.Cache.hls_engine cache in
+  let eval p = Runner.evaluate ?width ?height ?seed ?hls_config ~hls p in
   let rec climb current trail evals =
     let candidates =
       List.filter_map
@@ -55,17 +63,14 @@ let greedy ?width ?height ?seed ?hls_config () : result =
   let _, trail, evals = climb start [] 1 in
   { points = trail; evaluations = evals }
 
-(* Pareto front: minimize both cycles and LUTs. *)
+(* Pareto front on (cycles, LUT): a thin 2-objective wrapper over the
+   shared k-objective dominance check in Soc_tune.Pareto. *)
 let pareto (points : Runner.point list) : Runner.point list =
-  let dominates a b =
-    a.Runner.cycles <= b.Runner.cycles
-    && a.Runner.resources.Soc_hls.Report.lut <= b.Runner.resources.Soc_hls.Report.lut
-    && (a.Runner.cycles < b.Runner.cycles
-       || a.Runner.resources.Soc_hls.Report.lut < b.Runner.resources.Soc_hls.Report.lut)
+  let objectives (p : Runner.point) =
+    [| float_of_int p.Runner.cycles;
+       float_of_int p.Runner.resources.Soc_hls.Report.lut |]
   in
-  let front =
-    List.filter (fun p -> not (List.exists (fun q -> dominates q p) points)) points
-  in
+  let front = Soc_tune.Pareto.front ~objectives points in
   List.sort_uniq
     (fun a b ->
       compare

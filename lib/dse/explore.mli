@@ -18,4 +18,5 @@ val greedy :
     the accepted trajectory. *)
 
 val pareto : Runner.point list -> Runner.point list
-(** Non-dominated points, sorted by (cycles, lut). *)
+(** Non-dominated points, sorted by (cycles, lut) — a 2-objective wrapper
+    over {!Soc_tune.Pareto.front}. *)

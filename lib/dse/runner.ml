@@ -91,30 +91,25 @@ let run_hw exec (live : Soc_core.Flow.live) ~pixels (stages : P.stage list) =
 
 exception Wrong_output of string
 
-(* Evaluate one partition: build (unless all-SW), instantiate, run, check
-   against the golden model, measure. *)
-let evaluate ?(width = 32) ?(height = 32) ?(seed = 42)
-    ?(hls_config = Soc_hls.Engine.default_config) ?hls_cache ?(mode = `Rtl)
-    (t : P.t) : point =
+(* Measure one partition on the simulated platform, given an already
+   finished build record (from the staged flow or a farm batch) — or
+   [None] for the all-software partition. Instantiates, runs the plan,
+   checks the output against the golden model. *)
+let measure ?(width = 32) ?(height = 32) ?(seed = 42) ?fifo_depth ?(mode = `Rtl)
+    (build : Soc_core.Flow.build option) (t : P.t) : point =
   let pixels = width * height in
+  let fifo_depth = match fifo_depth with Some d -> d | None -> max 1024 (pixels + 16) in
   let rgb = Soc_apps.Image.synthetic_rgb ~seed ~width ~height () in
   let kernels = Soc_apps.Otsu.kernels ~width ~height in
   let golden_img, golden_thr = Soc_apps.Otsu.Golden.run rgb in
-  let fifo_depth = max 1024 (pixels + 16) in
-  let build, live, exec =
-    if P.is_all_sw t then begin
+  let live, exec =
+    match build with
+    | None ->
       let sys = Soc_platform.System.create () in
-      (None, None, Exec.create sys)
-    end
-    else begin
-      let spec = P.spec_of t in
-      let build =
-        Soc_core.Flow.build ~hls_config ~fifo_depth ?hls_cache spec
-          ~kernels:(P.kernels_of t ~width ~height)
-      in
+      (None, Exec.create sys)
+    | Some build ->
       let live = Soc_core.Flow.instantiate ~fifo_depth ~mode build in
-      (Some build, Some live, live.Soc_core.Flow.exec)
-    end
+      (Some live, live.Soc_core.Flow.exec)
   in
   Soc_axi.Dram.write_block (Exec.dram exec) ~addr:rgb_addr rgb.Soc_apps.Image.rgb;
   let t0 = Exec.elapsed_cycles exec in
@@ -165,3 +160,18 @@ let evaluate ?(width = 32) ?(height = 32) ?(seed = 42)
     output;
     threshold;
   }
+
+(* Evaluate one partition end to end: run the staged flow (unless all-SW)
+   through the pluggable HLS engine, then measure. *)
+let evaluate ?(width = 32) ?(height = 32) ?(seed = 42)
+    ?(hls_config = Soc_hls.Engine.default_config) ?hls ?(mode = `Rtl) (t : P.t) : point =
+  let pixels = width * height in
+  let fifo_depth = max 1024 (pixels + 16) in
+  let build =
+    if P.is_all_sw t then None
+    else
+      Some
+        (Soc_core.Flow.build ~hls_config ~fifo_depth ?hls (P.spec_of t)
+           ~kernels:(P.kernels_of t ~width ~height))
+  in
+  measure ~width ~height ~seed ~fifo_depth ~mode build t

@@ -20,14 +20,31 @@ exception Wrong_output of string
 (** A design point whose image differs from the golden model (a bug, not a
     design point). *)
 
+val measure :
+  ?width:int ->
+  ?height:int ->
+  ?seed:int ->
+  ?fifo_depth:int ->
+  ?mode:[ `Rtl | `Behavioral ] ->
+  Soc_core.Flow.build option ->
+  Partition.t ->
+  point
+(** Instantiate an already finished build (e.g. from a
+    {!Soc_farm.Farm.build_batch}) and run the partition's execution plan;
+    [None] runs the all-software partition. Raises {!Wrong_output} when
+    the image differs from the golden model. *)
+
 val evaluate :
   ?width:int ->
   ?height:int ->
   ?seed:int ->
   ?hls_config:Soc_hls.Engine.config ->
-  ?hls_cache:(string, unit) Hashtbl.t ->
+  ?hls:Soc_core.Flow.hls_engine ->
   ?mode:[ `Rtl | `Behavioral ] ->
   Partition.t ->
   point
-(** [`Behavioral] runs accelerators on the interpreter engine — a much
-    faster sweep with ideal-pipeline timing; functional checks unchanged. *)
+(** Build (through the pluggable HLS engine — pass
+    [Soc_farm.Cache.hls_engine] to share real synthesis work) then
+    {!measure}. [`Behavioral] runs accelerators on the interpreter
+    engine — a much faster sweep with ideal-pipeline timing; functional
+    checks unchanged. *)

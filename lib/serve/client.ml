@@ -50,6 +50,32 @@ let drain t =
   | Protocol.Drained { completed; failed } -> (completed, failed)
   | r -> raise (Error ("unexpected response to drain: " ^ Protocol.(to_string (encode_response r))))
 
+(* Streaming explore: one request, then a sequence of update frames until
+   the terminal frame. Any non-update response ends the stream. *)
+let explore t ?(on_update = fun _ -> ()) (req : Protocol.request) =
+  (match req with
+  | Protocol.Explore _ -> ()
+  | _ -> invalid_arg "Client.explore: not an explore request");
+  (try Protocol.send ~max_len:t.max_frame t.fd (Protocol.encode_request req)
+   with Unix.Unix_error (err, _, _) ->
+     raise (Error ("send: " ^ Unix.error_message err)));
+  let rec next () =
+    match Protocol.recv ~max_len:t.max_frame t.fd with
+    | exception Protocol.Framing_error msg -> raise (Error ("framing: " ^ msg))
+    | exception Protocol.Parse_error msg -> raise (Error ("malformed response: " ^ msg))
+    | exception Unix.Unix_error (err, _, _) ->
+      raise (Error ("recv: " ^ Unix.error_message err))
+    | None -> raise (Error "server closed the connection mid-stream")
+    | Some j -> (
+      match Protocol.decode_response j with
+      | Error msg -> raise (Error ("undecodable response: " ^ msg))
+      | Ok (Protocol.Explore_update _ as u) ->
+        on_update u;
+        next ()
+      | Ok resp -> resp)
+  in
+  next ()
+
 (* Submit and block until terminal; the common client-CLI path. *)
 let submit_and_wait t ?priority ?deadline_ms source =
   match submit t ?priority ?deadline_ms source with

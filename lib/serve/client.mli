@@ -31,6 +31,14 @@ val stats : t -> Protocol.server_stats
 val drain : t -> int * int
 (** Stop admission, wait for in-flight work; [(completed, failed)]. *)
 
+val explore :
+  t -> ?on_update:(Protocol.response -> unit) -> Protocol.request -> Protocol.response
+(** Send an {!Protocol.Explore} request and consume the stream:
+    [on_update] sees each incremental {!Protocol.Explore_update}; the
+    returned response is the terminal frame ({!Protocol.Explore_r}, or
+    [Rejected]/[Error_r]). Raises [Invalid_argument] on a non-explore
+    request. *)
+
 val submit_and_wait :
   t -> ?priority:int -> ?deadline_ms:int -> string ->
   Protocol.response * Protocol.response option

@@ -239,7 +239,11 @@ let opt_int_field key j =
 exception Framing_error of string
 
 let max_frame_default = 16 * 1024 * 1024
-let protocol_version = 2
+
+(* v3 adds the streaming [explore] op (incremental [Explore_update]
+   frames before the final [Explore_r]); v2 peers never send it, so the
+   floor stays at 2. *)
+let protocol_version = 3
 let min_protocol_version = 2
 
 type read_error =
@@ -355,6 +359,16 @@ type request =
   | Heartbeat
   | Build of { source : string; key : string; deadline_ms : int option }
   | Cancel of { key : string }
+  | Explore of {
+      strategy : string;  (** "exhaustive" | "random" | "greedy" | "evolve" *)
+      seed : int;
+      budget_pct : int;
+      population : int;
+      generations : int;
+      samples : int;  (** random-strategy sample count *)
+      width : int;
+      height : int;
+    }  (** streaming: [Explore_update]* then one [Explore_r] *)
 
 let encode_request = function
   | Submit { source; priority; deadline_ms } ->
@@ -378,6 +392,16 @@ let encode_request = function
         | Some d -> [ ("deadline_ms", Num (float_of_int d)) ]
         | None -> [])
   | Cancel { key } -> Obj [ ("op", Str "cancel"); ("key", Str key) ]
+  | Explore { strategy; seed; budget_pct; population; generations; samples; width; height } ->
+    Obj
+      [ ("op", Str "explore"); ("strategy", Str strategy);
+        ("seed", Num (float_of_int seed));
+        ("budget_pct", Num (float_of_int budget_pct));
+        ("population", Num (float_of_int population));
+        ("generations", Num (float_of_int generations));
+        ("samples", Num (float_of_int samples));
+        ("width", Num (float_of_int width));
+        ("height", Num (float_of_int height)) ]
 
 let decode_request j =
   match str_field "op" j with
@@ -404,6 +428,17 @@ let decode_request j =
          { source = str_field "source" j; key = str_field "key" j;
            deadline_ms = opt_int_field "deadline_ms" j })
   | "cancel" -> Ok (Cancel { key = str_field "key" j })
+  | "explore" ->
+    Ok
+      (Explore
+         { strategy = str_field ~default:"evolve" "strategy" j;
+           seed = int_field ~default:42 "seed" j;
+           budget_pct = int_field ~default:100 "budget_pct" j;
+           population = int_field ~default:8 "population" j;
+           generations = int_field ~default:4 "generations" j;
+           samples = int_field ~default:32 "samples" j;
+           width = int_field ~default:16 "width" j;
+           height = int_field ~default:16 "height" j })
   | op -> Error (Printf.sprintf "unknown op %S" op)
   | exception Parse_error msg -> Error msg
 
@@ -557,6 +592,22 @@ type response =
       wall_ms : float;
     }
   | Cancelled_r of { key : string; was_running : bool }
+  | Explore_update of {
+      round : int;
+      evaluated : int;
+      infeasible : int;
+      frontier_size : int;
+      best_us : float;  (** 0.0 while the frontier is empty *)
+    }  (** incremental frontier progress; never the final frame *)
+  | Explore_r of {
+      frontier : string;  (** deterministic frontier JSON (Soc_tune.Render) *)
+      evaluated : int;
+      infeasible : int;
+      rounds : int;
+      engine_runs : int;  (** real HLS invocations spent on this sweep *)
+      cache_hits : int;  (** memory + disk cache hits on the daemon cache *)
+      wall_ms : float;
+    }
 
 let diags_json diags = Arr (List.map json_of_diag diags)
 
@@ -656,6 +707,22 @@ let encode_response = function
   | Cancelled_r { key; was_running } ->
     Obj
       [ ("reply", Str "cancelled"); ("key", Str key); ("was_running", Bool was_running) ]
+  | Explore_update { round; evaluated; infeasible; frontier_size; best_us } ->
+    Obj
+      [ ("reply", Str "explore_update"); ("round", Num (float_of_int round));
+        ("evaluated", Num (float_of_int evaluated));
+        ("infeasible", Num (float_of_int infeasible));
+        ("frontier_size", Num (float_of_int frontier_size));
+        ("best_us", Num best_us) ]
+  | Explore_r { frontier; evaluated; infeasible; rounds; engine_runs; cache_hits; wall_ms } ->
+    Obj
+      [ ("reply", Str "explore"); ("frontier", Str frontier);
+        ("evaluated", Num (float_of_int evaluated));
+        ("infeasible", Num (float_of_int infeasible));
+        ("rounds", Num (float_of_int rounds));
+        ("engine_runs", Num (float_of_int engine_runs));
+        ("cache_hits", Num (float_of_int cache_hits));
+        ("wall_ms", Num wall_ms) ]
 
 let decode_diags j =
   match mem "diags" j with
@@ -753,6 +820,24 @@ let decode_response j =
       (Cancelled_r
          { key = str_field ~default:"" "key" j;
            was_running = bool_field ~default:false "was_running" j })
+  | "explore_update" ->
+    Ok
+      (Explore_update
+         { round = int_field ~default:0 "round" j;
+           evaluated = int_field ~default:0 "evaluated" j;
+           infeasible = int_field ~default:0 "infeasible" j;
+           frontier_size = int_field ~default:0 "frontier_size" j;
+           best_us = float_field ~default:0.0 "best_us" j })
+  | "explore" ->
+    Ok
+      (Explore_r
+         { frontier = str_field ~default:"" "frontier" j;
+           evaluated = int_field ~default:0 "evaluated" j;
+           infeasible = int_field ~default:0 "infeasible" j;
+           rounds = int_field ~default:0 "rounds" j;
+           engine_runs = int_field ~default:0 "engine_runs" j;
+           cache_hits = int_field ~default:0 "cache_hits" j;
+           wall_ms = float_field ~default:0.0 "wall_ms" j })
   | r -> Error (Printf.sprintf "unknown reply %S" r)
   | exception Parse_error msg -> Error msg
 

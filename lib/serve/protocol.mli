@@ -36,7 +36,8 @@ val max_frame_default : int
 (** 16 MiB — the per-frame size limit both directions. *)
 
 val protocol_version : int
-(** The version this build speaks (2: hello/heartbeat/build/cancel). *)
+(** The version this build speaks (2: hello/heartbeat/build/cancel;
+    3: streaming explore). *)
 
 val min_protocol_version : int
 (** The oldest peer version a worker accepts in [Hello]; anything below
@@ -82,6 +83,19 @@ type request =
           (canonical-spec Chash) making the request idempotent *)
   | Cancel of { key : string }
       (** abandon the build for [key] — hedge loser or re-routed work *)
+  | Explore of {
+      strategy : string;  (** "exhaustive" | "random" | "greedy" | "evolve" *)
+      seed : int;
+      budget_pct : int;
+      population : int;
+      generations : int;
+      samples : int;  (** random-strategy sample count *)
+      width : int;
+      height : int;
+    }
+      (** run an autotuning sweep on the daemon (sharing its HLS cache);
+          the server streams zero or more [Explore_update] frames then
+          exactly one terminal [Explore_r] on the same connection *)
 
 val encode_request : request -> json
 val decode_request : json -> (request, string) result
@@ -179,6 +193,22 @@ type response =
       wall_ms : float;
     }
   | Cancelled_r of { key : string; was_running : bool }
+  | Explore_update of {
+      round : int;
+      evaluated : int;
+      infeasible : int;
+      frontier_size : int;
+      best_us : float;  (** 0.0 while the frontier is empty *)
+    }  (** incremental frontier progress; never the final frame *)
+  | Explore_r of {
+      frontier : string;  (** deterministic frontier JSON (Soc_tune.Render) *)
+      evaluated : int;
+      infeasible : int;
+      rounds : int;
+      engine_runs : int;  (** real HLS invocations spent on this sweep *)
+      cache_hits : int;  (** memory + disk hits on the daemon cache *)
+      wall_ms : float;
+    }
 
 val json_of_diag : Soc_util.Diag.t -> json
 val diag_of_json : json -> Soc_util.Diag.t

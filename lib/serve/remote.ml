@@ -203,7 +203,7 @@ let handle t (req : Protocol.request) : Protocol.response =
   | Protocol.Build { source; key; deadline_ms = _ } -> run_build t ~source ~key
   | Protocol.Cancel { key } -> cancel t ~key
   | Protocol.Submit _ | Protocol.Status _ | Protocol.Result _ | Protocol.Stats
-  | Protocol.Drain ->
+  | Protocol.Drain | Protocol.Explore _ ->
     Protocol.Error_r "not a coordinator: this daemon only speaks the worker protocol"
 
 let session t sr =

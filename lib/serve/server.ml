@@ -590,6 +590,84 @@ let handle t (req : Protocol.request) : Protocol.response =
     let s = Scheduler.stats t.sched in
     set_phase t (Drained (s.Scheduler.completed, s.Scheduler.failed));
     Protocol.Drained { completed = s.Scheduler.completed; failed = s.Scheduler.failed }
+  | Protocol.Explore _ ->
+    (* Streamed at session level; reaching here means a decode bug. *)
+    Protocol.Error_r "explore is a streaming op"
+
+(* Streaming autotuner sweep on the daemon's shared HLS cache: one
+   [Explore_update] frame per search round, then the terminal
+   [Explore_r]. Runs on the session thread — the sweep prices its
+   populations through the farm directly, not through the scheduler
+   queue, but every real synthesis result lands in (and comes from)
+   [t.cache], so served builds and sweeps warm each other. *)
+let handle_explore t reply
+    ~strategy ~seed ~budget_pct ~population ~generations ~samples ~width ~height =
+  let clamp lo hi v = max lo (min hi v) in
+  match killed t with
+  | Some (s, k) ->
+    reply
+      (Protocol.Rejected
+         { reason = Protocol.Server_killed;
+           detail = Printf.sprintf "server killed at %s:%d; restart it on the same cache dir" s k;
+           diags = [] })
+  | None ->
+    if Scheduler.draining t.sched then
+      reply
+        (Protocol.Rejected
+           { reason = Protocol.Draining; detail = "server is draining"; diags = [] })
+    else (
+      match
+        Soc_tune.Search.strategy_of_string
+          ~samples:(clamp 1 256 samples)
+          ~population:(clamp 2 64 population)
+          ~generations:(clamp 1 16 generations)
+          strategy
+      with
+      | Error msg -> reply (Protocol.Error_r msg)
+      | Ok strategy ->
+        let opts =
+          { Soc_dse.Tuner.default_options with
+            Soc_dse.Tuner.strategy;
+            seed;
+            budget_pct = clamp 1 100 budget_pct;
+            width = clamp 8 64 width;
+            height = clamp 8 64 height }
+        in
+        let t0 = t.cfg.clock () in
+        let c0 = Soc_farm.Cache.stats t.cache in
+        let on_round (p : Soc_tune.Search.progress) =
+          let best_us =
+            match p.Soc_tune.Search.frontier with
+            | [] -> 0.0
+            | best :: _ -> best.Soc_tune.Search.objectives.(0)
+          in
+          reply
+            (Protocol.Explore_update
+               { round = p.Soc_tune.Search.round;
+                 evaluated = p.Soc_tune.Search.evaluated;
+                 infeasible = p.Soc_tune.Search.infeasible;
+                 frontier_size = List.length p.Soc_tune.Search.frontier;
+                 best_us })
+        in
+        match Soc_dse.Tuner.run ~cache:t.cache ~on_round opts with
+        | exception (Unix.Unix_error _ as e) -> raise e (* peer went away mid-stream *)
+        | exception e -> reply (Protocol.Error_r ("explore failed: " ^ Printexc.to_string e))
+        | o ->
+          let r = o.Soc_dse.Tuner.search in
+          let c1 = o.Soc_dse.Tuner.cache in
+          let hits =
+            c1.Soc_farm.Cache.hits + c1.Soc_farm.Cache.disk_hits
+            - (c0.Soc_farm.Cache.hits + c0.Soc_farm.Cache.disk_hits)
+          in
+          reply
+            (Protocol.Explore_r
+               { frontier = Soc_tune.Render.frontier_json r;
+                 evaluated = r.Soc_tune.Search.evaluated;
+                 infeasible = r.Soc_tune.Search.infeasible;
+                 rounds = r.Soc_tune.Search.rounds;
+                 engine_runs = o.Soc_dse.Tuner.engine_invocations;
+                 cache_hits = hits;
+                 wall_ms = 1000.0 *. (t.cfg.clock () -. t0) }))
 
 let session t sr =
   let fd = sr.sfd in
@@ -608,6 +686,12 @@ let session t sr =
     | Ok (Some j) ->
       (match Protocol.decode_request j with
       | Error msg -> reply (Protocol.Error_r msg)
+      | Ok
+          (Protocol.Explore
+             { strategy; seed; budget_pct; population; generations; samples; width; height })
+        ->
+        handle_explore t reply ~strategy ~seed ~budget_pct ~population ~generations
+          ~samples ~width ~height
       | Ok req -> reply (handle t req));
       loop ()
     | Error (Protocol.Oversized { announced; limit }) ->

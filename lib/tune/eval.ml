@@ -1,0 +1,91 @@
+(* Farm-backed population pricing. A population is split three ways:
+   candidates whose pre-HLS gate carries errors are pruned without
+   spending any synthesis work; all-software candidates are measured
+   directly (nothing to build); the rest are grouped by (HLS config,
+   FIFO depth) and each group goes through {!Soc_farm.Farm.build_batch}
+   as one batch — so identical kernels dedup batch-wide by content hash
+   and a shared cache makes warm re-sweeps free. *)
+
+module Diag = Soc_util.Diag
+module Farm = Soc_farm.Farm
+module Jobgraph = Soc_farm.Jobgraph
+
+exception Infeasible_point of Diag.t list
+
+type prep = {
+  entry : Jobgraph.entry option;  (** [None]: all-software, nothing to build *)
+  fifo_depth : int;
+  config : Soc_hls.Engine.config;
+  gate : Diag.t list;  (** pre-HLS analyzer + budget diagnostics *)
+  measure : Soc_core.Flow.build option -> Search.point;
+}
+
+type counters = {
+  mutable batches : int;
+  mutable hls_requests : int;
+  mutable gated : int;
+}
+
+let counters () = { batches = 0; hls_requests = 0; gated = 0 }
+
+let errors_of diags = List.filter (fun d -> d.Diag.severity = Diag.Error) diags
+
+let measure_to_outcome measure build =
+  match measure build with
+  | p -> Search.Feasible p
+  | exception Infeasible_point ds -> Search.Infeasible ds
+  | exception e -> Search.Failed (Printexc.to_string e)
+
+let population ?(jobs = 1) ?counters:ctr ~cache ~prepare cands =
+  let ctr = match ctr with Some c -> c | None -> counters () in
+  let preps = Array.of_list (List.map (fun c -> (c, prepare c)) cands) in
+  let n = Array.length preps in
+  let out = Array.make n (Search.Failed "not evaluated") in
+  (* Gate and all-SW passes; collect the buildable rest in input order. *)
+  let hw = ref [] in
+  Array.iteri
+    (fun i (_c, p) ->
+      if Diag.has_errors p.gate then begin
+        ctr.gated <- ctr.gated + 1;
+        out.(i) <- Search.Infeasible (errors_of p.gate)
+      end
+      else
+        match p.entry with
+        | None -> out.(i) <- measure_to_outcome p.measure None
+        | Some _ -> hw := (i, p) :: !hw)
+    preps;
+  (* Group by (config, fifo): Farm.build_batch takes both batch-wide. *)
+  let groups : ((Soc_hls.Engine.config * int) * (int * prep) list ref) list ref = ref [] in
+  List.iter
+    (fun ((_i, p) as m) ->
+      let k = (p.config, p.fifo_depth) in
+      match List.assoc_opt k !groups with
+      | Some r -> r := m :: !r
+      | None -> groups := !groups @ [ (k, ref [ m ]) ])
+    (List.rev !hw);
+  List.iter
+    (fun ((config, fifo_depth), members) ->
+      let members = List.rev !members in
+      let entries = List.map (fun (_, p) -> Option.get p.entry) members in
+      ctr.batches <- ctr.batches + 1;
+      ctr.hls_requests <-
+        ctr.hls_requests
+        + List.fold_left (fun a (e : Jobgraph.entry) -> a + List.length e.Jobgraph.kernels) 0 entries;
+      match Farm.build_batch ~jobs ~hls_config:config ~fifo_depth ~cache entries with
+      | exception e ->
+        let msg = "farm batch failed: " ^ Printexc.to_string e in
+        List.iter (fun (pos, _) -> out.(pos) <- Search.Failed msg) members
+      | report ->
+        let fail_reason bi =
+          match report.Farm.failures with
+          | f :: _ -> Format.asprintf "%a" Soc_farm.Pool.pp_failure f
+          | [] -> Printf.sprintf "batch entry %d produced no build" bi
+        in
+        List.iteri
+          (fun bi (pos, p) ->
+            match List.assoc_opt bi report.Farm.builds with
+            | Some b -> out.(pos) <- measure_to_outcome p.measure (Some b)
+            | None -> out.(pos) <- Search.Failed (fail_reason bi))
+          members)
+    !groups;
+  List.mapi (fun i c -> (c, out.(i))) (List.map fst (Array.to_list preps))

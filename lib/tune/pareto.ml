@@ -1,0 +1,24 @@
+(* k-objective Pareto dominance. All objectives are minimized; a point
+   dominates another when it is no worse everywhere and strictly better
+   somewhere. The O(n^2) front extraction is deliberate: populations here
+   are hundreds of points, and the simple form is the one the qcheck
+   properties can cross-check against a brute-force definition. *)
+
+let dominates a b =
+  let n = Array.length a in
+  if Array.length b <> n then
+    invalid_arg
+      (Printf.sprintf "Pareto.dominates: arity mismatch (%d vs %d)" n (Array.length b));
+  let no_worse = ref true and better = ref false in
+  for i = 0 to n - 1 do
+    if a.(i) > b.(i) then no_worse := false;
+    if a.(i) < b.(i) then better := true
+  done;
+  !no_worse && !better
+
+let front ~objectives points =
+  let tagged = List.map (fun p -> (p, objectives p)) points in
+  List.filter_map
+    (fun (p, o) ->
+      if List.exists (fun (_, o') -> dominates o' o) tagged then None else Some p)
+    tagged

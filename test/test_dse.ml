@@ -90,9 +90,10 @@ let test_all_sw_point () =
 let test_every_partition_is_bit_exact () =
   (* Runner.evaluate raises Wrong_output internally when the image differs
      from the golden model, so completing the sweep is itself the check. *)
-  let cache = Hashtbl.create 8 in
+  let cache = Soc_farm.Cache.create () in
+  let hls = Soc_farm.Cache.hls_engine cache in
   List.iter
-    (fun p -> ignore (Soc_dse.Runner.evaluate ~width:12 ~height:12 ~hls_cache:cache p))
+    (fun p -> ignore (Soc_dse.Runner.evaluate ~width:12 ~height:12 ~hls p))
     (P.enumerate ())
 
 let test_behavioral_mode_bit_exact () =

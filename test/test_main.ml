@@ -28,4 +28,5 @@ let () =
       ("serve", Test_serve.suite);
       ("remote", Test_remote.suite);
       ("verify", Test_verify.suite);
+      ("tune", Test_tune.suite);
     ]
